@@ -1,0 +1,85 @@
+// Block-size auto-tuning ablation (paper Sec. IV-B: the compiler's
+// auto-tuner searches the best block size for "an optimal combination of
+// accuracy and performance").
+//
+// Sweeps the column-block count over a recurrent-scale matrix, reporting
+// for each candidate the measured kernel time and the retained weight
+// energy (the accuracy proxy), and prints the tuner's selection under an
+// accuracy floor.
+#include <cmath>
+#include <cstdio>
+
+#include "compiler/auto_tuner.hpp"
+#include "tensor/ops.hpp"
+#include "util/report.hpp"
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rtmobile;
+  constexpr std::size_t kRows = 512;
+  constexpr std::size_t kCols = 1024;
+
+  Rng rng(777);
+  Matrix weights(kRows, kCols);
+  fill_normal(weights.span(), rng, 1.0F);
+  // Give the matrix column structure so block size matters for accuracy:
+  // a slowly varying column-energy profile.
+  for (std::size_t c = 0; c < kCols; ++c) {
+    const float scale =
+        1.0F + 0.9F * std::sin(static_cast<float>(c) * 0.05F);
+    for (std::size_t r = 0; r < kRows; ++r) weights(r, c) *= scale;
+  }
+
+  TunerConfig config;
+  config.num_c_candidates = {2, 4, 8, 16, 32, 64};
+  config.thread_candidates = {1, 2, 4};
+  config.lre_candidates = {true};
+  config.num_r = 32;
+  config.col_keep_fraction = 1.0 / 16.0;
+  config.row_keep_fraction = 1.0;
+  config.min_energy_retained = 0.10;
+  config.timing_iters = 20;
+  config.timing_repeats = 3;
+
+  std::printf("== Auto-tuner ablation (block size x threads) ==\n");
+  std::printf(
+      "matrix %zux%zu at 16x column compression; accuracy floor: retained\n"
+      "energy >= %.2f. The tuner picks the fastest candidate above the\n"
+      "floor.\n\n",
+      kRows, kCols, config.min_energy_retained);
+
+  const TunerResult result = tune_layer(weights, config);
+
+  Table table({"num_c", "threads", "lre", "time us", "energy retained",
+               "imbalance", "chosen"});
+  JsonReport report;
+  for (const TunerCandidate& candidate : result.all) {
+    const bool chosen = candidate.num_c == result.best.num_c &&
+                        candidate.threads == result.best.threads &&
+                        candidate.lre == result.best.lre;
+    table.add_row({std::to_string(candidate.num_c),
+                   std::to_string(candidate.threads),
+                   candidate.lre ? "on" : "off",
+                   format_double(candidate.time_us, 1),
+                   format_double(candidate.energy_retained, 4),
+                   format_double(candidate.imbalance, 3),
+                   chosen ? "<== best" : ""});
+    JsonRecord record;
+    record.set("experiment", "autotune");
+    record.set("num_c", static_cast<std::int64_t>(candidate.num_c));
+    record.set("threads", static_cast<std::int64_t>(candidate.threads));
+    record.set("time_us", candidate.time_us);
+    record.set("energy_retained", candidate.energy_retained);
+    record.set("chosen", chosen);
+    report.add(record);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Observation the paper relies on: finer blocks (larger num_c) retain\n"
+      "more energy (better accuracy) but cost more index/gather overhead;\n"
+      "the tuner finds the knee.\n");
+  report.write_file("autotune.json");
+  return 0;
+}

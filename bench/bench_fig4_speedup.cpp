@@ -1,0 +1,146 @@
+// Reproduces Figure 4: inference speedup over the dense baseline as a
+// function of compression rate, for the mobile GPU and CPU.
+//
+// Section 1 evaluates the calibrated device models on the paper's
+// workloads (speedup = dense modeled time / pruned modeled time; the
+// paper's own speedups derived from Table II are printed alongside).
+// Section 2 measures the real BSPC kernel against the real dense kernel on
+// this host over a denser sweep of compression rates, reproducing the
+// figure's saturating shape with measured code.
+#include <cstdio>
+#include <vector>
+
+#include "compiler/execution_plan.hpp"
+#include "hw/device_model.hpp"
+#include "hw/paper_reference.hpp"
+#include "hw/thread_pool.hpp"
+#include "hw/timer.hpp"
+#include "tensor/ops.hpp"
+#include "train/projection.hpp"
+#include "util/report.hpp"
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace rtmobile {
+namespace {
+
+void print_model_section() {
+  const DeviceModel gpu = DeviceModel::adreno640_gpu();
+  const DeviceModel cpu = DeviceModel::kryo485_cpu();
+  const auto rows = paper::table2();
+  const double gpu_dense = gpu.time_us({rows[0].gop, 1.0});
+  const double cpu_dense = cpu.time_us({rows[0].gop, 1.0});
+
+  std::printf("== Figure 4 (device-model reproduction) ==\n");
+  std::printf("Speedup over the dense baseline on the same device.\n\n");
+  Table table({"CR", "GPU speedup", "GPU speedup(paper)", "CPU speedup",
+               "CPU speedup(paper)"});
+  JsonReport report;
+  for (const auto& row : rows) {
+    const Workload workload{row.gop, row.compression_rate};
+    const double gpu_speedup = gpu_dense / gpu.time_us(workload);
+    const double cpu_speedup = cpu_dense / cpu.time_us(workload);
+    const double paper_gpu = rows[0].gpu_time_us / row.gpu_time_us;
+    const double paper_cpu = rows[0].cpu_time_us / row.cpu_time_us;
+    table.add_row({format_double(row.compression_rate, 0) + "x",
+                   format_double(gpu_speedup, 2) + "x",
+                   format_double(paper_gpu, 2) + "x",
+                   format_double(cpu_speedup, 2) + "x",
+                   format_double(paper_cpu, 2) + "x"});
+    JsonRecord record;
+    record.set("experiment", "fig4_model");
+    record.set("compression_rate", row.compression_rate);
+    record.set("gpu_speedup", gpu_speedup);
+    record.set("gpu_speedup_paper", paper_gpu);
+    record.set("cpu_speedup", cpu_speedup);
+    record.set("cpu_speedup_paper", paper_cpu);
+    report.add(record);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Shape check: speedup grows with compression and flattens beyond\n"
+      "~250x (paper: 'the speedup becomes stable when compression rate\n"
+      "reaches a certain range').\n\n");
+  report.write_file("fig4_model.json");
+}
+
+void print_measured_section() {
+  std::printf("== Figure 4 (host-measured kernels) ==\n");
+  // A single recurrent-scale matrix (1024 x 2048, the concatenated gate
+  // width of the full model's layer 2) swept over compression rates.
+  constexpr std::size_t kRows = 1024;
+  constexpr std::size_t kCols = 2048;
+  Rng rng(99);
+  Matrix weights(kRows, kCols);
+  fill_normal(weights.span(), rng, 1.0F);
+  Vector x(kCols);
+  fill_normal(x.span(), rng, 1.0F);
+  Vector y(kRows);
+
+  const std::size_t threads = ThreadPool::default_thread_count();
+  ThreadPool pool(threads);
+
+  CompilerOptions dense_options;
+  dense_options.format = SparseFormat::kDense;
+  dense_options.threads = threads;
+  const LayerPlan dense_plan =
+      LayerPlan::compile(weights, nullptr, dense_options);
+  const double dense_us = time_best_of_us(
+      [&] { dense_plan.execute(x.span(), y.span(), &pool); }, 10, 3);
+
+  std::printf("dense GEMV baseline (%zux%zu, %zu threads): %.1f us\n\n",
+              kRows, kCols, threads, dense_us);
+  Table table({"CR", "nnz", "kernel us", "speedup", "thread imbalance"});
+  JsonReport report;
+  const std::vector<double> rates = {1,  2,   5,   10,  19,  29, 43,
+                                     80, 103, 153, 245, 301, 400};
+  for (const double cr : rates) {
+    double time_us = dense_us;
+    double imbalance = 1.0;
+    std::size_t nnz = kRows * kCols;
+    if (cr > 1.0) {
+      // Decompose like BSP's two steps (and Table I's operating points):
+      // up to 16x from in-block columns, the rest from whole rows.
+      const double col_rate = std::min(cr, 16.0);
+      const double row_keep = col_rate / cr;
+      BlockMask mask = block_column_mask(weights, 64, 16, 1.0 / col_rate);
+      if (row_keep < 1.0) apply_row_pruning(weights, row_keep, mask);
+      CompilerOptions options;
+      options.format = SparseFormat::kBspc;
+      options.threads = threads;
+      const LayerPlan plan = LayerPlan::compile(weights, &mask, options);
+      nnz = plan.nnz();
+      time_us = time_best_of_us(
+          [&] { plan.execute(x.span(), y.span(), &pool); }, 20, 3);
+      imbalance = plan.imbalance();
+    }
+    table.add_row({format_double(cr, 0) + "x",
+                   format_si(static_cast<double>(nnz), 1),
+                   format_double(time_us, 1),
+                   format_double(dense_us / time_us, 2) + "x",
+                   format_double(imbalance, 3)});
+    JsonRecord record;
+    record.set("experiment", "fig4_host");
+    record.set("compression_rate", cr);
+    record.set("nnz", static_cast<std::int64_t>(nnz));
+    record.set("time_us", time_us);
+    record.set("speedup", dense_us / time_us);
+    report.add(record);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Note: host speedups saturate earlier than the paper's mobile GPU\n"
+      "because per-dispatch overhead is a larger share of these smaller\n"
+      "kernels; the saturating shape itself is the reproduction target.\n");
+  report.write_file("fig4_host.json");
+}
+
+}  // namespace
+}  // namespace rtmobile
+
+int main() {
+  rtmobile::print_model_section();
+  rtmobile::print_measured_section();
+  return 0;
+}

@@ -1,0 +1,185 @@
+// Reproduces Table II: inference time, GOP/s, and ESE-normalized energy
+// efficiency of the full-size GRU (153 -> 1024 -> 1024) on the mobile GPU
+// and CPU, at the paper's ten compression points.
+//
+// Two sections are printed:
+//  1. Device-model reproduction — the calibrated Adreno 640 / Kryo 485
+//     roofline models (see src/hw/device_model.hpp) evaluated on the exact
+//     workloads of Table II, with the paper's numbers alongside.
+//  2. Host-measured validation — the real compiled BSPC kernels executed
+//     on this machine (full-size model, 30-timestep inference frame),
+//     demonstrating the same qualitative behaviour with measured code.
+#include <cstdio>
+#include <memory>
+
+#include "compiler/gru_executor.hpp"
+#include "core/bsp.hpp"
+#include "hw/device_model.hpp"
+#include "hw/energy_model.hpp"
+#include "hw/paper_reference.hpp"
+#include "hw/thread_pool.hpp"
+#include "hw/timer.hpp"
+#include "rnn/model.hpp"
+#include "util/report.hpp"
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace rtmobile {
+namespace {
+
+constexpr std::size_t kFramesPerInference = 30;  // makes dense = 0.58 GOP
+
+/// Keep fractions that land on the paper's overall compression rate while
+/// honouring its column-rate target (see DESIGN.md "Compression
+/// accounting").
+struct KeepPlan {
+  double col_keep;
+  double row_keep;
+};
+
+KeepPlan keep_plan_for(const paper::Table1BspRow& row) {
+  const double col_keep = 1.0 / row.col_rate;
+  const double row_keep =
+      row.compression_rate > row.col_rate
+          ? row.col_rate / row.compression_rate
+          : 1.0;
+  return {col_keep, row_keep};
+}
+
+void print_device_model_section() {
+  const DeviceModel gpu = DeviceModel::adreno640_gpu();
+  const DeviceModel cpu = DeviceModel::kryo485_cpu();
+  const EnergyModel energy;
+
+  std::printf("== Table II (device-model reproduction) ==\n");
+  std::printf(
+      "Device models calibrated on the dense and 301x endpoints only; all\n"
+      "interior rows are model predictions. 'paper' columns are the\n"
+      "published measurements.\n\n");
+
+  Table table({"CR", "GOP", "GPU us", "GPU us(paper)", "GPU GOP/s",
+               "GPU eff", "GPU eff(paper)", "CPU us", "CPU us(paper)",
+               "CPU eff", "CPU eff(paper)"});
+  JsonReport report;
+  for (const auto& row : paper::table2()) {
+    const Workload workload{row.gop, row.compression_rate};
+    const double gpu_us = gpu.time_us(workload);
+    const double cpu_us = cpu.time_us(workload);
+    const double gpu_eff = energy.normalized_efficiency(gpu, workload);
+    const double cpu_eff = energy.normalized_efficiency(cpu, workload);
+    table.add_row({format_double(row.compression_rate, 0) + "x",
+                   format_double(row.gop, 4),
+                   format_double(gpu_us, 2),
+                   format_double(row.gpu_time_us, 2),
+                   format_double(row.gop / gpu_us * 1e6, 2),
+                   format_double(gpu_eff, 2),
+                   format_double(row.gpu_energy_eff, 2),
+                   format_double(cpu_us, 2),
+                   format_double(row.cpu_time_us, 2),
+                   format_double(cpu_eff, 2),
+                   format_double(row.cpu_energy_eff, 2)});
+    JsonRecord record;
+    record.set("experiment", "table2_model");
+    record.set("compression_rate", row.compression_rate);
+    record.set("gop", row.gop);
+    record.set("gpu_time_us", gpu_us);
+    record.set("gpu_time_us_paper", row.gpu_time_us);
+    record.set("gpu_eff", gpu_eff);
+    record.set("gpu_eff_paper", row.gpu_energy_eff);
+    record.set("cpu_time_us", cpu_us);
+    record.set("cpu_time_us_paper", row.cpu_time_us);
+    record.set("cpu_eff", cpu_eff);
+    record.set("cpu_eff_paper", row.cpu_energy_eff);
+    report.add(record);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "ESE reference: %.1f us/frame at %.0f W -> %.1f frames/J (eff 1.0).\n"
+      "Paper claim check: GPU time at 245x (%.1f us, modeled) matches\n"
+      "ESE's 82.7 us with ~40x the energy efficiency.\n\n",
+      paper::kEseTimeUs, paper::kEsePowerW,
+      EseFpgaReference{}.frames_per_joule(),
+      gpu.time_us({0.0028, 245.0}));
+  report.write_file("table2_model.json");
+}
+
+void print_host_measured_section() {
+  std::printf("== Table II (host-measured BSPC kernels, full-size GRU) ==\n");
+  std::printf(
+      "Real compiled kernels on this machine (fp32, %zu threads), one\n"
+      "inference frame = %zu timesteps. Absolute numbers differ from the\n"
+      "Snapdragon 855; the shape (time falls with compression, effective\n"
+      "GOP/s falls too) is the reproduction target.\n\n",
+      ThreadPool::default_thread_count(), kFramesPerInference);
+
+  const std::size_t threads = ThreadPool::default_thread_count();
+  ThreadPool pool(threads);
+  Rng rng(4242);
+  SpeechModel model(ModelConfig::paper_full_size());
+  model.init(rng);
+
+  Table table({"CR(target)", "CR(achieved)", "nnz", "time/frame us",
+               "eff GOP/s", "speedup", "weight MB (fp16)"});
+  JsonReport report;
+  double dense_time_us = 0.0;
+  for (const auto& row : paper::table1_bsp()) {
+    SpeechModel pruned = model;  // fresh copy per point
+    BspConfig config;
+    config.num_r = 64;
+    config.num_c = 16;
+    const KeepPlan plan = keep_plan_for(row);
+    config.col_keep_fraction = plan.col_keep;
+    config.row_keep_fraction = plan.row_keep;
+    // The paper's Para. No. column implies every weight matrix is pruned
+    // (9.6M -> 0.03M at 301x); include the FC head so achieved compression
+    // matches.
+    config.prune_fc = true;
+    BspPruner pruner(config);
+    const BspResult result = pruner.prune_one_shot(pruned);
+
+    CompilerOptions options;
+    options.format = row.compression_rate == 1.0 ? SparseFormat::kDense
+                                                 : SparseFormat::kBspc;
+    options.threads = threads;
+    options.value_bytes = 2;  // paper's fp16 GPU storage accounting
+    const CompiledSpeechModel compiled(pruned, result.block_masks, options,
+                                       &pool);
+
+    const std::size_t iters = row.compression_rate < 5.0 ? 1 : 3;
+    const double time_us = time_best_of_us(
+        [&] { compiled.run_recurrence(kFramesPerInference); }, iters, 2);
+    if (row.compression_rate == 1.0) dense_time_us = time_us;
+    const double nnz_gop = 2.0 * static_cast<double>(compiled.total_nnz()) *
+                           static_cast<double>(kFramesPerInference) / 1e9;
+    table.add_row(
+        {format_double(row.compression_rate, 0) + "x",
+         format_double(result.stats.overall_rate(), 1) + "x",
+         format_si(static_cast<double>(compiled.total_nnz()), 2),
+         format_double(time_us, 1),
+         format_double(nnz_gop / time_us * 1e6, 2),
+         format_double(dense_time_us / time_us, 2) + "x",
+         format_double(static_cast<double>(compiled.total_memory_bytes()) /
+                           1e6,
+                       2)});
+    JsonRecord record;
+    record.set("experiment", "table2_host");
+    record.set("compression_rate_target", row.compression_rate);
+    record.set("compression_rate_achieved", result.stats.overall_rate());
+    record.set("time_us", time_us);
+    record.set("speedup", dense_time_us / time_us);
+    record.set("eff_gops", nnz_gop / time_us * 1e6);
+    report.add(record);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  report.write_file("table2_host.json");
+}
+
+}  // namespace
+}  // namespace rtmobile
+
+int main() {
+  rtmobile::print_device_model_section();
+  rtmobile::print_host_measured_section();
+  return 0;
+}

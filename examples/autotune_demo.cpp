@@ -1,0 +1,70 @@
+// Auto-tuner walkthrough: how the compiler searches block size / thread
+// count / LRE for one weight matrix, and what the accuracy-performance
+// trade-off looks like.
+//
+// Flags:
+//   --rows/--cols       matrix shape (default 512 x 512)
+//   --compression       column compression target (default 16)
+//   --floor             retained-energy accuracy floor (default 0.3)
+#include <cstdio>
+
+#include "compiler/auto_tuner.hpp"
+#include "tensor/ops.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtmobile;
+  CliParser cli;
+  cli.add_flag("rows", "512", "matrix rows");
+  cli.add_flag("cols", "512", "matrix cols");
+  cli.add_flag("compression", "16", "column compression target");
+  cli.add_flag("floor", "0.1", "retained-energy accuracy floor");
+  try {
+    cli.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n%s", e.what(), cli.help(argv[0]).c_str());
+    return 1;
+  }
+
+  const auto rows = static_cast<std::size_t>(cli.get_int("rows"));
+  const auto cols = static_cast<std::size_t>(cli.get_int("cols"));
+
+  Rng rng(2718);
+  Matrix weights(rows, cols);
+  fill_normal(weights.span(), rng, 1.0F);
+
+  TunerConfig config;
+  config.num_c_candidates = {2, 4, 8, 16, 32};
+  config.thread_candidates = {1, 2, 4};
+  config.num_r = std::min<std::size_t>(32, rows);
+  config.col_keep_fraction = 1.0 / cli.get_double("compression");
+  config.min_energy_retained = cli.get_double("floor");
+
+  std::printf("tuning %zux%zu at %.0fx column compression...\n\n", rows,
+              cols, cli.get_double("compression"));
+  const TunerResult result = tune_layer(weights, config);
+
+  Table table({"num_c", "threads", "time us", "energy", "note"});
+  for (const TunerCandidate& candidate : result.all) {
+    const bool best = candidate.num_c == result.best.num_c &&
+                      candidate.threads == result.best.threads;
+    const bool feasible =
+        candidate.energy_retained >= config.min_energy_retained;
+    table.add_row({std::to_string(candidate.num_c),
+                   std::to_string(candidate.threads),
+                   format_double(candidate.time_us, 1),
+                   format_double(candidate.energy_retained, 4),
+                   best ? "<== selected"
+                        : (feasible ? "" : "below accuracy floor")});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "selected: num_c=%zu threads=%zu lre=%s (%.1f us, energy %.4f)\n",
+      result.best.num_c, result.best.threads,
+      result.best.lre ? "on" : "off", result.best.time_us,
+      result.best.energy_retained);
+  return 0;
+}

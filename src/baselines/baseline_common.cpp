@@ -1,0 +1,20 @@
+#include "baselines/baseline_common.hpp"
+
+namespace rtmobile::baselines {
+
+std::vector<std::string> compressible_weights(const SpeechModel& model) {
+  return model.weight_names();
+}
+
+std::size_t total_weight_slots(const SpeechModel& model,
+                               const std::vector<std::string>& names) {
+  ParamSet set;
+  model.register_params(set);
+  std::size_t total = 0;
+  for (const std::string& name : names) {
+    total += set.matrix(name).size();
+  }
+  return total;
+}
+
+}  // namespace rtmobile::baselines

@@ -1,0 +1,42 @@
+// Shared scaffolding for the comparison methods of Table I.
+//
+// Every baseline reimplements another paper's compression scheme on the
+// same GRU + synthetic-TIMIT task so the comparison isolates the pruning
+// structure, exactly as the paper's Table I does.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rnn/model.hpp"
+#include "train/types.hpp"
+
+namespace rtmobile::baselines {
+
+/// What a compression method reports for Table I.
+struct BaselineOutcome {
+  std::string method;
+  std::size_t total_weights = 0;   // slots across compressed matrices
+  std::size_t stored_params = 0;   // surviving nonzeros / defining params
+
+  [[nodiscard]] double compression_rate() const {
+    return stored_params == 0
+               ? 0.0
+               : static_cast<double>(total_weights) /
+                     static_cast<double>(stored_params);
+  }
+  [[nodiscard]] double params_millions() const {
+    return static_cast<double>(stored_params) / 1e6;
+  }
+};
+
+/// The GRU weight names every baseline compresses (the six matrices of
+/// each layer; the FC head is left dense, as it is negligible).
+[[nodiscard]] std::vector<std::string> compressible_weights(
+    const SpeechModel& model);
+
+/// Sums the sizes of the named matrices.
+[[nodiscard]] std::size_t total_weight_slots(
+    const SpeechModel& model, const std::vector<std::string>& names);
+
+}  // namespace rtmobile::baselines

@@ -1,0 +1,107 @@
+#include "baselines/bbs.hpp"
+
+#include "train/admm.hpp"
+#include "train/optimizer.hpp"
+#include "train/projection.hpp"
+#include "train/trainer.hpp"
+#include "util/check.hpp"
+
+namespace rtmobile::baselines {
+namespace {
+
+/// Banks must divide the row width; pad-free fallback shrinks the bank
+/// size to the largest divisor of cols not exceeding the configured size.
+std::size_t feasible_bank_size(std::size_t cols, std::size_t requested) {
+  std::size_t bank = std::min(requested, cols);
+  while (bank > 1 && cols % bank != 0) --bank;
+  return bank;
+}
+
+}  // namespace
+
+BbsPruner::BbsPruner(const BbsConfig& config) : config_(config) {
+  RT_REQUIRE(config.bank_size >= 1, "bank size must be positive");
+  RT_REQUIRE(config.keep_per_bank >= 1 &&
+                 config.keep_per_bank <= config.bank_size,
+             "keep_per_bank must be in [1, bank_size]");
+}
+
+BaselineOutcome BbsPruner::compress_one_shot(SpeechModel& model,
+                                             MaskSet* masks_out) const {
+  const std::vector<std::string> names = compressible_weights(model);
+  ParamSet params;
+  model.register_params(params);
+
+  BaselineOutcome outcome;
+  outcome.method = "BBS";
+  outcome.total_weights = total_weight_slots(model, names);
+  for (const std::string& name : names) {
+    Matrix& weights = params.matrix(name);
+    const std::size_t bank = feasible_bank_size(weights.cols(),
+                                                config_.bank_size);
+    const std::size_t keep = std::min(config_.keep_per_bank, bank);
+    weights = project_bank_balanced(weights, bank, keep);
+    outcome.stored_params += weights.count_nonzero();
+    if (masks_out != nullptr) {
+      Matrix mask(weights.rows(), weights.cols(), 0.0F);
+      for (std::size_t i = 0; i < mask.size(); ++i) {
+        mask.span()[i] = weights.span()[i] != 0.0F ? 1.0F : 0.0F;
+      }
+      masks_out->set(name, std::move(mask));
+    }
+  }
+  return outcome;
+}
+
+BaselineOutcome BbsPruner::compress(
+    SpeechModel& model, const std::vector<LabeledSequence>& train_data,
+    Rng& rng, MaskSet* masks_out) {
+  RT_REQUIRE(!train_data.empty(), "BBS compression requires data");
+  const std::vector<std::string> names = compressible_weights(model);
+  ParamSet params;
+  model.register_params(params);
+
+  AdmmState admm;
+  for (const std::string& name : names) {
+    Matrix& weights = params.matrix(name);
+    const std::size_t bank = feasible_bank_size(weights.cols(),
+                                                config_.bank_size);
+    const std::size_t keep = std::min(config_.keep_per_bank, bank);
+    admm.attach(name, &weights,
+                [bank, keep](const Matrix& w) {
+                  return project_bank_balanced(w, bank, keep);
+                },
+                config_.rho);
+  }
+  admm.initialize();
+
+  Trainer trainer(model);
+  Adam optimizer(config_.learning_rate);
+  TrainConfig round_config;
+  round_config.epochs = config_.epochs_per_round;
+  for (std::size_t round = 0; round < config_.admm_rounds; ++round) {
+    trainer.train(round_config, train_data, optimizer, rng, &admm);
+    admm.dual_update();
+  }
+
+  MaskSet masks = admm.hard_prune();
+  {
+    Trainer retrainer(model);
+    Adam retrain_opt(config_.retrain_learning_rate);
+    TrainConfig retrain_config;
+    retrain_config.epochs = config_.retrain_epochs;
+    retrainer.train(retrain_config, train_data, retrain_opt, rng, nullptr,
+                    &masks);
+  }
+
+  BaselineOutcome outcome;
+  outcome.method = "BBS";
+  outcome.total_weights = total_weight_slots(model, names);
+  for (const std::string& name : names) {
+    outcome.stored_params += params.matrix(name).count_nonzero();
+  }
+  if (masks_out != nullptr) *masks_out = std::move(masks);
+  return outcome;
+}
+
+}  // namespace rtmobile::baselines

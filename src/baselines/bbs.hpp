@@ -1,0 +1,43 @@
+// BBS baseline (Cao et al., FPGA'19): bank-balanced sparsity.
+//
+// Each weight row is split into equal banks and every bank keeps the same
+// number of largest-magnitude entries. Load balance is perfect by
+// construction; accuracy sits between unstructured (ESE) and coarse
+// structured (Wang) pruning — the ordering Table I reproduces.
+#pragma once
+
+#include "baselines/baseline_common.hpp"
+#include "train/mask_set.hpp"
+#include "util/rng.hpp"
+
+namespace rtmobile::baselines {
+
+struct BbsConfig {
+  std::size_t bank_size = 16;
+  std::size_t keep_per_bank = 2;  // bank_size/keep = compression rate
+  double rho = 1.5e-2;
+  std::size_t admm_rounds = 2;
+  std::size_t epochs_per_round = 1;
+  std::size_t retrain_epochs = 3;
+  double learning_rate = 2e-3;
+  double retrain_learning_rate = 1e-3;
+};
+
+class BbsPruner {
+ public:
+  explicit BbsPruner(const BbsConfig& config);
+
+  BaselineOutcome compress(SpeechModel& model,
+                           const std::vector<LabeledSequence>& train_data,
+                           Rng& rng, MaskSet* masks_out = nullptr);
+
+  BaselineOutcome compress_one_shot(SpeechModel& model,
+                                    MaskSet* masks_out = nullptr) const;
+
+  [[nodiscard]] const BbsConfig& config() const { return config_; }
+
+ private:
+  BbsConfig config_;
+};
+
+}  // namespace rtmobile::baselines

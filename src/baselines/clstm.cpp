@@ -1,0 +1,75 @@
+#include "baselines/clstm.hpp"
+
+#include "sparse/block_circulant.hpp"
+#include "train/optimizer.hpp"
+#include "train/trainer.hpp"
+#include "util/check.hpp"
+
+namespace rtmobile::baselines {
+namespace {
+
+std::size_t circulant_param_count(const Matrix& weights,
+                                  std::size_t block_size) {
+  const std::size_t block_rows =
+      (weights.rows() + block_size - 1) / block_size;
+  const std::size_t block_cols =
+      (weights.cols() + block_size - 1) / block_size;
+  return block_rows * block_cols * block_size;
+}
+
+}  // namespace
+
+ClstmCompressor::ClstmCompressor(const ClstmConfig& config)
+    : config_(config) {
+  RT_REQUIRE(is_power_of_two(config.block_size),
+             "circulant block size must be a power of two");
+}
+
+void ClstmCompressor::project_model(SpeechModel& model) const {
+  for (const std::string& name : compressible_weights(model)) {
+    ParamSet params;
+    model.register_params(params);
+    Matrix& weights = params.matrix(name);
+    weights =
+        BlockCirculantMatrix::from_dense(weights, config_.block_size)
+            .to_dense();
+  }
+}
+
+BaselineOutcome ClstmCompressor::compress_one_shot(SpeechModel& model) const {
+  const std::vector<std::string> names = compressible_weights(model);
+  project_model(model);
+
+  BaselineOutcome outcome;
+  outcome.method = "C-LSTM";
+  outcome.total_weights = total_weight_slots(model, names);
+  ParamSet params;
+  model.register_params(params);
+  for (const std::string& name : names) {
+    outcome.stored_params +=
+        circulant_param_count(params.matrix(name), config_.block_size);
+  }
+  return outcome;
+}
+
+BaselineOutcome ClstmCompressor::compress(
+    SpeechModel& model, const std::vector<LabeledSequence>& train_data,
+    Rng& rng) {
+  RT_REQUIRE(!train_data.empty(), "C-LSTM compression requires data");
+  // Start on the circulant subspace, then train *in* it: re-projecting
+  // after every optimizer step is equivalent to optimizing the defining
+  // vectors directly (the projection is linear), which is how C-LSTM
+  // trains. Plain SGD with momentum: C-LSTM's training flow predates /
+  // forgoes the Adam-based ADMM pipeline (the limitation the paper
+  // calls out).
+  project_model(model);
+  Trainer trainer(model);
+  Sgd optimizer(config_.learning_rate, 0.9);
+  TrainConfig train_config;
+  train_config.epochs = config_.projected_epochs + config_.final_epochs;
+  trainer.train(train_config, train_data, optimizer, rng, nullptr, nullptr,
+                [this, &model] { project_model(model); });
+  return compress_one_shot(model);
+}
+
+}  // namespace rtmobile::baselines

@@ -1,0 +1,41 @@
+// C-LSTM baseline (Wang et al., FPGA'18): block-circulant compression.
+//
+// Weights are constrained to block-circulant form (k x k circulant tiles),
+// giving an exact k-fold parameter reduction and FFT-based inference.
+// C-LSTM's training cannot use ADMM (the paper's Sec. III-B criticism),
+// so this reimplementation trains with projected SGD: ordinary training
+// epochs, each followed by re-projection onto the circulant subspace.
+#pragma once
+
+#include "baselines/baseline_common.hpp"
+#include "util/rng.hpp"
+
+namespace rtmobile::baselines {
+
+struct ClstmConfig {
+  std::size_t block_size = 8;       // k: compression factor per matrix
+  std::size_t projected_epochs = 4; // projected-SGD epochs
+  std::size_t final_epochs = 2;     // extra epochs after final projection
+  double learning_rate = 2e-3;
+};
+
+class ClstmCompressor {
+ public:
+  explicit ClstmCompressor(const ClstmConfig& config);
+
+  /// Projected-SGD training, ending exactly on the circulant subspace.
+  BaselineOutcome compress(SpeechModel& model,
+                           const std::vector<LabeledSequence>& train_data,
+                           Rng& rng);
+
+  /// Structure-only projection (no training).
+  BaselineOutcome compress_one_shot(SpeechModel& model) const;
+
+  [[nodiscard]] const ClstmConfig& config() const { return config_; }
+
+ private:
+  void project_model(SpeechModel& model) const;
+  ClstmConfig config_;
+};
+
+}  // namespace rtmobile::baselines

@@ -1,0 +1,105 @@
+#include "baselines/ernn.hpp"
+
+#include "sparse/block_circulant.hpp"
+#include "train/admm.hpp"
+#include "train/optimizer.hpp"
+#include "train/trainer.hpp"
+#include "util/check.hpp"
+
+namespace rtmobile::baselines {
+namespace {
+
+Matrix project_circulant(const Matrix& weights, std::size_t block_size) {
+  return BlockCirculantMatrix::from_dense(weights, block_size).to_dense();
+}
+
+std::size_t circulant_param_count(const Matrix& weights,
+                                  std::size_t block_size) {
+  const std::size_t block_rows =
+      (weights.rows() + block_size - 1) / block_size;
+  const std::size_t block_cols =
+      (weights.cols() + block_size - 1) / block_size;
+  return block_rows * block_cols * block_size;
+}
+
+}  // namespace
+
+ErnnCompressor::ErnnCompressor(const ErnnConfig& config) : config_(config) {
+  RT_REQUIRE(is_power_of_two(config.block_size),
+             "circulant block size must be a power of two");
+}
+
+BaselineOutcome ErnnCompressor::compress_one_shot(SpeechModel& model) const {
+  const std::vector<std::string> names = compressible_weights(model);
+  ParamSet params;
+  model.register_params(params);
+
+  BaselineOutcome outcome;
+  outcome.method = "E-RNN";
+  outcome.total_weights = total_weight_slots(model, names);
+  for (const std::string& name : names) {
+    Matrix& weights = params.matrix(name);
+    weights = project_circulant(weights, config_.block_size);
+    outcome.stored_params += circulant_param_count(weights,
+                                                   config_.block_size);
+  }
+  return outcome;
+}
+
+BaselineOutcome ErnnCompressor::compress(
+    SpeechModel& model, const std::vector<LabeledSequence>& train_data,
+    Rng& rng) {
+  RT_REQUIRE(!train_data.empty(), "E-RNN compression requires data");
+  const std::vector<std::string> names = compressible_weights(model);
+  ParamSet params;
+  model.register_params(params);
+
+  AdmmState admm;
+  const std::size_t block = config_.block_size;
+  for (const std::string& name : names) {
+    admm.attach(name, &params.matrix(name),
+                [block](const Matrix& w) {
+                  return project_circulant(w, block);
+                },
+                config_.rho);
+  }
+  admm.initialize();
+
+  Trainer trainer(model);
+  Adam optimizer(config_.learning_rate);
+  TrainConfig round_config;
+  round_config.epochs = config_.epochs_per_round;
+  for (std::size_t round = 0; round < config_.admm_rounds; ++round) {
+    trainer.train(round_config, train_data, optimizer, rng, &admm);
+    admm.dual_update();
+  }
+
+  // Hard projection onto the circulant subspace, then fine-tune *in* the
+  // subspace (re-project after every step; the constraint is linear, so
+  // this is exact subspace training).
+  const auto project_all = [&params, &names, block] {
+    for (const std::string& name : names) {
+      Matrix& weights = params.matrix(name);
+      weights = project_circulant(weights, block);
+    }
+  };
+  project_all();
+  if (config_.finetune_epochs > 0) {
+    Adam finetune_opt(config_.finetune_learning_rate);
+    TrainConfig finetune_config;
+    finetune_config.epochs = config_.finetune_epochs;
+    trainer.train(finetune_config, train_data, finetune_opt, rng, nullptr,
+                  nullptr, project_all);
+  }
+
+  BaselineOutcome outcome;
+  outcome.method = "E-RNN";
+  outcome.total_weights = total_weight_slots(model, names);
+  for (const std::string& name : names) {
+    outcome.stored_params +=
+        circulant_param_count(params.matrix(name), block);
+  }
+  return outcome;
+}
+
+}  // namespace rtmobile::baselines

@@ -1,0 +1,40 @@
+// E-RNN baseline (Li et al., HPCA'19): ADMM-trained block-circulant RNNs.
+//
+// Same block-circulant structure as C-LSTM, but the training uses the
+// ADMM framework (the circulant subspace is a linear set, so the
+// projection is exact), which is why E-RNN holds accuracy better than
+// C-LSTM at the same compression — a relationship Table I reproduces.
+#pragma once
+
+#include "baselines/baseline_common.hpp"
+#include "util/rng.hpp"
+
+namespace rtmobile::baselines {
+
+struct ErnnConfig {
+  std::size_t block_size = 8;
+  double rho = 1.5e-2;
+  std::size_t admm_rounds = 2;
+  std::size_t epochs_per_round = 1;
+  std::size_t finetune_epochs = 3;  // projected epochs after hard projection
+  double learning_rate = 2e-3;
+  double finetune_learning_rate = 1e-3;
+};
+
+class ErnnCompressor {
+ public:
+  explicit ErnnCompressor(const ErnnConfig& config);
+
+  BaselineOutcome compress(SpeechModel& model,
+                           const std::vector<LabeledSequence>& train_data,
+                           Rng& rng);
+
+  BaselineOutcome compress_one_shot(SpeechModel& model) const;
+
+  [[nodiscard]] const ErnnConfig& config() const { return config_; }
+
+ private:
+  ErnnConfig config_;
+};
+
+}  // namespace rtmobile::baselines

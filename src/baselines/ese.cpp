@@ -1,0 +1,123 @@
+#include "baselines/ese.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "train/admm.hpp"
+#include "train/optimizer.hpp"
+#include "train/projection.hpp"
+#include "train/trainer.hpp"
+#include "util/check.hpp"
+
+namespace rtmobile::baselines {
+
+Matrix project_load_balanced_magnitude(const Matrix& weights,
+                                       std::size_t num_pe_groups,
+                                       double keep_fraction) {
+  RT_REQUIRE(num_pe_groups >= 1 && num_pe_groups <= weights.rows(),
+             "PE group count must be in [1, rows]");
+  Matrix out(weights.rows(), weights.cols(), 0.0F);
+  for (std::size_t g = 0; g < num_pe_groups; ++g) {
+    const std::size_t row_lo = g * weights.rows() / num_pe_groups;
+    const std::size_t row_hi = (g + 1) * weights.rows() / num_pe_groups;
+    const std::size_t slots = (row_hi - row_lo) * weights.cols();
+    std::vector<double> scores;
+    scores.reserve(slots);
+    for (std::size_t r = row_lo; r < row_hi; ++r) {
+      for (std::size_t c = 0; c < weights.cols(); ++c) {
+        scores.push_back(std::fabs(static_cast<double>(weights(r, c))));
+      }
+    }
+    const auto kept = top_k_indices(scores, keep_count(slots, keep_fraction));
+    for (const std::size_t flat : kept) {
+      const std::size_t r = row_lo + flat / weights.cols();
+      const std::size_t c = flat % weights.cols();
+      out(r, c) = weights(r, c);
+    }
+  }
+  return out;
+}
+
+EsePruner::EsePruner(const EseConfig& config) : config_(config) {
+  RT_REQUIRE(config.keep_fraction > 0.0 && config.keep_fraction <= 1.0,
+             "keep fraction must be in (0,1]");
+}
+
+Matrix EsePruner::project(const Matrix& weights) const {
+  if (config_.load_balanced) {
+    return project_load_balanced_magnitude(
+        weights, std::min(config_.num_pe_groups, weights.rows()),
+        config_.keep_fraction);
+  }
+  return project_magnitude(weights, config_.keep_fraction);
+}
+
+BaselineOutcome EsePruner::compress_one_shot(SpeechModel& model,
+                                             MaskSet* masks_out) const {
+  const std::vector<std::string> names = compressible_weights(model);
+  ParamSet params;
+  model.register_params(params);
+
+  BaselineOutcome outcome;
+  outcome.method = "ESE";
+  outcome.total_weights = total_weight_slots(model, names);
+  for (const std::string& name : names) {
+    Matrix& weights = params.matrix(name);
+    weights = project(weights);
+    outcome.stored_params += weights.count_nonzero();
+    if (masks_out != nullptr) {
+      Matrix mask(weights.rows(), weights.cols(), 0.0F);
+      for (std::size_t i = 0; i < mask.size(); ++i) {
+        mask.span()[i] = weights.span()[i] != 0.0F ? 1.0F : 0.0F;
+      }
+      masks_out->set(name, std::move(mask));
+    }
+  }
+  return outcome;
+}
+
+BaselineOutcome EsePruner::compress(
+    SpeechModel& model, const std::vector<LabeledSequence>& train_data,
+    Rng& rng, MaskSet* masks_out) {
+  RT_REQUIRE(!train_data.empty(), "ESE compression requires data");
+  const std::vector<std::string> names = compressible_weights(model);
+  ParamSet params;
+  model.register_params(params);
+
+  AdmmState admm;
+  for (const std::string& name : names) {
+    admm.attach(name, &params.matrix(name),
+                [this](const Matrix& w) { return project(w); }, config_.rho);
+  }
+  admm.initialize();
+
+  Trainer trainer(model);
+  Adam optimizer(config_.learning_rate);
+  TrainConfig round_config;
+  round_config.epochs = config_.epochs_per_round;
+  for (std::size_t round = 0; round < config_.admm_rounds; ++round) {
+    trainer.train(round_config, train_data, optimizer, rng, &admm);
+    admm.dual_update();
+  }
+
+  MaskSet masks = admm.hard_prune();
+  {
+    Trainer retrainer(model);
+    Adam retrain_opt(config_.retrain_learning_rate);
+    TrainConfig retrain_config;
+    retrain_config.epochs = config_.retrain_epochs;
+    retrainer.train(retrain_config, train_data, retrain_opt, rng, nullptr,
+                    &masks);
+  }
+
+  BaselineOutcome outcome;
+  outcome.method = "ESE";
+  outcome.total_weights = total_weight_slots(model, names);
+  for (const std::string& name : names) {
+    outcome.stored_params += params.matrix(name).count_nonzero();
+  }
+  if (masks_out != nullptr) *masks_out = std::move(masks);
+  return outcome;
+}
+
+}  // namespace rtmobile::baselines

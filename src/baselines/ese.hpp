@@ -1,0 +1,57 @@
+// ESE baseline (Han et al., FPGA'17): non-structured magnitude pruning.
+//
+// ESE prunes individual weights by magnitude — optionally load-balance-
+// aware: rows are divided into PE groups and each group is pruned to the
+// same budget so the FPGA's processing elements finish together. The
+// pruned model must be stored in CSR/CSC with one index per nonzero,
+// which is exactly the overhead RTMobile's Table I and the ablation bench
+// hold against it.
+#pragma once
+
+#include "baselines/baseline_common.hpp"
+#include "tensor/matrix.hpp"
+#include "train/mask_set.hpp"
+#include "util/rng.hpp"
+
+namespace rtmobile::baselines {
+
+struct EseConfig {
+  double keep_fraction = 0.125;  // 8x compression
+  bool load_balanced = true;     // per-PE-group budgets
+  std::size_t num_pe_groups = 4;
+  double rho = 1.5e-2;
+  std::size_t admm_rounds = 2;
+  std::size_t epochs_per_round = 1;
+  std::size_t retrain_epochs = 3;
+  double learning_rate = 2e-3;
+  double retrain_learning_rate = 1e-3;
+};
+
+/// Magnitude projection with ESE's load-balancing: each horizontal PE
+/// group keeps its top keep_fraction of entries.
+[[nodiscard]] Matrix project_load_balanced_magnitude(
+    const Matrix& weights, std::size_t num_pe_groups, double keep_fraction);
+
+class EsePruner {
+ public:
+  explicit EsePruner(const EseConfig& config);
+
+  /// Full pipeline: ADMM toward the magnitude structure, hard prune,
+  /// masked retrain. Modifies the model in place; returns the outcome and
+  /// fills `masks` for downstream use.
+  BaselineOutcome compress(SpeechModel& model,
+                           const std::vector<LabeledSequence>& train_data,
+                           Rng& rng, MaskSet* masks_out = nullptr);
+
+  /// Structure-only variant (no training), for performance experiments.
+  BaselineOutcome compress_one_shot(SpeechModel& model,
+                                    MaskSet* masks_out = nullptr) const;
+
+  [[nodiscard]] const EseConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] Matrix project(const Matrix& weights) const;
+  EseConfig config_;
+};
+
+}  // namespace rtmobile::baselines

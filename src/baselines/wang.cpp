@@ -1,0 +1,69 @@
+#include "baselines/wang.hpp"
+
+#include "train/optimizer.hpp"
+#include "train/projection.hpp"
+#include "train/trainer.hpp"
+#include "util/check.hpp"
+
+namespace rtmobile::baselines {
+
+WangPruner::WangPruner(const WangConfig& config) : config_(config) {
+  RT_REQUIRE(config.col_keep_fraction > 0.0 &&
+                 config.col_keep_fraction <= 1.0,
+             "column keep fraction must be in (0,1]");
+  RT_REQUIRE(config.row_keep_fraction > 0.0 &&
+                 config.row_keep_fraction <= 1.0,
+             "row keep fraction must be in (0,1]");
+}
+
+BaselineOutcome WangPruner::compress_one_shot(SpeechModel& model,
+                                              MaskSet* masks_out) const {
+  const std::vector<std::string> names = compressible_weights(model);
+  ParamSet params;
+  model.register_params(params);
+
+  BaselineOutcome outcome;
+  outcome.method = "Wang";
+  outcome.total_weights = total_weight_slots(model, names);
+  for (const std::string& name : names) {
+    Matrix& weights = params.matrix(name);
+    weights = project_row_column(weights, config_.col_keep_fraction,
+                                 config_.row_keep_fraction);
+    outcome.stored_params += weights.count_nonzero();
+    if (masks_out != nullptr) {
+      Matrix mask(weights.rows(), weights.cols(), 0.0F);
+      for (std::size_t i = 0; i < mask.size(); ++i) {
+        mask.span()[i] = weights.span()[i] != 0.0F ? 1.0F : 0.0F;
+      }
+      masks_out->set(name, std::move(mask));
+    }
+  }
+  return outcome;
+}
+
+BaselineOutcome WangPruner::compress(
+    SpeechModel& model, const std::vector<LabeledSequence>& train_data,
+    Rng& rng, MaskSet* masks_out) {
+  RT_REQUIRE(!train_data.empty(), "Wang compression requires data");
+  MaskSet masks;
+  BaselineOutcome outcome = compress_one_shot(model, &masks);
+
+  Trainer trainer(model);
+  Adam optimizer(config_.retrain_learning_rate);
+  TrainConfig retrain_config;
+  retrain_config.epochs = config_.retrain_epochs;
+  trainer.train(retrain_config, train_data, optimizer, rng, nullptr, &masks);
+
+  // Recount after retraining (masked entries stay zero).
+  const std::vector<std::string> names = compressible_weights(model);
+  ParamSet params;
+  model.register_params(params);
+  outcome.stored_params = 0;
+  for (const std::string& name : names) {
+    outcome.stored_params += params.matrix(name).count_nonzero();
+  }
+  if (masks_out != nullptr) *masks_out = std::move(masks);
+  return outcome;
+}
+
+}  // namespace rtmobile::baselines

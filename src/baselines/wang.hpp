@@ -1,0 +1,40 @@
+// Wang baseline (Wang et al., IEEE Access'19): coarse structured pruning.
+//
+// Whole rows and whole columns of each weight matrix are removed — the
+// coarsest pruning granularity in Table I, with the worst accuracy per
+// unit compression; its presence anchors the claim that BSP's block-level
+// granularity is what preserves accuracy.
+#pragma once
+
+#include "baselines/baseline_common.hpp"
+#include "train/mask_set.hpp"
+#include "util/rng.hpp"
+
+namespace rtmobile::baselines {
+
+struct WangConfig {
+  double col_keep_fraction = 0.5;  // keep half the columns
+  double row_keep_fraction = 0.5;  // keep half the rows => 4x overall
+  std::size_t retrain_epochs = 4;
+  double retrain_learning_rate = 1e-3;
+};
+
+class WangPruner {
+ public:
+  explicit WangPruner(const WangConfig& config);
+
+  /// Train-prune-retrain (the scheme predates ADMM pipelines).
+  BaselineOutcome compress(SpeechModel& model,
+                           const std::vector<LabeledSequence>& train_data,
+                           Rng& rng, MaskSet* masks_out = nullptr);
+
+  BaselineOutcome compress_one_shot(SpeechModel& model,
+                                    MaskSet* masks_out = nullptr) const;
+
+  [[nodiscard]] const WangConfig& config() const { return config_; }
+
+ private:
+  WangConfig config_;
+};
+
+}  // namespace rtmobile::baselines

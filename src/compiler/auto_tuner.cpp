@@ -1,0 +1,105 @@
+#include "compiler/auto_tuner.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "hw/thread_pool.hpp"
+#include "hw/timer.hpp"
+#include "tensor/ops.hpp"
+#include "train/projection.hpp"
+#include "util/check.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace rtmobile {
+namespace {
+
+double retained_energy(const Matrix& weights, const BlockMask& mask) {
+  const Matrix dense_mask = mask.to_dense();
+  double kept = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = static_cast<double>(weights.span()[i]);
+    total += w * w;
+    if (dense_mask.span()[i] != 0.0F) kept += w * w;
+  }
+  return total > 0.0 ? kept / total : 1.0;
+}
+
+}  // namespace
+
+TunerResult tune_layer(const Matrix& weights, const TunerConfig& config) {
+  RT_REQUIRE(!config.num_c_candidates.empty(), "no block-count candidates");
+  RT_REQUIRE(!config.thread_candidates.empty(), "no thread candidates");
+  RT_REQUIRE(!config.lre_candidates.empty(), "no LRE candidates");
+
+  Rng rng(0x7D4E5ULL);
+  Vector x(weights.cols());
+  fill_normal(x.span(), rng, 1.0F);
+  Vector y(weights.rows());
+
+  TunerResult result;
+  for (const std::size_t num_c : config.num_c_candidates) {
+    if (num_c > weights.cols()) continue;
+    // The mask depends only on the block geometry, not on threads/LRE.
+    BlockMask mask = block_column_mask(weights, config.num_r, num_c,
+                                       config.col_keep_fraction);
+    if (config.row_keep_fraction < 1.0) {
+      apply_row_pruning(weights, config.row_keep_fraction, mask);
+    }
+    const double energy = retained_energy(weights, mask);
+
+    for (const std::size_t threads : config.thread_candidates) {
+      std::unique_ptr<ThreadPool> pool;
+      if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+      for (const bool lre : config.lre_candidates) {
+        CompilerOptions options;
+        options.format = SparseFormat::kBspc;
+        options.reorder = true;
+        options.lre = lre;
+        options.threads = threads;
+        const LayerPlan plan = LayerPlan::compile(weights, &mask, options);
+
+        TunerCandidate candidate;
+        candidate.num_c = num_c;
+        candidate.threads = threads;
+        candidate.lre = lre;
+        candidate.energy_retained = energy;
+        candidate.imbalance = plan.imbalance();
+        candidate.time_us = time_best_of_us(
+            [&] { plan.execute(x.span(), y.span(), pool.get()); },
+            config.timing_iters, config.timing_repeats);
+        result.all.push_back(candidate);
+      }
+    }
+  }
+  RT_REQUIRE(!result.all.empty(), "no feasible tuner candidates");
+
+  // Among candidates clearing the accuracy floor, pick the fastest; if
+  // none clears it, pick the highest-energy candidate (graceful fallback).
+  const TunerCandidate* best = nullptr;
+  for (const TunerCandidate& candidate : result.all) {
+    if (candidate.energy_retained + 1e-12 < config.min_energy_retained) {
+      continue;
+    }
+    if (best == nullptr || candidate.time_us < best->time_us) {
+      best = &candidate;
+    }
+  }
+  if (best == nullptr) {
+    for (const TunerCandidate& candidate : result.all) {
+      if (best == nullptr ||
+          candidate.energy_retained > best->energy_retained) {
+        best = &candidate;
+      }
+    }
+  }
+  result.best = *best;
+  RT_LOG(Info, "tuner") << "best: num_c=" << result.best.num_c
+                        << " threads=" << result.best.threads
+                        << " lre=" << (result.best.lre ? "on" : "off")
+                        << " time_us=" << result.best.time_us;
+  return result;
+}
+
+}  // namespace rtmobile

@@ -1,0 +1,50 @@
+// Offline auto-tuner (paper Sec. IV-B, final paragraph).
+//
+// Searches execution configurations — block count (the paper's "matrix
+// tiling size"), thread count, LRE on/off — by compiling candidate plans
+// and timing them on the host, and selects the block size that gives "an
+// optimal combination of accuracy and performance": among candidates whose
+// retained weight energy (the accuracy proxy) clears a threshold, pick the
+// fastest.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "compiler/execution_plan.hpp"
+#include "tensor/matrix.hpp"
+
+namespace rtmobile {
+
+struct TunerCandidate {
+  std::size_t num_c = 8;      // column blocks per stripe
+  std::size_t threads = 1;
+  bool lre = true;
+  double time_us = 0.0;           // measured host matvec time
+  double energy_retained = 0.0;   // ||W_masked||^2 / ||W||^2
+  double imbalance = 1.0;
+};
+
+struct TunerConfig {
+  std::vector<std::size_t> num_c_candidates = {2, 4, 8, 16};
+  std::vector<std::size_t> thread_candidates = {1, 2, 4};
+  std::vector<bool> lre_candidates = {true};
+  std::size_t num_r = 8;              // stripes (fixed during the search)
+  double col_keep_fraction = 0.125;   // step-1 budget under test
+  double row_keep_fraction = 1.0;     // step-2 budget under test
+  double min_energy_retained = 0.0;   // accuracy floor; 0 = pure speed
+  std::size_t timing_iters = 20;
+  std::size_t timing_repeats = 3;
+};
+
+struct TunerResult {
+  TunerCandidate best;
+  std::vector<TunerCandidate> all;  // every evaluated candidate
+};
+
+/// Tunes the execution configuration for one weight matrix.
+[[nodiscard]] TunerResult tune_layer(const Matrix& weights,
+                                     const TunerConfig& config);
+
+}  // namespace rtmobile

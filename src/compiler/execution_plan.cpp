@@ -1,0 +1,164 @@
+#include "compiler/execution_plan.hpp"
+
+#include <algorithm>
+
+#include "tensor/gemm.hpp"
+#include "util/check.hpp"
+
+namespace rtmobile {
+
+const char* to_string(SparseFormat format) {
+  switch (format) {
+    case SparseFormat::kDense: return "dense";
+    case SparseFormat::kCsr: return "csr";
+    case SparseFormat::kBspc: return "bspc";
+  }
+  return "?";
+}
+
+LayerPlan LayerPlan::compile(const Matrix& weights, const BlockMask* mask,
+                             const CompilerOptions& options) {
+  RT_REQUIRE(options.threads >= 1, "compile: threads must be positive");
+  LayerPlan plan;
+  plan.options_ = options;
+  plan.rows_ = weights.rows();
+  plan.cols_ = weights.cols();
+
+  switch (options.format) {
+    case SparseFormat::kDense: {
+      plan.dense_ = weights;
+      break;
+    }
+    case SparseFormat::kCsr: {
+      if (mask != nullptr) {
+        Matrix masked = weights;
+        mask->apply(masked);
+        plan.csr_ = CsrMatrix::from_dense(masked);
+      } else {
+        plan.csr_ = CsrMatrix::from_dense(weights);
+      }
+      break;
+    }
+    case SparseFormat::kBspc: {
+      RT_REQUIRE(mask != nullptr, "BSPC compilation requires a BlockMask");
+      plan.bspc_ = BspcMatrix::from_dense(weights, *mask);
+      plan.reorder_ = options.reorder
+                          ? reorder_block_mask(*mask, options.threads)
+                          : identity_plan(*mask, options.threads);
+      break;
+    }
+  }
+  plan.nnz_ = plan.nnz();
+  return plan;
+}
+
+void LayerPlan::execute(std::span<const float> x, std::span<float> y,
+                        ThreadPool* pool) const {
+  RT_REQUIRE(x.size() == cols_ && y.size() == rows_,
+             "execute: shape mismatch");
+  // Tiny matvecs run inline: a pool dispatch costs more than the kernel.
+  const bool threaded = pool != nullptr && options_.threads > 1 &&
+                        nnz_ >= options_.min_nnz_for_threading;
+
+  switch (options_.format) {
+    case SparseFormat::kDense: {
+      if (!threaded) {
+        gemv(dense_, x, y);
+        return;
+      }
+      pool->parallel_for(rows_, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          const float* row = dense_.data() + r * cols_;
+          float acc = 0.0F;
+          for (std::size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+          y[r] = acc;
+        }
+      });
+      return;
+    }
+    case SparseFormat::kCsr: {
+      if (!threaded) {
+        csr_.spmv(x, y);
+        return;
+      }
+      const auto row_ptr = csr_.row_ptr();
+      const auto col_idx = csr_.col_idx();
+      const auto values = csr_.values();
+      pool->parallel_for(rows_, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          float acc = 0.0F;
+          for (std::uint32_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+            acc += values[k] * x[col_idx[k]];
+          }
+          y[r] = acc;
+        }
+      });
+      return;
+    }
+    case SparseFormat::kBspc: {
+      RT_ASSERT(reorder_.has_value(), "BSPC plan lacks a reorder plan");
+      std::fill(y.begin(), y.end(), 0.0F);
+      const ReorderPlan& ro = *reorder_;
+      if (!threaded) {
+        bspc_.spmv_stripe_list(x, y,
+                               {ro.stripe_order.data(),
+                                ro.stripe_order.size()},
+                               options_.lre);
+        return;
+      }
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(ro.thread_ranges.size());
+      for (const auto& [begin, end] : ro.thread_ranges) {
+        if (begin == end) continue;
+        tasks.emplace_back([this, &ro, x, y, begin = begin, end = end] {
+          bspc_.spmv_stripe_list(
+              x, y,
+              {ro.stripe_order.data() + begin,
+               static_cast<std::size_t>(end - begin)},
+              options_.lre);
+        });
+      }
+      pool->run_all(tasks);
+      return;
+    }
+  }
+}
+
+std::size_t LayerPlan::nnz() const {
+  switch (options_.format) {
+    case SparseFormat::kDense: return dense_.count_nonzero();
+    case SparseFormat::kCsr: return csr_.nnz();
+    case SparseFormat::kBspc: return bspc_.nnz();
+  }
+  return 0;
+}
+
+std::size_t LayerPlan::memory_bytes() const {
+  switch (options_.format) {
+    case SparseFormat::kDense:
+      return dense_.size() * options_.value_bytes;
+    case SparseFormat::kCsr:
+      return csr_.memory_bytes(options_.value_bytes);
+    case SparseFormat::kBspc:
+      return bspc_.memory_bytes(options_.value_bytes);
+  }
+  return 0;
+}
+
+double LayerPlan::imbalance() const {
+  if (options_.format == SparseFormat::kBspc && reorder_.has_value()) {
+    return reorder_->imbalance();
+  }
+  return 1.0;
+}
+
+Matrix LayerPlan::to_dense() const {
+  switch (options_.format) {
+    case SparseFormat::kDense: return dense_;
+    case SparseFormat::kCsr: return csr_.to_dense();
+    case SparseFormat::kBspc: return bspc_.to_dense();
+  }
+  return Matrix();
+}
+
+}  // namespace rtmobile

@@ -1,0 +1,87 @@
+// Compiled execution plans for a single weight matrix.
+//
+// A LayerPlan is the unit the RTMobile compiler emits per RNN weight
+// matrix: a storage format (dense / CSR / BSPC), an optional reorder plan,
+// the redundant-load-elimination flag, and a thread partition. Executing a
+// plan computes y = W x with whatever combination of optimizations the
+// CompilerOptions selected — which is exactly the knob set the ablation
+// benchmark sweeps.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "compiler/reorder.hpp"
+#include "hw/thread_pool.hpp"
+#include "sparse/block_mask.hpp"
+#include "sparse/bspc.hpp"
+#include "sparse/csr.hpp"
+#include "tensor/matrix.hpp"
+
+namespace rtmobile {
+
+enum class SparseFormat : std::uint8_t {
+  kDense,  // dense GEMV baseline
+  kCsr,    // unstructured compressed rows (the ESE-style strawman)
+  kBspc,   // the paper's compact block format
+};
+
+[[nodiscard]] const char* to_string(SparseFormat format);
+
+struct CompilerOptions {
+  SparseFormat format = SparseFormat::kBspc;
+  bool reorder = true;       // matrix reorder pass (BSPC only)
+  bool lre = true;           // redundant load elimination (BSPC only)
+  std::size_t threads = 1;   // thread partition width
+  std::size_t value_bytes = 4;  // storage accounting (2 models fp16)
+  /// Below this many nonzeros a matvec runs single-threaded even when a
+  /// pool is available: dispatch latency would dominate the kernel. This
+  /// mirrors the auto-tuner's thread-count decision for tiny workloads.
+  std::size_t min_nnz_for_threading = 16384;
+};
+
+class LayerPlan {
+ public:
+  LayerPlan() = default;
+
+  /// Compiles `weights` under `options`. For sparse formats, `mask`
+  /// supplies the BSP structure; kDense ignores it, kCsr uses it only to
+  /// zero pruned weights first (nullptr = use weights as stored).
+  [[nodiscard]] static LayerPlan compile(const Matrix& weights,
+                                         const BlockMask* mask,
+                                         const CompilerOptions& options);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] const CompilerOptions& options() const { return options_; }
+
+  /// y = W x. `pool` may be nullptr (or options.threads == 1) for
+  /// single-threaded execution. y must not alias x.
+  void execute(std::span<const float> x, std::span<float> y,
+               ThreadPool* pool = nullptr) const;
+
+  /// Surviving nonzeros.
+  [[nodiscard]] std::size_t nnz() const;
+
+  /// Storage footprint of the compiled weights (values + indices).
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  /// Load-imbalance factor of the thread partition (1.0 = perfect).
+  [[nodiscard]] double imbalance() const;
+
+  /// Reconstructs the effective dense weights (for verification).
+  [[nodiscard]] Matrix to_dense() const;
+
+ private:
+  CompilerOptions options_;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t nnz_ = 0;  // cached at compile time for the thread heuristic
+  Matrix dense_;
+  CsrMatrix csr_;
+  BspcMatrix bspc_;
+  std::optional<ReorderPlan> reorder_;
+};
+
+}  // namespace rtmobile

@@ -1,0 +1,221 @@
+#include "compiler/gru_executor.hpp"
+
+#include <cmath>
+
+#include <algorithm>
+
+#include "hw/timer.hpp"
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace rtmobile {
+namespace {
+
+/// Compiles one weight under per-name mask lookup; no mask => dense plan
+/// with the same threading options.
+LayerPlan compile_weight(const Matrix& weights,
+                         const std::map<std::string, BlockMask>& masks,
+                         const std::string& name,
+                         const CompilerOptions& options) {
+  const auto it = masks.find(name);
+  if (it == masks.end()) {
+    CompilerOptions dense_options = options;
+    dense_options.format = SparseFormat::kDense;
+    return LayerPlan::compile(weights, nullptr, dense_options);
+  }
+  return LayerPlan::compile(weights, &it->second, options);
+}
+
+}  // namespace
+
+CompiledSpeechModel::CompiledSpeechModel(
+    const SpeechModel& model, const std::map<std::string, BlockMask>& masks,
+    const CompilerOptions& options, ThreadPool* pool)
+    : config_(model.config()), options_(options), pool_(pool) {
+  layers_.reserve(config_.num_layers);
+  for (std::size_t l = 0; l < config_.num_layers; ++l) {
+    const GruParams& params = model.layer(l);
+    const std::string prefix = "gru" + std::to_string(l) + ".";
+    CompiledLayer layer;
+    layer.w_z = compile_weight(params.w_z, masks, prefix + "w_z", options);
+    layer.w_r = compile_weight(params.w_r, masks, prefix + "w_r", options);
+    layer.w_h = compile_weight(params.w_h, masks, prefix + "w_h", options);
+    layer.u_z = compile_weight(params.u_z, masks, prefix + "u_z", options);
+    layer.u_r = compile_weight(params.u_r, masks, prefix + "u_r", options);
+    layer.u_h = compile_weight(params.u_h, masks, prefix + "u_h", options);
+    layer.b_z = params.b_z;
+    layer.b_r = params.b_r;
+    layer.b_h = params.b_h;
+    layers_.push_back(std::move(layer));
+  }
+  fc_ = compile_weight(model.fc_weight(), masks, "fc.w", options);
+  fc_b_ = model.fc_bias();
+}
+
+void CompiledSpeechModel::step_layer(const CompiledLayer& layer,
+                                     std::span<const float> x,
+                                     std::span<const float> h_prev,
+                                     std::span<float> h_out,
+                                     std::span<float> scratch_a,
+                                     std::span<float> scratch_b,
+                                     std::span<float> scratch_c) const {
+  const std::size_t hidden = config_.hidden_dim;
+  RT_ASSERT(scratch_a.size() == hidden && scratch_b.size() == hidden &&
+                scratch_c.size() == hidden,
+            "scratch buffers must be hidden-sized");
+
+  // z = sigmoid(W_z x + U_z h + b_z)  (scratch_a holds z)
+  layer.w_z.execute(x, scratch_a, pool_);
+  layer.u_z.execute(h_prev, scratch_b, pool_);
+  for (std::size_t i = 0; i < hidden; ++i) {
+    scratch_a[i] = sigmoid(scratch_a[i] + scratch_b[i] + layer.b_z[i]);
+  }
+  // r = sigmoid(W_r x + U_r h + b_r)  (scratch_b holds r . h_prev)
+  layer.w_r.execute(x, scratch_b, pool_);
+  layer.u_r.execute(h_prev, scratch_c, pool_);
+  for (std::size_t i = 0; i < hidden; ++i) {
+    const float r = sigmoid(scratch_b[i] + scratch_c[i] + layer.b_r[i]);
+    scratch_b[i] = r * h_prev[i];
+  }
+  // h~ = tanh(W_h x + U_h (r . h) + b_h)  (scratch_c holds h~)
+  layer.w_h.execute(x, scratch_c, pool_);
+  Vector uh(hidden);
+  layer.u_h.execute(scratch_b, uh.span(), pool_);
+  for (std::size_t i = 0; i < hidden; ++i) {
+    scratch_c[i] = std::tanh(scratch_c[i] + uh[i] + layer.b_h[i]);
+  }
+  // h = (1 - z) h_prev + z h~
+  for (std::size_t i = 0; i < hidden; ++i) {
+    h_out[i] = (1.0F - scratch_a[i]) * h_prev[i] +
+               scratch_a[i] * scratch_c[i];
+  }
+}
+
+Matrix CompiledSpeechModel::infer(const Matrix& features) const {
+  RT_REQUIRE(features.cols() == config_.input_dim,
+             "infer: feature dimension mismatch");
+  const std::size_t frames = features.rows();
+  RT_REQUIRE(frames > 0, "infer: empty utterance");
+  const std::size_t hidden = config_.hidden_dim;
+
+  Matrix current = features;
+  Vector scratch_a(hidden);
+  Vector scratch_b(hidden);
+  Vector scratch_c(hidden);
+  for (const CompiledLayer& layer : layers_) {
+    Matrix next(frames, hidden);
+    Vector h(hidden, 0.0F);
+    for (std::size_t t = 0; t < frames; ++t) {
+      step_layer(layer, current.row(t), h.span(), next.row(t),
+                 scratch_a.span(), scratch_b.span(), scratch_c.span());
+      std::copy(next.row(t).begin(), next.row(t).end(), h.begin());
+    }
+    current = std::move(next);
+  }
+
+  Matrix logits(frames, config_.num_classes);
+  for (std::size_t t = 0; t < frames; ++t) {
+    fc_.execute(current.row(t), logits.row(t), pool_);
+    add_inplace(logits.row(t), fc_b_.span());
+  }
+  return logits;
+}
+
+void CompiledSpeechModel::run_recurrence(std::size_t frames) const {
+  RT_REQUIRE(frames > 0, "run_recurrence: frames must be positive");
+  const std::size_t hidden = config_.hidden_dim;
+  Vector x(config_.input_dim, 0.1F);
+  std::vector<Vector> states(layers_.size(), Vector(hidden, 0.0F));
+  Vector h_next(hidden);
+  Vector scratch_a(hidden);
+  Vector scratch_b(hidden);
+  Vector scratch_c(hidden);
+  for (std::size_t t = 0; t < frames; ++t) {
+    // First layer consumes x, each later layer consumes the layer below's
+    // fresh state; every layer keeps its own recurrent state.
+    std::span<const float> input = x.span();
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+      step_layer(layers_[l], input, states[l].span(), h_next.span(),
+                 scratch_a.span(), scratch_b.span(), scratch_c.span());
+      std::swap(states[l], h_next);
+      input = states[l].span();
+    }
+  }
+}
+
+std::size_t CompiledSpeechModel::total_nnz() const {
+  std::size_t total = fc_.nnz();
+  for (const CompiledLayer& layer : layers_) {
+    total += layer.w_z.nnz() + layer.w_r.nnz() + layer.w_h.nnz() +
+             layer.u_z.nnz() + layer.u_r.nnz() + layer.u_h.nnz();
+  }
+  return total;
+}
+
+std::size_t CompiledSpeechModel::total_memory_bytes() const {
+  std::size_t total = fc_.memory_bytes();
+  for (const CompiledLayer& layer : layers_) {
+    total += layer.w_z.memory_bytes() + layer.w_r.memory_bytes() +
+             layer.w_h.memory_bytes() + layer.u_z.memory_bytes() +
+             layer.u_r.memory_bytes() + layer.u_h.memory_bytes();
+  }
+  return total;
+}
+
+std::vector<CompiledSpeechModel::PlanProfile> CompiledSpeechModel::profile(
+    std::size_t iters) const {
+  RT_REQUIRE(iters > 0, "profile: iters must be positive");
+  std::vector<PlanProfile> profiles;
+  Vector x_input(config_.input_dim, 0.1F);
+  Vector x_hidden(config_.hidden_dim, 0.1F);
+  Vector y_hidden(config_.hidden_dim);
+  Vector y_classes(config_.num_classes);
+
+  const auto measure = [&](const std::string& name, const LayerPlan& plan,
+                           std::span<const float> x, std::span<float> y) {
+    PlanProfile entry;
+    entry.name = name;
+    entry.nnz = plan.nnz();
+    entry.time_us = time_best_of_us(
+        [&] { plan.execute(x, y, pool_); }, iters, 2);
+    profiles.push_back(std::move(entry));
+  };
+
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const CompiledLayer& layer = layers_[l];
+    const std::string prefix = "gru" + std::to_string(l) + ".";
+    const std::span<const float> x =
+        l == 0 ? x_input.span() : std::span<const float>(x_hidden.span());
+    measure(prefix + "w_z", layer.w_z, x, y_hidden.span());
+    measure(prefix + "w_r", layer.w_r, x, y_hidden.span());
+    measure(prefix + "w_h", layer.w_h, x, y_hidden.span());
+    measure(prefix + "u_z", layer.u_z, x_hidden.span(), y_hidden.span());
+    measure(prefix + "u_r", layer.u_r, x_hidden.span(), y_hidden.span());
+    measure(prefix + "u_h", layer.u_h, x_hidden.span(), y_hidden.span());
+  }
+  measure("fc.w", fc_, x_hidden.span(), y_classes.span());
+
+  double total = 0.0;
+  for (const PlanProfile& entry : profiles) total += entry.time_us;
+  for (PlanProfile& entry : profiles) {
+    entry.share = total > 0.0 ? entry.time_us / total : 0.0;
+  }
+  std::sort(profiles.begin(), profiles.end(),
+            [](const PlanProfile& a, const PlanProfile& b) {
+              return a.time_us > b.time_us;
+            });
+  return profiles;
+}
+
+double CompiledSpeechModel::worst_imbalance() const {
+  double worst = fc_.imbalance();
+  for (const CompiledLayer& layer : layers_) {
+    for (const LayerPlan* plan : {&layer.w_z, &layer.w_r, &layer.w_h,
+                                  &layer.u_z, &layer.u_r, &layer.u_h}) {
+      worst = std::max(worst, plan->imbalance());
+    }
+  }
+  return worst;
+}
+
+}  // namespace rtmobile

@@ -1,0 +1,84 @@
+// CompiledSpeechModel: the deployable inference artifact.
+//
+// This is what "RTMobile deployment" produces: every weight matrix of the
+// GRU stack compiled to a LayerPlan (format + reorder + LRE + thread
+// partition), executing the same recurrence as SpeechModel::forward but
+// through the optimized kernels. Numerical output is bit-comparable to the
+// reference forward pass up to float accumulation order.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compiler/execution_plan.hpp"
+#include "hw/thread_pool.hpp"
+#include "rnn/model.hpp"
+#include "sparse/block_mask.hpp"
+
+namespace rtmobile {
+
+class CompiledSpeechModel {
+ public:
+  /// Compiles `model` under `options`. `masks` maps weight names
+  /// ("gru0.w_z", ...) to their BSP structure; weights without an entry are
+  /// compiled dense. `pool` (optional, not owned) enables multithreaded
+  /// execution; it must outlive the compiled model.
+  CompiledSpeechModel(const SpeechModel& model,
+                      const std::map<std::string, BlockMask>& masks,
+                      const CompilerOptions& options,
+                      ThreadPool* pool = nullptr);
+
+  /// Per-frame logits for an utterance (T x input_dim) -> (T x classes).
+  [[nodiscard]] Matrix infer(const Matrix& features) const;
+
+  /// Runs only the recurrent stack for `frames` timesteps on zero input —
+  /// the steady-state inference kernel that Table II times.
+  void run_recurrence(std::size_t frames) const;
+
+  /// Total surviving weights across all compiled plans.
+  [[nodiscard]] std::size_t total_nnz() const;
+
+  /// Total compiled storage (values + indices) in bytes.
+  [[nodiscard]] std::size_t total_memory_bytes() const;
+
+  /// Worst load-imbalance factor across plans.
+  [[nodiscard]] double worst_imbalance() const;
+
+  /// Per-plan timing breakdown measured on synthetic inputs.
+  struct PlanProfile {
+    std::string name;       // e.g. "gru1.u_h"
+    std::size_t nnz = 0;
+    double time_us = 0.0;   // mean matvec time
+    double share = 0.0;     // fraction of the summed matvec time
+  };
+  /// Times every compiled plan (`iters` matvecs each, best of 2 batches)
+  /// and returns the breakdown, heaviest first. Identifies which matrices
+  /// dominate inference — the input the auto-tuner prioritizes.
+  [[nodiscard]] std::vector<PlanProfile> profile(
+      std::size_t iters = 50) const;
+
+  [[nodiscard]] const ModelConfig& config() const { return config_; }
+  [[nodiscard]] const CompilerOptions& options() const { return options_; }
+
+ private:
+  struct CompiledLayer {
+    LayerPlan w_z, w_r, w_h;
+    LayerPlan u_z, u_r, u_h;
+    Vector b_z, b_r, b_h;
+  };
+
+  void step_layer(const CompiledLayer& layer, std::span<const float> x,
+                  std::span<const float> h_prev, std::span<float> h_out,
+                  std::span<float> scratch_a, std::span<float> scratch_b,
+                  std::span<float> scratch_c) const;
+
+  ModelConfig config_;
+  CompilerOptions options_;
+  std::vector<CompiledLayer> layers_;
+  LayerPlan fc_;
+  Vector fc_b_;
+  ThreadPool* pool_;
+};
+
+}  // namespace rtmobile

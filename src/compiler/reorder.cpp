@@ -1,0 +1,181 @@
+#include "compiler/reorder.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace rtmobile {
+
+double ReorderPlan::imbalance() const {
+  if (thread_nnz.empty()) return 1.0;
+  std::size_t total = 0;
+  std::size_t worst = 0;
+  for (const std::size_t n : thread_nnz) {
+    total += n;
+    worst = std::max(worst, n);
+  }
+  if (total == 0) return 1.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(thread_nnz.size());
+  return static_cast<double>(worst) / mean;
+}
+
+namespace {
+
+/// Kept-column signature of a stripe: concatenation of all kept columns.
+/// Two stripes with equal signatures execute identically row-for-row.
+std::vector<std::uint32_t> stripe_signature(const BlockMask& mask,
+                                            std::size_t stripe) {
+  std::vector<std::uint32_t> signature;
+  for (std::size_t b = 0; b < mask.num_c(); ++b) {
+    const auto cols = mask.block_cols(stripe, b);
+    signature.insert(signature.end(), cols.begin(), cols.end());
+  }
+  return signature;
+}
+
+std::size_t stripe_surviving_rows(const BlockMask& mask, std::size_t stripe) {
+  std::size_t rows = 0;
+  for (std::size_t r = mask.row_begin(stripe); r < mask.row_end(stripe); ++r) {
+    if (mask.row_kept(r)) ++rows;
+  }
+  return rows;
+}
+
+/// Splits the ordered stripe list into per-thread contiguous ranges with
+/// (greedily) balanced nonzero totals.
+void partition_threads(const BlockMask& mask, ReorderPlan& plan,
+                       std::size_t threads) {
+  RT_REQUIRE(threads >= 1, "thread count must be positive");
+  std::vector<std::size_t> stripe_nnz(plan.stripe_order.size());
+  std::size_t total_nnz = 0;
+  for (std::size_t i = 0; i < plan.stripe_order.size(); ++i) {
+    const std::size_t s = plan.stripe_order[i];
+    const std::size_t rows = stripe_surviving_rows(mask, s);
+    std::size_t cols = 0;
+    for (std::size_t b = 0; b < mask.num_c(); ++b) {
+      cols += mask.block_cols(s, b).size();
+    }
+    stripe_nnz[i] = rows * cols;
+    total_nnz += stripe_nnz[i];
+  }
+
+  plan.thread_ranges.clear();
+  plan.thread_nnz.clear();
+  const double target = static_cast<double>(total_nnz) /
+                        static_cast<double>(threads);
+  std::size_t begin = 0;
+  for (std::size_t t = 0; t < threads; ++t) {
+    std::size_t end = begin;
+    std::size_t acc = 0;
+    const std::size_t remaining_threads = threads - t - 1;
+    while (end < plan.stripe_order.size()) {
+      // Leave at least one stripe per remaining thread when possible.
+      const std::size_t remaining_stripes = plan.stripe_order.size() - end;
+      if (remaining_stripes <= remaining_threads) break;
+      // Greedy: stop once this thread reaches its fair share, unless it is
+      // the last thread (which takes everything left).
+      if (remaining_threads > 0 && acc >= target && end > begin) break;
+      acc += stripe_nnz[end];
+      ++end;
+    }
+    if (remaining_threads == 0) {
+      while (end < plan.stripe_order.size()) {
+        acc += stripe_nnz[end];
+        ++end;
+      }
+    }
+    plan.thread_ranges.emplace_back(static_cast<std::uint32_t>(begin),
+                                    static_cast<std::uint32_t>(end));
+    plan.thread_nnz.push_back(acc);
+    begin = end;
+  }
+  RT_ASSERT(begin == plan.stripe_order.size(),
+            "thread partition must cover every stripe");
+}
+
+}  // namespace
+
+ReorderPlan reorder_block_mask(const BlockMask& mask, std::size_t threads) {
+  // Group stripes by signature.
+  std::map<std::vector<std::uint32_t>, ReorderGroup> by_signature;
+  for (std::size_t s = 0; s < mask.num_r(); ++s) {
+    auto signature = stripe_signature(mask, s);
+    ReorderGroup& group = by_signature[signature];
+    group.stripes.push_back(static_cast<std::uint32_t>(s));
+    group.rows += stripe_surviving_rows(mask, s);
+    group.nnz_per_row = signature.size();
+  }
+
+  ReorderPlan plan;
+  plan.groups.reserve(by_signature.size());
+  for (auto& [signature, group] : by_signature) {
+    plan.groups.push_back(std::move(group));
+  }
+  // Heavy rows first: threads fill up on uniform heavy work, light work
+  // pads the tail, minimizing the straggler effect.
+  std::stable_sort(plan.groups.begin(), plan.groups.end(),
+                   [](const ReorderGroup& a, const ReorderGroup& b) {
+                     return a.nnz_per_row > b.nnz_per_row;
+                   });
+  for (const ReorderGroup& group : plan.groups) {
+    plan.stripe_order.insert(plan.stripe_order.end(), group.stripes.begin(),
+                             group.stripes.end());
+  }
+  partition_threads(mask, plan, threads);
+  return plan;
+}
+
+ReorderPlan identity_plan(const BlockMask& mask, std::size_t threads) {
+  ReorderPlan plan;
+  plan.stripe_order.resize(mask.num_r());
+  std::iota(plan.stripe_order.begin(), plan.stripe_order.end(), 0U);
+  // One group per stripe, natural order (no pattern merging).
+  plan.groups.reserve(mask.num_r());
+  for (std::size_t s = 0; s < mask.num_r(); ++s) {
+    ReorderGroup group;
+    group.stripes = {static_cast<std::uint32_t>(s)};
+    group.rows = stripe_surviving_rows(mask, s);
+    std::size_t cols = 0;
+    for (std::size_t b = 0; b < mask.num_c(); ++b) {
+      cols += mask.block_cols(s, b).size();
+    }
+    group.nnz_per_row = cols;
+    plan.groups.push_back(std::move(group));
+  }
+  // Naive split: equal stripe counts, ignoring nnz (the ablation shows
+  // the imbalance this causes).
+  RT_REQUIRE(threads >= 1, "thread count must be positive");
+  plan.thread_ranges.clear();
+  plan.thread_nnz.assign(threads, 0);
+  const std::size_t n = plan.stripe_order.size();
+  for (std::size_t t = 0; t < threads; ++t) {
+    const std::size_t begin = t * n / threads;
+    const std::size_t end = (t + 1) * n / threads;
+    plan.thread_ranges.emplace_back(static_cast<std::uint32_t>(begin),
+                                    static_cast<std::uint32_t>(end));
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::size_t s = plan.stripe_order[i];
+      std::size_t cols = 0;
+      for (std::size_t b = 0; b < mask.num_c(); ++b) {
+        cols += mask.block_cols(s, b).size();
+      }
+      plan.thread_nnz[t] += stripe_surviving_rows(mask, s) * cols;
+    }
+  }
+  return plan;
+}
+
+std::vector<std::uint32_t> reorder_csr_rows(const CsrMatrix& matrix) {
+  std::vector<std::uint32_t> order(matrix.rows());
+  std::iota(order.begin(), order.end(), 0U);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return matrix.row_nnz(a) > matrix.row_nnz(b);
+                   });
+  return order;
+}
+
+}  // namespace rtmobile

@@ -1,0 +1,65 @@
+// Matrix reorder pass (paper Sec. IV-B(a)).
+//
+// Rows with the same computation pattern are grouped so that threads
+// executing in parallel get identical (or near-identical) work — removing
+// the thread divergence and load imbalance the paper identifies as the
+// first key challenge of pruned-RNN execution.
+//
+// Under BSP, every surviving row of a stripe shares its stripe's
+// kept-column pattern, so the reorder operates on stripes: stripes with
+// identical block-column signatures are merged into one group, groups are
+// ordered by per-row work (descending), and the resulting stripe order is
+// partitioned into contiguous per-thread ranges with balanced nonzeros.
+//
+// A second entry point reorders general unstructured (CSR) rows by
+// nonzero count — the fallback a compiler can do for ESE-style pruning —
+// used by the ablation benchmark to show why BSP + reorder beats
+// unstructured + reorder.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/block_mask.hpp"
+#include "sparse/csr.hpp"
+
+namespace rtmobile {
+
+/// One reorder group: stripes with an identical kept-column signature.
+struct ReorderGroup {
+  std::vector<std::uint32_t> stripes;  // member stripe indices
+  std::size_t rows = 0;                // surviving rows across members
+  std::size_t nnz_per_row = 0;         // identical within the group
+};
+
+/// Result of the reorder pass over a BlockMask.
+struct ReorderPlan {
+  /// Stripe processing order (concatenation of groups, heavy first).
+  std::vector<std::uint32_t> stripe_order;
+  /// Group table, in processing order.
+  std::vector<ReorderGroup> groups;
+  /// Per-thread contiguous ranges [begin, end) into stripe_order.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> thread_ranges;
+  /// Total nonzeros assigned to each thread (balance diagnostic).
+  std::vector<std::size_t> thread_nnz;
+
+  /// Load-imbalance factor: max thread nnz / mean thread nnz (1.0 = ideal).
+  [[nodiscard]] double imbalance() const;
+};
+
+/// Runs the reorder pass: group stripes by signature, order by descending
+/// per-row work, and split across `threads` with balanced nonzeros.
+[[nodiscard]] ReorderPlan reorder_block_mask(const BlockMask& mask,
+                                             std::size_t threads);
+
+/// Identity plan (no reorder): stripes in natural order, split evenly by
+/// stripe count. The ablation baseline.
+[[nodiscard]] ReorderPlan identity_plan(const BlockMask& mask,
+                                        std::size_t threads);
+
+/// Row order for a CSR matrix grouping rows by nonzero count (descending),
+/// the unstructured analogue of the reorder pass.
+[[nodiscard]] std::vector<std::uint32_t> reorder_csr_rows(
+    const CsrMatrix& matrix);
+
+}  // namespace rtmobile

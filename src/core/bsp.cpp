@@ -1,0 +1,219 @@
+#include "core/bsp.hpp"
+
+#include <algorithm>
+
+#include "train/admm.hpp"
+#include "train/optimizer.hpp"
+#include "train/projection.hpp"
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace rtmobile {
+
+BspPruner::BspPruner(const BspConfig& config) : config_(config) {
+  RT_REQUIRE(config.num_r >= 1 && config.num_c >= 1,
+             "block grid must be at least 1x1");
+  RT_REQUIRE(config.col_keep_fraction > 0.0 &&
+                 config.col_keep_fraction <= 1.0,
+             "column keep fraction must be in (0,1]");
+  RT_REQUIRE(config.row_keep_fraction > 0.0 &&
+                 config.row_keep_fraction <= 1.0,
+             "row keep fraction must be in (0,1]");
+  RT_REQUIRE(config.rho > 0.0, "rho must be positive");
+}
+
+std::vector<std::string> BspPruner::prunable_weights(
+    const SpeechModel& model) const {
+  std::vector<std::string> names = model.weight_names();
+  if (config_.prune_fc) names.push_back("fc.w");
+  return names;
+}
+
+BlockMask BspPruner::derive_mask(const Matrix& weights,
+                                 bool include_rows) const {
+  // Small matrices cannot be split into more stripes/blocks than they have
+  // rows/columns; clamp the grid (the paper's auto-tuner makes the same
+  // feasibility adjustment when picking block sizes).
+  const std::size_t num_r = std::min(config_.num_r, weights.rows());
+  const std::size_t num_c = std::min(config_.num_c, weights.cols());
+  BlockMask mask =
+      block_column_mask(weights, num_r, num_c, config_.col_keep_fraction);
+  if (include_rows && config_.row_keep_fraction < 1.0) {
+    apply_row_pruning(weights, config_.row_keep_fraction, mask);
+  }
+  return mask;
+}
+
+BspResult BspPruner::prune_one_shot(SpeechModel& model) const {
+  BspResult result;
+  for (const std::string& name : prunable_weights(model)) {
+    ParamSet set;
+    model.register_params(set);
+    Matrix& weights = set.matrix(name);
+    BlockMask mask = derive_mask(weights, /*include_rows=*/true);
+    mask.apply(weights);
+    result.masks.set(name, mask);
+    result.block_masks.emplace(name, std::move(mask));
+  }
+  result.stats = compute_compression_stats(model, result.block_masks);
+  return result;
+}
+
+BspResult BspPruner::prune_progressive(
+    SpeechModel& model, const std::vector<LabeledSequence>& train_data,
+    Rng& rng, std::span<const double> column_rate_schedule) {
+  RT_REQUIRE(!column_rate_schedule.empty(),
+             "progressive pruning needs at least one stage");
+  for (std::size_t i = 1; i < column_rate_schedule.size(); ++i) {
+    RT_REQUIRE(column_rate_schedule[i] > column_rate_schedule[i - 1],
+               "column rate schedule must be strictly increasing");
+  }
+  RT_REQUIRE(column_rate_schedule.front() >= 1.0,
+             "column rates must be >= 1");
+
+  BspResult result;
+  for (std::size_t stage = 0; stage < column_rate_schedule.size(); ++stage) {
+    BspConfig stage_config = config_;
+    stage_config.col_keep_fraction = 1.0 / column_rate_schedule[stage];
+    const bool final_stage = stage + 1 == column_rate_schedule.size();
+    if (!final_stage) {
+      stage_config.row_keep_fraction = 1.0;  // rows go only at the end
+      stage_config.admm_rounds_step2 = 0;
+    }
+    if (config_.verbose) {
+      RT_LOG(Info, "bsp") << "progressive stage " << (stage + 1) << '/'
+                          << column_rate_schedule.size() << ": column rate "
+                          << column_rate_schedule[stage] << 'x';
+    }
+    BspPruner stage_pruner(stage_config);
+    result = stage_pruner.prune(model, train_data, rng);
+  }
+  return result;
+}
+
+BspResult BspPruner::prune(SpeechModel& model,
+                           const std::vector<LabeledSequence>& train_data,
+                           Rng& rng) {
+  RT_REQUIRE(!train_data.empty(), "BSP training requires data");
+  BspResult result;
+  ParamSet params;
+  model.register_params(params);
+  const std::vector<std::string> names = prunable_weights(model);
+
+  TrainConfig round_config;
+  round_config.epochs = config_.epochs_per_round;
+  round_config.verbose = config_.verbose;
+
+  // ---- Step 1: row-based column-block pruning -------------------------
+  {
+    AdmmState admm;
+    for (const std::string& name : names) {
+      Matrix& weights = params.matrix(name);
+      const std::size_t num_r = std::min(config_.num_r, weights.rows());
+      const std::size_t num_c = std::min(config_.num_c, weights.cols());
+      const double keep = config_.col_keep_fraction;
+      admm.attach(name, &weights,
+                  [num_r, num_c, keep](const Matrix& w) {
+                    return project_to_block_mask(
+                        w, block_column_mask(w, num_r, num_c, keep));
+                  },
+                  config_.rho);
+    }
+    admm.initialize();
+
+    Trainer trainer(model);
+    Adam optimizer(config_.learning_rate);
+    for (std::size_t round = 0; round < config_.admm_rounds_step1; ++round) {
+      trainer.train(round_config, train_data, optimizer, rng, &admm);
+      admm.dual_update();
+      if (config_.verbose) {
+        RT_LOG(Info, "bsp") << "step1 round " << (round + 1) << " residual "
+                            << admm.max_relative_residual();
+      }
+    }
+    result.step1_residual = admm.max_relative_residual();
+  }
+
+  // Hard prune to the step-1 structure and retrain under the mask.
+  MaskSet step1_masks;
+  std::map<std::string, BlockMask> step1_structure;
+  for (const std::string& name : names) {
+    Matrix& weights = params.matrix(name);
+    BlockMask mask = derive_mask(weights, /*include_rows=*/false);
+    mask.apply(weights);
+    step1_masks.set(name, mask);
+    step1_structure.emplace(name, std::move(mask));
+  }
+  {
+    Trainer trainer(model);
+    Adam optimizer(config_.retrain_learning_rate);
+    TrainConfig retrain_config;
+    retrain_config.epochs = config_.retrain_epochs;
+    retrain_config.verbose = config_.verbose;
+    trainer.train(retrain_config, train_data, optimizer, rng, nullptr,
+                  &step1_masks);
+  }
+
+  // ---- Step 2: column-based row pruning -------------------------------
+  const bool needs_row_step = config_.row_keep_fraction < 1.0;
+  if (needs_row_step) {
+    AdmmState admm;
+    for (const std::string& name : names) {
+      Matrix& weights = params.matrix(name);
+      const BlockMask& structure = step1_structure.at(name);
+      const double row_keep = config_.row_keep_fraction;
+      admm.attach(name, &weights,
+                  [structure, row_keep](const Matrix& w) {
+                    // Project onto {step-1 structure} ∩ {top rows}: the
+                    // column pattern is frozen, rows are re-ranked by the
+                    // energy they retain inside that pattern.
+                    BlockMask mask = structure;
+                    apply_row_pruning(w, row_keep, mask);
+                    return project_to_block_mask(w, mask);
+                  },
+                  config_.rho);
+    }
+    admm.initialize();
+
+    Trainer trainer(model);
+    Adam optimizer(config_.learning_rate);
+    for (std::size_t round = 0; round < config_.admm_rounds_step2; ++round) {
+      trainer.train(round_config, train_data, optimizer, rng, &admm,
+                    &step1_masks);
+      admm.dual_update();
+      if (config_.verbose) {
+        RT_LOG(Info, "bsp") << "step2 round " << (round + 1) << " residual "
+                            << admm.max_relative_residual();
+      }
+    }
+    result.step2_residual = admm.max_relative_residual();
+  }
+
+  // Final structure: step-1 columns + step-2 rows, hard-applied.
+  for (const std::string& name : names) {
+    Matrix& weights = params.matrix(name);
+    BlockMask mask = step1_structure.at(name);
+    if (needs_row_step) {
+      apply_row_pruning(weights, config_.row_keep_fraction, mask);
+    }
+    mask.apply(weights);
+    result.masks.set(name, mask);
+    result.block_masks.emplace(name, std::move(mask));
+  }
+
+  // Final masked retraining recovers the accuracy the hard prune cost.
+  {
+    Trainer trainer(model);
+    Adam optimizer(config_.retrain_learning_rate);
+    TrainConfig retrain_config;
+    retrain_config.epochs = config_.retrain_epochs;
+    retrain_config.verbose = config_.verbose;
+    trainer.train(retrain_config, train_data, optimizer, rng, nullptr,
+                  &result.masks);
+  }
+
+  result.stats = compute_compression_stats(model, result.block_masks);
+  return result;
+}
+
+}  // namespace rtmobile

@@ -1,0 +1,68 @@
+#include "core/pruning_stats.hpp"
+
+#include "util/check.hpp"
+
+namespace rtmobile {
+
+double CompressionStats::overall_rate() const {
+  if (kept_weights == 0) return 0.0;
+  return static_cast<double>(total_weights) /
+         static_cast<double>(kept_weights);
+}
+
+double CompressionStats::column_rate() const {
+  return column_keep_fraction > 0.0 ? 1.0 / column_keep_fraction : 0.0;
+}
+
+double CompressionStats::row_rate() const {
+  return row_keep_fraction > 0.0 ? 1.0 / row_keep_fraction : 0.0;
+}
+
+double CompressionStats::params_millions() const {
+  return static_cast<double>(kept_weights) / 1e6;
+}
+
+CompressionStats compute_compression_stats(
+    const SpeechModel& model,
+    const std::map<std::string, BlockMask>& block_masks) {
+  ParamSet set;
+  model.register_params(set);
+
+  CompressionStats stats;
+  double col_kept_slots = 0.0;
+  double col_total_slots = 0.0;
+  double rows_kept = 0.0;
+  double rows_total = 0.0;
+  for (const auto& entry : set.matrices()) {
+    if (!entry.is_weight) continue;
+    const std::size_t slots = entry.tensor->size();
+    stats.total_weights += slots;
+    const auto it = block_masks.find(entry.name);
+    if (it == block_masks.end()) {
+      stats.kept_weights += slots;
+      col_kept_slots += static_cast<double>(slots);
+      col_total_slots += static_cast<double>(slots);
+      rows_kept += static_cast<double>(entry.tensor->rows());
+      rows_total += static_cast<double>(entry.tensor->rows());
+      continue;
+    }
+    const BlockMask& mask = it->second;
+    RT_REQUIRE(mask.rows() == entry.tensor->rows() &&
+                   mask.cols() == entry.tensor->cols(),
+               "stats: mask shape mismatch at " + entry.name);
+    stats.kept_weights += mask.nnz();
+    // Step-1 keep fraction: kept (stripe, column) slots over all slots.
+    col_kept_slots += static_cast<double>(mask.kept_block_col_count()) *
+                      static_cast<double>(mask.rows()) /
+                      static_cast<double>(mask.num_r());
+    col_total_slots += static_cast<double>(slots);
+    rows_kept += static_cast<double>(mask.kept_row_count());
+    rows_total += static_cast<double>(mask.rows());
+  }
+  stats.column_keep_fraction =
+      col_total_slots > 0.0 ? col_kept_slots / col_total_slots : 1.0;
+  stats.row_keep_fraction = rows_total > 0.0 ? rows_kept / rows_total : 1.0;
+  return stats;
+}
+
+}  // namespace rtmobile

@@ -1,0 +1,34 @@
+// Compression accounting: the quantities reported in Table I.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "rnn/model.hpp"
+#include "sparse/block_mask.hpp"
+
+namespace rtmobile {
+
+struct CompressionStats {
+  std::size_t total_weights = 0;  // slots across all prunable matrices
+  std::size_t kept_weights = 0;   // surviving nonzeros
+  double column_keep_fraction = 1.0;  // achieved step-1 keep (weighted)
+  double row_keep_fraction = 1.0;     // achieved step-2 keep (weighted)
+
+  /// "Overall Compress. Rate": total / kept.
+  [[nodiscard]] double overall_rate() const;
+  /// "Column Compress. Rate": 1 / column keep fraction.
+  [[nodiscard]] double column_rate() const;
+  /// "Row Compress. Rate": 1 / row keep fraction.
+  [[nodiscard]] double row_rate() const;
+  /// "Para. No." in millions.
+  [[nodiscard]] double params_millions() const;
+};
+
+/// Computes stats over a model's prunable weights given their masks.
+/// Weights without a mask count as fully kept.
+[[nodiscard]] CompressionStats compute_compression_stats(
+    const SpeechModel& model,
+    const std::map<std::string, BlockMask>& block_masks);
+
+}  // namespace rtmobile

@@ -1,0 +1,65 @@
+// Weight quantization (simulated storage precision).
+//
+// The paper's mobile GPU kernels store weights in 16-bit floating point
+// ("Our GPU implementation uses 16-bit floating point"); the CPU path is
+// fp32. This module makes that precision axis explicit: weights are
+// quantized (fp16 or symmetric int8) and dequantized back into the fp32
+// compute path, so accuracy experiments measure exactly the storage
+// precision the deployed model would carry, and memory accounting uses
+// the true stored width.
+#pragma once
+
+#include <cstdint>
+
+#include "rnn/model.hpp"
+#include "tensor/matrix.hpp"
+
+namespace rtmobile {
+
+enum class WeightPrecision : std::uint8_t {
+  kFp32,          // reference, 4 bytes/weight
+  kFp16,          // IEEE 754 binary16, 2 bytes/weight (the paper's GPU path)
+  kInt8PerTensor, // symmetric int8, one scale per matrix
+  kInt8PerRow,    // symmetric int8, one scale per output row
+};
+
+[[nodiscard]] const char* to_string(WeightPrecision precision);
+
+/// Stored bytes per weight under the precision (scales amortize to ~0).
+[[nodiscard]] std::size_t bytes_per_weight(WeightPrecision precision);
+
+/// float -> IEEE binary16 bit pattern, round-to-nearest-even; handles
+/// normals, subnormals, overflow-to-infinity, and NaN.
+[[nodiscard]] std::uint16_t fp16_from_float(float value);
+
+/// IEEE binary16 bit pattern -> float (exact).
+[[nodiscard]] float fp16_to_float(std::uint16_t half_bits);
+
+/// Rounds a float through fp16 storage (quantize + dequantize).
+[[nodiscard]] float fp16_round_trip(float value);
+
+/// In-place fp16 storage simulation for a whole matrix.
+void quantize_fp16(Matrix& weights);
+
+/// In-place symmetric int8 simulation: w -> round(w/scale) * scale with
+/// scale = max|w| / 127 over the tensor (or per row).
+void quantize_int8(Matrix& weights, bool per_row);
+
+/// Worst-case absolute rounding error the int8 grid admits for `weights`
+/// (half the quantization step), per tensor.
+[[nodiscard]] float int8_step(const Matrix& weights);
+
+struct QuantizationReport {
+  WeightPrecision precision = WeightPrecision::kFp32;
+  std::size_t quantized_weights = 0;   // entries passed through the grid
+  std::size_t stored_bytes = 0;        // total weight storage afterwards
+  double max_abs_error = 0.0;          // vs the fp32 weights
+  double mean_abs_error = 0.0;
+};
+
+/// Quantizes every prunable weight matrix of the model in place (biases
+/// stay fp32, as deployments keep them in higher precision).
+QuantizationReport quantize_model(SpeechModel& model,
+                                  WeightPrecision precision);
+
+}  // namespace rtmobile

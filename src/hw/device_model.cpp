@@ -1,0 +1,73 @@
+#include "hw/device_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace rtmobile {
+
+DeviceModel::DeviceModel(std::string name, double dense_gops,
+                         double sparsity_exponent, double max_cr,
+                         double overhead_us, double power_watts)
+    : name_(std::move(name)),
+      dense_gops_(dense_gops),
+      sparsity_exponent_(sparsity_exponent),
+      max_cr_(max_cr),
+      overhead_us_(overhead_us),
+      power_watts_(power_watts) {
+  RT_REQUIRE(dense_gops > 0.0, "dense throughput must be positive");
+  RT_REQUIRE(sparsity_exponent > 0.0 && sparsity_exponent <= 1.0,
+             "sparsity exponent must be in (0, 1]");
+  RT_REQUIRE(max_cr > 1.0, "max compression anchor must exceed 1x");
+  RT_REQUIRE(overhead_us >= 0.0, "overhead must be non-negative");
+  RT_REQUIRE(power_watts > 0.0, "power must be positive");
+}
+
+double DeviceModel::effective_gops(double compression_rate) const {
+  RT_REQUIRE(compression_rate >= 1.0, "compression rate must be >= 1");
+  // Sublinear speedup law: throughput degrades as CR^(q-1); clamped at
+  // the calibration bound to avoid extrapolating beyond measured data.
+  const double cr = std::min(compression_rate, max_cr_);
+  return dense_gops_ * std::pow(cr, sparsity_exponent_ - 1.0);
+}
+
+double DeviceModel::time_us(const Workload& workload) const {
+  RT_REQUIRE(workload.gop >= 0.0, "workload ops must be non-negative");
+  // gop / (gop/s) = seconds; *1e6 = microseconds. gop is already in giga,
+  // effective_gops in giga/s, so the giga factors cancel.
+  return overhead_us_ +
+         workload.gop / effective_gops(workload.compression_rate) * 1e6;
+}
+
+double DeviceModel::energy_per_frame_j(const Workload& workload) const {
+  return power_watts_ * time_us(workload) * 1e-6;
+}
+
+double DeviceModel::frames_per_joule(const Workload& workload) const {
+  return 1.0 / energy_per_frame_j(workload);
+}
+
+DeviceModel DeviceModel::adreno640_gpu() {
+  // Calibration (q = 0.95) against Table II's endpoints, using the
+  // paper's own (GOP, time) pairs: t = a + gop*1e6/(G*CR^(q-1)) with
+  // t(1x; 0.58 GOP) = 3590.12 us and t(301x; 0.0020 GOP) = 79.13 us
+  //   =>  a = 63.0 us, G = 164.4 GOP/s.
+  // Every interior row is then predicted within 10% (see test_hw.cpp),
+  // and the 245x row crosses ESE's 82.7 us as the paper claims.
+  return DeviceModel("Adreno 640 GPU (fp16)", /*dense_gops=*/164.44,
+                     /*sparsity_exponent=*/0.95, /*max_cr=*/301.0,
+                     /*overhead_us=*/63.04, /*power_watts=*/1.078);
+}
+
+DeviceModel DeviceModel::kryo485_cpu() {
+  // Calibration (q = 0.90): t(1x; 0.58 GOP) = 7130 us and
+  // t(301x; 0.0020 GOP) = 145.93 us  =>  a = 103.0 us, G = 82.5 GOP/s.
+  // Interior rows predict within 20% (the CPU column of Table II is
+  // itself noisy: time barely moves from 80x to 103x).
+  return DeviceModel("Kryo 485 CPU (fp32)", /*dense_gops=*/82.54,
+                     /*sparsity_exponent=*/0.90, /*max_cr=*/301.0,
+                     /*overhead_us=*/103.03, /*power_watts=*/1.902);
+}
+
+}  // namespace rtmobile

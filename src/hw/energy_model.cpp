@@ -1,0 +1,21 @@
+#include "hw/energy_model.hpp"
+
+#include "util/check.hpp"
+
+namespace rtmobile {
+
+double EnergyModel::normalized_efficiency(const DeviceModel& device,
+                                          const Workload& workload) const {
+  return device.frames_per_joule(workload) / ese_.frames_per_joule();
+}
+
+double EnergyModel::normalized_efficiency(double time_per_frame_us,
+                                          double power_watts) const {
+  RT_REQUIRE(time_per_frame_us > 0.0, "time must be positive");
+  RT_REQUIRE(power_watts > 0.0, "power must be positive");
+  const double frames_per_joule =
+      1.0 / (power_watts * time_per_frame_us * 1e-6);
+  return frames_per_joule / ese_.frames_per_joule();
+}
+
+}  // namespace rtmobile

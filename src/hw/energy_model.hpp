@@ -1,0 +1,29 @@
+// Energy-efficiency accounting, normalized exactly as the paper does:
+// efficiency = inference frames per unit energy, reported relative to the
+// ESE FPGA deployment (Table II's "normalized with ESE" columns).
+#pragma once
+
+#include "hw/device_model.hpp"
+
+namespace rtmobile {
+
+class EnergyModel {
+ public:
+  explicit EnergyModel(EseFpgaReference ese = EseFpgaReference{})
+      : ese_(ese) {}
+
+  /// frames/J of a device on a workload, divided by ESE's frames/J.
+  [[nodiscard]] double normalized_efficiency(const DeviceModel& device,
+                                             const Workload& workload) const;
+
+  /// Same, from a directly-supplied time and power (for measured paths).
+  [[nodiscard]] double normalized_efficiency(double time_per_frame_us,
+                                             double power_watts) const;
+
+  [[nodiscard]] const EseFpgaReference& ese() const { return ese_; }
+
+ private:
+  EseFpgaReference ese_;
+};
+
+}  // namespace rtmobile

@@ -1,0 +1,26 @@
+#include "hw/timer.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rtmobile {
+
+double time_mean_us(const std::function<void()>& fn, std::size_t iters) {
+  RT_REQUIRE(iters > 0, "iters must be positive");
+  const WallTimer timer;
+  for (std::size_t i = 0; i < iters; ++i) fn();
+  return timer.elapsed_us() / static_cast<double>(iters);
+}
+
+double time_best_of_us(const std::function<void()>& fn, std::size_t iters,
+                       std::size_t repeats) {
+  RT_REQUIRE(repeats > 0, "repeats must be positive");
+  double best = time_mean_us(fn, iters);
+  for (std::size_t r = 1; r < repeats; ++r) {
+    best = std::min(best, time_mean_us(fn, iters));
+  }
+  return best;
+}
+
+}  // namespace rtmobile

@@ -1,0 +1,36 @@
+// Wall-clock timing helpers for the measured (host) benchmark path.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+
+namespace rtmobile {
+
+/// Monotonic stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Microseconds since construction or the last reset().
+  [[nodiscard]] double elapsed_us() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Runs `fn` `iters` times and returns the mean per-iteration time in us.
+double time_mean_us(const std::function<void()>& fn, std::size_t iters);
+
+/// Runs `repeats` batches of `iters` calls and returns the best (minimum)
+/// mean per-iteration time — the standard noise-resistant protocol.
+double time_best_of_us(const std::function<void()>& fn, std::size_t iters,
+                       std::size_t repeats);
+
+}  // namespace rtmobile

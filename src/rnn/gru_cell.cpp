@@ -1,0 +1,171 @@
+#include "rnn/gru_cell.hpp"
+
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace rtmobile {
+
+GruParams::GruParams(std::size_t input_dim, std::size_t hidden_dim)
+    : w_z(hidden_dim, input_dim),
+      w_r(hidden_dim, input_dim),
+      w_h(hidden_dim, input_dim),
+      u_z(hidden_dim, hidden_dim),
+      u_r(hidden_dim, hidden_dim),
+      u_h(hidden_dim, hidden_dim),
+      b_z(hidden_dim),
+      b_r(hidden_dim),
+      b_h(hidden_dim) {
+  RT_REQUIRE(input_dim > 0 && hidden_dim > 0,
+             "GRU dimensions must be positive");
+}
+
+std::size_t GruParams::param_count() const {
+  return w_z.size() + w_r.size() + w_h.size() + u_z.size() + u_r.size() +
+         u_h.size() + b_z.size() + b_r.size() + b_h.size();
+}
+
+void GruParams::init(Rng& rng) {
+  xavier_init(w_z, rng);
+  xavier_init(w_r, rng);
+  xavier_init(w_h, rng);
+  recurrent_init(u_z, rng);
+  recurrent_init(u_r, rng);
+  recurrent_init(u_h, rng);
+  b_z.fill(0.0F);
+  b_r.fill(0.0F);
+  b_h.fill(0.0F);
+}
+
+void GruParams::zero() {
+  w_z.fill(0.0F);
+  w_r.fill(0.0F);
+  w_h.fill(0.0F);
+  u_z.fill(0.0F);
+  u_r.fill(0.0F);
+  u_h.fill(0.0F);
+  b_z.fill(0.0F);
+  b_r.fill(0.0F);
+  b_h.fill(0.0F);
+}
+
+void GruParams::register_params(const std::string& prefix, ParamSet& set) {
+  set.add(prefix + "w_z", &w_z);
+  set.add(prefix + "w_r", &w_r);
+  set.add(prefix + "w_h", &w_h);
+  set.add(prefix + "u_z", &u_z);
+  set.add(prefix + "u_r", &u_r);
+  set.add(prefix + "u_h", &u_h);
+  set.add(prefix + "b_z", &b_z);
+  set.add(prefix + "b_r", &b_r);
+  set.add(prefix + "b_h", &b_h);
+}
+
+void gru_forward_step(const GruParams& params, std::span<const float> x,
+                      std::span<const float> h_prev, std::span<float> h_out,
+                      GruStepCache* cache) {
+  const std::size_t hidden = params.hidden_dim();
+  RT_REQUIRE(x.size() == params.input_dim(), "GRU forward: x size mismatch");
+  RT_REQUIRE(h_prev.size() == hidden, "GRU forward: h_prev size mismatch");
+  RT_REQUIRE(h_out.size() == hidden, "GRU forward: h_out size mismatch");
+
+  Vector z(hidden);
+  Vector r(hidden);
+  Vector rh(hidden);
+  Vector h_tilde(hidden);
+
+  // z = sigmoid(W_z x + U_z h_prev + b_z)
+  gemv(params.w_z, x, z.span());
+  gemv_accumulate(params.u_z, h_prev, z.span());
+  add_inplace(z.span(), params.b_z.span());
+  sigmoid_inplace(z.span());
+
+  // r = sigmoid(W_r x + U_r h_prev + b_r)
+  gemv(params.w_r, x, r.span());
+  gemv_accumulate(params.u_r, h_prev, r.span());
+  add_inplace(r.span(), params.b_r.span());
+  sigmoid_inplace(r.span());
+
+  // h~ = tanh(W_h x + U_h (r . h_prev) + b_h)
+  mul(r.span(), h_prev, rh.span());
+  gemv(params.w_h, x, h_tilde.span());
+  gemv_accumulate(params.u_h, rh.span(), h_tilde.span());
+  add_inplace(h_tilde.span(), params.b_h.span());
+  tanh_inplace(h_tilde.span());
+
+  // h = (1 - z) . h_prev + z . h~   (written last so h_out may alias h_prev)
+  if (cache != nullptr) {
+    cache->x.resize(x.size());
+    std::copy(x.begin(), x.end(), cache->x.begin());
+    cache->h_prev.resize(hidden);
+    std::copy(h_prev.begin(), h_prev.end(), cache->h_prev.begin());
+  }
+  for (std::size_t i = 0; i < hidden; ++i) {
+    h_out[i] = (1.0F - z[i]) * h_prev[i] + z[i] * h_tilde[i];
+  }
+
+  if (cache != nullptr) {
+    cache->z = std::move(z);
+    cache->r = std::move(r);
+    cache->rh = std::move(rh);
+    cache->h_tilde = std::move(h_tilde);
+    cache->h.resize(hidden);
+    std::copy(h_out.begin(), h_out.end(), cache->h.begin());
+  }
+}
+
+void gru_backward_step(const GruParams& params, const GruStepCache& cache,
+                       std::span<const float> dh, GruParams& grads,
+                       std::span<float> dx, std::span<float> dh_prev) {
+  const std::size_t hidden = params.hidden_dim();
+  const std::size_t input = params.input_dim();
+  RT_REQUIRE(dh.size() == hidden, "GRU backward: dh size mismatch");
+  RT_REQUIRE(dx.size() == input, "GRU backward: dx size mismatch");
+  RT_REQUIRE(dh_prev.size() == hidden, "GRU backward: dh_prev size mismatch");
+  RT_REQUIRE(cache.h_prev.size() == hidden && cache.x.size() == input,
+             "GRU backward: cache shape mismatch");
+
+  // h = (1-z) h_prev + z h~
+  Vector da_z(hidden);   // gradient at update-gate pre-activation
+  Vector da_r(hidden);   // gradient at reset-gate pre-activation
+  Vector da_h(hidden);   // gradient at candidate pre-activation
+  Vector d_rh(hidden);   // gradient at r . h_prev
+
+  for (std::size_t i = 0; i < hidden; ++i) {
+    const float dhi = dh[i];
+    const float dz = dhi * (cache.h_tilde[i] - cache.h_prev[i]);
+    const float dht = dhi * cache.z[i];
+    dh_prev[i] = dhi * (1.0F - cache.z[i]);
+    da_z[i] = dz * sigmoid_grad_from_output(cache.z[i]);
+    da_h[i] = dht * tanh_grad_from_output(cache.h_tilde[i]);
+  }
+
+  // Candidate path: a_h = W_h x + U_h rh + b_h.
+  outer_accumulate(1.0F, da_h.span(), cache.x.span(), grads.w_h);
+  outer_accumulate(1.0F, da_h.span(), cache.rh.span(), grads.u_h);
+  add_inplace(grads.b_h.span(), da_h.span());
+  gemv_transposed(params.u_h, da_h.span(), d_rh.span());
+  for (std::size_t i = 0; i < hidden; ++i) {
+    const float dr = d_rh[i] * cache.h_prev[i];
+    dh_prev[i] += d_rh[i] * cache.r[i];
+    da_r[i] = dr * sigmoid_grad_from_output(cache.r[i]);
+  }
+
+  // Gate paths: a_z = W_z x + U_z h_prev + b_z (and likewise for r).
+  outer_accumulate(1.0F, da_z.span(), cache.x.span(), grads.w_z);
+  outer_accumulate(1.0F, da_z.span(), cache.h_prev.span(), grads.u_z);
+  add_inplace(grads.b_z.span(), da_z.span());
+  gemv_transposed_accumulate(params.u_z, da_z.span(), dh_prev);
+
+  outer_accumulate(1.0F, da_r.span(), cache.x.span(), grads.w_r);
+  outer_accumulate(1.0F, da_r.span(), cache.h_prev.span(), grads.u_r);
+  add_inplace(grads.b_r.span(), da_r.span());
+  gemv_transposed_accumulate(params.u_r, da_r.span(), dh_prev);
+
+  // Input gradient through all three input matrices.
+  gemv_transposed(params.w_z, da_z.span(), dx);
+  gemv_transposed_accumulate(params.w_r, da_r.span(), dx);
+  gemv_transposed_accumulate(params.w_h, da_h.span(), dx);
+}
+
+}  // namespace rtmobile

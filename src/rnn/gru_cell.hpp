@@ -1,0 +1,70 @@
+// Gated Recurrent Unit cell: forward step and exact BPTT backward step.
+//
+// Equations (Cho et al. 2014; paper Fig. 1):
+//   z_t = sigmoid(W_z x_t + U_z h_{t-1} + b_z)        update gate
+//   r_t = sigmoid(W_r x_t + U_r h_{t-1} + b_r)        reset gate
+//   h~_t = tanh(W_h x_t + U_h (r_t . h_{t-1}) + b_h)  candidate state
+//   h_t = (1 - z_t) . h_{t-1} + z_t . h~_t            output
+//
+// Weight shapes follow "output rows x input cols": W_* is [hidden x input],
+// U_* is [hidden x hidden]. These six matrices are exactly the tensors BSP
+// prunes in the paper.
+#pragma once
+
+#include <span>
+
+#include "rnn/param_set.hpp"
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace rtmobile {
+
+/// Learnable parameters of one GRU layer. Also used (same shape) to hold
+/// the gradients of those parameters.
+struct GruParams {
+  Matrix w_z, w_r, w_h;  // input weights   [hidden x input]
+  Matrix u_z, u_r, u_h;  // recurrent       [hidden x hidden]
+  Vector b_z, b_r, b_h;  // biases          [hidden]
+
+  GruParams() = default;
+  GruParams(std::size_t input_dim, std::size_t hidden_dim);
+
+  [[nodiscard]] std::size_t input_dim() const { return w_z.cols(); }
+  [[nodiscard]] std::size_t hidden_dim() const { return w_z.rows(); }
+  [[nodiscard]] std::size_t param_count() const;
+
+  /// Xavier init for input weights, scaled-orthogonal-ish for recurrent.
+  void init(Rng& rng);
+
+  /// Sets every tensor to zero (gradient reset).
+  void zero();
+
+  /// Registers all nine tensors under `prefix` (e.g. "gru0.").
+  void register_params(const std::string& prefix, ParamSet& set);
+};
+
+/// Per-timestep activations captured by the forward pass and consumed by
+/// the backward pass.
+struct GruStepCache {
+  Vector x;        // input at t
+  Vector h_prev;   // state entering t
+  Vector z, r;     // gate activations
+  Vector rh;       // r . h_prev
+  Vector h_tilde;  // candidate
+  Vector h;        // state leaving t
+};
+
+/// h_out = GRU(params; x, h_prev). When `cache` is non-null the step's
+/// activations are recorded for backward. h_out may alias h_prev.
+void gru_forward_step(const GruParams& params, std::span<const float> x,
+                      std::span<const float> h_prev, std::span<float> h_out,
+                      GruStepCache* cache);
+
+/// Backpropagates one step. `dh` is dLoss/dh_t (combined from the layer
+/// above and from t+1). Accumulates parameter gradients into `grads` and
+/// writes dLoss/dx_t and dLoss/dh_{t-1}.
+void gru_backward_step(const GruParams& params, const GruStepCache& cache,
+                       std::span<const float> dh, GruParams& grads,
+                       std::span<float> dx, std::span<float> dh_prev);
+
+}  // namespace rtmobile

@@ -1,0 +1,189 @@
+#include "rnn/lstm_cell.hpp"
+
+#include <cmath>
+
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace rtmobile {
+
+LstmParams::LstmParams(std::size_t input_dim, std::size_t hidden_dim)
+    : w_i(hidden_dim, input_dim),
+      w_f(hidden_dim, input_dim),
+      w_o(hidden_dim, input_dim),
+      w_g(hidden_dim, input_dim),
+      u_i(hidden_dim, hidden_dim),
+      u_f(hidden_dim, hidden_dim),
+      u_o(hidden_dim, hidden_dim),
+      u_g(hidden_dim, hidden_dim),
+      b_i(hidden_dim),
+      b_f(hidden_dim),
+      b_o(hidden_dim),
+      b_g(hidden_dim) {
+  RT_REQUIRE(input_dim > 0 && hidden_dim > 0,
+             "LSTM dimensions must be positive");
+}
+
+std::size_t LstmParams::param_count() const {
+  return w_i.size() + w_f.size() + w_o.size() + w_g.size() + u_i.size() +
+         u_f.size() + u_o.size() + u_g.size() + b_i.size() + b_f.size() +
+         b_o.size() + b_g.size();
+}
+
+void LstmParams::init(Rng& rng) {
+  xavier_init(w_i, rng);
+  xavier_init(w_f, rng);
+  xavier_init(w_o, rng);
+  xavier_init(w_g, rng);
+  recurrent_init(u_i, rng);
+  recurrent_init(u_f, rng);
+  recurrent_init(u_o, rng);
+  recurrent_init(u_g, rng);
+  b_i.fill(0.0F);
+  b_f.fill(1.0F);
+  b_o.fill(0.0F);
+  b_g.fill(0.0F);
+}
+
+void LstmParams::zero() {
+  for (Matrix* m : {&w_i, &w_f, &w_o, &w_g, &u_i, &u_f, &u_o, &u_g}) {
+    m->fill(0.0F);
+  }
+  for (Vector* v : {&b_i, &b_f, &b_o, &b_g}) v->fill(0.0F);
+}
+
+void LstmParams::register_params(const std::string& prefix, ParamSet& set) {
+  set.add(prefix + "w_i", &w_i);
+  set.add(prefix + "w_f", &w_f);
+  set.add(prefix + "w_o", &w_o);
+  set.add(prefix + "w_g", &w_g);
+  set.add(prefix + "u_i", &u_i);
+  set.add(prefix + "u_f", &u_f);
+  set.add(prefix + "u_o", &u_o);
+  set.add(prefix + "u_g", &u_g);
+  set.add(prefix + "b_i", &b_i);
+  set.add(prefix + "b_f", &b_f);
+  set.add(prefix + "b_o", &b_o);
+  set.add(prefix + "b_g", &b_g);
+}
+
+void lstm_forward_step(const LstmParams& params, std::span<const float> x,
+                       std::span<const float> h_prev,
+                       std::span<const float> c_prev, std::span<float> h_out,
+                       std::span<float> c_out, LstmStepCache* cache) {
+  const std::size_t hidden = params.hidden_dim();
+  RT_REQUIRE(x.size() == params.input_dim(), "LSTM forward: x size mismatch");
+  RT_REQUIRE(h_prev.size() == hidden && c_prev.size() == hidden &&
+                 h_out.size() == hidden && c_out.size() == hidden,
+             "LSTM forward: state size mismatch");
+
+  Vector i(hidden);
+  Vector f(hidden);
+  Vector o(hidden);
+  Vector g(hidden);
+
+  const auto gate = [&](const Matrix& w, const Matrix& u, const Vector& b,
+                        Vector& out) {
+    gemv(w, x, out.span());
+    gemv_accumulate(u, h_prev, out.span());
+    add_inplace(out.span(), b.span());
+  };
+  gate(params.w_i, params.u_i, params.b_i, i);
+  gate(params.w_f, params.u_f, params.b_f, f);
+  gate(params.w_o, params.u_o, params.b_o, o);
+  gate(params.w_g, params.u_g, params.b_g, g);
+  sigmoid_inplace(i.span());
+  sigmoid_inplace(f.span());
+  sigmoid_inplace(o.span());
+  tanh_inplace(g.span());
+
+  if (cache != nullptr) {
+    cache->x.resize(x.size());
+    std::copy(x.begin(), x.end(), cache->x.begin());
+    cache->h_prev.resize(hidden);
+    std::copy(h_prev.begin(), h_prev.end(), cache->h_prev.begin());
+    cache->c_prev.resize(hidden);
+    std::copy(c_prev.begin(), c_prev.end(), cache->c_prev.begin());
+  }
+
+  Vector c(hidden);
+  Vector tanh_c(hidden);
+  for (std::size_t k = 0; k < hidden; ++k) {
+    c[k] = f[k] * c_prev[k] + i[k] * g[k];
+    tanh_c[k] = std::tanh(c[k]);
+    const float h = o[k] * tanh_c[k];
+    c_out[k] = c[k];
+    h_out[k] = h;
+  }
+
+  if (cache != nullptr) {
+    cache->i = std::move(i);
+    cache->f = std::move(f);
+    cache->o = std::move(o);
+    cache->g = std::move(g);
+    cache->c = std::move(c);
+    cache->tanh_c = std::move(tanh_c);
+    cache->h.resize(hidden);
+    std::copy(h_out.begin(), h_out.end(), cache->h.begin());
+  }
+}
+
+void lstm_backward_step(const LstmParams& params, const LstmStepCache& cache,
+                        std::span<const float> dh, std::span<const float> dc,
+                        LstmParams& grads, std::span<float> dx,
+                        std::span<float> dh_prev, std::span<float> dc_prev) {
+  const std::size_t hidden = params.hidden_dim();
+  const std::size_t input = params.input_dim();
+  RT_REQUIRE(dh.size() == hidden && dc.size() == hidden,
+             "LSTM backward: gradient size mismatch");
+  RT_REQUIRE(dx.size() == input && dh_prev.size() == hidden &&
+                 dc_prev.size() == hidden,
+             "LSTM backward: output size mismatch");
+
+  Vector da_i(hidden);
+  Vector da_f(hidden);
+  Vector da_o(hidden);
+  Vector da_g(hidden);
+
+  for (std::size_t k = 0; k < hidden; ++k) {
+    // h = o tanh(c); total cell gradient adds dh's path through tanh(c).
+    const float do_gate = dh[k] * cache.tanh_c[k];
+    const float dc_total =
+        dc[k] + dh[k] * cache.o[k] * tanh_grad_from_output(cache.tanh_c[k]);
+    // c = f c_prev + i g
+    dc_prev[k] = dc_total * cache.f[k];
+    const float di = dc_total * cache.g[k];
+    const float df = dc_total * cache.c_prev[k];
+    const float dg = dc_total * cache.i[k];
+    da_i[k] = di * sigmoid_grad_from_output(cache.i[k]);
+    da_f[k] = df * sigmoid_grad_from_output(cache.f[k]);
+    da_o[k] = do_gate * sigmoid_grad_from_output(cache.o[k]);
+    da_g[k] = dg * tanh_grad_from_output(cache.g[k]);
+  }
+
+  const auto backprop_gate = [&](const Vector& da, Matrix& gw, Matrix& gu,
+                                 Vector& gb, const Matrix& w, const Matrix& u,
+                                 bool first) {
+    outer_accumulate(1.0F, da.span(), cache.x.span(), gw);
+    outer_accumulate(1.0F, da.span(), cache.h_prev.span(), gu);
+    add_inplace(gb.span(), da.span());
+    if (first) {
+      gemv_transposed(w, da.span(), dx);
+      gemv_transposed(u, da.span(), dh_prev);
+    } else {
+      gemv_transposed_accumulate(w, da.span(), dx);
+      gemv_transposed_accumulate(u, da.span(), dh_prev);
+    }
+  };
+  backprop_gate(da_i, grads.w_i, grads.u_i, grads.b_i, params.w_i, params.u_i,
+                /*first=*/true);
+  backprop_gate(da_f, grads.w_f, grads.u_f, grads.b_f, params.w_f, params.u_f,
+                /*first=*/false);
+  backprop_gate(da_o, grads.w_o, grads.u_o, grads.b_o, params.w_o, params.u_o,
+                /*first=*/false);
+  backprop_gate(da_g, grads.w_g, grads.u_g, grads.b_g, params.w_g, params.u_g,
+                /*first=*/false);
+}
+
+}  // namespace rtmobile

@@ -1,0 +1,64 @@
+// LSTM cell: forward and exact BPTT backward.
+//
+// Provided as a substrate because the baselines RTMobile compares against
+// (ESE, C-LSTM) are LSTM frameworks; having a tested LSTM lets the
+// baseline pruning schemes be exercised on their native cell as well as on
+// the paper's GRU.
+//
+// Equations (standard, no peepholes):
+//   i_t = sigmoid(W_i x_t + U_i h_{t-1} + b_i)
+//   f_t = sigmoid(W_f x_t + U_f h_{t-1} + b_f)
+//   o_t = sigmoid(W_o x_t + U_o h_{t-1} + b_o)
+//   g_t = tanh(W_g x_t + U_g h_{t-1} + b_g)
+//   c_t = f_t . c_{t-1} + i_t . g_t
+//   h_t = o_t . tanh(c_t)
+#pragma once
+
+#include <span>
+
+#include "rnn/param_set.hpp"
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace rtmobile {
+
+/// Learnable parameters of one LSTM layer (also used for gradients).
+struct LstmParams {
+  Matrix w_i, w_f, w_o, w_g;  // input weights   [hidden x input]
+  Matrix u_i, u_f, u_o, u_g;  // recurrent       [hidden x hidden]
+  Vector b_i, b_f, b_o, b_g;  // biases          [hidden]
+
+  LstmParams() = default;
+  LstmParams(std::size_t input_dim, std::size_t hidden_dim);
+
+  [[nodiscard]] std::size_t input_dim() const { return w_i.cols(); }
+  [[nodiscard]] std::size_t hidden_dim() const { return w_i.rows(); }
+  [[nodiscard]] std::size_t param_count() const;
+
+  /// Xavier / scaled-recurrent init; forget-gate bias starts at +1 (the
+  /// usual trick so memory persists early in training).
+  void init(Rng& rng);
+  void zero();
+  void register_params(const std::string& prefix, ParamSet& set);
+};
+
+/// Activations recorded by the forward step for backward.
+struct LstmStepCache {
+  Vector x, h_prev, c_prev;
+  Vector i, f, o, g;
+  Vector c, tanh_c, h;
+};
+
+/// (h_out, c_out) = LSTM(params; x, h_prev, c_prev).
+void lstm_forward_step(const LstmParams& params, std::span<const float> x,
+                       std::span<const float> h_prev,
+                       std::span<const float> c_prev, std::span<float> h_out,
+                       std::span<float> c_out, LstmStepCache* cache);
+
+/// Backpropagates one step; dh/dc are gradients flowing into h_t and c_t.
+void lstm_backward_step(const LstmParams& params, const LstmStepCache& cache,
+                        std::span<const float> dh, std::span<const float> dc,
+                        LstmParams& grads, std::span<float> dx,
+                        std::span<float> dh_prev, std::span<float> dc_prev);
+
+}  // namespace rtmobile

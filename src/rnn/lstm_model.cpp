@@ -1,0 +1,202 @@
+#include "rnn/lstm_model.hpp"
+
+#include "tensor/gemm.hpp"
+#include "tensor/io.hpp"
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace rtmobile {
+
+LstmModel::LstmModel(const ModelConfig& config) : config_(config) {
+  RT_REQUIRE(config.num_layers >= 1, "model needs at least one LSTM layer");
+  RT_REQUIRE(config.input_dim > 0 && config.hidden_dim > 0 &&
+                 config.num_classes > 0,
+             "model dimensions must be positive");
+  layers_.reserve(config.num_layers);
+  for (std::size_t l = 0; l < config.num_layers; ++l) {
+    const std::size_t in = l == 0 ? config.input_dim : config.hidden_dim;
+    layers_.emplace_back(in, config.hidden_dim);
+  }
+  fc_w_ = Matrix(config.num_classes, config.hidden_dim);
+  fc_b_ = Vector(config.num_classes);
+}
+
+void LstmModel::init(Rng& rng) {
+  for (auto& layer : layers_) layer.init(rng);
+  xavier_init(fc_w_, rng);
+  fc_b_.fill(0.0F);
+}
+
+std::size_t LstmModel::param_count() const {
+  std::size_t count = fc_w_.size() + fc_b_.size();
+  for (const auto& layer : layers_) count += layer.param_count();
+  return count;
+}
+
+std::size_t LstmModel::nonzero_param_count() const {
+  ParamSet set;
+  register_params(set);
+  std::size_t count = 0;
+  for (const auto& entry : set.matrices()) {
+    count += entry.is_weight ? entry.tensor->count_nonzero()
+                             : entry.tensor->size();
+  }
+  for (const auto& entry : set.vectors()) count += entry.tensor->size();
+  return count;
+}
+
+Matrix LstmModel::forward(const Matrix& features,
+                          LstmForwardCache* cache) const {
+  RT_REQUIRE(features.cols() == config_.input_dim,
+             "forward: feature dimension mismatch");
+  const std::size_t frames = features.rows();
+  RT_REQUIRE(frames > 0, "forward: empty utterance");
+
+  if (cache != nullptr) {
+    cache->caches.assign(config_.num_layers, {});
+    cache->layer_inputs.clear();
+    cache->layer_inputs.push_back(features);
+  }
+
+  Matrix current = features;
+  for (std::size_t l = 0; l < config_.num_layers; ++l) {
+    const LstmParams& params = layers_[l];
+    Matrix next(frames, config_.hidden_dim);
+    Vector h(config_.hidden_dim, 0.0F);
+    Vector c(config_.hidden_dim, 0.0F);
+    Vector c_next(config_.hidden_dim);
+    std::vector<LstmStepCache>* step_caches = nullptr;
+    if (cache != nullptr) {
+      cache->caches[l].resize(frames);
+      step_caches = &cache->caches[l];
+    }
+    for (std::size_t t = 0; t < frames; ++t) {
+      LstmStepCache* step = step_caches ? &(*step_caches)[t] : nullptr;
+      lstm_forward_step(params, current.row(t), h.span(), c.span(),
+                        next.row(t), c_next.span(), step);
+      std::copy(next.row(t).begin(), next.row(t).end(), h.begin());
+      std::swap(c, c_next);
+    }
+    current = std::move(next);
+    if (cache != nullptr) cache->layer_inputs.push_back(current);
+  }
+
+  Matrix logits(frames, config_.num_classes);
+  for (std::size_t t = 0; t < frames; ++t) {
+    gemv(fc_w_, current.row(t), logits.row(t));
+    add_inplace(logits.row(t), fc_b_.span());
+  }
+  return logits;
+}
+
+void LstmModel::backward(const LstmForwardCache& cache, const Matrix& dlogits,
+                         LstmModel& grads) const {
+  RT_REQUIRE(grads.config_.hidden_dim == config_.hidden_dim &&
+                 grads.config_.num_layers == config_.num_layers &&
+                 grads.config_.input_dim == config_.input_dim &&
+                 grads.config_.num_classes == config_.num_classes,
+             "backward: gradient model configuration mismatch");
+  RT_REQUIRE(cache.layer_inputs.size() == config_.num_layers + 1,
+             "backward: cache not produced by forward");
+  const std::size_t frames = dlogits.rows();
+  RT_REQUIRE(dlogits.cols() == config_.num_classes,
+             "backward: dlogits shape mismatch");
+
+  const Matrix& top = cache.layer_inputs.back();
+  RT_REQUIRE(top.rows() == frames, "backward: frame count mismatch");
+  Matrix d_top(frames, config_.hidden_dim, 0.0F);
+  for (std::size_t t = 0; t < frames; ++t) {
+    outer_accumulate(1.0F, dlogits.row(t), top.row(t), grads.fc_w_);
+    add_inplace(grads.fc_b_.span(), dlogits.row(t));
+    gemv_transposed(fc_w_, dlogits.row(t), d_top.row(t));
+  }
+
+  Matrix d_out = std::move(d_top);
+  for (std::size_t l = config_.num_layers; l-- > 0;) {
+    const LstmParams& params = layers_[l];
+    const std::size_t in_dim = params.input_dim();
+    Matrix d_in(frames, in_dim, 0.0F);
+    Vector dh(config_.hidden_dim, 0.0F);
+    Vector dc(config_.hidden_dim, 0.0F);
+    Vector dh_prev(config_.hidden_dim, 0.0F);
+    Vector dc_prev(config_.hidden_dim, 0.0F);
+    for (std::size_t t = frames; t-- > 0;) {
+      add_inplace(dh.span(), d_out.row(t));
+      lstm_backward_step(params, cache.caches[l][t], dh.span(), dc.span(),
+                         grads.layers_[l], d_in.row(t), dh_prev.span(),
+                         dc_prev.span());
+      std::swap(dh, dh_prev);
+      std::swap(dc, dc_prev);
+      dh_prev.fill(0.0F);
+      dc_prev.fill(0.0F);
+    }
+    d_out = std::move(d_in);
+  }
+}
+
+void LstmModel::zero() {
+  for (auto& layer : layers_) layer.zero();
+  fc_w_.fill(0.0F);
+  fc_b_.fill(0.0F);
+}
+
+void LstmModel::register_params(ParamSet& set) {
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    layers_[l].register_params("lstm" + std::to_string(l) + ".", set);
+  }
+  set.add("fc.w", &fc_w_);
+  set.add("fc.b", &fc_b_);
+}
+
+void LstmModel::register_params(ParamSet& set) const {
+  const_cast<LstmModel*>(this)->register_params(set);
+}
+
+std::vector<std::string> LstmModel::weight_names() const {
+  std::vector<std::string> names;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const std::string prefix = "lstm" + std::to_string(l) + ".";
+    for (const char* w : {"w_i", "w_f", "w_o", "w_g", "u_i", "u_f", "u_o",
+                          "u_g"}) {
+      names.push_back(prefix + w);
+    }
+  }
+  return names;
+}
+
+LstmParams& LstmModel::layer(std::size_t index) {
+  RT_REQUIRE(index < layers_.size(), "layer index out of range");
+  return layers_[index];
+}
+
+const LstmParams& LstmModel::layer(std::size_t index) const {
+  RT_REQUIRE(index < layers_.size(), "layer index out of range");
+  return layers_[index];
+}
+
+void LstmModel::save(std::ostream& os) const {
+  ParamSet set;
+  register_params(set);
+  for (const auto& entry : set.matrices()) write_matrix(os, *entry.tensor);
+  for (const auto& entry : set.vectors()) write_vector(os, *entry.tensor);
+}
+
+void LstmModel::load(std::istream& is) {
+  ParamSet set;
+  register_params(set);
+  for (const auto& entry : set.matrices()) {
+    Matrix m = read_matrix(is);
+    RT_CHECK(m.rows() == entry.tensor->rows() &&
+                 m.cols() == entry.tensor->cols(),
+             "checkpoint shape mismatch at " + entry.name);
+    *entry.tensor = std::move(m);
+  }
+  for (const auto& entry : set.vectors()) {
+    Vector v = read_vector(is);
+    RT_CHECK(v.size() == entry.tensor->size(),
+             "checkpoint shape mismatch at " + entry.name);
+    *entry.tensor = std::move(v);
+  }
+}
+
+}  // namespace rtmobile

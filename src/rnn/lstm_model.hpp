@@ -1,0 +1,76 @@
+// LstmModel: the LSTM counterpart of SpeechModel.
+//
+// ESE and C-LSTM — the systems the paper compares against — are LSTM
+// frameworks; this model lets their pruning schemes run on their native
+// cell, and supports the GRU-vs-LSTM ablation (the paper argues GRU is
+// "a more advanced version of RNN than LSTM" with fewer parameters per
+// unit of capacity). The interface mirrors SpeechModel exactly so the
+// templated trainer and the pruning stack work on either.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rnn/lstm_cell.hpp"
+#include "rnn/model.hpp"
+#include "rnn/param_set.hpp"
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace rtmobile {
+
+/// Activation trace of one utterance forward pass, consumed by backward().
+struct LstmForwardCache {
+  // caches[layer][t]
+  std::vector<std::vector<LstmStepCache>> caches;
+  // layer_inputs[layer] = T x dim matrix feeding that layer.
+  std::vector<Matrix> layer_inputs;
+};
+
+class LstmModel {
+ public:
+  explicit LstmModel(const ModelConfig& config);
+
+  [[nodiscard]] const ModelConfig& config() const { return config_; }
+
+  void init(Rng& rng);
+  [[nodiscard]] std::size_t param_count() const;
+  [[nodiscard]] std::size_t nonzero_param_count() const;
+
+  /// Runs an utterance (T x input_dim) to per-frame logits (T x classes).
+  [[nodiscard]] Matrix forward(const Matrix& features,
+                               LstmForwardCache* cache = nullptr) const;
+
+  /// BPTT of per-frame logit gradients into `grads` (same-config model).
+  void backward(const LstmForwardCache& cache, const Matrix& dlogits,
+                LstmModel& grads) const;
+
+  void zero();
+  void register_params(ParamSet& set);
+  void register_params(ParamSet& set) const;
+
+  /// Prunable weight matrix names ("lstm0.w_i", ..., "lstm1.u_g").
+  [[nodiscard]] std::vector<std::string> weight_names() const;
+
+  [[nodiscard]] LstmParams& layer(std::size_t index);
+  [[nodiscard]] const LstmParams& layer(std::size_t index) const;
+  [[nodiscard]] Matrix& fc_weight() { return fc_w_; }
+  [[nodiscard]] const Matrix& fc_weight() const { return fc_w_; }
+  [[nodiscard]] Vector& fc_bias() { return fc_b_; }
+  [[nodiscard]] const Vector& fc_bias() const { return fc_b_; }
+
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+  /// Model-generic cache alias used by the templated trainer.
+  using ForwardCache = LstmForwardCache;
+
+ private:
+  ModelConfig config_;
+  std::vector<LstmParams> layers_;
+  Matrix fc_w_;
+  Vector fc_b_;
+};
+
+}  // namespace rtmobile

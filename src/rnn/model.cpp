@@ -1,0 +1,222 @@
+#include "rnn/model.hpp"
+
+#include <fstream>
+
+#include "tensor/gemm.hpp"
+#include "tensor/io.hpp"
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace rtmobile {
+
+ModelConfig ModelConfig::paper_full_size() {
+  return ModelConfig{/*input_dim=*/153, /*hidden_dim=*/1024,
+                     /*num_layers=*/2, /*num_classes=*/39};
+}
+
+ModelConfig ModelConfig::scaled(std::size_t hidden) {
+  return ModelConfig{/*input_dim=*/39, /*hidden_dim=*/hidden,
+                     /*num_layers=*/2, /*num_classes=*/39};
+}
+
+SpeechModel::SpeechModel(const ModelConfig& config) : config_(config) {
+  RT_REQUIRE(config.num_layers >= 1, "model needs at least one GRU layer");
+  RT_REQUIRE(config.input_dim > 0 && config.hidden_dim > 0 &&
+                 config.num_classes > 0,
+             "model dimensions must be positive");
+  layers_.reserve(config.num_layers);
+  for (std::size_t l = 0; l < config.num_layers; ++l) {
+    const std::size_t in = l == 0 ? config.input_dim : config.hidden_dim;
+    layers_.emplace_back(in, config.hidden_dim);
+  }
+  fc_w_ = Matrix(config.num_classes, config.hidden_dim);
+  fc_b_ = Vector(config.num_classes);
+}
+
+void SpeechModel::init(Rng& rng) {
+  for (auto& layer : layers_) layer.init(rng);
+  xavier_init(fc_w_, rng);
+  fc_b_.fill(0.0F);
+}
+
+std::size_t SpeechModel::param_count() const {
+  std::size_t count = fc_w_.size() + fc_b_.size();
+  for (const auto& layer : layers_) count += layer.param_count();
+  return count;
+}
+
+std::size_t SpeechModel::nonzero_param_count() const {
+  ParamSet set;
+  const_cast<SpeechModel*>(this)->register_params(set);
+  std::size_t count = 0;
+  for (const auto& entry : set.matrices()) {
+    if (entry.is_weight) {
+      count += entry.tensor->count_nonzero();
+    } else {
+      count += entry.tensor->size();
+    }
+  }
+  for (const auto& entry : set.vectors()) count += entry.tensor->size();
+  return count;
+}
+
+Matrix SpeechModel::forward(const Matrix& features,
+                            ModelForwardCache* cache) const {
+  RT_REQUIRE(features.cols() == config_.input_dim,
+             "forward: feature dimension mismatch");
+  const std::size_t frames = features.rows();
+  RT_REQUIRE(frames > 0, "forward: empty utterance");
+
+  if (cache != nullptr) {
+    cache->caches.assign(config_.num_layers, {});
+    cache->layer_inputs.clear();
+    cache->layer_inputs.push_back(features);
+  }
+
+  Matrix current = features;
+  for (std::size_t l = 0; l < config_.num_layers; ++l) {
+    const GruParams& params = layers_[l];
+    Matrix next(frames, config_.hidden_dim);
+    Vector h(config_.hidden_dim, 0.0F);
+    std::vector<GruStepCache>* step_caches = nullptr;
+    if (cache != nullptr) {
+      cache->caches[l].resize(frames);
+      step_caches = &cache->caches[l];
+    }
+    for (std::size_t t = 0; t < frames; ++t) {
+      GruStepCache* step = step_caches ? &(*step_caches)[t] : nullptr;
+      gru_forward_step(params, current.row(t), h.span(), next.row(t), step);
+      std::copy(next.row(t).begin(), next.row(t).end(), h.begin());
+    }
+    current = std::move(next);
+    if (cache != nullptr) cache->layer_inputs.push_back(current);
+  }
+
+  Matrix logits(frames, config_.num_classes);
+  for (std::size_t t = 0; t < frames; ++t) {
+    gemv(fc_w_, current.row(t), logits.row(t));
+    add_inplace(logits.row(t), fc_b_.span());
+  }
+  return logits;
+}
+
+void SpeechModel::backward(const ModelForwardCache& cache,
+                           const Matrix& dlogits, SpeechModel& grads) const {
+  RT_REQUIRE(grads.config_.hidden_dim == config_.hidden_dim &&
+                 grads.config_.num_layers == config_.num_layers &&
+                 grads.config_.input_dim == config_.input_dim &&
+                 grads.config_.num_classes == config_.num_classes,
+             "backward: gradient model configuration mismatch");
+  RT_REQUIRE(cache.layer_inputs.size() == config_.num_layers + 1,
+             "backward: cache not produced by forward");
+  const std::size_t frames = dlogits.rows();
+  RT_REQUIRE(dlogits.cols() == config_.num_classes,
+             "backward: dlogits shape mismatch");
+
+  // Classifier backward: gradient wrt the top GRU layer's output.
+  const Matrix& top = cache.layer_inputs.back();
+  RT_REQUIRE(top.rows() == frames, "backward: frame count mismatch");
+  Matrix d_top(frames, config_.hidden_dim, 0.0F);
+  for (std::size_t t = 0; t < frames; ++t) {
+    outer_accumulate(1.0F, dlogits.row(t), top.row(t), grads.fc_w_);
+    add_inplace(grads.fc_b_.span(), dlogits.row(t));
+    gemv_transposed(fc_w_, dlogits.row(t), d_top.row(t));
+  }
+
+  // BPTT through each GRU layer from top to bottom.
+  Matrix d_out = std::move(d_top);  // dLoss/d(layer output), per frame
+  for (std::size_t l = config_.num_layers; l-- > 0;) {
+    const GruParams& params = layers_[l];
+    const std::size_t in_dim = params.input_dim();
+    Matrix d_in(frames, in_dim, 0.0F);
+    Vector dh(config_.hidden_dim, 0.0F);
+    Vector dh_prev(config_.hidden_dim, 0.0F);
+    for (std::size_t t = frames; t-- > 0;) {
+      // Gradient into h_t: from the layer above plus from t+1's recurrence.
+      add_inplace(dh.span(), d_out.row(t));
+      gru_backward_step(params, cache.caches[l][t], dh.span(), grads.layers_[l],
+                        d_in.row(t), dh_prev.span());
+      std::swap(dh, dh_prev);
+      dh_prev.fill(0.0F);
+    }
+    d_out = std::move(d_in);
+  }
+}
+
+void SpeechModel::zero() {
+  for (auto& layer : layers_) layer.zero();
+  fc_w_.fill(0.0F);
+  fc_b_.fill(0.0F);
+}
+
+void SpeechModel::register_params(ParamSet& set) {
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    layers_[l].register_params("gru" + std::to_string(l) + ".", set);
+  }
+  set.add("fc.w", &fc_w_);
+  set.add("fc.b", &fc_b_);
+}
+
+void SpeechModel::register_params(ParamSet& set) const {
+  const_cast<SpeechModel*>(this)->register_params(set);
+}
+
+std::vector<std::string> SpeechModel::weight_names() const {
+  std::vector<std::string> names;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const std::string prefix = "gru" + std::to_string(l) + ".";
+    for (const char* w : {"w_z", "w_r", "w_h", "u_z", "u_r", "u_h"}) {
+      names.push_back(prefix + w);
+    }
+  }
+  return names;
+}
+
+GruParams& SpeechModel::layer(std::size_t index) {
+  RT_REQUIRE(index < layers_.size(), "layer index out of range");
+  return layers_[index];
+}
+
+const GruParams& SpeechModel::layer(std::size_t index) const {
+  RT_REQUIRE(index < layers_.size(), "layer index out of range");
+  return layers_[index];
+}
+
+void SpeechModel::save(std::ostream& os) const {
+  ParamSet set;
+  register_params(set);
+  for (const auto& entry : set.matrices()) write_matrix(os, *entry.tensor);
+  for (const auto& entry : set.vectors()) write_vector(os, *entry.tensor);
+}
+
+void SpeechModel::load(std::istream& is) {
+  ParamSet set;
+  register_params(set);
+  for (const auto& entry : set.matrices()) {
+    Matrix m = read_matrix(is);
+    RT_CHECK(m.rows() == entry.tensor->rows() &&
+                 m.cols() == entry.tensor->cols(),
+             "checkpoint shape mismatch at " + entry.name);
+    *entry.tensor = std::move(m);
+  }
+  for (const auto& entry : set.vectors()) {
+    Vector v = read_vector(is);
+    RT_CHECK(v.size() == entry.tensor->size(),
+             "checkpoint shape mismatch at " + entry.name);
+    *entry.tensor = std::move(v);
+  }
+}
+
+void SpeechModel::save_file(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary);
+  RT_CHECK(file.good(), "failed to open for write: " + path);
+  save(file);
+}
+
+void SpeechModel::load_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  RT_CHECK(file.good(), "failed to open for read: " + path);
+  load(file);
+}
+
+}  // namespace rtmobile

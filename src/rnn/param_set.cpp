@@ -1,0 +1,64 @@
+#include "rnn/param_set.hpp"
+
+#include "util/check.hpp"
+
+namespace rtmobile {
+
+void ParamSet::add(std::string name, Matrix* matrix, bool is_weight) {
+  RT_REQUIRE(matrix != nullptr, "null matrix registered: " + name);
+  matrices_.push_back({std::move(name), matrix, is_weight});
+}
+
+void ParamSet::add(std::string name, Vector* vector) {
+  RT_REQUIRE(vector != nullptr, "null vector registered: " + name);
+  vectors_.push_back({std::move(name), vector});
+}
+
+std::size_t ParamSet::total_size() const {
+  std::size_t total = 0;
+  for (const auto& entry : matrices_) total += entry.tensor->size();
+  for (const auto& entry : vectors_) total += entry.tensor->size();
+  return total;
+}
+
+Matrix& ParamSet::matrix(const std::string& name) const {
+  for (const auto& entry : matrices_) {
+    if (entry.name == name) return *entry.tensor;
+  }
+  RT_REQUIRE(false, "no such matrix parameter: " + name);
+  // Unreachable; RT_REQUIRE throws.
+  throw std::invalid_argument(name);
+}
+
+void ParamSet::for_each_span(
+    const std::function<void(const std::string&, std::span<float>)>& visit)
+    const {
+  for (const auto& entry : matrices_) visit(entry.name, entry.tensor->span());
+  for (const auto& entry : vectors_) visit(entry.name, entry.tensor->span());
+}
+
+void ParamSet::for_each_pair(
+    const ParamSet& params, const ParamSet& grads,
+    const std::function<void(const std::string&, std::span<float>,
+                             std::span<float>)>& visit) {
+  RT_REQUIRE(params.matrices_.size() == grads.matrices_.size() &&
+                 params.vectors_.size() == grads.vectors_.size(),
+             "param/grad sets have different layouts");
+  for (std::size_t i = 0; i < params.matrices_.size(); ++i) {
+    const auto& p = params.matrices_[i];
+    const auto& g = grads.matrices_[i];
+    RT_REQUIRE(p.name == g.name && p.tensor->rows() == g.tensor->rows() &&
+                   p.tensor->cols() == g.tensor->cols(),
+               "param/grad mismatch at " + p.name);
+    visit(p.name, p.tensor->span(), g.tensor->span());
+  }
+  for (std::size_t i = 0; i < params.vectors_.size(); ++i) {
+    const auto& p = params.vectors_[i];
+    const auto& g = grads.vectors_[i];
+    RT_REQUIRE(p.name == g.name && p.tensor->size() == g.tensor->size(),
+               "param/grad mismatch at " + p.name);
+    visit(p.name, p.tensor->span(), g.tensor->span());
+  }
+}
+
+}  // namespace rtmobile

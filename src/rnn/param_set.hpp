@@ -1,0 +1,71 @@
+// Named parameter registry.
+//
+// Training (optimizers), pruning (ADMM / BSP), and serialization all need
+// to walk "every learnable tensor of the model" without knowing the model's
+// structure. ParamSet is that indirection: an ordered list of named views
+// into matrices and vectors owned elsewhere. Gradient objects mirror the
+// model's shape, so zipping two ParamSets pairs each parameter with its
+// gradient.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace rtmobile {
+
+class ParamSet {
+ public:
+  /// Registers a matrix parameter. `is_weight` marks tensors eligible for
+  /// pruning (biases and norms are not pruned).
+  void add(std::string name, Matrix* matrix, bool is_weight = true);
+  void add(std::string name, Vector* vector);
+
+  [[nodiscard]] std::size_t entry_count() const {
+    return matrices_.size() + vectors_.size();
+  }
+
+  /// Total scalar count across all registered tensors.
+  [[nodiscard]] std::size_t total_size() const;
+
+  /// Looks up a matrix by name; throws std::invalid_argument if missing.
+  [[nodiscard]] Matrix& matrix(const std::string& name) const;
+
+  /// All matrix entries in registration order.
+  struct MatrixEntry {
+    std::string name;
+    Matrix* tensor;
+    bool is_weight;
+  };
+  [[nodiscard]] const std::vector<MatrixEntry>& matrices() const {
+    return matrices_;
+  }
+
+  struct VectorEntry {
+    std::string name;
+    Vector* tensor;
+  };
+  [[nodiscard]] const std::vector<VectorEntry>& vectors() const {
+    return vectors_;
+  }
+
+  /// Visits every tensor as a flat float span, in registration order.
+  void for_each_span(const std::function<void(const std::string&,
+                                              std::span<float>)>& visit) const;
+
+  /// Visits (param, grad) span pairs; `grads` must have identical layout
+  /// (same names, same order, same shapes) — violated layouts throw.
+  static void for_each_pair(
+      const ParamSet& params, const ParamSet& grads,
+      const std::function<void(const std::string&, std::span<float>,
+                               std::span<float>)>& visit);
+
+ private:
+  std::vector<MatrixEntry> matrices_;
+  std::vector<VectorEntry> vectors_;
+};
+
+}  // namespace rtmobile

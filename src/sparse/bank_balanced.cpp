@@ -1,0 +1,105 @@
+#include "sparse/bank_balanced.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace rtmobile {
+
+BankBalancedMatrix BankBalancedMatrix::from_dense(const Matrix& dense,
+                                                  std::size_t bank_size,
+                                                  std::size_t keep_per_bank) {
+  RT_REQUIRE(bank_size > 0 && dense.cols() % bank_size == 0,
+             "bank_size must divide the column count");
+  RT_REQUIRE(keep_per_bank > 0 && keep_per_bank <= bank_size,
+             "keep_per_bank must be in [1, bank_size]");
+  RT_REQUIRE(bank_size <= 65536, "bank-local offsets must fit in uint16");
+
+  BankBalancedMatrix out;
+  out.rows_ = dense.rows();
+  out.cols_ = dense.cols();
+  out.bank_size_ = bank_size;
+  out.keep_per_bank_ = keep_per_bank;
+  out.banks_per_row_ = dense.cols() / bank_size;
+  out.values_.reserve(out.rows_ * out.banks_per_row_ * keep_per_bank);
+  out.offsets_.reserve(out.values_.capacity());
+
+  std::vector<std::size_t> order(bank_size);
+  for (std::size_t r = 0; r < dense.rows(); ++r) {
+    for (std::size_t bank = 0; bank < out.banks_per_row_; ++bank) {
+      const std::size_t base = bank * bank_size;
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      // Top-k by magnitude inside the bank.
+      std::partial_sort(order.begin(), order.begin() + keep_per_bank,
+                        order.end(), [&](std::size_t a, std::size_t b) {
+                          return std::fabs(dense(r, base + a)) >
+                                 std::fabs(dense(r, base + b));
+                        });
+      // Keep bank-local offsets sorted so the SpMV walks x forward.
+      std::sort(order.begin(), order.begin() + keep_per_bank);
+      for (std::size_t k = 0; k < keep_per_bank; ++k) {
+        out.values_.push_back(dense(r, base + order[k]));
+        out.offsets_.push_back(static_cast<std::uint16_t>(order[k]));
+      }
+    }
+  }
+  return out;
+}
+
+void BankBalancedMatrix::spmv(std::span<const float> x,
+                              std::span<float> y) const {
+  RT_REQUIRE(x.size() == cols_, "BBS spmv: x size mismatch");
+  RT_REQUIRE(y.size() == rows_, "BBS spmv: y size mismatch");
+  const std::size_t slots_per_row = banks_per_row_ * keep_per_bank_;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const float* vals = values_.data() + r * slots_per_row;
+    const std::uint16_t* offs = offsets_.data() + r * slots_per_row;
+    float acc = 0.0F;
+    std::size_t slot = 0;
+    for (std::size_t bank = 0; bank < banks_per_row_; ++bank) {
+      const float* xbank = x.data() + bank * bank_size_;
+      for (std::size_t k = 0; k < keep_per_bank_; ++k, ++slot) {
+        acc += vals[slot] * xbank[offs[slot]];
+      }
+    }
+    y[r] = acc;
+  }
+}
+
+Matrix BankBalancedMatrix::to_dense() const {
+  Matrix dense(rows_, cols_, 0.0F);
+  const std::size_t slots_per_row = banks_per_row_ * keep_per_bank_;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    std::size_t slot = 0;
+    for (std::size_t bank = 0; bank < banks_per_row_; ++bank) {
+      for (std::size_t k = 0; k < keep_per_bank_; ++k, ++slot) {
+        dense(r, bank * bank_size_ + offsets_[r * slots_per_row + slot]) =
+            values_[r * slots_per_row + slot];
+      }
+    }
+  }
+  return dense;
+}
+
+std::size_t BankBalancedMatrix::memory_bytes(std::size_t value_bytes) const {
+  return values_.size() * value_bytes +
+         offsets_.size() * sizeof(std::uint16_t);
+}
+
+Matrix BankBalancedMatrix::keep_mask() const {
+  Matrix mask(rows_, cols_, 0.0F);
+  const std::size_t slots_per_row = banks_per_row_ * keep_per_bank_;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    std::size_t slot = 0;
+    for (std::size_t bank = 0; bank < banks_per_row_; ++bank) {
+      for (std::size_t k = 0; k < keep_per_bank_; ++k, ++slot) {
+        mask(r, bank * bank_size_ + offsets_[r * slots_per_row + slot]) = 1.0F;
+      }
+    }
+  }
+  return mask;
+}
+
+}  // namespace rtmobile

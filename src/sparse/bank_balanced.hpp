@@ -1,0 +1,56 @@
+// Bank-balanced sparse format (BBS baseline, Cao et al. FPGA'19).
+//
+// Each row is divided into fixed-size banks and exactly `keep_per_bank`
+// largest-magnitude entries survive per bank, so every row has identical
+// nonzero count and every bank identical occupancy — the load-balance
+// property BBS trades accuracy for. Offsets are bank-local and fit in
+// uint16, which is BBS's index-compression story.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/aligned.hpp"
+#include "tensor/matrix.hpp"
+
+namespace rtmobile {
+
+class BankBalancedMatrix {
+ public:
+  BankBalancedMatrix() = default;
+
+  /// Keeps the top `keep_per_bank` magnitudes in every bank of every row.
+  /// `bank_size` must divide cols and `keep_per_bank <= bank_size`.
+  [[nodiscard]] static BankBalancedMatrix from_dense(const Matrix& dense,
+                                                     std::size_t bank_size,
+                                                     std::size_t keep_per_bank);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t bank_size() const { return bank_size_; }
+  [[nodiscard]] std::size_t keep_per_bank() const { return keep_per_bank_; }
+  [[nodiscard]] std::size_t nnz() const { return values_.size(); }
+
+  /// y = A x.
+  void spmv(std::span<const float> x, std::span<float> y) const;
+
+  [[nodiscard]] Matrix to_dense() const;
+
+  [[nodiscard]] std::size_t memory_bytes(std::size_t value_bytes = 4) const;
+
+  /// The 0/1 keep mask the pruning induces (for retraining baselines).
+  [[nodiscard]] Matrix keep_mask() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t bank_size_ = 0;
+  std::size_t keep_per_bank_ = 0;
+  std::size_t banks_per_row_ = 0;
+  // Layout: [row][bank][slot] flattened; offsets are bank-local.
+  std::vector<float, AlignedAllocator<float>> values_;
+  std::vector<std::uint16_t> offsets_;
+};
+
+}  // namespace rtmobile

@@ -1,0 +1,151 @@
+#include "sparse/block_circulant.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rtmobile {
+
+BlockCirculantMatrix BlockCirculantMatrix::from_dense(const Matrix& dense,
+                                                      std::size_t block_size) {
+  RT_REQUIRE(is_power_of_two(block_size),
+             "circulant block size must be a power of two");
+  BlockCirculantMatrix out;
+  out.rows_ = dense.rows();
+  out.cols_ = dense.cols();
+  out.block_size_ = block_size;
+  out.block_rows_ = (dense.rows() + block_size - 1) / block_size;
+  out.block_cols_ = (dense.cols() + block_size - 1) / block_size;
+  const std::size_t k = block_size;
+  out.defining_.assign(out.block_rows_ * out.block_cols_ * k, 0.0F);
+
+  // Frobenius projection of each zero-padded block onto circulants: average
+  // along wrapped diagonals d = (i - j) mod k.
+  for (std::size_t br = 0; br < out.block_rows_; ++br) {
+    for (std::size_t bc = 0; bc < out.block_cols_; ++bc) {
+      float* c = out.defining_.data() + (br * out.block_cols_ + bc) * k;
+      for (std::size_t i = 0; i < k; ++i) {
+        for (std::size_t j = 0; j < k; ++j) {
+          const std::size_t r = br * k + i;
+          const std::size_t col = bc * k + j;
+          const float w = (r < dense.rows() && col < dense.cols())
+                              ? dense(r, col)
+                              : 0.0F;
+          c[(i + k - j) % k] += w;
+        }
+      }
+      for (std::size_t d = 0; d < k; ++d) {
+        c[d] /= static_cast<float>(k);
+      }
+    }
+  }
+
+  // Cache defining-vector spectra for the FFT matvec.
+  out.defining_fft_.resize(out.defining_.size());
+  std::vector<Complex> buffer(k);
+  for (std::size_t blk = 0; blk < out.block_rows_ * out.block_cols_; ++blk) {
+    const float* c = out.defining_.data() + blk * k;
+    for (std::size_t i = 0; i < k; ++i) {
+      buffer[i] = Complex(static_cast<double>(c[i]), 0.0);
+    }
+    fft_inplace(buffer, /*inverse=*/false);
+    std::copy(buffer.begin(), buffer.end(),
+              out.defining_fft_.begin() + static_cast<std::ptrdiff_t>(blk * k));
+  }
+  return out;
+}
+
+std::span<const float> BlockCirculantMatrix::defining(
+    std::size_t block_row, std::size_t block_col) const {
+  return {defining_.data() + (block_row * block_cols_ + block_col) *
+                                 block_size_,
+          block_size_};
+}
+
+void BlockCirculantMatrix::matvec(std::span<const float> x,
+                                  std::span<float> y) const {
+  RT_REQUIRE(x.size() == cols_, "circulant matvec: x size mismatch");
+  RT_REQUIRE(y.size() == rows_, "circulant matvec: y size mismatch");
+  const std::size_t k = block_size_;
+
+  // FFT of every padded x segment, computed once and reused by all block
+  // rows — this is where block-circulant wins over per-block convolution.
+  std::vector<Complex> x_fft(block_cols_ * k);
+  std::vector<Complex> buffer(k);
+  for (std::size_t bc = 0; bc < block_cols_; ++bc) {
+    for (std::size_t j = 0; j < k; ++j) {
+      const std::size_t col = bc * k + j;
+      buffer[j] = Complex(col < cols_ ? static_cast<double>(x[col]) : 0.0, 0.0);
+    }
+    fft_inplace(buffer, false);
+    std::copy(buffer.begin(), buffer.end(),
+              x_fft.begin() + static_cast<std::ptrdiff_t>(bc * k));
+  }
+
+  std::vector<Complex> acc(k);
+  for (std::size_t br = 0; br < block_rows_; ++br) {
+    std::fill(acc.begin(), acc.end(), Complex(0.0, 0.0));
+    for (std::size_t bc = 0; bc < block_cols_; ++bc) {
+      const Complex* cf =
+          defining_fft_.data() + (br * block_cols_ + bc) * k;
+      const Complex* xf = x_fft.data() + bc * k;
+      for (std::size_t i = 0; i < k; ++i) acc[i] += cf[i] * xf[i];
+    }
+    fft_inplace(acc, /*inverse=*/true);
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t r = br * k + i;
+      if (r < rows_) y[r] = static_cast<float>(acc[i].real());
+    }
+  }
+}
+
+void BlockCirculantMatrix::matvec_naive(std::span<const float> x,
+                                        std::span<float> y) const {
+  RT_REQUIRE(x.size() == cols_, "circulant matvec: x size mismatch");
+  RT_REQUIRE(y.size() == rows_, "circulant matvec: y size mismatch");
+  const std::size_t k = block_size_;
+  std::fill(y.begin(), y.end(), 0.0F);
+  for (std::size_t br = 0; br < block_rows_; ++br) {
+    for (std::size_t bc = 0; bc < block_cols_; ++bc) {
+      const auto c = defining(br, bc);
+      for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t r = br * k + i;
+        if (r >= rows_) break;
+        double accum = 0.0;
+        for (std::size_t j = 0; j < k; ++j) {
+          const std::size_t col = bc * k + j;
+          if (col >= cols_) continue;
+          accum += static_cast<double>(c[(i + k - j) % k]) *
+                   static_cast<double>(x[col]);
+        }
+        y[r] += static_cast<float>(accum);
+      }
+    }
+  }
+}
+
+Matrix BlockCirculantMatrix::to_dense() const {
+  Matrix dense(rows_, cols_, 0.0F);
+  const std::size_t k = block_size_;
+  for (std::size_t br = 0; br < block_rows_; ++br) {
+    for (std::size_t bc = 0; bc < block_cols_; ++bc) {
+      const auto c = defining(br, bc);
+      for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t r = br * k + i;
+        if (r >= rows_) break;
+        for (std::size_t j = 0; j < k; ++j) {
+          const std::size_t col = bc * k + j;
+          if (col >= cols_) continue;
+          dense(r, col) = c[(i + k - j) % k];
+        }
+      }
+    }
+  }
+  return dense;
+}
+
+std::size_t BlockCirculantMatrix::memory_bytes(std::size_t value_bytes) const {
+  return defining_.size() * value_bytes;
+}
+
+}  // namespace rtmobile

@@ -1,0 +1,67 @@
+// Block-circulant weight representation (C-LSTM / E-RNN baselines).
+//
+// The matrix is tiled into k x k blocks; each block is constrained to be a
+// circulant matrix B[i][j] = c[(i - j) mod k], so a block stores only its
+// defining vector c (k values instead of k^2 — compression factor k).
+// Block-vector products become circular convolutions, computed here either
+// directly (reference) or via FFT with cached defining-vector spectra.
+//
+// Matrices whose shape is not a multiple of k are zero-padded internally;
+// callers always see the original rows()/cols().
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "sparse/fft.hpp"
+#include "tensor/aligned.hpp"
+#include "tensor/matrix.hpp"
+
+namespace rtmobile {
+
+class BlockCirculantMatrix {
+ public:
+  BlockCirculantMatrix() = default;
+
+  /// Projects `dense` onto the nearest (Frobenius) block-circulant matrix
+  /// with k x k circulant blocks: each defining-vector entry is the mean of
+  /// its wrapped diagonal in the zero-padded block. k must be a power of
+  /// two (the FFT path requires it).
+  [[nodiscard]] static BlockCirculantMatrix from_dense(const Matrix& dense,
+                                                       std::size_t block_size);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t block_size() const { return block_size_; }
+
+  /// Stored parameter count: one defining vector per block.
+  [[nodiscard]] std::size_t param_count() const { return defining_.size(); }
+
+  /// y = A x via FFT (frequency-domain accumulation per block row).
+  void matvec(std::span<const float> x, std::span<float> y) const;
+
+  /// y = A x by direct circular convolution; the test oracle.
+  void matvec_naive(std::span<const float> x, std::span<float> y) const;
+
+  /// Expands to the dense (unpadded) matrix.
+  [[nodiscard]] Matrix to_dense() const;
+
+  [[nodiscard]] std::size_t memory_bytes(std::size_t value_bytes = 4) const;
+
+ private:
+  [[nodiscard]] std::span<const float> defining(std::size_t block_row,
+                                                std::size_t block_col) const;
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t block_size_ = 0;
+  std::size_t block_rows_ = 0;
+  std::size_t block_cols_ = 0;
+  // defining_[(br * block_cols_ + bc) * k .. +k) = first column of block.
+  std::vector<float, AlignedAllocator<float>> defining_;
+  // Cached forward FFT of every defining vector (same indexing, k complex).
+  std::vector<Complex> defining_fft_;
+};
+
+}  // namespace rtmobile

@@ -1,0 +1,180 @@
+#include "sparse/block_mask.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace rtmobile {
+
+BlockMask::BlockMask(std::size_t rows, std::size_t cols, std::size_t num_r,
+                     std::size_t num_c)
+    : rows_(rows), cols_(cols), num_r_(num_r), num_c_(num_c) {
+  RT_REQUIRE(rows > 0 && cols > 0, "mask dimensions must be positive");
+  RT_REQUIRE(num_r > 0 && num_r <= rows,
+             "num_r must be in [1, rows]");
+  RT_REQUIRE(num_c > 0 && num_c <= cols,
+             "num_c must be in [1, cols]");
+  kept_cols_.resize(num_r_ * num_c_);
+  for (std::size_t s = 0; s < num_r_; ++s) {
+    for (std::size_t b = 0; b < num_c_; ++b) {
+      auto& cell = kept_cols_[cell_index(s, b)];
+      const std::size_t begin = col_begin(b);
+      const std::size_t end = col_end(b);
+      cell.resize(end - begin);
+      std::iota(cell.begin(), cell.end(), static_cast<std::uint32_t>(begin));
+    }
+  }
+  row_kept_.assign(rows_, 1);
+}
+
+std::size_t BlockMask::row_begin(std::size_t stripe) const {
+  RT_REQUIRE(stripe < num_r_, "stripe index out of range");
+  return stripe * rows_ / num_r_;
+}
+
+std::size_t BlockMask::row_end(std::size_t stripe) const {
+  RT_REQUIRE(stripe < num_r_, "stripe index out of range");
+  return (stripe + 1) * rows_ / num_r_;
+}
+
+std::size_t BlockMask::col_begin(std::size_t block) const {
+  RT_REQUIRE(block < num_c_, "block index out of range");
+  return block * cols_ / num_c_;
+}
+
+std::size_t BlockMask::col_end(std::size_t block) const {
+  RT_REQUIRE(block < num_c_, "block index out of range");
+  return (block + 1) * cols_ / num_c_;
+}
+
+std::size_t BlockMask::stripe_of_row(std::size_t row) const {
+  RT_REQUIRE(row < rows_, "row index out of range");
+  // Inverse of the balanced partition: candidate from the closed form,
+  // corrected by at most one step either way (integer rounding).
+  std::size_t s = std::min(num_r_ - 1, row * num_r_ / rows_);
+  while (row < row_begin(s)) --s;
+  while (row >= row_end(s)) ++s;
+  return s;
+}
+
+std::size_t BlockMask::block_of_col(std::size_t col) const {
+  RT_REQUIRE(col < cols_, "column index out of range");
+  std::size_t b = std::min(num_c_ - 1, col * num_c_ / cols_);
+  while (col < col_begin(b)) --b;
+  while (col >= col_end(b)) ++b;
+  return b;
+}
+
+void BlockMask::set_block_cols(std::size_t stripe, std::size_t block,
+                               std::vector<std::uint32_t> kept_cols) {
+  RT_REQUIRE(stripe < num_r_, "stripe index out of range");
+  RT_REQUIRE(block < num_c_, "block index out of range");
+  const std::size_t begin = col_begin(block);
+  const std::size_t end = col_end(block);
+  RT_REQUIRE(std::is_sorted(kept_cols.begin(), kept_cols.end()),
+             "kept columns must be sorted");
+  RT_REQUIRE(
+      std::adjacent_find(kept_cols.begin(), kept_cols.end()) ==
+          kept_cols.end(),
+      "kept columns must be unique");
+  for (const std::uint32_t c : kept_cols) {
+    RT_REQUIRE(c >= begin && c < end, "kept column outside block range");
+  }
+  kept_cols_[cell_index(stripe, block)] = std::move(kept_cols);
+}
+
+std::span<const std::uint32_t> BlockMask::block_cols(
+    std::size_t stripe, std::size_t block) const {
+  RT_REQUIRE(stripe < num_r_, "stripe index out of range");
+  RT_REQUIRE(block < num_c_, "block index out of range");
+  const auto& cell = kept_cols_[cell_index(stripe, block)];
+  return {cell.data(), cell.size()};
+}
+
+void BlockMask::set_row_kept(std::size_t row, bool kept) {
+  RT_REQUIRE(row < rows_, "row index out of range");
+  row_kept_[row] = kept ? 1 : 0;
+}
+
+bool BlockMask::row_kept(std::size_t row) const {
+  RT_REQUIRE(row < rows_, "row index out of range");
+  return row_kept_[row] != 0;
+}
+
+bool BlockMask::is_kept(std::size_t row, std::size_t col) const {
+  RT_REQUIRE(row < rows_ && col < cols_, "mask index out of range");
+  if (row_kept_[row] == 0) return false;
+  const std::size_t s = stripe_of_row(row);
+  const std::size_t b = block_of_col(col);
+  const auto& cell = kept_cols_[cell_index(s, b)];
+  return std::binary_search(cell.begin(), cell.end(),
+                            static_cast<std::uint32_t>(col));
+}
+
+std::size_t BlockMask::nnz() const {
+  std::size_t count = 0;
+  for (std::size_t s = 0; s < num_r_; ++s) {
+    std::size_t kept_rows_in_stripe = 0;
+    for (std::size_t r = row_begin(s); r < row_end(s); ++r) {
+      kept_rows_in_stripe += row_kept_[r];
+    }
+    std::size_t cols_in_stripe = 0;
+    for (std::size_t b = 0; b < num_c_; ++b) {
+      cols_in_stripe += kept_cols_[cell_index(s, b)].size();
+    }
+    count += kept_rows_in_stripe * cols_in_stripe;
+  }
+  return count;
+}
+
+std::size_t BlockMask::kept_row_count() const {
+  return static_cast<std::size_t>(
+      std::count(row_kept_.begin(), row_kept_.end(), std::uint8_t{1}));
+}
+
+std::size_t BlockMask::kept_block_col_count() const {
+  std::size_t count = 0;
+  for (const auto& cell : kept_cols_) count += cell.size();
+  return count;
+}
+
+double BlockMask::column_keep_fraction() const {
+  return static_cast<double>(kept_block_col_count()) /
+         static_cast<double>(num_r_ * cols_);
+}
+
+double BlockMask::row_keep_fraction() const {
+  return static_cast<double>(kept_row_count()) / static_cast<double>(rows_);
+}
+
+Matrix BlockMask::to_dense() const {
+  Matrix mask(rows_, cols_, 0.0F);
+  for (std::size_t s = 0; s < num_r_; ++s) {
+    for (std::size_t b = 0; b < num_c_; ++b) {
+      for (const std::uint32_t c : kept_cols_[cell_index(s, b)]) {
+        for (std::size_t r = row_begin(s); r < row_end(s); ++r) {
+          if (row_kept_[r] != 0) mask(r, c) = 1.0F;
+        }
+      }
+    }
+  }
+  return mask;
+}
+
+void BlockMask::apply(Matrix& weights) const {
+  RT_REQUIRE(weights.rows() == rows_ && weights.cols() == cols_,
+             "mask/matrix shape mismatch");
+  const Matrix mask = to_dense();
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights.span()[i] *= mask.span()[i];
+  }
+}
+
+bool operator==(const BlockMask& a, const BlockMask& b) {
+  return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.num_r_ == b.num_r_ &&
+         a.num_c_ == b.num_c_ && a.kept_cols_ == b.kept_cols_ &&
+         a.row_kept_ == b.row_kept_;
+}
+
+}  // namespace rtmobile

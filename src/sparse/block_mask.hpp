@@ -1,0 +1,98 @@
+// BlockMask: the structured-sparsity descriptor produced by BSP.
+//
+// A weight matrix is partitioned into Num_r horizontal stripes and Num_c
+// vertical blocks (paper Sec. IV-A). BSP step 1 keeps a subset of columns
+// *within each (stripe, block)*; step 2 keeps a subset of whole rows.
+// BlockMask records both decisions and is the contract between the pruning
+// algorithm (src/core), the compact storage format (BspcMatrix), and the
+// compiler passes (src/compiler).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace rtmobile {
+
+class BlockMask {
+ public:
+  /// Creates a fully-dense mask over a rows x cols matrix partitioned into
+  /// num_r stripes and num_c column blocks. num_r must not exceed rows and
+  /// num_c must not exceed cols.
+  BlockMask(std::size_t rows, std::size_t cols, std::size_t num_r,
+            std::size_t num_c);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t num_r() const { return num_r_; }
+  [[nodiscard]] std::size_t num_c() const { return num_c_; }
+
+  /// Stripe s covers rows [row_begin(s), row_end(s)); stripes are the
+  /// balanced integer partition of [0, rows).
+  [[nodiscard]] std::size_t row_begin(std::size_t stripe) const;
+  [[nodiscard]] std::size_t row_end(std::size_t stripe) const;
+  /// Column block b covers columns [col_begin(b), col_end(b)).
+  [[nodiscard]] std::size_t col_begin(std::size_t block) const;
+  [[nodiscard]] std::size_t col_end(std::size_t block) const;
+  /// Stripe index containing row r.
+  [[nodiscard]] std::size_t stripe_of_row(std::size_t row) const;
+  /// Block index containing column c.
+  [[nodiscard]] std::size_t block_of_col(std::size_t col) const;
+
+  /// Replaces the kept-column set of (stripe, block). Columns are global
+  /// indices, must be sorted, unique, and inside the block's range.
+  void set_block_cols(std::size_t stripe, std::size_t block,
+                      std::vector<std::uint32_t> kept_cols);
+
+  /// Kept columns (global indices, sorted) of (stripe, block).
+  [[nodiscard]] std::span<const std::uint32_t> block_cols(
+      std::size_t stripe, std::size_t block) const;
+
+  /// Marks a whole row kept or pruned (BSP step 2).
+  void set_row_kept(std::size_t row, bool kept);
+  [[nodiscard]] bool row_kept(std::size_t row) const;
+
+  /// True when entry (r, c) survives both pruning steps.
+  [[nodiscard]] bool is_kept(std::size_t row, std::size_t col) const;
+
+  /// Number of surviving entries.
+  [[nodiscard]] std::size_t nnz() const;
+
+  /// Number of rows that survive step 2.
+  [[nodiscard]] std::size_t kept_row_count() const;
+
+  /// Sum over (stripe, block) of kept column counts; the step-1 budget.
+  [[nodiscard]] std::size_t kept_block_col_count() const;
+
+  /// Fraction of (stripe, block, column) slots kept by step 1.
+  [[nodiscard]] double column_keep_fraction() const;
+
+  /// Fraction of rows kept by step 2.
+  [[nodiscard]] double row_keep_fraction() const;
+
+  /// Renders the mask as a 0/1 dense matrix (for tests and inspection).
+  [[nodiscard]] Matrix to_dense() const;
+
+  /// Zeroes every pruned entry of `weights` (shape must match).
+  void apply(Matrix& weights) const;
+
+  /// Elementwise keep-pattern equality.
+  friend bool operator==(const BlockMask& a, const BlockMask& b);
+
+ private:
+  [[nodiscard]] std::size_t cell_index(std::size_t stripe,
+                                       std::size_t block) const {
+    return stripe * num_c_ + block;
+  }
+
+  std::size_t rows_;
+  std::size_t cols_;
+  std::size_t num_r_;
+  std::size_t num_c_;
+  std::vector<std::vector<std::uint32_t>> kept_cols_;
+  std::vector<std::uint8_t> row_kept_;
+};
+
+}  // namespace rtmobile

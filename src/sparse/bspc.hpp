@@ -1,0 +1,112 @@
+// BSPC — Block-based Structured Pruning Compact format (paper Sec. IV-B(c)).
+//
+// After BSP, every kept row of a stripe shares the stripe's kept-column
+// pattern, so the column indices need to be stored once per (stripe, block)
+// instead of once per nonzero as in CSR. The payload per (stripe, block) is
+// a dense tile of shape [active rows in stripe] x [kept columns in block].
+//
+// The format records everything the executor needs: the surviving rows per
+// stripe (which doubles as the reorder information once the compiler pass
+// permutes them), the kept-column pool, and packed values. Index overhead
+// is O(#blocks + #rows) versus CSR's O(nnz).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "sparse/block_mask.hpp"
+#include "tensor/aligned.hpp"
+#include "tensor/matrix.hpp"
+
+namespace rtmobile {
+
+class BspcMatrix {
+ public:
+  BspcMatrix() = default;
+
+  /// Packs `weights` according to `mask`. Shapes must match. Entries not
+  /// kept by the mask are dropped regardless of their value.
+  [[nodiscard]] static BspcMatrix from_dense(const Matrix& weights,
+                                             const BlockMask& mask);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t num_stripes() const { return num_r_; }
+  [[nodiscard]] std::size_t nnz() const { return values_.size(); }
+
+  /// y = A x using the redundant-load-elimination schedule: the input
+  /// values of a block are gathered once and reused by every active row.
+  void spmv(std::span<const float> x, std::span<float> y) const;
+
+  /// y = A x indexing x per row (no LRE). Same result, used for the
+  /// compiler-ablation benchmark.
+  void spmv_no_lre(std::span<const float> x, std::span<float> y) const;
+
+  /// Processes stripes [stripe_begin, stripe_end) only, accumulating into
+  /// y (caller zeroes y). This is the unit of work the multithreaded
+  /// executor partitions across threads.
+  void spmv_stripes(std::span<const float> x, std::span<float> y,
+                    std::size_t stripe_begin, std::size_t stripe_end,
+                    bool use_lre = true) const;
+
+  /// Processes an explicit list of stripes in the given order (the
+  /// compiler's reorder pass chooses the order), accumulating into y.
+  /// Stripe row sets are disjoint, so concurrent calls with disjoint
+  /// stripe lists never race on y.
+  void spmv_stripe_list(std::span<const float> x, std::span<float> y,
+                        std::span<const std::uint32_t> stripes,
+                        bool use_lre = true) const;
+
+  /// Nonzeros in one stripe (for load balancing).
+  [[nodiscard]] std::size_t stripe_nnz(std::size_t stripe) const;
+
+  /// Active (surviving) rows of a stripe, in execution order.
+  [[nodiscard]] std::span<const std::uint32_t> stripe_rows(
+      std::size_t stripe) const;
+
+  /// Reconstructs the dense matrix.
+  [[nodiscard]] Matrix to_dense() const;
+
+  /// Storage footprint. value_bytes=2 models the paper's fp16 GPU path.
+  [[nodiscard]] std::size_t memory_bytes(std::size_t value_bytes = 4,
+                                         std::size_t index_bytes = 4) const;
+
+  /// Serializes the compiled format (the artifact a deployment ships:
+  /// no dense reconstruction needed on device). Binary, versioned.
+  void write(std::ostream& os) const;
+
+  /// Reads a matrix written by write(). Throws on malformed input.
+  [[nodiscard]] static BspcMatrix read(std::istream& is);
+
+  /// Structural + value equality.
+  friend bool operator==(const BspcMatrix& a, const BspcMatrix& b);
+
+ private:
+  /// Runs one stripe's blocks, accumulating into y. `gathered` is the
+  /// caller-provided LRE scratch buffer (>= max_block_cols_ when use_lre).
+  void process_stripe(std::span<const float> x, std::span<float> y,
+                      std::size_t s, bool use_lre,
+                      std::vector<float>& gathered) const;
+
+  struct BlockRef {
+    std::uint32_t col_offset = 0;  // into col_pool_
+    std::uint32_t col_count = 0;
+    std::uint64_t value_offset = 0;  // into values_
+  };
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t num_r_ = 0;
+  std::size_t num_c_ = 0;
+  std::size_t max_block_cols_ = 0;
+  std::vector<std::uint32_t> stripe_row_ptr_;    // num_r_+1 into active_rows_
+  std::vector<std::uint32_t> active_rows_;       // global row ids
+  std::vector<std::uint32_t> stripe_block_ptr_;  // num_r_+1 into blocks_
+  std::vector<BlockRef> blocks_;
+  std::vector<std::uint32_t> col_pool_;
+  std::vector<float, AlignedAllocator<float>> values_;
+};
+
+}  // namespace rtmobile

@@ -1,0 +1,58 @@
+#include "sparse/csc.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace rtmobile {
+
+CscMatrix CscMatrix::from_dense(const Matrix& dense, float threshold) {
+  RT_REQUIRE(threshold >= 0.0F, "threshold must be non-negative");
+  CscMatrix out;
+  out.rows_ = dense.rows();
+  out.cols_ = dense.cols();
+  out.col_ptr_.reserve(dense.cols() + 1);
+  out.col_ptr_.push_back(0);
+  for (std::size_t c = 0; c < dense.cols(); ++c) {
+    for (std::size_t r = 0; r < dense.rows(); ++r) {
+      const float w = dense(r, c);
+      if (std::fabs(w) > threshold) {
+        out.row_idx_.push_back(static_cast<std::uint32_t>(r));
+        out.values_.push_back(w);
+      }
+    }
+    out.col_ptr_.push_back(static_cast<std::uint32_t>(out.row_idx_.size()));
+  }
+  return out;
+}
+
+void CscMatrix::spmv(std::span<const float> x, std::span<float> y) const {
+  RT_REQUIRE(x.size() == cols_, "spmv: x size mismatch");
+  RT_REQUIRE(y.size() == rows_, "spmv: y size mismatch");
+  std::fill(y.begin(), y.end(), 0.0F);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    const float xv = x[c];
+    if (xv == 0.0F) continue;
+    for (std::uint32_t k = col_ptr_[c]; k < col_ptr_[c + 1]; ++k) {
+      y[row_idx_[k]] += values_[k] * xv;
+    }
+  }
+}
+
+Matrix CscMatrix::to_dense() const {
+  Matrix dense(rows_, cols_, 0.0F);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    for (std::uint32_t k = col_ptr_[c]; k < col_ptr_[c + 1]; ++k) {
+      dense(row_idx_[k], c) = values_[k];
+    }
+  }
+  return dense;
+}
+
+std::size_t CscMatrix::memory_bytes(std::size_t value_bytes,
+                                    std::size_t index_bytes) const {
+  return values_.size() * value_bytes + row_idx_.size() * index_bytes +
+         col_ptr_.size() * index_bytes;
+}
+
+}  // namespace rtmobile

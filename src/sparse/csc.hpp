@@ -1,0 +1,45 @@
+// Compressed Sparse Column storage.
+//
+// ESE stores weights in CSC; we provide it both for fidelity of the ESE
+// baseline's storage accounting and as a second sparse reference kernel
+// (scatter-style SpMV).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/aligned.hpp"
+#include "tensor/matrix.hpp"
+
+namespace rtmobile {
+
+class CscMatrix {
+ public:
+  CscMatrix() = default;
+
+  /// Builds CSC from dense, keeping entries with |w| > threshold.
+  [[nodiscard]] static CscMatrix from_dense(const Matrix& dense,
+                                            float threshold = 0.0F);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t nnz() const { return values_.size(); }
+
+  /// y = A x (scatter over columns).
+  void spmv(std::span<const float> x, std::span<float> y) const;
+
+  [[nodiscard]] Matrix to_dense() const;
+
+  [[nodiscard]] std::size_t memory_bytes(std::size_t value_bytes = 4,
+                                         std::size_t index_bytes = 4) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::uint32_t> col_ptr_;
+  std::vector<std::uint32_t> row_idx_;
+  std::vector<float, AlignedAllocator<float>> values_;
+};
+
+}  // namespace rtmobile

@@ -1,0 +1,127 @@
+#include "sparse/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace rtmobile {
+
+std::size_t next_power_of_two(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft_inplace(std::span<Complex> data, bool inverse) {
+  const std::size_t n = data.size();
+  RT_REQUIRE(is_power_of_two(n), "FFT size must be a power of two");
+  if (n == 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  // Danielson-Lanczos butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * std::numbers::pi /
+                         static_cast<double>(len);
+    const Complex w_len(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= w_len;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (Complex& value : data) value *= inv_n;
+  }
+}
+
+std::vector<Complex> fft_real(std::span<const float> signal,
+                              std::size_t fft_size) {
+  RT_REQUIRE(is_power_of_two(fft_size), "FFT size must be a power of two");
+  RT_REQUIRE(signal.size() <= fft_size, "signal longer than FFT size");
+  std::vector<Complex> data(fft_size, Complex(0.0, 0.0));
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    data[i] = Complex(static_cast<double>(signal[i]), 0.0);
+  }
+  fft_inplace(data, /*inverse=*/false);
+  return data;
+}
+
+std::vector<Complex> dft_naive(std::span<const Complex> data, bool inverse) {
+  const std::size_t n = data.size();
+  std::vector<Complex> out(n);
+  const double sign = inverse ? 2.0 : -2.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc(0.0, 0.0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = sign * std::numbers::pi *
+                           static_cast<double>(k * t) /
+                           static_cast<double>(n);
+      acc += data[t] * Complex(std::cos(angle), std::sin(angle));
+    }
+    out[k] = inverse ? acc / static_cast<double>(n) : acc;
+  }
+  return out;
+}
+
+void circular_convolve(std::span<const float> a, std::span<const float> b,
+                       std::span<float> out) {
+  const std::size_t n = a.size();
+  RT_REQUIRE(b.size() == n && out.size() == n,
+             "circular_convolve: length mismatch");
+  RT_REQUIRE(is_power_of_two(n), "circular_convolve: length must be 2^k");
+  std::vector<Complex> fa(n);
+  std::vector<Complex> fb(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    fa[i] = Complex(static_cast<double>(a[i]), 0.0);
+    fb[i] = Complex(static_cast<double>(b[i]), 0.0);
+  }
+  fft_inplace(fa, false);
+  fft_inplace(fb, false);
+  for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
+  fft_inplace(fa, true);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<float>(fa[i].real());
+  }
+}
+
+void circular_convolve_naive(std::span<const float> a,
+                             std::span<const float> b, std::span<float> out) {
+  const std::size_t n = a.size();
+  RT_REQUIRE(b.size() == n && out.size() == n,
+             "circular_convolve_naive: length mismatch");
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      acc += static_cast<double>(a[j]) *
+             static_cast<double>(b[(i + n - j) % n]);
+    }
+    out[i] = static_cast<float>(acc);
+  }
+}
+
+std::vector<float> power_spectrum(std::span<const float> frame,
+                                  std::size_t fft_size) {
+  const std::vector<Complex> spectrum = fft_real(frame, fft_size);
+  std::vector<float> power(fft_size / 2 + 1);
+  for (std::size_t i = 0; i < power.size(); ++i) {
+    power[i] = static_cast<float>(std::norm(spectrum[i]));
+  }
+  return power;
+}
+
+}  // namespace rtmobile

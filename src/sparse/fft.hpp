@@ -1,0 +1,50 @@
+// Radix-2 complex FFT.
+//
+// Two consumers: (1) the C-LSTM / E-RNN block-circulant baselines, which
+// multiply circulant blocks in the frequency domain, and (2) the speech
+// front end's spectral analysis. A naive O(n^2) DFT is provided as the
+// test oracle.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace rtmobile {
+
+using Complex = std::complex<double>;
+
+/// True when n is a power of two (n >= 1).
+[[nodiscard]] constexpr bool is_power_of_two(std::size_t n) {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// Smallest power of two >= n.
+[[nodiscard]] std::size_t next_power_of_two(std::size_t n);
+
+/// In-place iterative radix-2 FFT. Size must be a power of two.
+/// `inverse` selects the inverse transform (with 1/n normalization).
+void fft_inplace(std::span<Complex> data, bool inverse);
+
+/// Forward FFT of a real signal, zero-padded to `fft_size` (power of two).
+[[nodiscard]] std::vector<Complex> fft_real(std::span<const float> signal,
+                                            std::size_t fft_size);
+
+/// Naive O(n^2) DFT used as the correctness oracle in tests.
+[[nodiscard]] std::vector<Complex> dft_naive(std::span<const Complex> data,
+                                             bool inverse);
+
+/// Circular convolution of two equal-length real vectors via FFT.
+/// out[i] = sum_j a[j] * b[(i - j) mod n]. Length must be a power of two.
+void circular_convolve(std::span<const float> a, std::span<const float> b,
+                       std::span<float> out);
+
+/// Reference O(n^2) circular convolution for tests (any length).
+void circular_convolve_naive(std::span<const float> a,
+                             std::span<const float> b, std::span<float> out);
+
+/// Power spectrum |FFT(x)|^2 of a real frame, returning fft_size/2+1 bins.
+[[nodiscard]] std::vector<float> power_spectrum(std::span<const float> frame,
+                                                std::size_t fft_size);
+
+}  // namespace rtmobile

@@ -1,0 +1,244 @@
+#include "speech/corpus.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace rtmobile::speech {
+namespace {
+
+/// Class-based bigram affinity: how plausible is `to` following `from`.
+double class_affinity(PhoneClass from, PhoneClass to) {
+  using PC = PhoneClass;
+  // Vowel-consonant alternation with closure->stop structure: a light
+  // caricature of English phonotactics, enough to give the corpus
+  // non-uniform transition statistics.
+  switch (from) {
+    case PC::kVowel:
+      if (to == PC::kVowel) return 0.15;
+      if (to == PC::kClosure) return 1.2;
+      return 1.0;
+    case PC::kSemivowel:
+    case PC::kNasal:
+      if (to == PC::kVowel) return 2.0;
+      if (to == PC::kClosure) return 0.5;
+      return 0.3;
+    case PC::kFricative:
+    case PC::kAffricate:
+      if (to == PC::kVowel) return 2.2;
+      if (to == PC::kSemivowel) return 0.6;
+      return 0.2;
+    case PC::kStop:
+      if (to == PC::kVowel) return 2.5;
+      if (to == PC::kSemivowel) return 0.8;
+      return 0.15;
+    case PC::kClosure:
+      if (to == PC::kStop) return 4.0;  // closures release into stops
+      if (to == PC::kAffricate) return 1.0;
+      return 0.05;
+    case PC::kSilence:
+      if (to == PC::kVowel || to == PC::kFricative || to == PC::kStop ||
+          to == PC::kClosure) {
+        return 1.0;
+      }
+      return 0.5;
+  }
+  return 0.5;
+}
+
+}  // namespace
+
+SyntheticTimit::SyntheticTimit(const CorpusConfig& config)
+    : config_(config),
+      synth_(SynthConfig{}),
+      mfcc_(MfccConfig{}) {
+  RT_REQUIRE(config.min_phones >= 2 && config.max_phones >= config.min_phones,
+             "invalid phone-count range");
+  RT_REQUIRE(config.min_frames_per_phone >= 1 &&
+                 config.max_frames_per_phone >= config.min_frames_per_phone,
+             "invalid frames-per-phone range");
+  RT_REQUIRE(config.feature_dim > 0, "feature_dim must be positive");
+  prototypes_ = build_prototypes();
+}
+
+Matrix SyntheticTimit::build_prototypes() const {
+  // Prototypes are a function of the corpus seed only, not of the stream
+  // position, so train and test share the same acoustic space.
+  Rng rng(config_.seed ^ 0x9E3779B97F4A7C15ULL);
+  Matrix prototypes(kNumSurfacePhones, config_.feature_dim);
+  fill_normal(prototypes.span(), rng, 1.0F);
+  // Surface phones that fold together get correlated prototypes (their
+  // separation is what the folding throws away), which makes the task
+  // realistically confusable.
+  const auto& phones = surface_phones();
+  std::vector<int> seen_first(kNumFoldedPhones, -1);
+  for (std::size_t i = 0; i < phones.size(); ++i) {
+    const std::uint16_t folded = phones[i].folded;
+    if (seen_first[folded] < 0) {
+      seen_first[folded] = static_cast<int>(i);
+      continue;
+    }
+    const auto anchor =
+        prototypes.row(static_cast<std::size_t>(seen_first[folded]));
+    auto row = prototypes.row(i);
+    for (std::size_t d = 0; d < row.size(); ++d) {
+      row[d] = 0.8F * anchor[d] + 0.2F * row[d];
+    }
+  }
+  return prototypes;
+}
+
+std::vector<double> SyntheticTimit::transition_weights(
+    std::size_t from_phone) const {
+  const auto& phones = surface_phones();
+  std::vector<double> weights(phones.size());
+  for (std::size_t to = 0; to < phones.size(); ++to) {
+    double w = class_affinity(phones[from_phone].phone_class,
+                              phones[to].phone_class);
+    if (to == from_phone) w *= 0.05;  // discourage immediate repeats
+    weights[to] = w;
+  }
+  return weights;
+}
+
+std::vector<std::size_t> SyntheticTimit::sample_surface_sequence(
+    Rng& rng) const {
+  const std::size_t h_sharp = surface_phone_id("h#");
+  const std::size_t count =
+      config_.min_phones +
+      rng.next_below(config_.max_phones - config_.min_phones + 1);
+  std::vector<std::size_t> seq;
+  seq.reserve(count + 2);
+  seq.push_back(h_sharp);
+  std::size_t current = h_sharp;
+  for (std::size_t i = 0; i < count; ++i) {
+    current = rng.categorical(transition_weights(current));
+    seq.push_back(current);
+  }
+  seq.push_back(h_sharp);
+  return seq;
+}
+
+LabeledSequence SyntheticTimit::make_utterance(
+    const std::vector<std::size_t>& surface_seq, Rng& rng) const {
+  RT_REQUIRE(!surface_seq.empty(), "empty surface sequence");
+  const auto& phones = surface_phones();
+
+  // Per-phone durations in frames.
+  std::vector<std::size_t> durations(surface_seq.size());
+  for (std::size_t p = 0; p < surface_seq.size(); ++p) {
+    durations[p] = config_.min_frames_per_phone +
+                   rng.next_below(config_.max_frames_per_phone -
+                                  config_.min_frames_per_phone + 1);
+  }
+
+  LabeledSequence utt;
+
+  if (config_.mode == FeatureMode::kWaveform) {
+    // Render audio and run the true MFCC pipeline; frame labels come from
+    // the phone owning each frame's center sample.
+    const std::size_t shift = mfcc_.config().frame_shift;
+    const std::size_t frame_len = mfcc_.config().frame_length;
+    std::vector<std::size_t> durations_samples(durations.size());
+    for (std::size_t p = 0; p < durations.size(); ++p) {
+      durations_samples[p] = durations[p] * shift;
+    }
+    // Pad the tail so the last frames have full windows.
+    durations_samples.back() += frame_len;
+    const std::vector<float> waveform =
+        synth_.render_sequence(surface_seq, durations_samples, rng);
+    utt.features = mfcc_.extract(waveform);
+
+    std::vector<std::size_t> phone_end_sample(durations_samples.size());
+    std::size_t acc = 0;
+    for (std::size_t p = 0; p < durations_samples.size(); ++p) {
+      acc += durations_samples[p];
+      phone_end_sample[p] = acc;
+    }
+    utt.labels.resize(utt.features.rows());
+    std::size_t phone_index = 0;
+    for (std::size_t t = 0; t < utt.labels.size(); ++t) {
+      const std::size_t center = t * shift + frame_len / 2;
+      while (phone_index + 1 < phone_end_sample.size() &&
+             center >= phone_end_sample[phone_index]) {
+        ++phone_index;
+      }
+      utt.labels[t] = phones[surface_seq[phone_index]].folded;
+    }
+  } else {
+    // Direct features: prototype + AR(1) noise, with boundary blending.
+    std::size_t total_frames = 0;
+    for (const std::size_t d : durations) total_frames += d;
+    utt.features = Matrix(total_frames, config_.feature_dim);
+    utt.labels.resize(total_frames);
+
+    Vector noise(config_.feature_dim, 0.0F);
+    const float ar = static_cast<float>(config_.ar_coefficient);
+    const float noise_scale =
+        static_cast<float>(config_.feature_noise) *
+        std::sqrt(1.0F - ar * ar);  // keeps stationary variance constant
+    std::size_t t = 0;
+    for (std::size_t p = 0; p < surface_seq.size(); ++p) {
+      const auto proto = prototypes_.row(surface_seq[p]);
+      for (std::size_t f = 0; f < durations[p]; ++f, ++t) {
+        auto frame = utt.features.row(t);
+        // Boundary coarticulation: first/last frame of a phone leans
+        // toward the neighbouring phone's prototype.
+        double blend = 0.0;
+        std::size_t neighbor = p;
+        if (f == 0 && p > 0) {
+          blend = config_.coarticulation * 0.5;
+          neighbor = p - 1;
+        } else if (f + 1 == durations[p] && p + 1 < surface_seq.size()) {
+          blend = config_.coarticulation * 0.5;
+          neighbor = p + 1;
+        }
+        const auto other = prototypes_.row(surface_seq[neighbor]);
+        for (std::size_t d = 0; d < frame.size(); ++d) {
+          noise[d] = ar * noise[d] + noise_scale * rng.normal();
+          const float base = static_cast<float>(
+              (1.0 - blend) * static_cast<double>(proto[d]) +
+              blend * static_cast<double>(other[d]));
+          frame[d] = base + noise[d];
+        }
+        utt.labels[t] = phones[surface_seq[p]].folded;
+      }
+    }
+    RT_ASSERT(t == total_frames, "frame accounting mismatch");
+  }
+
+  utt.phones = collapse_sequence(utt.labels);
+  return utt;
+}
+
+Corpus SyntheticTimit::generate() const {
+  Rng rng(config_.seed);
+  Corpus corpus;
+  corpus.feature_dim = config_.mode == FeatureMode::kWaveform
+                           ? mfcc_.feature_dim()
+                           : config_.feature_dim;
+  corpus.train.reserve(config_.num_train_utterances);
+  corpus.test.reserve(config_.num_test_utterances);
+  for (std::size_t i = 0; i < config_.num_train_utterances; ++i) {
+    corpus.train.push_back(make_utterance(sample_surface_sequence(rng), rng));
+  }
+  for (std::size_t i = 0; i < config_.num_test_utterances; ++i) {
+    corpus.test.push_back(make_utterance(sample_surface_sequence(rng), rng));
+  }
+  return corpus;
+}
+
+std::vector<std::uint16_t> collapse_sequence(
+    const std::vector<std::uint16_t>& frames) {
+  std::vector<std::uint16_t> collapsed;
+  for (const std::uint16_t label : frames) {
+    if (collapsed.empty() || collapsed.back() != label) {
+      collapsed.push_back(label);
+    }
+  }
+  return collapsed;
+}
+
+}  // namespace rtmobile::speech

@@ -1,0 +1,146 @@
+#include "speech/decoder.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace rtmobile::speech {
+
+std::vector<std::uint16_t> frame_argmax(const Matrix& logits) {
+  std::vector<std::uint16_t> labels(logits.rows());
+  for (std::size_t t = 0; t < logits.rows(); ++t) {
+    labels[t] = static_cast<std::uint16_t>(argmax(logits.row(t)));
+  }
+  return labels;
+}
+
+std::vector<std::uint16_t> majority_smooth(
+    const std::vector<std::uint16_t>& frames, std::size_t window) {
+  RT_REQUIRE(window % 2 == 1, "smoothing window must be odd");
+  if (window <= 1 || frames.size() <= 2) return frames;
+  const std::size_t half = window / 2;
+  std::vector<std::uint16_t> smoothed(frames.size());
+  for (std::size_t t = 0; t < frames.size(); ++t) {
+    const std::size_t lo = t >= half ? t - half : 0;
+    const std::size_t hi = std::min(frames.size(), t + half + 1);
+    std::map<std::uint16_t, std::size_t> votes;
+    for (std::size_t i = lo; i < hi; ++i) ++votes[frames[i]];
+    // Majority with tie preference for the center frame's label.
+    std::uint16_t best = frames[t];
+    std::size_t best_votes = votes[frames[t]];
+    for (const auto& [label, count] : votes) {
+      if (count > best_votes) {
+        best = label;
+        best_votes = count;
+      }
+    }
+    smoothed[t] = best;
+  }
+  return smoothed;
+}
+
+std::vector<std::uint16_t> collapse_runs(
+    const std::vector<std::uint16_t>& frames, std::size_t min_run) {
+  RT_REQUIRE(min_run >= 1, "min_run must be at least 1");
+  std::vector<std::uint16_t> collapsed;
+  std::size_t t = 0;
+  while (t < frames.size()) {
+    std::size_t end = t;
+    while (end < frames.size() && frames[end] == frames[t]) ++end;
+    const std::size_t run = end - t;
+    if (run >= min_run &&
+        (collapsed.empty() || collapsed.back() != frames[t])) {
+      collapsed.push_back(frames[t]);
+    }
+    t = end;
+  }
+  // Degenerate case: every run was too short — fall back to plain collapse
+  // so the decode is never empty for a non-empty input.
+  if (collapsed.empty() && !frames.empty()) {
+    return collapse_runs(frames, 1);
+  }
+  return collapsed;
+}
+
+std::vector<std::uint16_t> greedy_decode(const Matrix& logits,
+                                         const DecoderConfig& config) {
+  return collapse_runs(majority_smooth(frame_argmax(logits),
+                                       config.smooth_window),
+                       config.min_run);
+}
+
+std::vector<std::uint16_t> viterbi_path(const Matrix& logits,
+                                        double switch_penalty) {
+  RT_REQUIRE(switch_penalty >= 0.0, "switch penalty must be non-negative");
+  const std::size_t frames = logits.rows();
+  const std::size_t classes = logits.cols();
+  RT_REQUIRE(frames > 0 && classes > 0, "viterbi: empty logits");
+
+  // score[c] = best log-score of any path ending in class c at frame t.
+  std::vector<double> score(classes);
+  std::vector<double> next_score(classes);
+  std::vector<float> log_probs(classes);
+  // backpointer[t][c] = previous class on the best path.
+  std::vector<std::uint16_t> backpointers(frames * classes);
+
+  log_softmax(logits.row(0), log_probs);
+  for (std::size_t c = 0; c < classes; ++c) {
+    score[c] = static_cast<double>(log_probs[c]);
+  }
+
+  for (std::size_t t = 1; t < frames; ++t) {
+    // Best predecessor overall (for switch transitions) computed once:
+    // switching into c always prefers the globally best previous state
+    // (ties broken by index, excluding c handled below).
+    std::size_t best_prev = 0;
+    std::size_t second_prev = classes > 1 ? 1 : 0;
+    if (classes > 1 && score[second_prev] > score[best_prev]) {
+      std::swap(best_prev, second_prev);
+    }
+    for (std::size_t c = 2; c < classes; ++c) {
+      if (score[c] > score[best_prev]) {
+        second_prev = best_prev;
+        best_prev = c;
+      } else if (score[c] > score[second_prev]) {
+        second_prev = c;
+      }
+    }
+
+    log_softmax(logits.row(t), log_probs);
+    for (std::size_t c = 0; c < classes; ++c) {
+      const double stay = score[c];
+      const std::size_t switch_from = c == best_prev ? second_prev : best_prev;
+      const double switched = score[switch_from] - switch_penalty;
+      if (stay >= switched) {
+        next_score[c] = stay + static_cast<double>(log_probs[c]);
+        backpointers[t * classes + c] = static_cast<std::uint16_t>(c);
+      } else {
+        next_score[c] = switched + static_cast<double>(log_probs[c]);
+        backpointers[t * classes + c] =
+            static_cast<std::uint16_t>(switch_from);
+      }
+    }
+    std::swap(score, next_score);
+  }
+
+  // Backtrack from the best final state.
+  std::vector<std::uint16_t> path(frames);
+  std::size_t best_final = 0;
+  for (std::size_t c = 1; c < classes; ++c) {
+    if (score[c] > score[best_final]) best_final = c;
+  }
+  path[frames - 1] = static_cast<std::uint16_t>(best_final);
+  for (std::size_t t = frames - 1; t > 0; --t) {
+    path[t - 1] = backpointers[t * classes + path[t]];
+  }
+  return path;
+}
+
+std::vector<std::uint16_t> viterbi_decode(const Matrix& logits,
+                                          double switch_penalty) {
+  return collapse_runs(viterbi_path(logits, switch_penalty), 1);
+}
+
+}  // namespace rtmobile::speech

@@ -1,0 +1,48 @@
+// Greedy framewise phone decoder.
+//
+// Mirrors the scoring path of a framewise hybrid system: per-frame argmax,
+// optional majority smoothing over a small window, run-length collapse, and
+// optional suppression of very short runs (spurious single-frame phones).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace rtmobile::speech {
+
+struct DecoderConfig {
+  std::size_t smooth_window = 3;  // odd; 1 disables smoothing
+  std::size_t min_run = 2;        // drop decoded runs shorter than this
+};
+
+/// Per-frame argmax labels of a logit matrix (T x C).
+[[nodiscard]] std::vector<std::uint16_t> frame_argmax(const Matrix& logits);
+
+/// Sliding-window majority vote (window must be odd; 1 = identity).
+[[nodiscard]] std::vector<std::uint16_t> majority_smooth(
+    const std::vector<std::uint16_t>& frames, std::size_t window);
+
+/// Collapses runs, dropping runs shorter than `min_run` frames (short runs
+/// are absorbed by their neighbours). min_run=1 keeps everything.
+[[nodiscard]] std::vector<std::uint16_t> collapse_runs(
+    const std::vector<std::uint16_t>& frames, std::size_t min_run);
+
+/// Full decode: argmax -> smooth -> collapse.
+[[nodiscard]] std::vector<std::uint16_t> greedy_decode(
+    const Matrix& logits, const DecoderConfig& config = DecoderConfig{});
+
+/// Frame-synchronous Viterbi decode over a minimal duration HMM: staying
+/// in the current phone is free, switching phones costs `switch_penalty`
+/// (in log-prob units). Larger penalties produce longer, cleaner runs —
+/// the dynamic-programming upgrade of the greedy smoother. Returns the
+/// collapsed phone sequence.
+[[nodiscard]] std::vector<std::uint16_t> viterbi_decode(
+    const Matrix& logits, double switch_penalty = 4.0);
+
+/// The per-frame Viterbi state path before collapsing (for inspection).
+[[nodiscard]] std::vector<std::uint16_t> viterbi_path(
+    const Matrix& logits, double switch_penalty);
+
+}  // namespace rtmobile::speech

@@ -1,0 +1,224 @@
+#include "speech/mfcc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "sparse/fft.hpp"
+#include "util/check.hpp"
+
+namespace rtmobile::speech {
+
+double hz_to_mel(double hz) { return 2595.0 * std::log10(1.0 + hz / 700.0); }
+
+double mel_to_hz(double mel) {
+  return 700.0 * (std::pow(10.0, mel / 2595.0) - 1.0);
+}
+
+MelFilterBank::MelFilterBank(const MfccConfig& config)
+    : num_bins_(config.fft_size / 2 + 1) {
+  RT_REQUIRE(config.num_mel_filters >= 2, "need at least two mel filters");
+  RT_REQUIRE(config.high_freq_hz <= config.sample_rate_hz / 2.0,
+             "high frequency above Nyquist");
+  RT_REQUIRE(config.low_freq_hz >= 0.0 &&
+                 config.low_freq_hz < config.high_freq_hz,
+             "invalid mel frequency range");
+
+  const double mel_lo = hz_to_mel(config.low_freq_hz);
+  const double mel_hi = hz_to_mel(config.high_freq_hz);
+  const std::size_t n = config.num_mel_filters;
+  // n + 2 equally-spaced mel points define n triangles.
+  std::vector<double> edges_hz(n + 2);
+  for (std::size_t i = 0; i < edges_hz.size(); ++i) {
+    const double mel = mel_lo + (mel_hi - mel_lo) * static_cast<double>(i) /
+                                    static_cast<double>(n + 1);
+    edges_hz[i] = mel_to_hz(mel);
+  }
+  const double hz_per_bin =
+      config.sample_rate_hz / static_cast<double>(config.fft_size);
+
+  filters_.resize(n);
+  for (std::size_t f = 0; f < n; ++f) {
+    auto& weights = filters_[f];
+    weights.assign(num_bins_, 0.0F);
+    const double left = edges_hz[f];
+    const double center = edges_hz[f + 1];
+    const double right = edges_hz[f + 2];
+    for (std::size_t bin = 0; bin < num_bins_; ++bin) {
+      const double hz = static_cast<double>(bin) * hz_per_bin;
+      if (hz <= left || hz >= right) continue;
+      const double w = hz <= center ? (hz - left) / (center - left)
+                                    : (right - hz) / (right - center);
+      weights[bin] = static_cast<float>(w);
+    }
+  }
+}
+
+std::vector<float> MelFilterBank::apply(
+    std::span<const float> power_spectrum) const {
+  RT_REQUIRE(power_spectrum.size() == num_bins_,
+             "power spectrum bin count mismatch");
+  std::vector<float> energies(filters_.size());
+  for (std::size_t f = 0; f < filters_.size(); ++f) {
+    double acc = 0.0;
+    const auto& weights = filters_[f];
+    for (std::size_t bin = 0; bin < num_bins_; ++bin) {
+      acc += static_cast<double>(weights[bin]) *
+             static_cast<double>(power_spectrum[bin]);
+    }
+    energies[f] = static_cast<float>(acc);
+  }
+  return energies;
+}
+
+std::span<const float> MelFilterBank::filter(std::size_t f) const {
+  RT_REQUIRE(f < filters_.size(), "filter index out of range");
+  return {filters_[f].data(), filters_[f].size()};
+}
+
+MfccExtractor::MfccExtractor(const MfccConfig& config)
+    : config_(config), mel_bank_(config) {
+  RT_REQUIRE(config.frame_length > 0 && config.frame_shift > 0,
+             "frame geometry must be positive");
+  RT_REQUIRE(is_power_of_two(config.fft_size) &&
+                 config.fft_size >= config.frame_length,
+             "fft_size must be a power of two >= frame_length");
+  RT_REQUIRE(config.num_cepstra <= config.num_mel_filters,
+             "cannot keep more cepstra than mel filters");
+
+  window_.resize(config.frame_length);
+  for (std::size_t i = 0; i < window_.size(); ++i) {
+    window_[i] = static_cast<float>(
+        0.54 - 0.46 * std::cos(2.0 * std::numbers::pi *
+                               static_cast<double>(i) /
+                               static_cast<double>(window_.size() - 1)));
+  }
+
+  // Orthonormal DCT-II rows: dct_[c][m].
+  const std::size_t m_count = config.num_mel_filters;
+  dct_.resize(config.num_cepstra * m_count);
+  for (std::size_t c = 0; c < config.num_cepstra; ++c) {
+    const double scale = c == 0 ? std::sqrt(1.0 / static_cast<double>(m_count))
+                                : std::sqrt(2.0 / static_cast<double>(m_count));
+    for (std::size_t m = 0; m < m_count; ++m) {
+      dct_[c * m_count + m] = static_cast<float>(
+          scale * std::cos(std::numbers::pi * static_cast<double>(c) *
+                           (static_cast<double>(m) + 0.5) /
+                           static_cast<double>(m_count)));
+    }
+  }
+}
+
+std::size_t MfccExtractor::feature_dim() const {
+  return config_.add_deltas ? config_.num_cepstra * 3 : config_.num_cepstra;
+}
+
+std::size_t MfccExtractor::frame_count(std::size_t num_samples) const {
+  if (num_samples < config_.frame_length) return 0;
+  return 1 + (num_samples - config_.frame_length) / config_.frame_shift;
+}
+
+Matrix MfccExtractor::extract(std::span<const float> waveform) const {
+  const std::size_t frames = frame_count(waveform.size());
+  RT_REQUIRE(frames > 0, "waveform shorter than one frame");
+
+  Matrix cepstra(frames, config_.num_cepstra);
+  std::vector<float> frame(config_.frame_length);
+  for (std::size_t t = 0; t < frames; ++t) {
+    const std::size_t start = t * config_.frame_shift;
+    // Pre-emphasis + Hamming window.
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+      const float current = waveform[start + i];
+      const float previous = (start + i) > 0 ? waveform[start + i - 1] : 0.0F;
+      frame[i] = (current - static_cast<float>(config_.preemphasis) *
+                                previous) *
+                 window_[i];
+    }
+    const std::vector<float> power =
+        rtmobile::power_spectrum(frame, config_.fft_size);
+    std::vector<float> mel = mel_bank_.apply(power);
+    for (float& e : mel) {
+      e = std::log(std::max(e, 1e-10F));  // floor avoids log(0)
+    }
+    // DCT-II to cepstra.
+    for (std::size_t c = 0; c < config_.num_cepstra; ++c) {
+      double acc = 0.0;
+      const float* row = dct_.data() + c * config_.num_mel_filters;
+      for (std::size_t m = 0; m < mel.size(); ++m) {
+        acc += static_cast<double>(row[m]) * static_cast<double>(mel[m]);
+      }
+      cepstra(t, c) = static_cast<float>(acc);
+    }
+  }
+
+  if (config_.cepstral_mean_norm) cepstral_mean_normalize(cepstra);
+  return config_.add_deltas ? add_delta_features(cepstra) : cepstra;
+}
+
+Matrix add_delta_features(const Matrix& base) {
+  const std::size_t frames = base.rows();
+  const std::size_t dim = base.cols();
+  RT_REQUIRE(frames > 0 && dim > 0, "empty feature matrix");
+  Matrix out(frames, dim * 3);
+
+  // Standard regression deltas with window N=2:
+  // d_t = sum_n n (x_{t+n} - x_{t-n}) / (2 sum_n n^2), edges clamped.
+  constexpr int kWindow = 2;
+  constexpr float kDenominator = 10.0F;  // 2 * (1^2 + 2^2)
+  const auto clamped_row = [&](const Matrix& m, std::ptrdiff_t t) {
+    const std::ptrdiff_t last = static_cast<std::ptrdiff_t>(frames) - 1;
+    return m.row(static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(t, 0,
+                                                                     last)));
+  };
+
+  Matrix delta(frames, dim);
+  for (std::size_t t = 0; t < frames; ++t) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      float acc = 0.0F;
+      for (int n = 1; n <= kWindow; ++n) {
+        acc += static_cast<float>(n) *
+               (clamped_row(base, static_cast<std::ptrdiff_t>(t) + n)[d] -
+                clamped_row(base, static_cast<std::ptrdiff_t>(t) - n)[d]);
+      }
+      delta(t, d) = acc / kDenominator;
+    }
+  }
+  Matrix delta2(frames, dim);
+  for (std::size_t t = 0; t < frames; ++t) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      float acc = 0.0F;
+      for (int n = 1; n <= kWindow; ++n) {
+        acc += static_cast<float>(n) *
+               (clamped_row(delta, static_cast<std::ptrdiff_t>(t) + n)[d] -
+                clamped_row(delta, static_cast<std::ptrdiff_t>(t) - n)[d]);
+      }
+      delta2(t, d) = acc / kDenominator;
+    }
+  }
+
+  for (std::size_t t = 0; t < frames; ++t) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      out(t, d) = base(t, d);
+      out(t, dim + d) = delta(t, d);
+      out(t, 2 * dim + d) = delta2(t, d);
+    }
+  }
+  return out;
+}
+
+void cepstral_mean_normalize(Matrix& features) {
+  const std::size_t frames = features.rows();
+  if (frames == 0) return;
+  for (std::size_t d = 0; d < features.cols(); ++d) {
+    double mean = 0.0;
+    for (std::size_t t = 0; t < frames; ++t) {
+      mean += static_cast<double>(features(t, d));
+    }
+    mean /= static_cast<double>(frames);
+    for (std::size_t t = 0; t < frames; ++t) {
+      features(t, d) -= static_cast<float>(mean);
+    }
+  }
+}
+
+}  // namespace rtmobile::speech

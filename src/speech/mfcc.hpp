@@ -1,0 +1,86 @@
+// MFCC front end: pre-emphasis, Hamming windowing, FFT power spectrum,
+// mel filter bank, log compression, DCT-II, and delta features.
+//
+// Defaults follow the Kaldi TIMIT recipe: 16 kHz audio, 25 ms window,
+// 10 ms hop, 512-point FFT, 26 mel filters, 13 cepstra; with Δ and ΔΔ the
+// feature dimension is 39 — the same per-frame dimension the paper's GRU
+// consumes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace rtmobile::speech {
+
+struct MfccConfig {
+  double sample_rate_hz = 16000.0;
+  std::size_t frame_length = 400;  // 25 ms at 16 kHz
+  std::size_t frame_shift = 160;   // 10 ms at 16 kHz
+  std::size_t fft_size = 512;
+  std::size_t num_mel_filters = 26;
+  std::size_t num_cepstra = 13;
+  double preemphasis = 0.97;
+  double low_freq_hz = 20.0;
+  double high_freq_hz = 8000.0;
+  bool add_deltas = true;         // append Δ and ΔΔ (13 -> 39 dims)
+  bool cepstral_mean_norm = true; // per-utterance CMN
+};
+
+/// Frequency (Hz) -> mel scale.
+[[nodiscard]] double hz_to_mel(double hz);
+/// Mel scale -> frequency (Hz).
+[[nodiscard]] double mel_to_hz(double mel);
+
+/// Precomputed triangular mel filter bank over FFT bins.
+class MelFilterBank {
+ public:
+  explicit MelFilterBank(const MfccConfig& config);
+
+  [[nodiscard]] std::size_t num_filters() const { return filters_.size(); }
+
+  /// Applies the bank to a power spectrum (fft_size/2+1 bins), returning
+  /// one energy per filter.
+  [[nodiscard]] std::vector<float> apply(
+      std::span<const float> power_spectrum) const;
+
+  /// Triangle weights of filter `f` (over all bins; zero outside support).
+  [[nodiscard]] std::span<const float> filter(std::size_t f) const;
+
+ private:
+  std::size_t num_bins_;
+  std::vector<std::vector<float>> filters_;
+};
+
+/// Computes the MFCC (+Δ, +ΔΔ) matrix of a waveform: one row per frame.
+class MfccExtractor {
+ public:
+  explicit MfccExtractor(const MfccConfig& config = MfccConfig{});
+
+  [[nodiscard]] const MfccConfig& config() const { return config_; }
+
+  /// Feature dimension per frame (13 or 39 depending on add_deltas).
+  [[nodiscard]] std::size_t feature_dim() const;
+
+  /// Number of frames the extractor will produce for `num_samples`.
+  [[nodiscard]] std::size_t frame_count(std::size_t num_samples) const;
+
+  /// Full pipeline. The waveform must contain at least one frame.
+  [[nodiscard]] Matrix extract(std::span<const float> waveform) const;
+
+ private:
+  MfccConfig config_;
+  MelFilterBank mel_bank_;
+  std::vector<float> window_;      // Hamming coefficients
+  std::vector<float> dct_;         // [num_cepstra x num_mel_filters]
+};
+
+/// Appends Δ and ΔΔ columns (regression window of 2) to a feature matrix.
+[[nodiscard]] Matrix add_delta_features(const Matrix& base);
+
+/// Per-utterance cepstral mean normalization (in place, column-wise).
+void cepstral_mean_normalize(Matrix& features);
+
+}  // namespace rtmobile::speech

@@ -1,0 +1,111 @@
+#include "speech/per.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rtmobile::speech {
+
+double EditStats::rate() const {
+  if (reference_length == 0) return total_errors() == 0 ? 0.0 : 1.0;
+  return static_cast<double>(total_errors()) /
+         static_cast<double>(reference_length);
+}
+
+EditStats& EditStats::operator+=(const EditStats& other) {
+  substitutions += other.substitutions;
+  insertions += other.insertions;
+  deletions += other.deletions;
+  reference_length += other.reference_length;
+  return *this;
+}
+
+EditStats align(std::span<const std::uint16_t> reference,
+                std::span<const std::uint16_t> hypothesis) {
+  const std::size_t n = reference.size();
+  const std::size_t m = hypothesis.size();
+
+  // Wagner-Fischer with full backtrace to split errors by type.
+  struct Cell {
+    std::uint32_t cost;
+    std::uint8_t op;  // 0 match, 1 substitute, 2 insert, 3 delete
+  };
+  std::vector<Cell> dp((n + 1) * (m + 1));
+  const auto at = [&](std::size_t i, std::size_t j) -> Cell& {
+    return dp[i * (m + 1) + j];
+  };
+  for (std::size_t j = 0; j <= m; ++j) {
+    at(0, j) = {static_cast<std::uint32_t>(j), 2};
+  }
+  for (std::size_t i = 0; i <= n; ++i) {
+    at(i, 0) = {static_cast<std::uint32_t>(i), 3};
+  }
+  at(0, 0) = {0, 0};
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      const bool match = reference[i - 1] == hypothesis[j - 1];
+      const std::uint32_t diag = at(i - 1, j - 1).cost + (match ? 0 : 1);
+      const std::uint32_t ins = at(i, j - 1).cost + 1;
+      const std::uint32_t del = at(i - 1, j).cost + 1;
+      Cell cell{diag, static_cast<std::uint8_t>(match ? 0 : 1)};
+      if (ins < cell.cost) cell = {ins, 2};
+      if (del < cell.cost) cell = {del, 3};
+      at(i, j) = cell;
+    }
+  }
+
+  EditStats stats;
+  stats.reference_length = n;
+  std::size_t i = n;
+  std::size_t j = m;
+  while (i > 0 || j > 0) {
+    const Cell& cell = at(i, j);
+    switch (cell.op) {
+      case 0:
+        --i;
+        --j;
+        break;
+      case 1:
+        ++stats.substitutions;
+        --i;
+        --j;
+        break;
+      case 2:
+        ++stats.insertions;
+        --j;
+        break;
+      case 3:
+        ++stats.deletions;
+        --i;
+        break;
+      default:
+        RT_ASSERT(false, "invalid backtrace op");
+    }
+  }
+  RT_ASSERT(stats.total_errors() == at(n, m).cost,
+            "backtrace/cost disagreement");
+  return stats;
+}
+
+double phone_error_rate(std::span<const std::uint16_t> reference,
+                        std::span<const std::uint16_t> hypothesis) {
+  return align(reference, hypothesis).rate() * 100.0;
+}
+
+double corpus_per(const SpeechModel& model,
+                  const std::vector<LabeledSequence>& data,
+                  const DecoderConfig& config) {
+  RT_REQUIRE(!data.empty(), "corpus_per: empty dataset");
+  EditStats total;
+  for (const LabeledSequence& utt : data) {
+    RT_REQUIRE(!utt.phones.empty(),
+               "corpus_per: utterance lacks a reference phone sequence");
+    const Matrix logits = model.forward(utt.features);
+    const std::vector<std::uint16_t> decoded = greedy_decode(logits, config);
+    total += align({utt.phones.data(), utt.phones.size()},
+                   {decoded.data(), decoded.size()});
+  }
+  return total.rate() * 100.0;
+}
+
+}  // namespace rtmobile::speech

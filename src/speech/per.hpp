@@ -1,0 +1,45 @@
+// Phone error rate: Levenshtein alignment of decoded vs reference phone
+// sequences, aggregated over a test set — the metric of Table I.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rnn/model.hpp"
+#include "speech/decoder.hpp"
+#include "train/types.hpp"
+
+namespace rtmobile::speech {
+
+struct EditStats {
+  std::size_t substitutions = 0;
+  std::size_t insertions = 0;
+  std::size_t deletions = 0;
+  std::size_t reference_length = 0;
+
+  [[nodiscard]] std::size_t total_errors() const {
+    return substitutions + insertions + deletions;
+  }
+  /// Error rate in [0, inf): errors / reference length.
+  [[nodiscard]] double rate() const;
+
+  EditStats& operator+=(const EditStats& other);
+};
+
+/// Minimum-edit alignment (substitution/insertion/deletion all cost 1).
+[[nodiscard]] EditStats align(std::span<const std::uint16_t> reference,
+                              std::span<const std::uint16_t> hypothesis);
+
+/// PER of a single (reference, hypothesis) pair as a percentage.
+[[nodiscard]] double phone_error_rate(
+    std::span<const std::uint16_t> reference,
+    std::span<const std::uint16_t> hypothesis);
+
+/// Corpus-level PER (%) of a model: decode every utterance, sum edit
+/// counts, divide by total reference length (the standard aggregation).
+[[nodiscard]] double corpus_per(const SpeechModel& model,
+                                const std::vector<LabeledSequence>& data,
+                                const DecoderConfig& config = DecoderConfig{});
+
+}  // namespace rtmobile::speech

@@ -1,0 +1,139 @@
+#include "speech/phones.hpp"
+
+#include <array>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace rtmobile::speech {
+namespace {
+
+// Folded class ids, in the canonical 39-class order used for scoring.
+// (Lee & Hon folding: ih+ix, ah+ax+ax-h, aa+ao, er+axr, l+el, m+em,
+// n+en+nx, ng+eng, sh+zh, uw+ux, hh+hv, and all closures/pauses -> sil;
+// q is folded into silence as Kaldi's TIMIT s5 recipe does.)
+const std::array<std::string, kNumFoldedPhones> kFoldedNames = {
+    "iy", "ih", "eh", "ae", "ah", "uw", "uh", "aa", "ey", "ay",
+    "oy", "aw", "ow", "er", "l",  "r",  "w",  "y",  "m",  "n",
+    "ng", "v",  "f",  "dh", "th", "z",  "s",  "sh", "jh", "ch",
+    "b",  "p",  "d",  "t",  "g",  "k",  "hh", "dx", "sil"};
+
+[[nodiscard]] std::uint16_t fold(std::string_view name) {
+  for (std::size_t i = 0; i < kFoldedNames.size(); ++i) {
+    if (kFoldedNames[i] == name) return static_cast<std::uint16_t>(i);
+  }
+  RT_ASSERT(false, "unknown folded phone: " + std::string(name));
+  return 0;
+}
+
+[[nodiscard]] std::vector<SurfacePhone> build_surface_table() {
+  const auto f = [](std::string_view n) { return fold(n); };
+  std::vector<SurfacePhone> table = {
+      // Vowels.
+      {"iy", f("iy"), PhoneClass::kVowel},
+      {"ih", f("ih"), PhoneClass::kVowel},
+      {"eh", f("eh"), PhoneClass::kVowel},
+      {"ae", f("ae"), PhoneClass::kVowel},
+      {"ix", f("ih"), PhoneClass::kVowel},
+      {"ax", f("ah"), PhoneClass::kVowel},
+      {"ah", f("ah"), PhoneClass::kVowel},
+      {"ax-h", f("ah"), PhoneClass::kVowel},
+      {"uw", f("uw"), PhoneClass::kVowel},
+      {"ux", f("uw"), PhoneClass::kVowel},
+      {"uh", f("uh"), PhoneClass::kVowel},
+      {"ao", f("aa"), PhoneClass::kVowel},
+      {"aa", f("aa"), PhoneClass::kVowel},
+      {"ey", f("ey"), PhoneClass::kVowel},
+      {"ay", f("ay"), PhoneClass::kVowel},
+      {"oy", f("oy"), PhoneClass::kVowel},
+      {"aw", f("aw"), PhoneClass::kVowel},
+      {"ow", f("ow"), PhoneClass::kVowel},
+      {"er", f("er"), PhoneClass::kVowel},
+      {"axr", f("er"), PhoneClass::kVowel},
+      // Semivowels and liquids.
+      {"l", f("l"), PhoneClass::kSemivowel},
+      {"el", f("l"), PhoneClass::kSemivowel},
+      {"r", f("r"), PhoneClass::kSemivowel},
+      {"w", f("w"), PhoneClass::kSemivowel},
+      {"y", f("y"), PhoneClass::kSemivowel},
+      // Nasals.
+      {"m", f("m"), PhoneClass::kNasal},
+      {"em", f("m"), PhoneClass::kNasal},
+      {"n", f("n"), PhoneClass::kNasal},
+      {"en", f("n"), PhoneClass::kNasal},
+      {"nx", f("n"), PhoneClass::kNasal},
+      {"ng", f("ng"), PhoneClass::kNasal},
+      {"eng", f("ng"), PhoneClass::kNasal},
+      // Fricatives.
+      {"v", f("v"), PhoneClass::kFricative},
+      {"f", f("f"), PhoneClass::kFricative},
+      {"dh", f("dh"), PhoneClass::kFricative},
+      {"th", f("th"), PhoneClass::kFricative},
+      {"z", f("z"), PhoneClass::kFricative},
+      {"s", f("s"), PhoneClass::kFricative},
+      {"zh", f("sh"), PhoneClass::kFricative},
+      {"sh", f("sh"), PhoneClass::kFricative},
+      {"hh", f("hh"), PhoneClass::kFricative},
+      {"hv", f("hh"), PhoneClass::kFricative},
+      // Affricates.
+      {"jh", f("jh"), PhoneClass::kAffricate},
+      {"ch", f("ch"), PhoneClass::kAffricate},
+      // Stops and flap.
+      {"b", f("b"), PhoneClass::kStop},
+      {"p", f("p"), PhoneClass::kStop},
+      {"d", f("d"), PhoneClass::kStop},
+      {"t", f("t"), PhoneClass::kStop},
+      {"g", f("g"), PhoneClass::kStop},
+      {"k", f("k"), PhoneClass::kStop},
+      {"dx", f("dx"), PhoneClass::kStop},
+      // Closures (all fold to silence for scoring).
+      {"bcl", f("sil"), PhoneClass::kClosure},
+      {"dcl", f("sil"), PhoneClass::kClosure},
+      {"gcl", f("sil"), PhoneClass::kClosure},
+      {"pcl", f("sil"), PhoneClass::kClosure},
+      {"tcl", f("sil"), PhoneClass::kClosure},
+      {"kcl", f("sil"), PhoneClass::kClosure},
+      {"epi", f("sil"), PhoneClass::kClosure},
+      {"q", f("sil"), PhoneClass::kClosure},
+      // Silences.
+      {"h#", f("sil"), PhoneClass::kSilence},
+      {"pau", f("sil"), PhoneClass::kSilence},
+  };
+  RT_ASSERT(table.size() == kNumSurfacePhones,
+            "surface phone table must have 61 entries");
+  return table;
+}
+
+}  // namespace
+
+const std::vector<SurfacePhone>& surface_phones() {
+  static const std::vector<SurfacePhone> table = build_surface_table();
+  return table;
+}
+
+const std::vector<std::string>& folded_phone_names() {
+  static const std::vector<std::string> names(kFoldedNames.begin(),
+                                              kFoldedNames.end());
+  return names;
+}
+
+std::uint16_t silence_phone() { return fold("sil"); }
+
+std::size_t surface_phone_id(std::string_view name) {
+  const auto& table = surface_phones();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (table[i].name == name) return i;
+  }
+  RT_REQUIRE(false, "unknown surface phone: " + std::string(name));
+  throw std::invalid_argument(std::string(name));  // unreachable
+}
+
+std::uint16_t folded_phone_id(std::string_view name) {
+  for (std::size_t i = 0; i < kFoldedNames.size(); ++i) {
+    if (kFoldedNames[i] == name) return static_cast<std::uint16_t>(i);
+  }
+  RT_REQUIRE(false, "unknown folded phone: " + std::string(name));
+  throw std::invalid_argument(std::string(name));  // unreachable
+}
+
+}  // namespace rtmobile::speech

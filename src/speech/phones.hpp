@@ -1,0 +1,57 @@
+// TIMIT phone inventory.
+//
+// TIMIT transcribes with 61 phones; standard practice (Lee & Hon 1989,
+// followed by ESE, C-LSTM and the paper) folds them to 39 classes for
+// scoring. The synthetic corpus generates surface sequences over the 61
+// phones and labels frames with the folded 39 classes, exactly how a
+// Kaldi-style TIMIT recipe behaves.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rtmobile::speech {
+
+/// Number of surface phones (TIMIT transcription symbols).
+inline constexpr std::size_t kNumSurfacePhones = 61;
+
+/// Number of folded phone classes used for training/scoring.
+inline constexpr std::size_t kNumFoldedPhones = 39;
+
+/// Broad articulatory class, used by the waveform synthesizer to pick a
+/// source model and by the corpus LM to build phonotactics.
+enum class PhoneClass : std::uint8_t {
+  kVowel,
+  kSemivowel,  // glides + liquids
+  kNasal,
+  kFricative,
+  kAffricate,
+  kStop,
+  kClosure,  // stop closures + epenthetic silence
+  kSilence,
+};
+
+struct SurfacePhone {
+  std::string_view name;     // TIMIT symbol, e.g. "ix"
+  std::uint16_t folded;      // folded class id in [0, 39)
+  PhoneClass phone_class;
+};
+
+/// The full 61-phone table in a fixed canonical order.
+[[nodiscard]] const std::vector<SurfacePhone>& surface_phones();
+
+/// Names of the 39 folded classes, indexed by folded id.
+[[nodiscard]] const std::vector<std::string>& folded_phone_names();
+
+/// Folded id of the silence class ("sil").
+[[nodiscard]] std::uint16_t silence_phone();
+
+/// Surface phone id by TIMIT symbol; throws for unknown symbols.
+[[nodiscard]] std::size_t surface_phone_id(std::string_view name);
+
+/// Folded id by class name; throws for unknown names.
+[[nodiscard]] std::uint16_t folded_phone_id(std::string_view name);
+
+}  // namespace rtmobile::speech

@@ -1,0 +1,183 @@
+#include "speech/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace rtmobile::speech {
+namespace {
+
+/// Deterministic per-phone acoustics: seeded from the phone's index so the
+/// table is stable across runs, with class-appropriate structure.
+std::vector<PhoneAcoustics> build_acoustics() {
+  const auto& phones = surface_phones();
+  std::vector<PhoneAcoustics> table(phones.size());
+  Rng rng(0xAC0057ULL);  // fixed: the table is part of the corpus definition
+  for (std::size_t i = 0; i < phones.size(); ++i) {
+    PhoneAcoustics& a = table[i];
+    switch (phones[i].phone_class) {
+      case PhoneClass::kVowel:
+        a.f1_hz = 250.0 + 600.0 * rng.next_double();
+        a.f2_hz = 850.0 + 1600.0 * rng.next_double();
+        a.f3_hz = 2400.0 + 900.0 * rng.next_double();
+        a.voicing = 1.0;
+        a.level = 1.0;
+        break;
+      case PhoneClass::kSemivowel:
+        a.f1_hz = 280.0 + 300.0 * rng.next_double();
+        a.f2_hz = 700.0 + 1100.0 * rng.next_double();
+        a.f3_hz = 2200.0 + 700.0 * rng.next_double();
+        a.voicing = 0.95;
+        a.level = 0.8;
+        break;
+      case PhoneClass::kNasal:
+        a.f1_hz = 200.0 + 150.0 * rng.next_double();
+        a.f2_hz = 1000.0 + 500.0 * rng.next_double();
+        a.f3_hz = 2000.0 + 500.0 * rng.next_double();
+        a.voicing = 0.9;
+        a.level = 0.6;
+        break;
+      case PhoneClass::kFricative:
+        a.noise_center_hz = 1500.0 + 5000.0 * rng.next_double();
+        a.noise_width_hz = 600.0 + 1800.0 * rng.next_double();
+        a.voicing = rng.next_double() < 0.5 ? 0.3 : 0.0;  // voiced/unvoiced
+        a.level = 0.5;
+        break;
+      case PhoneClass::kAffricate:
+        a.noise_center_hz = 2500.0 + 2500.0 * rng.next_double();
+        a.noise_width_hz = 1200.0 + 1200.0 * rng.next_double();
+        a.voicing = 0.15;
+        a.level = 0.55;
+        break;
+      case PhoneClass::kStop:
+        a.noise_center_hz = 1000.0 + 4000.0 * rng.next_double();
+        a.noise_width_hz = 2500.0;
+        a.voicing = 0.0;
+        a.level = 0.7;
+        break;
+      case PhoneClass::kClosure:
+      case PhoneClass::kSilence:
+        a.level = 0.0;
+        break;
+    }
+  }
+  return table;
+}
+
+}  // namespace
+
+const std::vector<PhoneAcoustics>& phone_acoustics() {
+  static const std::vector<PhoneAcoustics> table = build_acoustics();
+  return table;
+}
+
+Synthesizer::Synthesizer(const SynthConfig& config) : config_(config) {
+  RT_REQUIRE(config.sample_rate_hz > 0.0, "sample rate must be positive");
+  RT_REQUIRE(config.pitch_hz > 0.0, "pitch must be positive");
+}
+
+void Synthesizer::render_phone(std::size_t surface_phone,
+                               std::size_t num_samples, Rng& rng,
+                               std::vector<float>& out) const {
+  RT_REQUIRE(surface_phone < kNumSurfacePhones, "surface phone out of range");
+  const auto& phones = surface_phones();
+  const PhoneAcoustics& acoustics = phone_acoustics()[surface_phone];
+  const PhoneClass cls = phones[surface_phone].phone_class;
+  const double fs = config_.sample_rate_hz;
+  const double two_pi = 2.0 * std::numbers::pi;
+  const double pitch =
+      config_.pitch_hz *
+      (1.0 + config_.pitch_jitter * (rng.next_double() * 2.0 - 1.0));
+
+  // Stops: first 60% closure, then burst.
+  const std::size_t burst_start =
+      cls == PhoneClass::kStop ? num_samples * 3 / 5 : 0;
+
+  double band_state = 0.0;  // one-pole state for band-ish noise shaping
+  for (std::size_t n = 0; n < num_samples; ++n) {
+    const double t = static_cast<double>(n) / fs;
+    double sample = config_.noise_floor * (rng.next_double() * 2.0 - 1.0);
+
+    if (acoustics.level > 0.0) {
+      double voiced = 0.0;
+      if (acoustics.voicing > 0.0 && acoustics.f1_hz > 0.0) {
+        // Three formant partials locked to multiples of the glottal pulse
+        // train frequency — a crude but spectrally structured source.
+        const double envelope =
+            0.5 * (1.0 - std::cos(two_pi * pitch * t));  // pitch-rate AM
+        voiced = (0.6 * std::sin(two_pi * acoustics.f1_hz * t) +
+                  0.3 * std::sin(two_pi * acoustics.f2_hz * t) +
+                  0.15 * std::sin(two_pi * acoustics.f3_hz * t)) *
+                 envelope;
+      }
+      double noisy = 0.0;
+      if (acoustics.noise_center_hz > 0.0 && n >= burst_start) {
+        // White noise ring-modulated to the band center, smoothed by a
+        // one-pole filter whose bandwidth tracks noise_width.
+        const double white = rng.next_double() * 2.0 - 1.0;
+        const double alpha =
+            std::clamp(acoustics.noise_width_hz / fs * two_pi, 0.05, 0.95);
+        band_state += alpha * (white - band_state);
+        noisy = band_state * std::sin(two_pi * acoustics.noise_center_hz * t);
+        if (cls == PhoneClass::kStop) {
+          // Burst decays quickly after release.
+          const double since_burst =
+              static_cast<double>(n - burst_start) / fs;
+          noisy *= std::exp(-since_burst * 80.0);
+        }
+      }
+      sample += config_.amplitude * acoustics.level *
+                (acoustics.voicing * voiced +
+                 (1.0 - acoustics.voicing) * 2.0 * noisy);
+    }
+    out.push_back(static_cast<float>(sample));
+  }
+}
+
+std::vector<float> Synthesizer::render_sequence(
+    std::span<const std::size_t> phones_seq,
+    std::span<const std::size_t> durations_samples, Rng& rng) const {
+  RT_REQUIRE(phones_seq.size() == durations_samples.size(),
+             "phones/durations length mismatch");
+  RT_REQUIRE(!phones_seq.empty(), "empty phone sequence");
+
+  std::vector<float> waveform;
+  std::size_t total = 0;
+  for (const std::size_t d : durations_samples) total += d;
+  waveform.reserve(total);
+
+  const std::size_t fade =
+      static_cast<std::size_t>(config_.coarticulation_ms / 1000.0 *
+                               config_.sample_rate_hz);
+  std::size_t previous_begin = 0;  // where the previous phone's samples start
+  for (std::size_t p = 0; p < phones_seq.size(); ++p) {
+    std::vector<float> segment;
+    segment.reserve(durations_samples[p]);
+    render_phone(phones_seq[p], durations_samples[p], rng, segment);
+    if (p == 0 || fade == 0) {
+      previous_begin = waveform.size();
+      waveform.insert(waveform.end(), segment.begin(), segment.end());
+    } else {
+      // Cross-fade the tail of the previous phone with the head of this
+      // one; the overlap cannot reach back past the previous phone's start.
+      const std::size_t overlap =
+          std::min({fade, segment.size(), waveform.size() - previous_begin});
+      const std::size_t fade_begin = waveform.size() - overlap;
+      for (std::size_t i = 0; i < overlap; ++i) {
+        const float alpha =
+            static_cast<float>(i + 1) / static_cast<float>(overlap + 1);
+        waveform[fade_begin + i] =
+            (1.0F - alpha) * waveform[fade_begin + i] + alpha * segment[i];
+      }
+      waveform.insert(waveform.end(),
+                      segment.begin() + static_cast<std::ptrdiff_t>(overlap),
+                      segment.end());
+      previous_begin = fade_begin;
+    }
+  }
+  return waveform;
+}
+
+}  // namespace rtmobile::speech

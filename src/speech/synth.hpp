@@ -1,0 +1,66 @@
+// Parametric phone waveform synthesizer.
+//
+// Generates 16 kHz waveforms for surface-phone sequences so the MFCC front
+// end runs on genuinely spectral data. The synthesis is a classic
+// source-filter caricature, deterministic per seed:
+//   vowels/semivowels: sum of three formant sinusoids on a pitch-modulated
+//     harmonic source, formants drawn per phone from a fixed table;
+//   nasals: low formant + damped upper structure;
+//   fricatives/affricates: band-shaped noise (center/width per phone);
+//   stops: closure silence then a short broadband burst;
+//   silence/closures: low-amplitude noise floor.
+// Adjacent phones are cross-faded to model coarticulation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "speech/phones.hpp"
+#include "util/rng.hpp"
+
+namespace rtmobile::speech {
+
+struct SynthConfig {
+  double sample_rate_hz = 16000.0;
+  double pitch_hz = 120.0;          // nominal F0
+  double pitch_jitter = 0.08;       // relative F0 wobble
+  double noise_floor = 0.01;        // silence amplitude
+  double coarticulation_ms = 12.0;  // cross-fade between phones
+  double amplitude = 0.35;
+};
+
+/// Per-phone spectral recipe used by the synthesizer.
+struct PhoneAcoustics {
+  double f1_hz = 0.0, f2_hz = 0.0, f3_hz = 0.0;  // formants (voiced phones)
+  double noise_center_hz = 0.0;                  // fricative band center
+  double noise_width_hz = 0.0;                   // fricative band width
+  double voicing = 0.0;                          // [0,1] harmonic fraction
+  double level = 1.0;                            // relative amplitude
+};
+
+/// The fixed acoustic table for all 61 surface phones (deterministic).
+[[nodiscard]] const std::vector<PhoneAcoustics>& phone_acoustics();
+
+class Synthesizer {
+ public:
+  explicit Synthesizer(const SynthConfig& config = SynthConfig{});
+
+  /// Renders one surface phone for `num_samples` samples into `out`
+  /// (appended). `rng` drives pitch jitter and noise.
+  void render_phone(std::size_t surface_phone, std::size_t num_samples,
+                    Rng& rng, std::vector<float>& out) const;
+
+  /// Renders a phone sequence with per-phone sample durations and
+  /// coarticulation cross-fades. Returns the waveform.
+  [[nodiscard]] std::vector<float> render_sequence(
+      std::span<const std::size_t> surface_phones,
+      std::span<const std::size_t> durations_samples, Rng& rng) const;
+
+  [[nodiscard]] const SynthConfig& config() const { return config_; }
+
+ private:
+  SynthConfig config_;
+};
+
+}  // namespace rtmobile::speech

@@ -1,0 +1,142 @@
+#include "speech/wav.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace rtmobile::speech {
+namespace {
+
+void write_u32le(std::ostream& os, std::uint32_t value) {
+  const std::array<char, 4> bytes = {
+      static_cast<char>(value & 0xFF),
+      static_cast<char>((value >> 8) & 0xFF),
+      static_cast<char>((value >> 16) & 0xFF),
+      static_cast<char>((value >> 24) & 0xFF)};
+  os.write(bytes.data(), bytes.size());
+}
+
+void write_u16le(std::ostream& os, std::uint16_t value) {
+  const std::array<char, 2> bytes = {
+      static_cast<char>(value & 0xFF),
+      static_cast<char>((value >> 8) & 0xFF)};
+  os.write(bytes.data(), bytes.size());
+}
+
+[[nodiscard]] std::uint32_t read_u32le(std::istream& is) {
+  std::array<unsigned char, 4> bytes{};
+  is.read(reinterpret_cast<char*>(bytes.data()), bytes.size());
+  RT_CHECK(is.good(), "truncated WAV (u32)");
+  return static_cast<std::uint32_t>(bytes[0]) |
+         (static_cast<std::uint32_t>(bytes[1]) << 8) |
+         (static_cast<std::uint32_t>(bytes[2]) << 16) |
+         (static_cast<std::uint32_t>(bytes[3]) << 24);
+}
+
+[[nodiscard]] std::uint16_t read_u16le(std::istream& is) {
+  std::array<unsigned char, 2> bytes{};
+  is.read(reinterpret_cast<char*>(bytes.data()), bytes.size());
+  RT_CHECK(is.good(), "truncated WAV (u16)");
+  return static_cast<std::uint16_t>(
+      static_cast<std::uint16_t>(bytes[0]) |
+      (static_cast<std::uint16_t>(bytes[1]) << 8));
+}
+
+[[nodiscard]] std::string read_tag(std::istream& is) {
+  std::array<char, 4> tag{};
+  is.read(tag.data(), tag.size());
+  RT_CHECK(is.good(), "truncated WAV (tag)");
+  return std::string(tag.data(), tag.size());
+}
+
+}  // namespace
+
+void write_wav(std::ostream& os, std::span<const float> samples,
+               std::uint32_t sample_rate_hz) {
+  RT_REQUIRE(sample_rate_hz > 0, "sample rate must be positive");
+  const std::uint32_t data_bytes =
+      static_cast<std::uint32_t>(samples.size() * 2);
+
+  os.write("RIFF", 4);
+  write_u32le(os, 36 + data_bytes);
+  os.write("WAVE", 4);
+
+  os.write("fmt ", 4);
+  write_u32le(os, 16);                 // PCM fmt chunk size
+  write_u16le(os, 1);                  // PCM
+  write_u16le(os, 1);                  // mono
+  write_u32le(os, sample_rate_hz);
+  write_u32le(os, sample_rate_hz * 2); // byte rate
+  write_u16le(os, 2);                  // block align
+  write_u16le(os, 16);                 // bits per sample
+
+  os.write("data", 4);
+  write_u32le(os, data_bytes);
+  for (const float sample : samples) {
+    const float clamped = std::clamp(sample, -1.0F, 1.0F);
+    const auto pcm = static_cast<std::int16_t>(
+        std::lround(clamped * 32767.0F));
+    write_u16le(os, static_cast<std::uint16_t>(pcm));
+  }
+  RT_CHECK(os.good(), "failed writing WAV payload");
+}
+
+void save_wav(const std::string& path, std::span<const float> samples,
+              std::uint32_t sample_rate_hz) {
+  std::ofstream file(path, std::ios::binary);
+  RT_CHECK(file.good(), "failed to open for write: " + path);
+  write_wav(file, samples, sample_rate_hz);
+}
+
+WavData read_wav(std::istream& is) {
+  RT_CHECK(read_tag(is) == "RIFF", "not a RIFF file");
+  static_cast<void>(read_u32le(is));  // total RIFF size (unchecked)
+  RT_CHECK(read_tag(is) == "WAVE", "not a WAVE file");
+
+  WavData wav;
+  bool have_format = false;
+  for (;;) {
+    const std::string tag = read_tag(is);
+    const std::uint32_t chunk_size = read_u32le(is);
+    if (tag == "fmt ") {
+      RT_CHECK(chunk_size >= 16, "malformed fmt chunk");
+      const std::uint16_t format = read_u16le(is);
+      const std::uint16_t channels = read_u16le(is);
+      wav.sample_rate_hz = read_u32le(is);
+      static_cast<void>(read_u32le(is));  // byte rate
+      static_cast<void>(read_u16le(is));  // block align
+      const std::uint16_t bits = read_u16le(is);
+      RT_CHECK(format == 1 && channels == 1 && bits == 16,
+               "only 16-bit PCM mono WAV is supported");
+      is.ignore(chunk_size - 16);
+      have_format = true;
+    } else if (tag == "data") {
+      RT_CHECK(have_format, "data chunk before fmt chunk");
+      const std::size_t count = chunk_size / 2;
+      wav.samples.resize(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        const auto pcm =
+            static_cast<std::int16_t>(read_u16le(is));
+        wav.samples[i] = static_cast<float>(pcm) / 32767.0F;
+      }
+      return wav;
+    } else {
+      is.ignore(chunk_size + (chunk_size & 1));  // skip unknown chunks
+      RT_CHECK(is.good(), "truncated WAV (skipping chunk)");
+    }
+  }
+}
+
+WavData load_wav(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  RT_CHECK(file.good(), "failed to open for read: " + path);
+  return read_wav(file);
+}
+
+}  // namespace rtmobile::speech

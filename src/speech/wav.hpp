@@ -1,0 +1,34 @@
+// Minimal RIFF/WAVE writer and reader (16-bit PCM mono).
+//
+// Lets users export the synthetic corpus audio for listening and feed
+// external recordings through the MFCC front end. Only the subset needed
+// for those two paths is implemented.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rtmobile::speech {
+
+/// Writes float samples in [-1, 1] (clamped) as 16-bit PCM mono.
+void write_wav(std::ostream& os, std::span<const float> samples,
+               std::uint32_t sample_rate_hz);
+
+/// File convenience wrapper; throws std::runtime_error on I/O failure.
+void save_wav(const std::string& path, std::span<const float> samples,
+              std::uint32_t sample_rate_hz);
+
+struct WavData {
+  std::vector<float> samples;  // mono, [-1, 1]
+  std::uint32_t sample_rate_hz = 0;
+};
+
+/// Reads a 16-bit PCM mono WAV written by write_wav (or compatible).
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] WavData read_wav(std::istream& is);
+
+[[nodiscard]] WavData load_wav(const std::string& path);
+
+}  // namespace rtmobile::speech

@@ -1,0 +1,51 @@
+// Cache-line-aligned allocator for numeric buffers.
+//
+// Kernels in src/compiler assume 64-byte alignment so the compiler can
+// vectorize loads without peeling; every Matrix/Vector buffer uses this
+// allocator.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace rtmobile {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Minimal C++17-style allocator returning 64-byte-aligned storage.
+template <typename T>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  explicit AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t count) {
+    if (count == 0) return nullptr;
+    const std::size_t bytes =
+        ((count * sizeof(T) + kCacheLineBytes - 1) / kCacheLineBytes) *
+        kCacheLineBytes;
+    void* ptr = std::aligned_alloc(kCacheLineBytes, bytes);
+    if (ptr == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(ptr);
+  }
+
+  void deallocate(T* ptr, std::size_t /*count*/) noexcept { std::free(ptr); }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U>;
+  };
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+}  // namespace rtmobile

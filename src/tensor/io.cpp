@@ -1,0 +1,96 @@
+#include "tensor/io.hpp"
+
+#include <array>
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace rtmobile {
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'R', 'T', 'M', 'B'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ostream& os, std::uint32_t value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+void write_u64(std::ostream& os, std::uint64_t value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+[[nodiscard]] std::uint32_t read_u32(std::istream& is) {
+  std::uint32_t value = 0;
+  is.read(reinterpret_cast<char*>(&value), sizeof value);
+  RT_CHECK(is.good(), "truncated matrix stream (u32)");
+  return value;
+}
+
+[[nodiscard]] std::uint64_t read_u64(std::istream& is) {
+  std::uint64_t value = 0;
+  is.read(reinterpret_cast<char*>(&value), sizeof value);
+  RT_CHECK(is.good(), "truncated matrix stream (u64)");
+  return value;
+}
+
+}  // namespace
+
+void write_matrix(std::ostream& os, const Matrix& m) {
+  os.write(kMagic.data(), kMagic.size());
+  write_u32(os, kVersion);
+  write_u64(os, m.rows());
+  write_u64(os, m.cols());
+  os.write(reinterpret_cast<const char*>(m.data()),
+           static_cast<std::streamsize>(m.size() * sizeof(float)));
+  RT_CHECK(os.good(), "failed writing matrix payload");
+}
+
+Matrix read_matrix(std::istream& is) {
+  std::array<char, 4> magic{};
+  is.read(magic.data(), magic.size());
+  RT_CHECK(is.good() && magic == kMagic, "bad matrix magic");
+  const std::uint32_t version = read_u32(is);
+  RT_CHECK(version == kVersion, "unsupported matrix version");
+  const std::uint64_t rows = read_u64(is);
+  const std::uint64_t cols = read_u64(is);
+  // Reject absurd sizes before allocating (defensive against corrupt files).
+  RT_CHECK(rows <= (1ULL << 32) && cols <= (1ULL << 32) &&
+               rows * cols <= (1ULL << 34),
+           "matrix dimensions out of range");
+  Matrix m(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
+  is.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(m.size() * sizeof(float)));
+  RT_CHECK(is.good(), "truncated matrix payload");
+  return m;
+}
+
+void write_vector(std::ostream& os, const Vector& v) {
+  Matrix m(1, v.size());
+  std::copy(v.begin(), v.end(), m.span().begin());
+  write_matrix(os, m);
+}
+
+Vector read_vector(std::istream& is) {
+  const Matrix m = read_matrix(is);
+  RT_CHECK(m.rows() == 1, "vector payload must have one row");
+  Vector v(m.cols());
+  std::copy(m.span().begin(), m.span().end(), v.begin());
+  return v;
+}
+
+void save_matrix(const std::string& path, const Matrix& m) {
+  std::ofstream file(path, std::ios::binary);
+  RT_CHECK(file.good(), "failed to open for write: " + path);
+  write_matrix(file, m);
+}
+
+Matrix load_matrix(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  RT_CHECK(file.good(), "failed to open for read: " + path);
+  return read_matrix(file);
+}
+
+}  // namespace rtmobile

@@ -1,0 +1,31 @@
+// Binary serialization for matrices and vectors.
+//
+// Format: magic "RTMB", u32 version, u64 rows, u64 cols, then row-major
+// float32 payload. Used to checkpoint trained/pruned models so the bench
+// harness can reuse training results across binaries.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tensor/matrix.hpp"
+
+namespace rtmobile {
+
+/// Writes `m` to a binary stream. Throws std::runtime_error on failure.
+void write_matrix(std::ostream& os, const Matrix& m);
+
+/// Reads a matrix written by write_matrix. Throws on malformed input.
+[[nodiscard]] Matrix read_matrix(std::istream& is);
+
+/// Writes `v` as a 1 x n matrix payload.
+void write_vector(std::ostream& os, const Vector& v);
+
+/// Reads a vector written by write_vector.
+[[nodiscard]] Vector read_vector(std::istream& is);
+
+/// Convenience file wrappers.
+void save_matrix(const std::string& path, const Matrix& m);
+[[nodiscard]] Matrix load_matrix(const std::string& path);
+
+}  // namespace rtmobile

@@ -1,0 +1,25 @@
+#include "tensor/matrix.hpp"
+
+#include <cmath>
+
+namespace rtmobile {
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out(c, r) = (*this)(r, c);
+    }
+  }
+  return out;
+}
+
+std::size_t Matrix::count_nonzero(float threshold) const {
+  std::size_t count = 0;
+  for (const float w : data_) {
+    if (std::fabs(w) > threshold) ++count;
+  }
+  return count;
+}
+
+}  // namespace rtmobile

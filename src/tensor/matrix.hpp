@@ -1,0 +1,138 @@
+// Dense row-major matrix and vector types.
+//
+// These are deliberately simple owning containers (Core Guidelines C.20:
+// rule of zero) with bounds-checked element access in debug paths and span
+// views for kernels. All numeric code in the library is float32; the
+// mobile-GPU fp16 behaviour in the paper is modeled at the hardware-model
+// layer (bytes moved), not by storing half floats.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "tensor/aligned.hpp"
+#include "util/check.hpp"
+
+namespace rtmobile {
+
+/// Owning, 64-byte-aligned float vector with checked access helpers.
+class Vector {
+ public:
+  Vector() = default;
+  explicit Vector(std::size_t size, float fill = 0.0F) : data_(size, fill) {}
+  explicit Vector(std::vector<float> values)
+      : data_(values.begin(), values.end()) {}
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] float& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] const float& operator[](std::size_t i) const { return data_[i]; }
+
+  [[nodiscard]] float& at(std::size_t i) {
+    RT_REQUIRE(i < data_.size(), "vector index out of range");
+    return data_[i];
+  }
+  [[nodiscard]] const float& at(std::size_t i) const {
+    RT_REQUIRE(i < data_.size(), "vector index out of range");
+    return data_[i];
+  }
+
+  [[nodiscard]] float* data() { return data_.data(); }
+  [[nodiscard]] const float* data() const { return data_.data(); }
+
+  [[nodiscard]] std::span<float> span() { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const float> span() const {
+    return {data_.data(), data_.size()};
+  }
+
+  void fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+  void resize(std::size_t size, float fill = 0.0F) { data_.resize(size, fill); }
+
+  [[nodiscard]] auto begin() { return data_.begin(); }
+  [[nodiscard]] auto end() { return data_.end(); }
+  [[nodiscard]] auto begin() const { return data_.begin(); }
+  [[nodiscard]] auto end() const { return data_.end(); }
+
+  friend bool operator==(const Vector& a, const Vector& b) {
+    return a.data_ == b.data_;
+  }
+
+ private:
+  std::vector<float, AlignedAllocator<float>> data_;
+};
+
+/// Owning, 64-byte-aligned row-major float matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0F)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from a row-major initializer (size must equal rows*cols).
+  Matrix(std::size_t rows, std::size_t cols, std::vector<float> values)
+      : rows_(rows), cols_(cols), data_(values.begin(), values.end()) {
+    RT_REQUIRE(values.size() == rows * cols,
+               "matrix initializer size mismatch");
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] float& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const float& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] float& at(std::size_t r, std::size_t c) {
+    RT_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] const float& at(std::size_t r, std::size_t c) const {
+    RT_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] float* data() { return data_.data(); }
+  [[nodiscard]] const float* data() const { return data_.data(); }
+
+  /// View of one row.
+  [[nodiscard]] std::span<float> row(std::size_t r) {
+    RT_REQUIRE(r < rows_, "row index out of range");
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const float> row(std::size_t r) const {
+    RT_REQUIRE(r < rows_, "row index out of range");
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Flat view of the whole buffer.
+  [[nodiscard]] std::span<float> span() { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const float> span() const {
+    return {data_.data(), data_.size()};
+  }
+
+  void fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// Returns the transpose as a new matrix.
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Number of entries with |w| > threshold (used for sparsity accounting).
+  [[nodiscard]] std::size_t count_nonzero(float threshold = 0.0F) const;
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float, AlignedAllocator<float>> data_;
+};
+
+}  // namespace rtmobile

@@ -1,0 +1,172 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace rtmobile {
+
+float sigmoid(float x) {
+  // Split on sign so exp never overflows.
+  if (x >= 0.0F) {
+    const float z = std::exp(-x);
+    return 1.0F / (1.0F + z);
+  }
+  const float z = std::exp(x);
+  return z / (1.0F + z);
+}
+
+float sigmoid_grad_from_output(float y) { return y * (1.0F - y); }
+
+float tanh_grad_from_output(float y) { return 1.0F - y * y; }
+
+void sigmoid_inplace(std::span<float> values) {
+  for (float& v : values) v = sigmoid(v);
+}
+
+void tanh_inplace(std::span<float> values) {
+  for (float& v : values) v = std::tanh(v);
+}
+
+namespace {
+void require_same_size(std::size_t a, std::size_t b, const char* what) {
+  RT_REQUIRE(a == b, std::string("span size mismatch in ") + what);
+}
+}  // namespace
+
+void add(std::span<const float> a, std::span<const float> b,
+         std::span<float> out) {
+  require_same_size(a.size(), b.size(), "add");
+  require_same_size(a.size(), out.size(), "add");
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+}
+
+void add_inplace(std::span<float> a, std::span<const float> b) {
+  require_same_size(a.size(), b.size(), "add_inplace");
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+}
+
+void sub(std::span<const float> a, std::span<const float> b,
+         std::span<float> out) {
+  require_same_size(a.size(), b.size(), "sub");
+  require_same_size(a.size(), out.size(), "sub");
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+}
+
+void mul(std::span<const float> a, std::span<const float> b,
+         std::span<float> out) {
+  require_same_size(a.size(), b.size(), "mul");
+  require_same_size(a.size(), out.size(), "mul");
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+}
+
+void mul_inplace(std::span<float> a, std::span<const float> b) {
+  require_same_size(a.size(), b.size(), "mul_inplace");
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] *= b[i];
+}
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  require_same_size(x.size(), y.size(), "axpy");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale_inplace(std::span<float> values, float alpha) {
+  for (float& v : values) v *= alpha;
+}
+
+double dot(std::span<const float> a, std::span<const float> b) {
+  require_same_size(a.size(), b.size(), "dot");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return acc;
+}
+
+double norm2(std::span<const float> values) {
+  double acc = 0.0;
+  for (const float v : values) {
+    acc += static_cast<double>(v) * static_cast<double>(v);
+  }
+  return std::sqrt(acc);
+}
+
+double sum(std::span<const float> values) {
+  double acc = 0.0;
+  for (const float v : values) acc += static_cast<double>(v);
+  return acc;
+}
+
+std::size_t argmax(std::span<const float> values) {
+  RT_REQUIRE(!values.empty(), "argmax of empty span");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    if (values[i] > values[best]) best = i;
+  }
+  return best;
+}
+
+void softmax_inplace(std::span<float> values) {
+  RT_REQUIRE(!values.empty(), "softmax of empty span");
+  const float max_value = *std::max_element(values.begin(), values.end());
+  double total = 0.0;
+  for (float& v : values) {
+    v = std::exp(v - max_value);
+    total += static_cast<double>(v);
+  }
+  const float inv = static_cast<float>(1.0 / total);
+  for (float& v : values) v *= inv;
+}
+
+void log_softmax(std::span<const float> values, std::span<float> out) {
+  require_same_size(values.size(), out.size(), "log_softmax");
+  RT_REQUIRE(!values.empty(), "log_softmax of empty span");
+  const float max_value = *std::max_element(values.begin(), values.end());
+  double total = 0.0;
+  for (const float v : values) {
+    total += std::exp(static_cast<double>(v) - static_cast<double>(max_value));
+  }
+  const float log_z =
+      max_value + static_cast<float>(std::log(total));
+  for (std::size_t i = 0; i < values.size(); ++i) out[i] = values[i] - log_z;
+}
+
+void fill_normal(std::span<float> values, Rng& rng, float stddev) {
+  for (float& v : values) v = rng.normal(0.0F, stddev);
+}
+
+void fill_uniform(std::span<float> values, Rng& rng, float bound) {
+  RT_REQUIRE(bound >= 0.0F, "uniform bound must be non-negative");
+  for (float& v : values) v = rng.uniform(-bound, bound);
+}
+
+void xavier_init(Matrix& weights, Rng& rng) {
+  RT_REQUIRE(weights.rows() > 0 && weights.cols() > 0,
+             "xavier_init on empty matrix");
+  const float bound = std::sqrt(
+      6.0F / static_cast<float>(weights.rows() + weights.cols()));
+  fill_uniform(weights.span(), rng, bound);
+}
+
+void recurrent_init(Matrix& weights, Rng& rng) {
+  xavier_init(weights, rng);
+  // Normalize rows to unit norm, then shrink slightly below 1 so repeated
+  // application during long BPTT windows neither explodes nor dies.
+  for (std::size_t r = 0; r < weights.rows(); ++r) {
+    auto row = weights.row(r);
+    const double n = norm2(row);
+    if (n > 0.0) scale_inplace(row, static_cast<float>(0.9 / n));
+  }
+}
+
+float max_abs_diff(std::span<const float> a, std::span<const float> b) {
+  require_same_size(a.size(), b.size(), "max_abs_diff");
+  float worst = 0.0F;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::fabs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+}  // namespace rtmobile

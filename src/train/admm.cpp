@@ -1,0 +1,137 @@
+#include "train/admm.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace rtmobile {
+
+void AdmmState::attach(const std::string& name, Matrix* weight,
+                       ProjectionFn project, double rho) {
+  RT_REQUIRE(weight != nullptr, "attach: null weight for " + name);
+  RT_REQUIRE(project != nullptr, "attach: null projection for " + name);
+  RT_REQUIRE(rho > 0.0, "attach: rho must be positive for " + name);
+  for (const auto& entry : entries_) {
+    RT_REQUIRE(entry.name != name, "attach: duplicate weight " + name);
+  }
+  Entry entry;
+  entry.name = name;
+  entry.weight = weight;
+  entry.project = std::move(project);
+  entry.rho = rho;
+  entries_.push_back(std::move(entry));
+}
+
+void AdmmState::initialize() {
+  for (auto& entry : entries_) {
+    entry.z = entry.project(*entry.weight);
+    RT_ASSERT(entry.z.rows() == entry.weight->rows() &&
+                  entry.z.cols() == entry.weight->cols(),
+              "projection changed matrix shape for " + entry.name);
+    entry.u = Matrix(entry.weight->rows(), entry.weight->cols(), 0.0F);
+    entry.initialized = true;
+  }
+}
+
+void AdmmState::add_penalty_gradients(const ParamSet& grads) const {
+  for (const auto& entry : entries_) {
+    RT_REQUIRE(entry.initialized, "ADMM not initialized");
+    Matrix& grad = grads.matrix(entry.name);
+    RT_REQUIRE(grad.rows() == entry.weight->rows() &&
+                   grad.cols() == entry.weight->cols(),
+               "gradient shape mismatch at " + entry.name);
+    const float rho = static_cast<float>(entry.rho);
+    const auto w = entry.weight->span();
+    const auto z = entry.z.span();
+    const auto u = entry.u.span();
+    auto g = grad.span();
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      g[i] += rho * (w[i] - z[i] + u[i]);
+    }
+  }
+}
+
+void AdmmState::dual_update() {
+  for (auto& entry : entries_) {
+    RT_REQUIRE(entry.initialized, "ADMM not initialized");
+    // Z-update: project W + U onto the constraint set.
+    Matrix wu = *entry.weight;
+    add_inplace(wu.span(), entry.u.span());
+    entry.z = entry.project(wu);
+    // U-update: U += W - Z.
+    const auto w = entry.weight->span();
+    const auto z = entry.z.span();
+    auto u = entry.u.span();
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      u[i] += w[i] - z[i];
+    }
+  }
+}
+
+double AdmmState::max_relative_residual() const {
+  double worst = 0.0;
+  for (const auto& entry : entries_) {
+    RT_REQUIRE(entry.initialized, "ADMM not initialized");
+    double num = 0.0;
+    double den = 0.0;
+    const auto w = entry.weight->span();
+    const auto z = entry.z.span();
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      const double d = static_cast<double>(w[i]) - static_cast<double>(z[i]);
+      num += d * d;
+      den += static_cast<double>(w[i]) * static_cast<double>(w[i]);
+    }
+    worst = std::max(worst, std::sqrt(num) / (std::sqrt(den) + 1e-12));
+  }
+  return worst;
+}
+
+const AdmmState::Entry& AdmmState::find(const std::string& name) const {
+  for (const auto& entry : entries_) {
+    if (entry.name == name) return entry;
+  }
+  RT_REQUIRE(false, "no ADMM entry named " + name);
+  throw std::invalid_argument(name);  // unreachable
+}
+
+const Matrix& AdmmState::z(const std::string& name) const {
+  const Entry& entry = find(name);
+  RT_REQUIRE(entry.initialized, "ADMM not initialized");
+  return entry.z;
+}
+
+const Matrix& AdmmState::u(const std::string& name) const {
+  const Entry& entry = find(name);
+  RT_REQUIRE(entry.initialized, "ADMM not initialized");
+  return entry.u;
+}
+
+MaskSet AdmmState::masks() const {
+  MaskSet masks;
+  for (const auto& entry : entries_) {
+    RT_REQUIRE(entry.initialized, "ADMM not initialized");
+    Matrix mask(entry.z.rows(), entry.z.cols(), 0.0F);
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      mask.span()[i] = entry.z.span()[i] != 0.0F ? 1.0F : 0.0F;
+    }
+    masks.set(entry.name, std::move(mask));
+  }
+  return masks;
+}
+
+MaskSet AdmmState::hard_prune() {
+  MaskSet result;
+  for (auto& entry : entries_) {
+    RT_REQUIRE(entry.initialized, "ADMM not initialized");
+    *entry.weight = entry.project(*entry.weight);
+    Matrix mask(entry.weight->rows(), entry.weight->cols(), 0.0F);
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      mask.span()[i] = entry.weight->span()[i] != 0.0F ? 1.0F : 0.0F;
+    }
+    result.set(entry.name, std::move(mask));
+  }
+  return result;
+}
+
+}  // namespace rtmobile

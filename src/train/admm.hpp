@@ -1,0 +1,76 @@
+// ADMM pruning engine (paper Sec. III-C, Algorithm 1).
+//
+// The constrained problem  min f(W) s.t. W in S  is relaxed to the
+// augmented Lagrangian  f(W) + sum_i rho_i/2 ||W_i - Z_i + U_i||_F^2 and
+// solved by alternating:
+//   W-update (Eq. 3): SGD/Adam on the loss plus the quadratic penalty —
+//     the Trainer performs this, with add_penalty_gradients() supplying
+//     the penalty term's gradient rho (W - Z + U);
+//   Z-update (Eq. 4): Z = project_S(W + U)   — dual_update();
+//   U-update (Eq. 5): U += W - Z             — dual_update().
+// The projection (definition of S) is pluggable, so the same engine drives
+// BSP, unstructured (ESE-style), bank-balanced, and circulant ADMM.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rnn/param_set.hpp"
+#include "tensor/matrix.hpp"
+#include "train/mask_set.hpp"
+
+namespace rtmobile {
+
+/// Projection onto the constraint set: Matrix -> nearest member of S.
+using ProjectionFn = std::function<Matrix(const Matrix&)>;
+
+class AdmmState {
+ public:
+  /// Attaches a weight matrix to the ADMM loop with its constraint-set
+  /// projection and penalty strength rho.
+  void attach(const std::string& name, Matrix* weight, ProjectionFn project,
+              double rho);
+
+  [[nodiscard]] std::size_t attached_count() const { return entries_.size(); }
+
+  /// Z = project(W), U = 0 for every attached weight. Call once after
+  /// attach()ing everything and before the first training round.
+  void initialize();
+
+  /// Adds rho * (W - Z + U) to each attached weight's gradient. `grads`
+  /// must contain matrices with the same names as the attached weights.
+  void add_penalty_gradients(const ParamSet& grads) const;
+
+  /// Performs the Z-update then U-update for all attached weights.
+  void dual_update();
+
+  /// max_i ||W_i - Z_i||_F / (||W_i||_F + eps): convergence indicator.
+  [[nodiscard]] double max_relative_residual() const;
+
+  /// The auxiliary variable for `name` (test/inspection hook).
+  [[nodiscard]] const Matrix& z(const std::string& name) const;
+  [[nodiscard]] const Matrix& u(const std::string& name) const;
+
+  /// Hard-pruning masks derived from the support of each Z.
+  [[nodiscard]] MaskSet masks() const;
+
+  /// Hard-prunes each attached weight: W = project(W). Returns the masks
+  /// implied by the pruned support.
+  MaskSet hard_prune();
+
+ private:
+  struct Entry {
+    std::string name;
+    Matrix* weight;
+    ProjectionFn project;
+    double rho;
+    Matrix z;
+    Matrix u;
+    bool initialized = false;
+  };
+  [[nodiscard]] const Entry& find(const std::string& name) const;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace rtmobile

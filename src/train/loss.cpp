@@ -1,0 +1,54 @@
+#include "train/loss.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace rtmobile {
+
+double softmax_cross_entropy(const Matrix& logits,
+                             std::span<const std::uint16_t> labels,
+                             Matrix* dlogits) {
+  const std::size_t frames = logits.rows();
+  const std::size_t classes = logits.cols();
+  RT_REQUIRE(labels.size() == frames, "labels/frames mismatch");
+  RT_REQUIRE(frames > 0, "empty utterance");
+  if (dlogits != nullptr) {
+    RT_REQUIRE(dlogits->rows() == frames && dlogits->cols() == classes,
+               "dlogits shape mismatch");
+  }
+
+  const float inv_frames = 1.0F / static_cast<float>(frames);
+  double total_loss = 0.0;
+  std::vector<float> log_probs(classes);
+  for (std::size_t t = 0; t < frames; ++t) {
+    const std::uint16_t label = labels[t];
+    RT_REQUIRE(label < classes, "label out of range");
+    log_softmax(logits.row(t), log_probs);
+    total_loss -= static_cast<double>(log_probs[label]);
+    if (dlogits != nullptr) {
+      auto grad_row = dlogits->row(t);
+      for (std::size_t c = 0; c < classes; ++c) {
+        grad_row[c] = std::exp(log_probs[c]) * inv_frames;
+      }
+      grad_row[label] -= inv_frames;
+    }
+  }
+  return total_loss / static_cast<double>(frames);
+}
+
+double frame_accuracy(const Matrix& logits,
+                      std::span<const std::uint16_t> labels) {
+  const std::size_t frames = logits.rows();
+  RT_REQUIRE(labels.size() == frames, "labels/frames mismatch");
+  RT_REQUIRE(frames > 0, "empty utterance");
+  std::size_t correct = 0;
+  for (std::size_t t = 0; t < frames; ++t) {
+    if (argmax(logits.row(t)) == labels[t]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(frames);
+}
+
+}  // namespace rtmobile

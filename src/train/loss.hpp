@@ -1,0 +1,24 @@
+// Framewise softmax cross-entropy, the training criterion for the
+// phone-classification task (PyTorch-Kaldi's GRU recipe also trains
+// framewise CE against forced-alignment labels).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/matrix.hpp"
+
+namespace rtmobile {
+
+/// Computes mean-over-frames cross-entropy of `logits` (T x C) against
+/// `labels` (size T) and, when `dlogits` is non-null, writes the gradient
+/// (softmax(logits) - onehot) / T into it (same shape as logits).
+[[nodiscard]] double softmax_cross_entropy(
+    const Matrix& logits, std::span<const std::uint16_t> labels,
+    Matrix* dlogits = nullptr);
+
+/// Fraction of frames whose argmax logit equals the label.
+[[nodiscard]] double frame_accuracy(const Matrix& logits,
+                                    std::span<const std::uint16_t> labels);
+
+}  // namespace rtmobile

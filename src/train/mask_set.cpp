@@ -1,0 +1,68 @@
+#include "train/mask_set.hpp"
+
+#include "util/check.hpp"
+
+namespace rtmobile {
+namespace {
+
+void apply_masks(const std::map<std::string, Matrix>& masks,
+                 const ParamSet& params) {
+  for (const auto& entry : params.matrices()) {
+    const auto it = masks.find(entry.name);
+    if (it == masks.end()) continue;
+    const Matrix& mask = it->second;
+    Matrix& w = *entry.tensor;
+    RT_REQUIRE(mask.rows() == w.rows() && mask.cols() == w.cols(),
+               "mask shape mismatch at " + entry.name);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      w.span()[i] *= mask.span()[i];
+    }
+  }
+}
+
+}  // namespace
+
+void MaskSet::set(const std::string& name, Matrix mask) {
+  for (const float m : mask.span()) {
+    RT_REQUIRE(m == 0.0F || m == 1.0F, "mask entries must be 0 or 1");
+  }
+  masks_[name] = std::move(mask);
+}
+
+void MaskSet::set(const std::string& name, const BlockMask& mask) {
+  masks_[name] = mask.to_dense();
+}
+
+bool MaskSet::contains(const std::string& name) const {
+  return masks_.find(name) != masks_.end();
+}
+
+const Matrix& MaskSet::mask(const std::string& name) const {
+  const auto it = masks_.find(name);
+  RT_REQUIRE(it != masks_.end(), "no mask registered for " + name);
+  return it->second;
+}
+
+void MaskSet::apply(const ParamSet& params) const {
+  apply_masks(masks_, params);
+}
+
+void MaskSet::apply_to_grads(const ParamSet& grads) const {
+  apply_masks(masks_, grads);
+}
+
+std::size_t MaskSet::total_kept() const {
+  std::size_t kept = 0;
+  for (const auto& [name, mask] : masks_) {
+    kept += mask.count_nonzero();
+  }
+  return kept;
+}
+
+std::size_t MaskSet::total_slots() const {
+  std::size_t slots = 0;
+  for (const auto& [name, mask] : masks_) slots += mask.size();
+  return slots;
+}
+
+}  // namespace rtmobile

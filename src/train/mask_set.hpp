@@ -1,0 +1,47 @@
+// MaskSet: named 0/1 masks over a model's prunable weight matrices.
+//
+// This is the common currency between pruning algorithms (BSP, magnitude,
+// bank-balanced, ...) and masked retraining: after every optimizer step the
+// trainer re-applies the masks so pruned weights stay exactly zero.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "rnn/param_set.hpp"
+#include "sparse/block_mask.hpp"
+#include "tensor/matrix.hpp"
+
+namespace rtmobile {
+
+class MaskSet {
+ public:
+  /// Registers a dense 0/1 mask for the weight named `name`.
+  void set(const std::string& name, Matrix mask);
+
+  /// Registers the dense rendering of a BlockMask.
+  void set(const std::string& name, const BlockMask& mask);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] const Matrix& mask(const std::string& name) const;
+  [[nodiscard]] std::size_t size() const { return masks_.size(); }
+
+  /// Zeroes the masked-out entries of every registered weight in `params`.
+  /// Weights without a registered mask are untouched.
+  void apply(const ParamSet& params) const;
+
+  /// Same, applied to gradients: masked entries receive zero gradient so
+  /// the optimizer's momentum cannot revive them.
+  void apply_to_grads(const ParamSet& grads) const;
+
+  /// Total surviving weights across all masks.
+  [[nodiscard]] std::size_t total_kept() const;
+
+  /// Total slots across all masks.
+  [[nodiscard]] std::size_t total_slots() const;
+
+ private:
+  std::map<std::string, Matrix> masks_;
+};
+
+}  // namespace rtmobile

@@ -1,0 +1,119 @@
+#include "train/optimizer.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace rtmobile {
+namespace {
+
+/// Collects (param, grad) span pairs in layout order, validating layouts.
+std::vector<std::pair<std::span<float>, std::span<float>>> collect_pairs(
+    const ParamSet& params, const ParamSet& grads) {
+  std::vector<std::pair<std::span<float>, std::span<float>>> pairs;
+  ParamSet::for_each_pair(
+      params, grads,
+      [&](const std::string&, std::span<float> p, std::span<float> g) {
+        pairs.emplace_back(p, g);
+      });
+  return pairs;
+}
+
+void ensure_state(std::vector<std::vector<float>>& state,
+                  const std::vector<std::pair<std::span<float>,
+                                              std::span<float>>>& pairs) {
+  if (state.size() == pairs.size()) {
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      RT_REQUIRE(state[i].size() == pairs[i].first.size(),
+                 "optimizer state shape changed between steps");
+    }
+    return;
+  }
+  RT_REQUIRE(state.empty(), "optimizer reused across different models");
+  state.resize(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    state[i].assign(pairs[i].first.size(), 0.0F);
+  }
+}
+
+}  // namespace
+
+Sgd::Sgd(double lr, double momentum) : Optimizer(lr), momentum_(momentum) {
+  RT_REQUIRE(lr > 0.0, "learning rate must be positive");
+  RT_REQUIRE(momentum >= 0.0 && momentum < 1.0, "momentum must be in [0,1)");
+}
+
+void Sgd::step(const ParamSet& params, const ParamSet& grads) {
+  const auto pairs = collect_pairs(params, grads);
+  ensure_state(velocity_, pairs);
+  const float lr = static_cast<float>(lr_);
+  const float mu = static_cast<float>(momentum_);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    auto [p, g] = pairs[i];
+    auto& vel = velocity_[i];
+    for (std::size_t k = 0; k < p.size(); ++k) {
+      vel[k] = mu * vel[k] + g[k];
+      p[k] -= lr * vel[k];
+    }
+  }
+}
+
+void Sgd::reset() { velocity_.clear(); }
+
+Adam::Adam(double lr, double beta1, double beta2, double epsilon)
+    : Optimizer(lr), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {
+  RT_REQUIRE(lr > 0.0, "learning rate must be positive");
+  RT_REQUIRE(beta1 >= 0.0 && beta1 < 1.0, "beta1 must be in [0,1)");
+  RT_REQUIRE(beta2 >= 0.0 && beta2 < 1.0, "beta2 must be in [0,1)");
+  RT_REQUIRE(epsilon > 0.0, "epsilon must be positive");
+}
+
+void Adam::step(const ParamSet& params, const ParamSet& grads) {
+  const auto pairs = collect_pairs(params, grads);
+  ensure_state(m_, pairs);
+  ensure_state(v_, pairs);
+  ++step_count_;
+  const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(step_count_));
+  const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(step_count_));
+  const float lr_hat =
+      static_cast<float>(lr_ * std::sqrt(bias2) / bias1);
+  const float b1 = static_cast<float>(beta1_);
+  const float b2 = static_cast<float>(beta2_);
+  const float eps = static_cast<float>(epsilon_);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    auto [p, g] = pairs[i];
+    auto& m = m_[i];
+    auto& v = v_[i];
+    for (std::size_t k = 0; k < p.size(); ++k) {
+      const float gk = g[k];
+      m[k] = b1 * m[k] + (1.0F - b1) * gk;
+      v[k] = b2 * v[k] + (1.0F - b2) * gk * gk;
+      p[k] -= lr_hat * m[k] / (std::sqrt(v[k]) + eps);
+    }
+  }
+}
+
+void Adam::reset() {
+  m_.clear();
+  v_.clear();
+  step_count_ = 0;
+}
+
+double clip_global_norm(const ParamSet& grads, double max_norm) {
+  double squared = 0.0;
+  grads.for_each_span([&](const std::string&, std::span<float> g) {
+    for (const float value : g) {
+      squared += static_cast<double>(value) * static_cast<double>(value);
+    }
+  });
+  const double norm = std::sqrt(squared);
+  if (max_norm <= 0.0 || norm <= max_norm || norm == 0.0) return norm;
+  const float scale = static_cast<float>(max_norm / norm);
+  grads.for_each_span([&](const std::string&, std::span<float> g) {
+    scale_inplace(g, scale);
+  });
+  return norm;
+}
+
+}  // namespace rtmobile

@@ -1,0 +1,69 @@
+// First-order optimizers.
+//
+// The paper notes that ADMM-based pruning "requires the most advanced
+// optimizer in stochastic gradient descent (e.g., Adam optimizer)" — which
+// C-LSTM's training flow cannot use — so Adam is the default optimizer for
+// every ADMM phase here, with SGD+momentum available as a baseline.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rnn/param_set.hpp"
+
+namespace rtmobile {
+
+/// Interface: applies one update step given parameters and gradients with
+/// identical layout (see ParamSet::for_each_pair).
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// params[i] -= update(grads[i]); allocates state lazily on first call.
+  virtual void step(const ParamSet& params, const ParamSet& grads) = 0;
+
+  /// Clears optimizer state (moments); keeps hyperparameters.
+  virtual void reset() = 0;
+
+  /// Current learning rate (schedulers mutate this between epochs).
+  [[nodiscard]] double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr) { lr_ = lr; }
+
+ protected:
+  explicit Optimizer(double lr) : lr_(lr) {}
+  double lr_;
+};
+
+/// SGD with classical momentum.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.9);
+  void step(const ParamSet& params, const ParamSet& grads) override;
+  void reset() override;
+
+ private:
+  double momentum_;
+  std::vector<std::vector<float>> velocity_;  // per entry, lazily sized
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double epsilon = 1e-8);
+  void step(const ParamSet& params, const ParamSet& grads) override;
+  void reset() override;
+
+ private:
+  double beta1_, beta2_, epsilon_;
+  std::int64_t step_count_ = 0;
+  std::vector<std::vector<float>> m_;  // first moment per entry
+  std::vector<std::vector<float>> v_;  // second moment per entry
+};
+
+/// Scales gradients so their global L2 norm is at most `max_norm`; returns
+/// the pre-clip norm. No-op when max_norm <= 0.
+double clip_global_norm(const ParamSet& grads, double max_norm);
+
+}  // namespace rtmobile

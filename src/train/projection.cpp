@@ -1,0 +1,158 @@
+#include "train/projection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "sparse/bank_balanced.hpp"
+#include "util/check.hpp"
+
+namespace rtmobile {
+
+std::size_t keep_count(std::size_t total, double keep_fraction) {
+  RT_REQUIRE(keep_fraction >= 0.0 && keep_fraction <= 1.0,
+             "keep fraction must be in [0,1]");
+  const auto k = static_cast<std::size_t>(
+      std::llround(static_cast<double>(total) * keep_fraction));
+  return std::min(k, total);
+}
+
+std::vector<std::size_t> top_k_indices(std::span<const double> scores,
+                                       std::size_t k) {
+  k = std::min(k, scores.size());
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k),
+                    order.end(), [&](std::size_t a, std::size_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  order.resize(k);
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+Matrix project_magnitude(const Matrix& w, double keep_fraction) {
+  Matrix mask = magnitude_mask(w, keep_fraction);
+  Matrix out = w;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.span()[i] *= mask.span()[i];
+  }
+  return out;
+}
+
+Matrix magnitude_mask(const Matrix& w, double keep_fraction) {
+  const std::size_t k = keep_count(w.size(), keep_fraction);
+  std::vector<double> scores(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    scores[i] = std::fabs(static_cast<double>(w.span()[i]));
+  }
+  const auto kept = top_k_indices(scores, k);
+  Matrix mask(w.rows(), w.cols(), 0.0F);
+  for (const std::size_t i : kept) mask.span()[i] = 1.0F;
+  return mask;
+}
+
+BlockMask block_column_mask(const Matrix& w, std::size_t num_r,
+                            std::size_t num_c, double col_keep_fraction) {
+  BlockMask mask(w.rows(), w.cols(), num_r, num_c);
+  for (std::size_t s = 0; s < num_r; ++s) {
+    const std::size_t r_lo = mask.row_begin(s);
+    const std::size_t r_hi = mask.row_end(s);
+    for (std::size_t b = 0; b < num_c; ++b) {
+      const std::size_t c_lo = mask.col_begin(b);
+      const std::size_t c_hi = mask.col_end(b);
+      const std::size_t width = c_hi - c_lo;
+      std::vector<double> energy(width, 0.0);
+      for (std::size_t r = r_lo; r < r_hi; ++r) {
+        for (std::size_t c = c_lo; c < c_hi; ++c) {
+          const double v = static_cast<double>(w(r, c));
+          energy[c - c_lo] += v * v;
+        }
+      }
+      const std::size_t k = keep_count(width, col_keep_fraction);
+      const auto kept_local = top_k_indices(energy, k);
+      std::vector<std::uint32_t> kept_global;
+      kept_global.reserve(kept_local.size());
+      for (const std::size_t c : kept_local) {
+        kept_global.push_back(static_cast<std::uint32_t>(c_lo + c));
+      }
+      mask.set_block_cols(s, b, std::move(kept_global));
+    }
+  }
+  return mask;
+}
+
+void apply_row_pruning(const Matrix& w, double row_keep_fraction,
+                       BlockMask& mask) {
+  RT_REQUIRE(w.rows() == mask.rows() && w.cols() == mask.cols(),
+             "row pruning: shape mismatch");
+  const Matrix dense_mask = mask.to_dense();
+  std::vector<double> energy(w.rows(), 0.0);
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    for (std::size_t c = 0; c < w.cols(); ++c) {
+      const double v =
+          static_cast<double>(w(r, c)) * static_cast<double>(dense_mask(r, c));
+      energy[r] += v * v;
+    }
+  }
+  const std::size_t k = keep_count(w.rows(), row_keep_fraction);
+  const auto kept = top_k_indices(energy, k);
+  std::vector<std::uint8_t> keep_flags(w.rows(), 0);
+  for (const std::size_t r : kept) keep_flags[r] = 1;
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    mask.set_row_kept(r, keep_flags[r] != 0);
+  }
+}
+
+Matrix project_to_block_mask(const Matrix& w, const BlockMask& mask) {
+  Matrix out = w;
+  mask.apply(out);
+  return out;
+}
+
+Matrix project_bsp(const Matrix& w, std::size_t num_r, std::size_t num_c,
+                   double col_keep_fraction, double row_keep_fraction) {
+  BlockMask mask = block_column_mask(w, num_r, num_c, col_keep_fraction);
+  if (row_keep_fraction < 1.0) {
+    apply_row_pruning(w, row_keep_fraction, mask);
+  }
+  return project_to_block_mask(w, mask);
+}
+
+Matrix project_bank_balanced(const Matrix& w, std::size_t bank_size,
+                             std::size_t keep_per_bank) {
+  return BankBalancedMatrix::from_dense(w, bank_size, keep_per_bank)
+      .to_dense();
+}
+
+Matrix project_row_column(const Matrix& w, double col_keep_fraction,
+                          double row_keep_fraction) {
+  std::vector<double> col_energy(w.cols(), 0.0);
+  std::vector<double> row_energy(w.rows(), 0.0);
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    for (std::size_t c = 0; c < w.cols(); ++c) {
+      const double v = static_cast<double>(w(r, c));
+      col_energy[c] += v * v;
+      row_energy[r] += v * v;
+    }
+  }
+  const auto kept_cols =
+      top_k_indices(col_energy, keep_count(w.cols(), col_keep_fraction));
+  const auto kept_rows =
+      top_k_indices(row_energy, keep_count(w.rows(), row_keep_fraction));
+  std::vector<std::uint8_t> col_flag(w.cols(), 0);
+  std::vector<std::uint8_t> row_flag(w.rows(), 0);
+  for (const std::size_t c : kept_cols) col_flag[c] = 1;
+  for (const std::size_t r : kept_rows) row_flag[r] = 1;
+  Matrix out(w.rows(), w.cols(), 0.0F);
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    if (row_flag[r] == 0) continue;
+    for (std::size_t c = 0; c < w.cols(); ++c) {
+      if (col_flag[c] != 0) out(r, c) = w(r, c);
+    }
+  }
+  return out;
+}
+
+}  // namespace rtmobile

@@ -1,0 +1,77 @@
+// Euclidean projections onto the sparsity constraint sets used by ADMM.
+//
+// ADMM's Z-update (paper Eq. 4) is the projection of W + U onto the
+// constraint set S. Each pruning scheme is defined by its S:
+//   - BSP step 1: block-column sparsity (top columns per (stripe, block))
+//   - BSP step 2: row sparsity (top rows of the whole matrix)
+//   - ESE:        unstructured magnitude sparsity (top-k entries)
+//   - BBS:        bank-balanced sparsity (top-k entries per bank)
+//   - Wang:       whole-column + whole-row structured sparsity
+//   - C-LSTM/E-RNN: block-circulant subspace (handled by
+//                   BlockCirculantMatrix::from_dense, a linear projection)
+// Because every S here is a union of coordinate subspaces (or a linear
+// subspace), the projection keeps the highest-energy structures and zeroes
+// the rest — which these helpers implement.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sparse/block_mask.hpp"
+#include "tensor/matrix.hpp"
+
+namespace rtmobile {
+
+/// Number of items to keep for a fractional budget: round(total * fraction)
+/// clamped to [0, total].
+[[nodiscard]] std::size_t keep_count(std::size_t total, double keep_fraction);
+
+/// Indices of the k largest scores (ties broken by lower index), sorted
+/// ascending. k may be 0; k > scores.size() is clamped.
+[[nodiscard]] std::vector<std::size_t> top_k_indices(
+    std::span<const double> scores, std::size_t k);
+
+/// Unstructured magnitude projection: keeps the keep_count largest |w|.
+[[nodiscard]] Matrix project_magnitude(const Matrix& w, double keep_fraction);
+
+/// 0/1 mask of the unstructured magnitude projection.
+[[nodiscard]] Matrix magnitude_mask(const Matrix& w, double keep_fraction);
+
+/// BSP step-1 structure: for each (stripe, block), scores each column by
+/// its L2 energy within the stripe and keeps the top
+/// keep_count(block_width, col_keep_fraction) columns. Rows all kept.
+[[nodiscard]] BlockMask block_column_mask(const Matrix& w, std::size_t num_r,
+                                          std::size_t num_c,
+                                          double col_keep_fraction);
+
+/// BSP step-2 structure: scores each row of `w` by L2 energy restricted to
+/// the columns `mask` keeps, and prunes rows outside the top
+/// keep_count(rows, row_keep_fraction). Updates `mask` in place.
+void apply_row_pruning(const Matrix& w, double row_keep_fraction,
+                       BlockMask& mask);
+
+/// Projection of `w` onto the subspace selected by `mask` (zero elsewhere).
+[[nodiscard]] Matrix project_to_block_mask(const Matrix& w,
+                                           const BlockMask& mask);
+
+/// Composite BSP projection used by the ADMM Z-update: derives the
+/// block-column structure (and optional row structure) from `w` itself,
+/// then zeroes everything outside it.
+[[nodiscard]] Matrix project_bsp(const Matrix& w, std::size_t num_r,
+                                 std::size_t num_c, double col_keep_fraction,
+                                 double row_keep_fraction);
+
+/// Bank-balanced projection (BBS): keeps the top keep_per_bank magnitudes
+/// in each bank of each row.
+[[nodiscard]] Matrix project_bank_balanced(const Matrix& w,
+                                           std::size_t bank_size,
+                                           std::size_t keep_per_bank);
+
+/// Whole-column + whole-row structured projection (Wang): keeps the top
+/// energy columns then the top energy rows.
+[[nodiscard]] Matrix project_row_column(const Matrix& w,
+                                        double col_keep_fraction,
+                                        double row_keep_fraction);
+
+}  // namespace rtmobile

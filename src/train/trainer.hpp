@@ -1,0 +1,152 @@
+// Trainer: sequence-level SGD over labeled utterances with optional ADMM
+// penalty and optional hard masks (masked retraining).
+//
+// One "step" = one utterance: forward with activation caching, framewise
+// cross-entropy, full BPTT, optional ADMM penalty gradient, optional mask
+// on gradients, global-norm clipping, optimizer update, optional mask
+// re-application on weights. This is the W-update loop of Algorithm 1.
+//
+// BasicTrainer is templated over the model type so the same loop drives
+// the paper's GRU (SpeechModel) and the baselines' native LSTM
+// (LstmModel). A Model must provide: a ForwardCache alias,
+// forward(features, ForwardCache*), backward(cache, dlogits, grads),
+// zero(), config(), and register_params(ParamSet&).
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "rnn/model.hpp"
+#include "train/admm.hpp"
+#include "train/loss.hpp"
+#include "train/mask_set.hpp"
+#include "train/optimizer.hpp"
+#include "train/types.hpp"
+#include "util/check.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace rtmobile {
+
+struct TrainConfig {
+  std::size_t epochs = 5;
+  double clip_norm = 5.0;      // <= 0 disables clipping
+  double lr_decay = 1.0;       // learning-rate multiplier applied per epoch
+  bool verbose = false;        // log per-epoch loss at Info level
+};
+
+struct EvalResult {
+  double loss = 0.0;
+  double frame_accuracy = 0.0;
+};
+
+/// Called after every optimizer step. Used by subspace-constrained
+/// training (block-circulant methods): re-projecting each step is exactly
+/// training in the constrained parametrization, since the constraint sets
+/// are linear subspaces.
+using PostStepHook = std::function<void()>;
+
+template <typename Model>
+class BasicTrainer {
+ public:
+  /// Binds to the model being trained; allocates a same-shape gradient
+  /// accumulator internally.
+  explicit BasicTrainer(Model& model) : model_(model), grads_(model.config()) {
+    grads_.zero();
+    model_.register_params(param_set_);
+    grads_.register_params(grad_set_);
+  }
+
+  BasicTrainer(const BasicTrainer&) = delete;
+  BasicTrainer& operator=(const BasicTrainer&) = delete;
+
+  /// One pass over `data` in shuffled order. Returns mean utterance loss.
+  /// `admm` (optional) contributes penalty gradients; `masks` (optional)
+  /// zeroes pruned weights/gradients around every step. `clip_norm <= 0`
+  /// disables gradient clipping.
+  double run_epoch(const std::vector<LabeledSequence>& data, Optimizer& opt,
+                   Rng& rng, const AdmmState* admm = nullptr,
+                   const MaskSet* masks = nullptr, double clip_norm = 5.0,
+                   const PostStepHook& post_step = nullptr) {
+    RT_REQUIRE(!data.empty(), "run_epoch: empty dataset");
+    std::vector<std::size_t> order(data.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    rng.shuffle(order);
+
+    double total_loss = 0.0;
+    for (const std::size_t index : order) {
+      const LabeledSequence& utt = data[index];
+      RT_REQUIRE(utt.features.rows() == utt.labels.size(),
+                 "utterance features/labels length mismatch");
+
+      typename Model::ForwardCache cache;
+      const Matrix logits = model_.forward(utt.features, &cache);
+      Matrix dlogits(logits.rows(), logits.cols());
+      total_loss += softmax_cross_entropy(
+          logits, {utt.labels.data(), utt.labels.size()}, &dlogits);
+
+      grads_.zero();
+      model_.backward(cache, dlogits, grads_);
+      if (admm != nullptr) admm->add_penalty_gradients(grad_set_);
+      if (masks != nullptr) masks->apply_to_grads(grad_set_);
+      clip_global_norm(grad_set_, clip_norm);
+      opt.step(param_set_, grad_set_);
+      if (masks != nullptr) masks->apply(param_set_);
+      if (post_step) post_step();
+    }
+    return total_loss / static_cast<double>(data.size());
+  }
+
+  /// Runs config.epochs epochs with per-epoch LR decay. Returns the final
+  /// epoch's mean loss.
+  double train(const TrainConfig& config,
+               const std::vector<LabeledSequence>& data, Optimizer& opt,
+               Rng& rng, const AdmmState* admm = nullptr,
+               const MaskSet* masks = nullptr,
+               const PostStepHook& post_step = nullptr) {
+    RT_REQUIRE(config.epochs > 0, "train: epochs must be positive");
+    double loss = 0.0;
+    for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+      loss = run_epoch(data, opt, rng, admm, masks, config.clip_norm,
+                       post_step);
+      if (config.verbose) {
+        RT_LOG(Info, "trainer") << "epoch " << (epoch + 1) << '/'
+                                << config.epochs << " loss " << loss
+                                << " lr " << opt.learning_rate();
+      }
+      if (config.lr_decay != 1.0) {
+        opt.set_learning_rate(opt.learning_rate() * config.lr_decay);
+      }
+    }
+    return loss;
+  }
+
+  /// Loss and frame accuracy of `model` on `data` (no weight updates).
+  [[nodiscard]] static EvalResult evaluate(
+      const Model& model, const std::vector<LabeledSequence>& data) {
+    RT_REQUIRE(!data.empty(), "evaluate: empty dataset");
+    EvalResult result;
+    for (const LabeledSequence& utt : data) {
+      const Matrix logits = model.forward(utt.features);
+      const std::span<const std::uint16_t> labels{utt.labels.data(),
+                                                  utt.labels.size()};
+      result.loss += softmax_cross_entropy(logits, labels);
+      result.frame_accuracy += frame_accuracy(logits, labels);
+    }
+    result.loss /= static_cast<double>(data.size());
+    result.frame_accuracy /= static_cast<double>(data.size());
+    return result;
+  }
+
+ private:
+  Model& model_;
+  Model grads_;
+  ParamSet param_set_;
+  ParamSet grad_set_;
+};
+
+/// The default trainer: the paper's GRU model.
+using Trainer = BasicTrainer<SpeechModel>;
+
+}  // namespace rtmobile

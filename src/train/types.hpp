@@ -1,0 +1,19 @@
+// Shared training data types.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace rtmobile {
+
+/// One utterance: per-frame features (T x dim) with a per-frame class label.
+struct LabeledSequence {
+  Matrix features;                   // T x input_dim
+  std::vector<std::uint16_t> labels; // size T, values < num_classes
+  std::vector<std::uint16_t> phones; // reference phone sequence (collapsed),
+                                     // used for PER scoring; may be empty.
+};
+
+}  // namespace rtmobile

@@ -1,0 +1,35 @@
+#include "util/check.hpp"
+
+namespace rtmobile::detail {
+
+std::string format_check_message(const char* file, int line, const char* expr,
+                                 const std::string& what) {
+  std::string msg;
+  msg.reserve(what.size() + 64);
+  msg += file;
+  msg += ':';
+  msg += std::to_string(line);
+  msg += ": ";
+  msg += what;
+  msg += " (failed: ";
+  msg += expr;
+  msg += ')';
+  return msg;
+}
+
+void throw_invalid_argument(const char* file, int line, const char* expr,
+                            const std::string& what) {
+  throw std::invalid_argument(format_check_message(file, line, expr, what));
+}
+
+void throw_runtime_error(const char* file, int line, const char* expr,
+                         const std::string& what) {
+  throw std::runtime_error(format_check_message(file, line, expr, what));
+}
+
+void throw_internal_error(const char* file, int line, const char* expr,
+                          const std::string& what) {
+  throw InternalError(format_check_message(file, line, expr, what));
+}
+
+}  // namespace rtmobile::detail

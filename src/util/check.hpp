@@ -1,0 +1,68 @@
+// Error-checking macros and failure reporting.
+//
+// Following the C++ Core Guidelines (E.2, E.3) errors that a caller can
+// plausibly recover from are reported via exceptions; programming errors
+// (broken invariants inside the library) also throw so that tests can
+// observe them, but carry a distinct type.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rtmobile {
+
+/// Thrown when a library invariant is violated (a bug in the library or in
+/// how it is driven), as opposed to invalid user input.
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+/// Builds the exception message "<file>:<line>: <what> (<expr>)".
+[[nodiscard]] std::string format_check_message(const char* file, int line,
+                                               const char* expr,
+                                               const std::string& what);
+
+[[noreturn]] void throw_invalid_argument(const char* file, int line,
+                                         const char* expr,
+                                         const std::string& what);
+[[noreturn]] void throw_runtime_error(const char* file, int line,
+                                      const char* expr,
+                                      const std::string& what);
+[[noreturn]] void throw_internal_error(const char* file, int line,
+                                       const char* expr,
+                                       const std::string& what);
+
+}  // namespace detail
+}  // namespace rtmobile
+
+/// Validates a precondition on user-supplied input. Throws
+/// std::invalid_argument with file/line context on failure.
+#define RT_REQUIRE(expr, what)                                              \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::rtmobile::detail::throw_invalid_argument(__FILE__, __LINE__, #expr, \
+                                                 (what));                   \
+    }                                                                       \
+  } while (false)
+
+/// Validates a runtime condition (I/O, environment, numeric state). Throws
+/// std::runtime_error with file/line context on failure.
+#define RT_CHECK(expr, what)                                             \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::rtmobile::detail::throw_runtime_error(__FILE__, __LINE__, #expr, \
+                                              (what));                   \
+    }                                                                    \
+  } while (false)
+
+/// Asserts an internal invariant. Throws rtmobile::InternalError on failure.
+#define RT_ASSERT(expr, what)                                             \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::rtmobile::detail::throw_internal_error(__FILE__, __LINE__, #expr, \
+                                               (what));                   \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,96 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace rtmobile {
+
+void CliParser::add_flag(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& help) {
+  RT_REQUIRE(!name.empty(), "flag name must be non-empty");
+  RT_REQUIRE(flags_.find(name) == flags_.end(), "duplicate flag: " + name);
+  flags_[name] = Flag{default_value, default_value, help, false, false};
+}
+
+void CliParser::add_switch(const std::string& name, const std::string& help) {
+  RT_REQUIRE(!name.empty(), "switch name must be non-empty");
+  RT_REQUIRE(flags_.find(name) == flags_.end(), "duplicate flag: " + name);
+  flags_[name] = Flag{"false", "false", help, true, false};
+}
+
+void CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string name = arg;
+    std::optional<std::string> inline_value;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      inline_value = arg.substr(eq + 1);
+    }
+    const auto it = flags_.find(name);
+    RT_REQUIRE(it != flags_.end(), "unknown flag: --" + name);
+    Flag& flag = it->second;
+    flag.seen = true;
+    if (flag.is_switch) {
+      RT_REQUIRE(!inline_value || *inline_value == "true" ||
+                     *inline_value == "false",
+                 "switch --" + name + " takes no value or true/false");
+      flag.value = inline_value.value_or("true");
+    } else if (inline_value) {
+      flag.value = *inline_value;
+    } else {
+      RT_REQUIRE(i + 1 < argc, "flag --" + name + " expects a value");
+      flag.value = argv[++i];
+    }
+  }
+}
+
+std::string CliParser::get_string(const std::string& name) const {
+  const auto it = flags_.find(name);
+  RT_REQUIRE(it != flags_.end(), "unregistered flag: " + name);
+  return it->second.value;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  const std::string text = get_string(name);
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  RT_REQUIRE(end != nullptr && *end == '\0' && !text.empty(),
+             "flag --" + name + " expects an integer, got: " + text);
+  return static_cast<std::int64_t>(value);
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string text = get_string(name);
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  RT_REQUIRE(end != nullptr && *end == '\0' && !text.empty(),
+             "flag --" + name + " expects a number, got: " + text);
+  return value;
+}
+
+bool CliParser::get_switch(const std::string& name) const {
+  return get_string(name) == "true";
+}
+
+std::string CliParser::help(const std::string& program) const {
+  std::ostringstream out;
+  out << "usage: " << program << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    out << "  --" << name;
+    if (!flag.is_switch) out << " <value, default: " << flag.default_value << '>';
+    out << "\n      " << flag.help << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace rtmobile

@@ -1,0 +1,51 @@
+// Tiny command-line flag parser for the examples.
+//
+// Supports "--name value" and "--name=value" forms plus boolean switches.
+// Unknown flags are an error so typos fail fast.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rtmobile {
+
+/// Declarative flag set: register flags with defaults, then parse argv.
+class CliParser {
+ public:
+  /// Registers a string flag (also the backing store for int/double flags).
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+
+  /// Registers a boolean switch (present => true).
+  void add_switch(const std::string& name, const std::string& help);
+
+  /// Parses argv. Throws std::invalid_argument on unknown or malformed
+  /// flags. Positional arguments are collected in order.
+  void parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get_string(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_switch(const std::string& name) const;
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Renders a usage/help string listing all registered flags.
+  [[nodiscard]] std::string help(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+    bool is_switch = false;
+    bool seen = false;
+  };
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace rtmobile

@@ -1,0 +1,53 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace rtmobile {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_emit_mutex;
+
+[[nodiscard]] const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= g_level.load();
+}
+
+namespace detail {
+
+void log_line(LogLevel level, std::string_view tag, std::string_view message) {
+  if (!log_enabled(level)) return;
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::string line;
+  line.reserve(tag.size() + message.size() + 16);
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  line.append(tag.data(), tag.size());
+  line += ": ";
+  line.append(message.data(), message.size());
+  line += '\n';
+  std::fputs(line.c_str(), stderr);
+}
+
+}  // namespace detail
+}  // namespace rtmobile

@@ -1,0 +1,56 @@
+// Minimal leveled logger for library diagnostics.
+//
+// The logger writes to stderr by default so that bench/table output on
+// stdout stays machine-parsable. Verbosity is a process-wide setting;
+// library code logs at Debug/Info, tools at Info/Warn.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace rtmobile {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the process-wide minimum level that is actually emitted.
+void set_log_level(LogLevel level);
+
+/// Returns the current process-wide log level.
+[[nodiscard]] LogLevel log_level();
+
+/// Returns true when messages at `level` would be emitted.
+[[nodiscard]] bool log_enabled(LogLevel level);
+
+namespace detail {
+
+/// Emits one formatted log line ("[level] tag: message") to stderr.
+void log_line(LogLevel level, std::string_view tag, std::string_view message);
+
+/// Stream-style accumulator used by the RT_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string_view tag) : level_(level), tag_(tag) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { log_line(level_, tag_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view tag_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace rtmobile
+
+/// Usage: RT_LOG(Info, "tuner") << "best block size " << bs;
+#define RT_LOG(level, tag)                                             \
+  if (!::rtmobile::log_enabled(::rtmobile::LogLevel::k##level)) {      \
+  } else                                                               \
+    ::rtmobile::detail::LogMessage(::rtmobile::LogLevel::k##level, (tag))

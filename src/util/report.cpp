@@ -1,0 +1,101 @@
+#include "util/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace rtmobile {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonRecord::set(std::string key, std::string value) {
+  fields_.emplace_back(std::move(key), Value(std::move(value)));
+}
+void JsonRecord::set(std::string key, const char* value) {
+  fields_.emplace_back(std::move(key), Value(std::string(value)));
+}
+void JsonRecord::set(std::string key, double value) {
+  fields_.emplace_back(std::move(key), Value(value));
+}
+void JsonRecord::set(std::string key, std::int64_t value) {
+  fields_.emplace_back(std::move(key), Value(value));
+}
+void JsonRecord::set(std::string key, bool value) {
+  fields_.emplace_back(std::move(key), Value(value));
+}
+
+std::string JsonRecord::to_json() const {
+  std::ostringstream out;
+  out << '{';
+  bool first = true;
+  for (const auto& [key, value] : fields_) {
+    if (!first) out << ", ";
+    first = false;
+    out << '"' << json_escape(key) << "\": ";
+    if (std::holds_alternative<std::string>(value)) {
+      out << '"' << json_escape(std::get<std::string>(value)) << '"';
+    } else if (std::holds_alternative<double>(value)) {
+      const double d = std::get<double>(value);
+      if (std::isfinite(d)) {
+        out << format_double(d, 6);
+      } else {
+        out << "null";  // JSON has no Inf/NaN literals
+      }
+    } else if (std::holds_alternative<std::int64_t>(value)) {
+      out << std::get<std::int64_t>(value);
+    } else {
+      out << (std::get<bool>(value) ? "true" : "false");
+    }
+  }
+  out << '}';
+  return out.str();
+}
+
+void JsonReport::add(JsonRecord record) { records_.push_back(std::move(record)); }
+
+std::string JsonReport::to_json_array() const {
+  std::ostringstream out;
+  out << "[\n";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    out << "  " << records_[i].to_json();
+    if (i + 1 != records_.size()) out << ',';
+    out << '\n';
+  }
+  out << "]\n";
+  return out.str();
+}
+
+void JsonReport::write_file(const std::string& path) const {
+  std::ofstream file(path);
+  RT_CHECK(file.good(), "failed to open report file: " + path);
+  file << to_json_array();
+  RT_CHECK(file.good(), "failed to write report file: " + path);
+}
+
+}  // namespace rtmobile

@@ -1,0 +1,52 @@
+// Lightweight JSON report writer.
+//
+// Benches emit machine-readable result records alongside the human tables
+// so experiments can be diffed across runs. The writer supports the subset
+// of JSON needed for flat records and arrays of records; it is not a
+// general JSON library.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace rtmobile {
+
+/// One flat JSON object built from key/value pairs, preserving insert order.
+class JsonRecord {
+ public:
+  void set(std::string key, std::string value);
+  void set(std::string key, const char* value);
+  void set(std::string key, double value);
+  void set(std::string key, std::int64_t value);
+  void set(std::string key, bool value);
+
+  /// Serializes as a single-line JSON object.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  using Value = std::variant<std::string, double, std::int64_t, bool>;
+  std::vector<std::pair<std::string, Value>> fields_;
+};
+
+/// Appends records and writes them as a JSON array, or as JSON Lines.
+class JsonReport {
+ public:
+  void add(JsonRecord record);
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+  /// Serializes as a pretty-ish JSON array (one record per line).
+  [[nodiscard]] std::string to_json_array() const;
+
+  /// Writes the JSON array to `path`. Throws on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<JsonRecord> records_;
+};
+
+/// Escapes a string for inclusion in JSON output.
+[[nodiscard]] std::string json_escape(const std::string& text);
+
+}  // namespace rtmobile

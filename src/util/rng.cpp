@@ -1,0 +1,108 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace rtmobile {
+namespace {
+
+[[nodiscard]] constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+  // All-zero state is the one invalid xoshiro state; SplitMix64 cannot
+  // produce four zero outputs in a row, but guard anyway.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 0x9E3779B97F4A7C15ULL;
+  }
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  RT_REQUIRE(bound > 0, "next_below bound must be positive");
+  // Lemire-style rejection: draw until the value falls inside the largest
+  // multiple of `bound`, which removes modulo bias.
+  const std::uint64_t threshold = (0ULL - bound) % bound;
+  for (;;) {
+    const std::uint64_t draw = next_u64();
+    if (draw >= threshold) return draw % bound;
+  }
+}
+
+float Rng::next_float() {
+  // 24 high-quality bits -> [0,1) with full float precision.
+  return static_cast<float>(next_u64() >> 40) * 0x1.0p-24F;
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+float Rng::uniform(float lo, float hi) {
+  RT_REQUIRE(lo <= hi, "uniform range must satisfy lo <= hi");
+  return lo + (hi - lo) * next_float();
+}
+
+float Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller on two uniform draws; u1 is kept away from zero.
+  float u1 = next_float();
+  if (u1 < 1e-12F) u1 = 1e-12F;
+  const float u2 = next_float();
+  const float radius = std::sqrt(-2.0F * std::log(u1));
+  const float angle = 2.0F * std::numbers::pi_v<float> * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+float Rng::normal(float mean, float stddev) {
+  RT_REQUIRE(stddev >= 0.0F, "normal stddev must be non-negative");
+  return mean + stddev * normal();
+}
+
+bool Rng::bernoulli(double p) {
+  RT_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli probability must be in [0,1]");
+  return next_double() < p;
+}
+
+std::size_t Rng::categorical(const std::vector<double>& weights) {
+  RT_REQUIRE(!weights.empty(), "categorical weights must be non-empty");
+  double total = 0.0;
+  for (const double w : weights) {
+    RT_REQUIRE(w >= 0.0, "categorical weights must be non-negative");
+    total += w;
+  }
+  RT_REQUIRE(total > 0.0, "categorical weights must not all be zero");
+  double draw = next_double() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    draw -= weights[i];
+    if (draw < 0.0) return i;
+  }
+  return weights.size() - 1;  // numeric edge: fell off the end by rounding
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+}  // namespace rtmobile

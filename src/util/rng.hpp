@@ -1,0 +1,79 @@
+// Deterministic random number generation.
+//
+// All stochastic behaviour in the library (weight init, synthetic corpus
+// generation, dropout-style masking in tests) flows through Rng so that
+// every experiment is reproducible from a single seed. The generator is
+// xoshiro256** seeded via SplitMix64, following the reference construction
+// by Blackman & Vigna; it is fast, has 256 bits of state, and passes BigCrush.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace rtmobile {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic PRNG (xoshiro256**). Not cryptographic.
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x5EEDBA5EULL);
+
+  /// Next raw 64-bit draw.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). `bound` must be > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform float in [0, 1).
+  float next_float();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi);
+
+  /// Standard normal draw (Box-Muller; caches the second value).
+  float normal();
+
+  /// Normal with the given mean and standard deviation.
+  float normal(float mean, float stddev);
+
+  /// Bernoulli draw with probability `p` of true.
+  bool bernoulli(double p);
+
+  /// Samples an index from an (unnormalized, non-negative) weight vector.
+  std::size_t categorical(const std::vector<double>& weights);
+
+  /// In-place Fisher-Yates shuffle of an index-addressable container.
+  template <typename Container>
+  void shuffle(Container& items) {
+    if (items.size() < 2) return;
+    for (std::size_t i = items.size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i + 1));
+      using std::swap;
+      swap(items[i], items[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for parallel streams).
+  [[nodiscard]] Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  float cached_normal_ = 0.0F;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace rtmobile

@@ -1,0 +1,89 @@
+#include "util/string_util.hpp"
+
+#include <array>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace rtmobile {
+
+std::vector<std::string> split(std::string_view text, char delimiter) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == delimiter) {
+      fields.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return fields;
+}
+
+std::string_view trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view separator) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out.append(separator);
+    out += parts[i];
+  }
+  return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string format_double(double value, int precision) {
+  RT_REQUIRE(precision >= 0 && precision <= 17, "precision out of range");
+  std::array<char, 64> buffer{};
+  const int written = std::snprintf(buffer.data(), buffer.size(), "%.*f",
+                                    precision, value);
+  RT_ASSERT(written > 0 && static_cast<std::size_t>(written) < buffer.size(),
+            "format_double buffer overflow");
+  return std::string(buffer.data(), static_cast<std::size_t>(written));
+}
+
+std::string format_si(double value, int precision) {
+  struct Scale {
+    double factor;
+    const char* suffix;
+  };
+  static constexpr std::array<Scale, 7> kScales = {{{1e9, "G"},
+                                                    {1e6, "M"},
+                                                    {1e3, "k"},
+                                                    {1.0, ""},
+                                                    {1e-3, "m"},
+                                                    {1e-6, "u"},
+                                                    {1e-9, "n"}}};
+  const double magnitude = std::fabs(value);
+  if (magnitude == 0.0) return format_double(0.0, precision);
+  for (const auto& scale : kScales) {
+    if (magnitude >= scale.factor) {
+      return format_double(value / scale.factor, precision) + scale.suffix;
+    }
+  }
+  return format_double(value / kScales.back().factor, precision) +
+         kScales.back().suffix;
+}
+
+std::string format_percent(double fraction, int precision) {
+  return format_double(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace rtmobile

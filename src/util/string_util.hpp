@@ -1,0 +1,33 @@
+// Small string helpers shared across tools and benches.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rtmobile {
+
+/// Splits `text` on `delimiter`, keeping empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view text,
+                                             char delimiter);
+
+/// Removes leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+/// Joins `parts` with `separator`.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view separator);
+
+/// True when `text` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Formats a double with `precision` digits after the decimal point.
+[[nodiscard]] std::string format_double(double value, int precision);
+
+/// Formats a value in engineering style: 1234567 -> "1.23M", 0.0012 -> "1.20m".
+[[nodiscard]] std::string format_si(double value, int precision = 2);
+
+/// Formats a fraction as a percentage string, e.g. 0.1234 -> "12.34%".
+[[nodiscard]] std::string format_percent(double fraction, int precision = 2);
+
+}  // namespace rtmobile

@@ -1,0 +1,40 @@
+// ASCII table printer used by the benchmark harness to reproduce the
+// paper's tables with aligned columns on stdout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rtmobile {
+
+/// Column-aligned ASCII table. Rows may be added as pre-formatted strings;
+/// numeric helpers format with fixed precision.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row. Must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  void add_separator();
+
+  /// Number of data rows added so far (separators not counted).
+  [[nodiscard]] std::size_t row_count() const { return data_rows_; }
+
+  /// Renders the table ("| a | b |" style with a header rule).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders to a stream.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  // Separator rows are encoded as empty vectors.
+  std::vector<std::vector<std::string>> rows_;
+  std::size_t data_rows_ = 0;
+};
+
+}  // namespace rtmobile

@@ -1,0 +1,298 @@
+// Unit tests for the Table I comparison methods: structural invariants of
+// each scheme and achieved compression rates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/bbs.hpp"
+#include "baselines/clstm.hpp"
+#include "baselines/ernn.hpp"
+#include "baselines/ese.hpp"
+#include "baselines/wang.hpp"
+#include "tensor/ops.hpp"
+#include "train/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace rtmobile::baselines {
+namespace {
+
+SpeechModel small_model(std::uint64_t seed) {
+  Rng rng(seed);
+  ModelConfig config;
+  config.input_dim = 16;
+  config.hidden_dim = 32;
+  config.num_layers = 2;
+  config.num_classes = 8;
+  SpeechModel model(config);
+  model.init(rng);
+  return model;
+}
+
+std::vector<LabeledSequence> tiny_dataset(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<LabeledSequence> data(4);
+  for (auto& utt : data) {
+    utt.features = Matrix(5, 16);
+    fill_normal(utt.features.span(), rng, 1.0F);
+    utt.labels.resize(5);
+    for (auto& l : utt.labels) {
+      l = static_cast<std::uint16_t>(rng.next_below(8));
+    }
+  }
+  return data;
+}
+
+// ------------------------------------------------------------------- ESE
+TEST(Ese, LoadBalancedProjectionBalancesGroups) {
+  Rng rng(1);
+  Matrix w(16, 32);
+  fill_normal(w.span(), rng, 1.0F);
+  const Matrix pruned = project_load_balanced_magnitude(w, 4, 0.25);
+  // Every 4-row PE group keeps exactly 25% of its slots.
+  for (std::size_t g = 0; g < 4; ++g) {
+    std::size_t kept = 0;
+    for (std::size_t r = g * 4; r < (g + 1) * 4; ++r) {
+      for (std::size_t c = 0; c < 32; ++c) {
+        if (pruned(r, c) != 0.0F) ++kept;
+      }
+    }
+    EXPECT_EQ(kept, 32U);  // 4 rows * 32 cols * 0.25
+  }
+}
+
+TEST(Ese, OneShotHitsCompressionTarget) {
+  SpeechModel model = small_model(2);
+  EseConfig config;
+  config.keep_fraction = 0.125;
+  EsePruner pruner(config);
+  MaskSet masks;
+  const BaselineOutcome outcome = pruner.compress_one_shot(model, &masks);
+  EXPECT_EQ(outcome.method, "ESE");
+  EXPECT_NEAR(outcome.compression_rate(), 8.0, 0.2);
+  EXPECT_EQ(masks.size(), 12U);
+}
+
+TEST(Ese, FullPipelineKeepsMaskAndImprovesOverOneShot) {
+  auto data = tiny_dataset(3);
+  SpeechModel trained = small_model(4);
+  {
+    Trainer trainer(trained);
+    Adam adam(3e-3);
+    TrainConfig config;
+    config.epochs = 2;
+    Rng rng(5);
+    trainer.train(config, data, adam, rng);
+  }
+  SpeechModel admm_model = trained;
+  SpeechModel oneshot_model = trained;
+
+  EseConfig config;
+  config.keep_fraction = 0.25;
+  config.admm_rounds = 2;
+  config.retrain_epochs = 2;
+  EsePruner pruner(config);
+  Rng rng(6);
+  const BaselineOutcome admm_outcome =
+      pruner.compress(admm_model, data, rng);
+  pruner.compress_one_shot(oneshot_model);
+
+  EXPECT_NEAR(admm_outcome.compression_rate(), 4.0, 0.5);
+  EXPECT_LE(Trainer::evaluate(admm_model, data).loss,
+            Trainer::evaluate(oneshot_model, data).loss);
+}
+
+// ---------------------------------------------------------------- C-LSTM
+TEST(Clstm, OneShotProjectionIsBlockCirculant) {
+  SpeechModel model = small_model(7);
+  ClstmConfig config;
+  config.block_size = 8;
+  ClstmCompressor compressor(config);
+  const BaselineOutcome outcome = compressor.compress_one_shot(model);
+  EXPECT_EQ(outcome.method, "C-LSTM");
+  EXPECT_NEAR(outcome.compression_rate(), 8.0, 0.2);
+
+  // u_z (32x32) must consist of 8x8 circulant tiles.
+  const Matrix& u = model.layer(0).u_z;
+  for (std::size_t br = 0; br < 4; ++br) {
+    for (std::size_t bc = 0; bc < 4; ++bc) {
+      for (std::size_t i = 0; i < 8; ++i) {
+        for (std::size_t j = 0; j < 8; ++j) {
+          EXPECT_NEAR(u(br * 8 + i, bc * 8 + j),
+                      u(br * 8 + (i + 1) % 8, bc * 8 + (j + 1) % 8), 1e-5F);
+        }
+      }
+    }
+  }
+}
+
+TEST(Clstm, ProjectedTrainingEndsOnSubspace) {
+  SpeechModel model = small_model(8);
+  auto data = tiny_dataset(9);
+  ClstmConfig config;
+  config.block_size = 4;
+  config.projected_epochs = 1;
+  config.final_epochs = 1;
+  ClstmCompressor compressor(config);
+  Rng rng(10);
+  const BaselineOutcome outcome = compressor.compress(model, data, rng);
+  EXPECT_NEAR(outcome.compression_rate(), 4.0, 0.2);
+  // Projection idempotence on the returned model == already circulant.
+  SpeechModel copy = model;
+  ClstmCompressor(config).compress_one_shot(copy);
+  const Matrix& a = model.layer(1).u_h;
+  const Matrix& b = copy.layer(1).u_h;
+  EXPECT_LT(max_abs_diff(a.span(), b.span()), 1e-5F);
+}
+
+TEST(Clstm, RejectsNonPowerOfTwoBlock) {
+  ClstmConfig config;
+  config.block_size = 6;
+  EXPECT_THROW(ClstmCompressor{config}, std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- E-RNN
+TEST(Ernn, AdmmPipelineEndsOnCirculantSubspace) {
+  SpeechModel model = small_model(11);
+  auto data = tiny_dataset(12);
+  ErnnConfig config;
+  config.block_size = 8;
+  config.admm_rounds = 1;
+  config.finetune_epochs = 1;
+  ErnnCompressor compressor(config);
+  Rng rng(13);
+  const BaselineOutcome outcome = compressor.compress(model, data, rng);
+  EXPECT_EQ(outcome.method, "E-RNN");
+  EXPECT_NEAR(outcome.compression_rate(), 8.0, 0.2);
+
+  // Model weights are exactly circulant after the pipeline.
+  SpeechModel copy = model;
+  ErnnCompressor(config).compress_one_shot(copy);
+  EXPECT_LT(max_abs_diff(model.layer(0).w_h.span(),
+                         copy.layer(0).w_h.span()),
+            1e-5F);
+}
+
+// ------------------------------------------------------------------- BBS
+TEST(Bbs, OneShotBanksAreBalanced) {
+  SpeechModel model = small_model(14);
+  BbsConfig config;
+  config.bank_size = 16;
+  config.keep_per_bank = 2;  // 8x
+  BbsPruner pruner(config);
+  MaskSet masks;
+  const BaselineOutcome outcome = pruner.compress_one_shot(model, &masks);
+  EXPECT_NEAR(outcome.compression_rate(), 8.0, 0.2);
+
+  // Every bank of every row of u_z keeps exactly 2 entries.
+  const Matrix& u = model.layer(0).u_z;  // 32x32, banks of 16
+  for (std::size_t r = 0; r < 32; ++r) {
+    for (std::size_t bank = 0; bank < 2; ++bank) {
+      std::size_t kept = 0;
+      for (std::size_t k = 0; k < 16; ++k) {
+        if (u(r, bank * 16 + k) != 0.0F) ++kept;
+      }
+      EXPECT_EQ(kept, 2U);
+    }
+  }
+}
+
+TEST(Bbs, AdmmPipelineRespectsMask) {
+  SpeechModel model = small_model(15);
+  auto data = tiny_dataset(16);
+  BbsConfig config;
+  config.bank_size = 8;
+  config.keep_per_bank = 2;
+  config.admm_rounds = 1;
+  config.retrain_epochs = 1;
+  BbsPruner pruner(config);
+  Rng rng(17);
+  MaskSet masks;
+  const BaselineOutcome outcome = pruner.compress(model, data, rng, &masks);
+  EXPECT_NEAR(outcome.compression_rate(), 4.0, 0.3);
+  // Pruned slots stayed zero through retraining.
+  ParamSet params;
+  model.register_params(params);
+  const Matrix& mask = masks.mask("gru0.u_h");
+  const Matrix& w = params.matrix("gru0.u_h");
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (mask.span()[i] == 0.0F) {
+      EXPECT_FLOAT_EQ(w.span()[i], 0.0F);
+    }
+  }
+}
+
+// ------------------------------------------------------------------ Wang
+TEST(Wang, OneShotRemovesWholeRowsAndColumns) {
+  SpeechModel model = small_model(18);
+  WangConfig config;
+  config.col_keep_fraction = 0.5;
+  config.row_keep_fraction = 0.5;
+  WangPruner pruner(config);
+  const BaselineOutcome outcome = pruner.compress_one_shot(model);
+  EXPECT_EQ(outcome.method, "Wang");
+  EXPECT_NEAR(outcome.compression_rate(), 4.0, 0.4);
+
+  // u_r: rows are either all-zero or match the surviving column pattern.
+  const Matrix& u = model.layer(1).u_r;
+  std::vector<bool> col_live(u.cols(), false);
+  for (std::size_t c = 0; c < u.cols(); ++c) {
+    for (std::size_t r = 0; r < u.rows(); ++r) {
+      if (u(r, c) != 0.0F) col_live[c] = true;
+    }
+  }
+  for (std::size_t r = 0; r < u.rows(); ++r) {
+    bool row_live = false;
+    for (std::size_t c = 0; c < u.cols(); ++c) {
+      if (u(r, c) != 0.0F) row_live = true;
+    }
+    if (!row_live) continue;
+    for (std::size_t c = 0; c < u.cols(); ++c) {
+      // A live row must occupy exactly the live columns' support, since
+      // energy-ranked column selection is shared across rows.
+      if (col_live[c]) {
+        // entry may still be zero only if the original weight was zero;
+        // with Gaussian init that has probability ~0.
+        EXPECT_NE(u(r, c), 0.0F);
+      } else {
+        EXPECT_EQ(u(r, c), 0.0F);
+      }
+    }
+  }
+}
+
+TEST(Wang, RetrainingKeepsStructure) {
+  SpeechModel model = small_model(19);
+  auto data = tiny_dataset(20);
+  WangConfig config;
+  config.retrain_epochs = 1;
+  WangPruner pruner(config);
+  Rng rng(21);
+  MaskSet masks;
+  const BaselineOutcome outcome = pruner.compress(model, data, rng, &masks);
+  EXPECT_NEAR(outcome.compression_rate(), 4.0, 0.4);
+  EXPECT_EQ(masks.size(), 12U);
+}
+
+// ---------------------------------------------------------------- common
+TEST(BaselineCommon, OutcomeArithmetic) {
+  BaselineOutcome outcome;
+  outcome.total_weights = 1000;
+  outcome.stored_params = 125;
+  EXPECT_DOUBLE_EQ(outcome.compression_rate(), 8.0);
+  EXPECT_DOUBLE_EQ(outcome.params_millions(), 125e-6);
+  outcome.stored_params = 0;
+  EXPECT_DOUBLE_EQ(outcome.compression_rate(), 0.0);
+}
+
+TEST(BaselineCommon, CompressibleWeightsMatchModel) {
+  const SpeechModel model = small_model(22);
+  const auto names = compressible_weights(model);
+  EXPECT_EQ(names.size(), 12U);
+  // Layer 0: 3 x (32x16) inputs + 3 x (32x32) recurrent;
+  // layer 1: 3 x (32x32) + 3 x (32x32).
+  EXPECT_EQ(total_weight_slots(model, names),
+            3U * (32 * 16 + 32 * 32) + 3U * (32 * 32 + 32 * 32));
+}
+
+}  // namespace
+}  // namespace rtmobile::baselines

@@ -1,0 +1,166 @@
+// Unit and property tests for BlockMask, the BSP structure descriptor.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sparse/block_mask.hpp"
+#include "util/rng.hpp"
+
+namespace rtmobile {
+namespace {
+
+TEST(BlockMask, ConstructionValidatesGrid) {
+  EXPECT_NO_THROW(BlockMask(8, 8, 2, 2));
+  EXPECT_THROW(BlockMask(0, 8, 1, 1), std::invalid_argument);
+  EXPECT_THROW(BlockMask(8, 8, 9, 1), std::invalid_argument);
+  EXPECT_THROW(BlockMask(8, 8, 1, 9), std::invalid_argument);
+}
+
+TEST(BlockMask, FreshMaskIsFullyDense) {
+  const BlockMask mask(6, 9, 2, 3);
+  EXPECT_EQ(mask.nnz(), 54U);
+  EXPECT_EQ(mask.kept_row_count(), 6U);
+  EXPECT_DOUBLE_EQ(mask.column_keep_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(mask.row_keep_fraction(), 1.0);
+  for (std::size_t r = 0; r < 6; ++r) {
+    for (std::size_t c = 0; c < 9; ++c) {
+      EXPECT_TRUE(mask.is_kept(r, c));
+    }
+  }
+}
+
+TEST(BlockMask, PartitionCoversMatrixExactly) {
+  // Uneven splits: 10 rows into 3 stripes, 11 cols into 4 blocks.
+  const BlockMask mask(10, 11, 3, 4);
+  std::size_t covered_rows = 0;
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(mask.row_begin(s), covered_rows);
+    EXPECT_GT(mask.row_end(s), mask.row_begin(s));
+    covered_rows = mask.row_end(s);
+  }
+  EXPECT_EQ(covered_rows, 10U);
+  std::size_t covered_cols = 0;
+  for (std::size_t b = 0; b < 4; ++b) {
+    EXPECT_EQ(mask.col_begin(b), covered_cols);
+    covered_cols = mask.col_end(b);
+  }
+  EXPECT_EQ(covered_cols, 11U);
+}
+
+TEST(BlockMask, StripeAndBlockLookupInvertPartition) {
+  const BlockMask mask(10, 11, 3, 4);
+  for (std::size_t r = 0; r < 10; ++r) {
+    const std::size_t s = mask.stripe_of_row(r);
+    EXPECT_GE(r, mask.row_begin(s));
+    EXPECT_LT(r, mask.row_end(s));
+  }
+  for (std::size_t c = 0; c < 11; ++c) {
+    const std::size_t b = mask.block_of_col(c);
+    EXPECT_GE(c, mask.col_begin(b));
+    EXPECT_LT(c, mask.col_end(b));
+  }
+}
+
+TEST(BlockMask, SetBlockColsValidation) {
+  BlockMask mask(8, 8, 2, 2);
+  // Block 1 covers columns [4, 8).
+  EXPECT_NO_THROW(mask.set_block_cols(0, 1, {4, 6}));
+  EXPECT_THROW(mask.set_block_cols(0, 1, {3, 6}), std::invalid_argument);
+  EXPECT_THROW(mask.set_block_cols(0, 1, {6, 4}), std::invalid_argument);
+  EXPECT_THROW(mask.set_block_cols(0, 1, {5, 5}), std::invalid_argument);
+  EXPECT_THROW(mask.set_block_cols(2, 0, {0}), std::invalid_argument);
+}
+
+TEST(BlockMask, ColumnPruningAffectsOnlyItsStripe) {
+  BlockMask mask(8, 8, 2, 2);
+  mask.set_block_cols(0, 0, {1});  // stripe 0, block 0 keeps column 1 only
+  EXPECT_TRUE(mask.is_kept(0, 1));
+  EXPECT_FALSE(mask.is_kept(0, 0));
+  EXPECT_FALSE(mask.is_kept(3, 2));
+  // Stripe 1 untouched.
+  EXPECT_TRUE(mask.is_kept(4, 0));
+  EXPECT_EQ(mask.nnz(), 4U * (1 + 4) + 4U * 8);
+}
+
+TEST(BlockMask, RowPruningZerosWholeRow) {
+  BlockMask mask(4, 4, 2, 2);
+  mask.set_row_kept(2, false);
+  EXPECT_FALSE(mask.row_kept(2));
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_FALSE(mask.is_kept(2, c));
+  }
+  EXPECT_EQ(mask.kept_row_count(), 3U);
+  EXPECT_EQ(mask.nnz(), 12U);
+  EXPECT_DOUBLE_EQ(mask.row_keep_fraction(), 0.75);
+}
+
+TEST(BlockMask, ApplyZeroesPrunedEntries) {
+  BlockMask mask(4, 4, 2, 2);
+  mask.set_block_cols(0, 0, {0});
+  mask.set_row_kept(3, false);
+  Matrix weights(4, 4, 1.0F);
+  mask.apply(weights);
+  EXPECT_FLOAT_EQ(weights(0, 0), 1.0F);
+  EXPECT_FLOAT_EQ(weights(0, 1), 0.0F);
+  EXPECT_FLOAT_EQ(weights(3, 0), 0.0F);
+  EXPECT_EQ(weights.count_nonzero(), mask.nnz());
+
+  Matrix wrong(3, 4, 1.0F);
+  EXPECT_THROW(mask.apply(wrong), std::invalid_argument);
+}
+
+// Property: is_kept agrees with the dense rendering on random masks.
+class BlockMaskPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(BlockMaskPropertyTest, DenseRenderingAgreesWithIsKept) {
+  Rng rng(GetParam());
+  const std::size_t rows = 4 + rng.next_below(20);
+  const std::size_t cols = 4 + rng.next_below(20);
+  const std::size_t num_r = 1 + rng.next_below(std::min<std::size_t>(rows, 5));
+  const std::size_t num_c = 1 + rng.next_below(std::min<std::size_t>(cols, 5));
+  BlockMask mask(rows, cols, num_r, num_c);
+
+  // Random column subsets per (stripe, block).
+  for (std::size_t s = 0; s < num_r; ++s) {
+    for (std::size_t b = 0; b < num_c; ++b) {
+      std::vector<std::uint32_t> kept;
+      for (std::size_t c = mask.col_begin(b); c < mask.col_end(b); ++c) {
+        if (rng.bernoulli(0.4)) {
+          kept.push_back(static_cast<std::uint32_t>(c));
+        }
+      }
+      mask.set_block_cols(s, b, kept);
+    }
+  }
+  // Random row pruning.
+  for (std::size_t r = 0; r < rows; ++r) {
+    mask.set_row_kept(r, rng.bernoulli(0.7));
+  }
+
+  const Matrix dense = mask.to_dense();
+  std::size_t dense_nnz = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const bool kept = mask.is_kept(r, c);
+      EXPECT_EQ(kept, dense(r, c) != 0.0F)
+          << "disagreement at (" << r << ',' << c << ')';
+      if (kept) ++dense_nnz;
+    }
+  }
+  EXPECT_EQ(dense_nnz, mask.nnz());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMasks, BlockMaskPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+TEST(BlockMask, EqualityComparesPattern) {
+  BlockMask a(4, 4, 2, 2);
+  BlockMask b(4, 4, 2, 2);
+  EXPECT_TRUE(a == b);
+  b.set_row_kept(0, false);
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace rtmobile

@@ -1,0 +1,346 @@
+// Additional coverage: edge-shape sweeps, composition properties across
+// modules (pruning x quantization, progressive nesting), optimizer
+// behaviour, decoder properties, and corpus statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/bsp.hpp"
+#include "core/quantize.hpp"
+#include "sparse/fft.hpp"
+#include "speech/corpus.hpp"
+#include "speech/decoder.hpp"
+#include "speech/mfcc.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+#include "train/optimizer.hpp"
+#include "train/projection.hpp"
+#include "train/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace rtmobile {
+namespace {
+
+// ------------------------------------------------------- GEMV edge shapes
+class GemvShapeSweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {
+};
+
+TEST_P(GemvShapeSweep, BlockedMatchesNaive) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(rows * 131 + cols);
+  Matrix w(rows, cols);
+  fill_normal(w.span(), rng, 1.0F);
+  Vector x(cols);
+  fill_normal(x.span(), rng, 1.0F);
+  Vector expected(rows);
+  Vector actual(rows);
+  gemv_naive(w, x.span(), expected.span());
+  gemv(w, x.span(), actual.span());
+  EXPECT_LT(max_abs_diff(expected.span(), actual.span()), 1e-4F);
+
+  // Transposed path on the same shapes.
+  Vector xt(rows);
+  fill_normal(xt.span(), rng, 1.0F);
+  Vector et(cols);
+  Vector at(cols);
+  gemv_naive(w.transposed(), xt.span(), et.span());
+  gemv_transposed(w, xt.span(), at.span());
+  EXPECT_LT(max_abs_diff(et.span(), at.span()), 1e-4F);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemvShapeSweep,
+    ::testing::Values(std::make_pair(1U, 1U), std::make_pair(1U, 64U),
+                      std::make_pair(64U, 1U), std::make_pair(3U, 5U),
+                      std::make_pair(4U, 4U), std::make_pair(5U, 3U),
+                      std::make_pair(127U, 33U), std::make_pair(33U, 127U)));
+
+// ------------------------------------------ pruning x quantization compose
+TEST(Composition, QuantizationPreservesPrunedZeros) {
+  Rng rng(1);
+  SpeechModel model(ModelConfig::scaled(24));
+  model.init(rng);
+  BspConfig config;
+  config.num_r = 4;
+  config.num_c = 4;
+  config.col_keep_fraction = 0.25;
+  const BspResult result = BspPruner(config).prune_one_shot(model);
+
+  for (const WeightPrecision precision :
+       {WeightPrecision::kFp16, WeightPrecision::kInt8PerTensor,
+        WeightPrecision::kInt8PerRow}) {
+    SpeechModel quantized = model;
+    quantize_model(quantized, precision);
+    // Exact zeros quantize to exact zeros in every grid, so nothing may
+    // appear OUTSIDE the mask. (Int8 may round tiny kept weights down to
+    // zero, so the count inside the mask can only shrink.)
+    ParamSet params;
+    quantized.register_params(params);
+    for (const auto& [name, mask] : result.block_masks) {
+      const Matrix& w = params.matrix(name);
+      EXPECT_LE(w.count_nonzero(), mask.nnz())
+          << name << " under " << to_string(precision);
+      for (std::size_t r = 0; r < w.rows(); ++r) {
+        for (std::size_t c = 0; c < w.cols(); ++c) {
+          if (!mask.is_kept(r, c)) {
+            ASSERT_EQ(w(r, c), 0.0F)
+                << name << " grew a weight outside the mask at (" << r
+                << ',' << c << ") under " << to_string(precision);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Composition, ProgressiveStagesNestSupports) {
+  Rng rng(2);
+  ModelConfig config;
+  config.input_dim = 12;
+  config.hidden_dim = 24;
+  config.num_layers = 1;
+  config.num_classes = 6;
+  SpeechModel model(config);
+  model.init(rng);
+  // No training needed to check the nesting property: run one-shot masks
+  // at increasing rates on progressively pruned weights.
+  BspConfig bsp;
+  bsp.num_r = 4;
+  bsp.num_c = 4;
+  bsp.prune_fc = false;
+
+  bsp.col_keep_fraction = 0.5;
+  const BspResult stage1 = BspPruner(bsp).prune_one_shot(model);
+  bsp.col_keep_fraction = 0.25;
+  const BspResult stage2 = BspPruner(bsp).prune_one_shot(model);
+
+  // Every weight kept by stage 2 was kept by stage 1.
+  for (const auto& [name, mask2] : stage2.block_masks) {
+    const BlockMask& mask1 = stage1.block_masks.at(name);
+    for (std::size_t r = 0; r < mask2.rows(); ++r) {
+      for (std::size_t c = 0; c < mask2.cols(); ++c) {
+        if (mask2.is_kept(r, c)) {
+          EXPECT_TRUE(mask1.is_kept(r, c))
+              << name << " (" << r << ',' << c << ')';
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------- optimizers
+TEST(OptimizerBehaviour, AdamBeatsPlainSgdOnIllConditionedQuadratic) {
+  // f(w) = 0.5 (100 w0^2 + 0.01 w1^2): Adam's per-coordinate scaling
+  // handles the 1e4 condition number; fixed-lr SGD cannot use a stable lr
+  // that also moves w1.
+  const auto run = [](Optimizer& opt, int steps) {
+    Matrix w(1, 2, std::vector<float>{1.0F, 1.0F});
+    Matrix g(1, 2, 0.0F);
+    ParamSet params;
+    params.add("w", &w);
+    ParamSet grads;
+    grads.add("w", &g);
+    for (int s = 0; s < steps; ++s) {
+      g(0, 0) = 100.0F * w(0, 0);
+      g(0, 1) = 0.01F * w(0, 1);
+      opt.step(params, grads);
+    }
+    const double w0 = w(0, 0);
+    const double w1 = w(0, 1);
+    return 0.5 * (100.0 * w0 * w0 + 0.01 * w1 * w1);
+  };
+  Adam adam(0.05);
+  Sgd sgd(0.015, 0.0);  // near the stability limit 2/100
+  EXPECT_LT(run(adam, 400), run(sgd, 400));
+}
+
+TEST(OptimizerBehaviour, LrDecayAppliedPerEpoch) {
+  Rng rng(3);
+  SpeechModel model(ModelConfig::scaled(8));
+  model.init(rng);
+  std::vector<LabeledSequence> data(2);
+  for (auto& utt : data) {
+    utt.features = Matrix(3, 39);
+    fill_normal(utt.features.span(), rng, 1.0F);
+    utt.labels = {0, 1, 2};
+  }
+  Trainer trainer(model);
+  Adam adam(1e-3);
+  TrainConfig config;
+  config.epochs = 3;
+  config.lr_decay = 0.5;
+  trainer.train(config, data, adam, rng);
+  EXPECT_NEAR(adam.learning_rate(), 1e-3 * 0.125, 1e-9);
+}
+
+TEST(OptimizerBehaviour, MixedLayoutRejected) {
+  Matrix w(2, 2);
+  Matrix g_wrong(3, 2);
+  ParamSet params;
+  params.add("w", &w);
+  ParamSet grads;
+  grads.add("w", &g_wrong);
+  Adam adam(1e-3);
+  EXPECT_THROW(adam.step(params, grads), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- ADMM details
+TEST(AdmmDetails, MasksMatchHardPruneSupport) {
+  Rng rng(4);
+  Matrix w(6, 6);
+  fill_normal(w.span(), rng, 1.0F);
+  AdmmState admm;
+  admm.attach("w", &w,
+              [](const Matrix& m) { return project_magnitude(m, 0.25); },
+              1.0);
+  admm.initialize();
+  const MaskSet pre_masks = admm.masks();
+  const MaskSet post_masks = admm.hard_prune();
+  // Without intermediate training, Z's support equals the hard-prune
+  // support.
+  EXPECT_EQ(pre_masks.total_kept(), post_masks.total_kept());
+  EXPECT_EQ(w.count_nonzero(), post_masks.total_kept());
+}
+
+// ------------------------------------------------------ decoder properties
+TEST(DecoderProperties, SmoothingNeverIncreasesTransitions) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint16_t> frames(40);
+    for (auto& f : frames) {
+      f = static_cast<std::uint16_t>(rng.next_below(4));
+    }
+    const auto count_transitions = [](const std::vector<std::uint16_t>& s) {
+      std::size_t t = 0;
+      for (std::size_t i = 1; i < s.size(); ++i) {
+        if (s[i] != s[i - 1]) ++t;
+      }
+      return t;
+    };
+    const auto smoothed = speech::majority_smooth(frames, 5);
+    EXPECT_LE(count_transitions(smoothed) , count_transitions(frames) + 2)
+        << "smoothing should not create many new transitions";
+  }
+}
+
+TEST(DecoderProperties, ViterbiPenaltyMonotonicallyReducesSegments) {
+  Rng rng(6);
+  Matrix logits(50, 8);
+  fill_normal(logits.span(), rng, 1.5F);
+  std::size_t previous = std::numeric_limits<std::size_t>::max();
+  for (const double penalty : {0.0, 1.0, 3.0, 8.0, 50.0}) {
+    const auto decoded = speech::viterbi_decode(logits, penalty);
+    EXPECT_LE(decoded.size(), previous)
+        << "penalty " << penalty << " should not add segments";
+    previous = decoded.size();
+  }
+}
+
+// -------------------------------------------------------- corpus statistics
+TEST(CorpusStatistics, AllFoldedClassesAppearAcrossManyUtterances) {
+  speech::CorpusConfig config;
+  config.num_train_utterances = 200;
+  config.num_test_utterances = 1;
+  config.min_phones = 10;
+  config.max_phones = 20;
+  const speech::Corpus corpus = speech::SyntheticTimit(config).generate();
+  std::set<std::uint16_t> seen;
+  for (const auto& utt : corpus.train) {
+    for (const std::uint16_t label : utt.labels) seen.insert(label);
+  }
+  // The bigram LM must not starve any folded class.
+  EXPECT_EQ(seen.size(), speech::kNumFoldedPhones);
+}
+
+TEST(CorpusStatistics, ClosuresPrecedeStopsMoreOftenThanChance) {
+  const speech::SyntheticTimit generator;
+  Rng rng(7);
+  const auto& phones = speech::surface_phones();
+  std::size_t closure_then_stop = 0;
+  std::size_t closure_total = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto seq = generator.sample_surface_sequence(rng);
+    for (std::size_t p = 0; p + 1 < seq.size(); ++p) {
+      if (phones[seq[p]].phone_class == speech::PhoneClass::kClosure) {
+        ++closure_total;
+        if (phones[seq[p + 1]].phone_class == speech::PhoneClass::kStop) {
+          ++closure_then_stop;
+        }
+      }
+    }
+  }
+  ASSERT_GT(closure_total, 20U);
+  // Chance would be ~7/61; the phonotactic affinity makes it dominant.
+  EXPECT_GT(static_cast<double>(closure_then_stop) /
+                static_cast<double>(closure_total),
+            0.4);
+}
+
+TEST(CorpusStatistics, FeatureVarianceMatchesNoiseConfig) {
+  // With coarticulation off, frames are prototype + stationary AR(1)
+  // noise of configured stddev.
+  speech::CorpusConfig config;
+  config.num_train_utterances = 10;
+  config.num_test_utterances = 1;
+  config.coarticulation = 0.0;
+  config.feature_noise = 0.3;
+  const speech::SyntheticTimit generator(config);
+  const speech::Corpus corpus = generator.generate();
+  const Matrix& prototypes = generator.phone_prototypes();
+
+  double total_sq = 0.0;
+  std::size_t count = 0;
+  for (const auto& utt : corpus.train) {
+    for (std::size_t t = 0; t < utt.features.rows(); ++t) {
+      // Find the surface prototype nearest this frame's folded label is
+      // unknown; instead use the residual to the closest prototype as an
+      // upper bound on the noise.
+      double best = 1e30;
+      for (std::size_t p = 0; p < prototypes.rows(); ++p) {
+        double d = 0.0;
+        for (std::size_t k = 0; k < prototypes.cols(); ++k) {
+          const double diff = static_cast<double>(utt.features(t, k)) -
+                              static_cast<double>(prototypes(p, k));
+          d += diff * diff;
+        }
+        best = std::min(best, d);
+      }
+      total_sq += best / static_cast<double>(prototypes.cols());
+      ++count;
+    }
+  }
+  const double rms = std::sqrt(total_sq / static_cast<double>(count));
+  EXPECT_LT(rms, 0.32);   // <= configured stddev (nearest-prototype bound)
+  EXPECT_GT(rms, 0.15);   // but genuinely noisy
+}
+
+// ----------------------------------------------------------- MFCC sweeps
+class MfccGeometrySweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {
+};
+
+TEST_P(MfccGeometrySweep, FrameCountAndDimsConsistent) {
+  const auto [length_ms, shift_ms] = GetParam();
+  speech::MfccConfig config;
+  config.frame_length = length_ms * 16;
+  config.frame_shift = shift_ms * 16;
+  config.fft_size = next_power_of_two(config.frame_length);
+  const speech::MfccExtractor mfcc(config);
+  Rng rng(8);
+  std::vector<float> wave(8000);
+  for (auto& s : wave) s = 0.1F * rng.normal();
+  const Matrix features = mfcc.extract(wave);
+  EXPECT_EQ(features.rows(), mfcc.frame_count(wave.size()));
+  EXPECT_EQ(features.cols(), mfcc.feature_dim());
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, MfccGeometrySweep,
+                         ::testing::Values(std::make_pair(25U, 10U),
+                                           std::make_pair(20U, 10U),
+                                           std::make_pair(32U, 16U),
+                                           std::make_pair(10U, 5U)));
+
+}  // namespace
+}  // namespace rtmobile

@@ -1,0 +1,375 @@
+// Tests for the extension features: the LSTM speech model (with the
+// templated trainer), weight quantization, the Viterbi decoder,
+// progressive BSP pruning, and executor profiling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "compiler/gru_executor.hpp"
+#include "core/bsp.hpp"
+#include "core/quantize.hpp"
+#include "rnn/lstm_model.hpp"
+#include "speech/decoder.hpp"
+#include "tensor/ops.hpp"
+#include "train/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace rtmobile {
+namespace {
+
+// ------------------------------------------------------------- LSTM model
+std::vector<LabeledSequence> toy_dataset(std::size_t utterances,
+                                         std::size_t frames,
+                                         std::size_t input_dim,
+                                         std::size_t classes,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<LabeledSequence> data(utterances);
+  for (auto& utt : data) {
+    utt.features = Matrix(frames, input_dim);
+    fill_normal(utt.features.span(), rng, 1.0F);
+    utt.labels.resize(frames);
+    for (std::size_t t = 0; t < frames; ++t) {
+      std::size_t best = 0;
+      for (std::size_t c = 1; c < classes; ++c) {
+        if (utt.features(t, c) > utt.features(t, best)) best = c;
+      }
+      utt.labels[t] = static_cast<std::uint16_t>(best);
+    }
+  }
+  return data;
+}
+
+TEST(LstmModel, ForwardShapesAndDeterminism) {
+  Rng rng(1);
+  ModelConfig config;
+  config.input_dim = 8;
+  config.hidden_dim = 12;
+  config.num_layers = 2;
+  config.num_classes = 5;
+  LstmModel model(config);
+  model.init(rng);
+  Matrix features(6, 8);
+  fill_normal(features.span(), rng, 1.0F);
+  const Matrix a = model.forward(features);
+  EXPECT_EQ(a.rows(), 6U);
+  EXPECT_EQ(a.cols(), 5U);
+  EXPECT_EQ(a, model.forward(features));
+}
+
+TEST(LstmModel, GradientsMatchFiniteDifferences) {
+  Rng rng(2);
+  ModelConfig config;
+  config.input_dim = 3;
+  config.hidden_dim = 4;
+  config.num_layers = 2;
+  config.num_classes = 3;
+  LstmModel model(config);
+  model.init(rng);
+  Matrix features(3, 3);
+  fill_normal(features.span(), rng, 1.0F);
+  const std::vector<std::uint16_t> labels = {0, 2, 1};
+
+  const auto objective = [&] {
+    return softmax_cross_entropy(model.forward(features), labels);
+  };
+  LstmForwardCache cache;
+  const Matrix logits = model.forward(features, &cache);
+  Matrix dlogits(3, 3);
+  static_cast<void>(softmax_cross_entropy(logits, labels, &dlogits));
+  LstmModel grads(config);
+  grads.zero();
+  model.backward(cache, dlogits, grads);
+
+  ParamSet params;
+  model.register_params(params);
+  ParamSet grad_set;
+  grads.register_params(grad_set);
+  constexpr double kEps = 1e-3;
+  ParamSet::for_each_pair(
+      params, grad_set,
+      [&](const std::string& name, std::span<float> p, std::span<float> g) {
+        for (std::size_t i = 0; i < p.size(); i += std::max<std::size_t>(
+                                                  1, p.size() / 3)) {
+          const float saved = p[i];
+          p[i] = saved + static_cast<float>(kEps);
+          const double up = objective();
+          p[i] = saved - static_cast<float>(kEps);
+          const double down = objective();
+          p[i] = saved;
+          const double numeric = (up - down) / (2 * kEps);
+          const double tolerance =
+              1e-4 + 0.03 * std::max(std::fabs(double{g[i]}),
+                                     std::fabs(numeric));
+          EXPECT_LT(std::fabs(static_cast<double>(g[i]) - numeric),
+                    tolerance)
+              << name << '[' << i << ']';
+        }
+      });
+}
+
+TEST(LstmModel, TemplatedTrainerLearnsToyTask) {
+  Rng rng(3);
+  ModelConfig config;
+  config.input_dim = 8;
+  config.hidden_dim = 16;
+  config.num_layers = 1;
+  config.num_classes = 4;
+  LstmModel model(config);
+  model.init(rng);
+  const auto data = toy_dataset(10, 6, 8, 4, 4);
+
+  BasicTrainer<LstmModel> trainer(model);
+  Adam adam(5e-3);
+  const double initial = BasicTrainer<LstmModel>::evaluate(model, data).loss;
+  TrainConfig train_config;
+  train_config.epochs = 8;
+  trainer.train(train_config, data, adam, rng);
+  const EvalResult result = BasicTrainer<LstmModel>::evaluate(model, data);
+  EXPECT_LT(result.loss, initial * 0.7);
+  EXPECT_GT(result.frame_accuracy, 0.5);
+}
+
+TEST(LstmModel, ParamCountExceedsGruAtSameWidth) {
+  // The paper's motivation for GRU: 3 gate matrices vs LSTM's 4.
+  ModelConfig config;
+  config.input_dim = 39;
+  config.hidden_dim = 64;
+  config.num_layers = 2;
+  config.num_classes = 39;
+  const SpeechModel gru(config);
+  const LstmModel lstm(config);
+  EXPECT_GT(lstm.param_count(), gru.param_count());
+  const double ratio = static_cast<double>(lstm.param_count() -
+                                           lstm.fc_weight().size() -
+                                           lstm.fc_bias().size()) /
+                       static_cast<double>(gru.param_count() -
+                                           gru.fc_weight().size() -
+                                           gru.fc_bias().size());
+  EXPECT_NEAR(ratio, 4.0 / 3.0, 0.01);
+}
+
+TEST(LstmModel, WeightNamesAndSaveLoad) {
+  Rng rng(5);
+  ModelConfig config;
+  config.input_dim = 6;
+  config.hidden_dim = 8;
+  config.num_layers = 2;
+  config.num_classes = 4;
+  LstmModel model(config);
+  model.init(rng);
+  EXPECT_EQ(model.weight_names().size(), 16U);  // 2 layers x 8 matrices
+
+  std::stringstream stream;
+  model.save(stream);
+  LstmModel restored(config);
+  restored.load(stream);
+  Matrix features(4, 6);
+  fill_normal(features.span(), rng, 1.0F);
+  EXPECT_EQ(model.forward(features), restored.forward(features));
+}
+
+// ------------------------------------------------------------ quantization
+TEST(Quantize, Fp16ExactValuesSurvive) {
+  // Values exactly representable in binary16 round-trip unchanged.
+  for (const float v : {0.0F, 1.0F, -1.0F, 0.5F, 1024.0F, -0.09375F}) {
+    EXPECT_EQ(fp16_round_trip(v), v);
+  }
+}
+
+TEST(Quantize, Fp16RelativeErrorBounded) {
+  // binary16 has 11 significand bits: relative error <= 2^-11.
+  Rng rng(6);
+  for (int i = 0; i < 2000; ++i) {
+    const float v = rng.uniform(-100.0F, 100.0F);
+    const float q = fp16_round_trip(v);
+    EXPECT_LE(std::fabs(q - v), std::fabs(v) * (1.0F / 2048.0F) + 1e-7F);
+  }
+}
+
+TEST(Quantize, Fp16SpecialValues) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(fp16_round_trip(inf), inf);
+  EXPECT_EQ(fp16_round_trip(-inf), -inf);
+  EXPECT_TRUE(std::isnan(
+      fp16_round_trip(std::numeric_limits<float>::quiet_NaN())));
+  // Overflow beyond half's max (65504) saturates to infinity.
+  EXPECT_EQ(fp16_round_trip(1e6F), inf);
+  // Subnormal half range (below 2^-14) is still representable coarsely.
+  const float tiny = 3.0e-6F;
+  const float q = fp16_round_trip(tiny);
+  EXPECT_GT(q, 0.0F);
+  EXPECT_NEAR(q, tiny, 6e-8F);
+  // Underflow to zero below half the smallest subnormal (2^-25).
+  EXPECT_EQ(fp16_round_trip(1e-9F), 0.0F);
+}
+
+TEST(Quantize, Fp16RoundToNearestEven) {
+  // 2049 is exactly between 2048 and 2050 in half precision (step 2);
+  // round-to-nearest-even picks 2048.
+  EXPECT_EQ(fp16_round_trip(2049.0F), 2048.0F);
+  EXPECT_EQ(fp16_round_trip(2051.0F), 2052.0F);
+}
+
+TEST(Quantize, Int8GridAndClamp) {
+  Matrix w(1, 4, std::vector<float>{-1.27F, 0.635F, 0.01F, 1.27F});
+  quantize_int8(w, /*per_row=*/false);
+  // scale = 1.27/127 = 0.01; every value lands exactly on the grid.
+  EXPECT_NEAR(w(0, 0), -1.27F, 1e-6F);
+  EXPECT_NEAR(w(0, 1), 0.64F, 1e-6F);
+  EXPECT_NEAR(w(0, 2), 0.01F, 1e-6F);
+  EXPECT_NEAR(w(0, 3), 1.27F, 1e-6F);
+}
+
+TEST(Quantize, Int8PerRowAdaptsScales) {
+  // Row 1 has tiny values; per-row scaling preserves them, per-tensor
+  // scaling crushes them to zero.
+  Matrix big_scale(2, 2, std::vector<float>{100.0F, -50.0F, 0.1F, -0.2F});
+  Matrix per_row = big_scale;
+  quantize_int8(per_row, /*per_row=*/true);
+  EXPECT_NEAR(per_row(1, 0), 0.1F, 0.002F);
+  Matrix per_tensor = big_scale;
+  quantize_int8(per_tensor, /*per_row=*/false);
+  EXPECT_GT(std::fabs(per_tensor(1, 0) - 0.1F), 0.05F);
+}
+
+TEST(Quantize, ModelReportAccounting) {
+  Rng rng(7);
+  SpeechModel model(ModelConfig::scaled(16));
+  model.init(rng);
+  const SpeechModel original = model;
+  const QuantizationReport report =
+      quantize_model(model, WeightPrecision::kFp16);
+  EXPECT_EQ(report.precision, WeightPrecision::kFp16);
+  EXPECT_GT(report.quantized_weights, 0U);
+  EXPECT_EQ(report.stored_bytes, report.quantized_weights * 2);
+  EXPECT_GT(report.max_abs_error, 0.0);
+  // fp16 error on Xavier-scale weights is tiny.
+  EXPECT_LT(report.max_abs_error, 1e-3);
+  // Logits barely move.
+  Matrix features(4, 39);
+  fill_normal(features.span(), rng, 1.0F);
+  EXPECT_LT(max_abs_diff(original.forward(features).span(),
+                         model.forward(features).span()),
+            0.05F);
+}
+
+TEST(Quantize, PrecisionMetadata) {
+  EXPECT_EQ(bytes_per_weight(WeightPrecision::kFp32), 4U);
+  EXPECT_EQ(bytes_per_weight(WeightPrecision::kFp16), 2U);
+  EXPECT_EQ(bytes_per_weight(WeightPrecision::kInt8PerRow), 1U);
+  EXPECT_STREQ(to_string(WeightPrecision::kInt8PerTensor), "int8");
+}
+
+// ----------------------------------------------------------------- Viterbi
+TEST(Viterbi, ZeroPenaltyMatchesArgmaxPath) {
+  Rng rng(8);
+  Matrix logits(20, 6);
+  fill_normal(logits.span(), rng, 2.0F);
+  const auto path = speech::viterbi_path(logits, 0.0);
+  const auto argmax_path = speech::frame_argmax(logits);
+  EXPECT_EQ(path, argmax_path);
+}
+
+TEST(Viterbi, LargePenaltyYieldsConstantPath) {
+  Rng rng(9);
+  Matrix logits(15, 4);
+  fill_normal(logits.span(), rng, 1.0F);
+  const auto decoded = speech::viterbi_decode(logits, 1e6);
+  EXPECT_EQ(decoded.size(), 1U);
+}
+
+TEST(Viterbi, SuppressesSingleFrameSpikes) {
+  // Class 0 everywhere except one spiky frame of class 1; a moderate
+  // penalty removes the spike, which the raw argmax keeps.
+  Matrix logits(9, 2, 0.0F);
+  for (std::size_t t = 0; t < 9; ++t) logits(t, 0) = 2.0F;
+  logits(4, 0) = 0.0F;
+  logits(4, 1) = 2.5F;
+  const auto greedy = speech::greedy_decode(logits, {1, 1});
+  EXPECT_EQ(greedy.size(), 3U);  // 0 1 0
+  const auto viterbi = speech::viterbi_decode(logits, 4.0);
+  EXPECT_EQ(viterbi, (std::vector<std::uint16_t>{0}));
+}
+
+TEST(Viterbi, KeepsGenuineTransitions) {
+  // Two long segments with a strong boundary survive a moderate penalty.
+  Matrix logits(12, 2, 0.0F);
+  for (std::size_t t = 0; t < 6; ++t) logits(t, 0) = 3.0F;
+  for (std::size_t t = 6; t < 12; ++t) logits(t, 1) = 3.0F;
+  const auto decoded = speech::viterbi_decode(logits, 2.0);
+  EXPECT_EQ(decoded, (std::vector<std::uint16_t>{0, 1}));
+}
+
+TEST(Viterbi, ValidatesInput) {
+  Matrix logits(3, 2);
+  EXPECT_THROW(speech::viterbi_path(logits, -1.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- progressive BSP
+TEST(ProgressiveBsp, ReachesFinalTargetWithNestedSupports) {
+  Rng rng(10);
+  ModelConfig config;
+  config.input_dim = 12;
+  config.hidden_dim = 24;
+  config.num_layers = 2;
+  config.num_classes = 8;
+  SpeechModel model(config);
+  model.init(rng);
+  const auto data = toy_dataset(6, 5, 12, 8, 11);
+
+  BspConfig bsp;
+  bsp.num_r = 4;
+  bsp.num_c = 4;
+  bsp.rho = 5e-2;
+  bsp.admm_rounds_step1 = 1;
+  bsp.epochs_per_round = 1;
+  bsp.retrain_epochs = 1;
+  bsp.row_keep_fraction = 0.5;
+  BspPruner pruner(bsp);
+  const std::vector<double> schedule = {2.0, 4.0};
+  const BspResult result =
+      pruner.prune_progressive(model, data, rng, schedule);
+  // Final structure: 4x columns, 2x rows => ~8x overall.
+  EXPECT_GT(result.stats.overall_rate(), 5.0);
+  EXPECT_NEAR(result.stats.column_rate(), 4.0, 1.0);
+}
+
+TEST(ProgressiveBsp, ValidatesSchedule) {
+  Rng rng(12);
+  SpeechModel model(ModelConfig::scaled(8));
+  model.init(rng);
+  const auto data = toy_dataset(2, 4, 39, 8, 13);
+  BspPruner pruner(BspConfig{});
+  const std::vector<double> empty;
+  EXPECT_THROW(pruner.prune_progressive(model, data, rng, empty),
+               std::invalid_argument);
+  const std::vector<double> non_increasing = {4.0, 2.0};
+  EXPECT_THROW(pruner.prune_progressive(model, data, rng, non_increasing),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------- profiling
+TEST(Profile, BreakdownCoversEveryPlanAndSumsToOne) {
+  Rng rng(13);
+  SpeechModel model(ModelConfig::scaled(24));
+  model.init(rng);
+  CompilerOptions options;
+  options.format = SparseFormat::kDense;
+  const CompiledSpeechModel compiled(model, {}, options);
+  const auto profiles = compiled.profile(3);
+  EXPECT_EQ(profiles.size(), 13U);  // 12 GRU plans + fc
+  double total_share = 0.0;
+  for (std::size_t i = 0; i + 1 < profiles.size(); ++i) {
+    EXPECT_GE(profiles[i].time_us, profiles[i + 1].time_us);  // sorted
+  }
+  for (const auto& entry : profiles) {
+    EXPECT_GT(entry.nnz, 0U);
+    total_share += entry.share;
+  }
+  EXPECT_NEAR(total_share, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace rtmobile

@@ -1,0 +1,406 @@
+// Unit tests for the RNN substrate: GRU/LSTM forward behaviour, exact
+// gradient checks against central finite differences, parameter registry,
+// and model serialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "rnn/gru_cell.hpp"
+#include "rnn/lstm_cell.hpp"
+#include "rnn/model.hpp"
+#include "rnn/param_set.hpp"
+#include "tensor/ops.hpp"
+#include "train/loss.hpp"
+#include "util/rng.hpp"
+
+namespace rtmobile {
+namespace {
+
+constexpr double kFdEpsilon = 1e-3;
+
+/// Mixed absolute/relative criterion for float32 finite differences: the
+/// forward pass is float, so FD estimates carry ~1e-4 absolute noise
+/// (cancellation of ~1e-7 rounding over a 2e-3 step). A gradient matches
+/// when |a - n| < abs_floor + rel * max(|a|, |n|).
+::testing::AssertionResult gradients_match(double analytic, double numeric) {
+  const double tolerance =
+      1e-4 + 0.03 * std::max(std::fabs(analytic), std::fabs(numeric));
+  if (std::fabs(analytic - numeric) < tolerance) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << "analytic " << analytic << " vs numeric " << numeric
+         << " (tolerance " << tolerance << ")";
+}
+
+// ------------------------------------------------------------ GRU params
+TEST(GruParams, ShapesAndCount) {
+  const GruParams params(5, 7);
+  EXPECT_EQ(params.input_dim(), 5U);
+  EXPECT_EQ(params.hidden_dim(), 7U);
+  // 3 input mats (7x5) + 3 recurrent (7x7) + 3 biases (7).
+  EXPECT_EQ(params.param_count(), 3U * 35 + 3U * 49 + 3U * 7);
+}
+
+TEST(GruParams, RegistryNamesAllTensors) {
+  GruParams params(4, 4);
+  ParamSet set;
+  params.register_params("gru0.", set);
+  EXPECT_EQ(set.entry_count(), 9U);
+  EXPECT_EQ(set.total_size(), params.param_count());
+  EXPECT_NO_THROW(static_cast<void>(set.matrix("gru0.u_h")));
+  EXPECT_THROW(static_cast<void>(set.matrix("gru0.nope")),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------- GRU forward
+TEST(GruForward, GatesBoundOutput) {
+  Rng rng(1);
+  GruParams params(6, 8);
+  params.init(rng);
+  Vector x(6);
+  fill_normal(x.span(), rng, 2.0F);
+  Vector h_prev(8);
+  fill_normal(h_prev.span(), rng, 0.5F);
+  Vector h(8);
+  gru_forward_step(params, x.span(), h_prev.span(), h.span(), nullptr);
+  // h is a convex combination of h_prev and tanh(.) in (-1,1), so it is
+  // bounded by max(|h_prev|, 1).
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_LE(std::fabs(h[i]),
+              std::max(std::fabs(h_prev[i]), 1.0F) + 1e-6F);
+  }
+}
+
+TEST(GruForward, ZeroUpdateGateKeepsState) {
+  Rng rng(2);
+  GruParams params(4, 4);
+  params.init(rng);
+  // Force z ~ 0 via a strongly negative update bias: h_t ~ h_{t-1}.
+  params.b_z.fill(-50.0F);
+  Vector x(4);
+  fill_normal(x.span(), rng, 1.0F);
+  Vector h_prev(4);
+  fill_normal(h_prev.span(), rng, 1.0F);
+  Vector h(4);
+  gru_forward_step(params, x.span(), h_prev.span(), h.span(), nullptr);
+  EXPECT_LT(max_abs_diff(h.span(), h_prev.span()), 1e-5F);
+}
+
+TEST(GruForward, CacheRecordsStep) {
+  Rng rng(3);
+  GruParams params(3, 5);
+  params.init(rng);
+  Vector x(3);
+  fill_normal(x.span(), rng, 1.0F);
+  Vector h_prev(5, 0.25F);
+  Vector h(5);
+  GruStepCache cache;
+  gru_forward_step(params, x.span(), h_prev.span(), h.span(), &cache);
+  EXPECT_EQ(cache.x.size(), 3U);
+  EXPECT_EQ(cache.h.size(), 5U);
+  EXPECT_LT(max_abs_diff(cache.h.span(), h.span()), 1e-7F);
+  // rh must be r . h_prev.
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(cache.rh[i], cache.r[i] * h_prev[i], 1e-6F);
+  }
+}
+
+TEST(GruForward, OutputAliasingHPrevIsSafe) {
+  Rng rng(4);
+  GruParams params(3, 4);
+  params.init(rng);
+  Vector x(3);
+  fill_normal(x.span(), rng, 1.0F);
+  Vector h(4, 0.1F);
+  Vector expected(4);
+  gru_forward_step(params, x.span(), h.span(), expected.span(), nullptr);
+  gru_forward_step(params, x.span(), h.span(), h.span(), nullptr);
+  EXPECT_LT(max_abs_diff(h.span(), expected.span()), 1e-7F);
+}
+
+// ------------------------------------------------- GRU cell gradient check
+// Scalar objective: L = sum(h_t . coeffs). Checks every parameter tensor
+// plus dx and dh_prev against central differences.
+class GruGradCheck : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(42);
+    params = GruParams(3, 4);
+    params.init(rng);
+    x = Vector(3);
+    fill_normal(x.span(), rng, 1.0F);
+    h_prev = Vector(4);
+    fill_normal(h_prev.span(), rng, 0.7F);
+    coeffs = Vector(4);
+    fill_normal(coeffs.span(), rng, 1.0F);
+  }
+
+  double objective() {
+    Vector h(4);
+    gru_forward_step(params, x.span(), h_prev.span(), h.span(), nullptr);
+    return dot(h.span(), coeffs.span());
+  }
+
+  GruParams params;
+  Vector x, h_prev, coeffs;
+};
+
+TEST_F(GruGradCheck, AllParameterGradientsMatchFiniteDifferences) {
+  GruStepCache cache;
+  Vector h(4);
+  gru_forward_step(params, x.span(), h_prev.span(), h.span(), &cache);
+
+  GruParams grads(3, 4);
+  grads.zero();
+  Vector dx(3);
+  Vector dh_prev(4);
+  gru_backward_step(params, cache, coeffs.span(), grads, dx.span(),
+                    dh_prev.span());
+
+  ParamSet param_set;
+  params.register_params("p.", param_set);
+  ParamSet grad_set;
+  grads.register_params("p.", grad_set);
+
+  ParamSet::for_each_pair(
+      param_set, grad_set,
+      [&](const std::string& name, std::span<float> p, std::span<float> g) {
+        // Probe a handful of coordinates per tensor (cheap but thorough).
+        for (std::size_t i = 0; i < p.size(); i += std::max<std::size_t>(
+                                                  1, p.size() / 7)) {
+          const float saved = p[i];
+          p[i] = saved + static_cast<float>(kFdEpsilon);
+          const double up = objective();
+          p[i] = saved - static_cast<float>(kFdEpsilon);
+          const double down = objective();
+          p[i] = saved;
+          const double numeric = (up - down) / (2.0 * kFdEpsilon);
+          EXPECT_TRUE(gradients_match(g[i], numeric))
+              << name << '[' << i << ']';
+        }
+      });
+}
+
+TEST_F(GruGradCheck, InputAndStateGradientsMatchFiniteDifferences) {
+  GruStepCache cache;
+  Vector h(4);
+  gru_forward_step(params, x.span(), h_prev.span(), h.span(), &cache);
+  GruParams grads(3, 4);
+  grads.zero();
+  Vector dx(3);
+  Vector dh_prev(4);
+  gru_backward_step(params, cache, coeffs.span(), grads, dx.span(),
+                    dh_prev.span());
+
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float saved = x[i];
+    x[i] = saved + static_cast<float>(kFdEpsilon);
+    const double up = objective();
+    x[i] = saved - static_cast<float>(kFdEpsilon);
+    const double down = objective();
+    x[i] = saved;
+    EXPECT_TRUE(gradients_match(dx[i], (up - down) / (2 * kFdEpsilon)));
+  }
+  for (std::size_t i = 0; i < h_prev.size(); ++i) {
+    const float saved = h_prev[i];
+    h_prev[i] = saved + static_cast<float>(kFdEpsilon);
+    const double up = objective();
+    h_prev[i] = saved - static_cast<float>(kFdEpsilon);
+    const double down = objective();
+    h_prev[i] = saved;
+    EXPECT_TRUE(
+        gradients_match(dh_prev[i], (up - down) / (2 * kFdEpsilon)));
+  }
+}
+
+// ------------------------------------------------ LSTM cell gradient check
+TEST(LstmGradCheck, ParameterGradientsMatchFiniteDifferences) {
+  Rng rng(43);
+  LstmParams params(3, 4);
+  params.init(rng);
+  Vector x(3);
+  fill_normal(x.span(), rng, 1.0F);
+  Vector h_prev(4);
+  fill_normal(h_prev.span(), rng, 0.5F);
+  Vector c_prev(4);
+  fill_normal(c_prev.span(), rng, 0.5F);
+  Vector coeffs(4);
+  fill_normal(coeffs.span(), rng, 1.0F);
+
+  const auto objective = [&] {
+    Vector h(4);
+    Vector c(4);
+    lstm_forward_step(params, x.span(), h_prev.span(), c_prev.span(),
+                      h.span(), c.span(), nullptr);
+    return dot(h.span(), coeffs.span());
+  };
+
+  LstmStepCache cache;
+  Vector h(4);
+  Vector c(4);
+  lstm_forward_step(params, x.span(), h_prev.span(), c_prev.span(), h.span(),
+                    c.span(), &cache);
+  LstmParams grads(3, 4);
+  grads.zero();
+  Vector dx(3);
+  Vector dh_prev(4);
+  Vector dc_prev(4);
+  Vector dc(4, 0.0F);
+  lstm_backward_step(params, cache, coeffs.span(), dc.span(), grads,
+                     dx.span(), dh_prev.span(), dc_prev.span());
+
+  ParamSet param_set;
+  params.register_params("p.", param_set);
+  ParamSet grad_set;
+  grads.register_params("p.", grad_set);
+  ParamSet::for_each_pair(
+      param_set, grad_set,
+      [&](const std::string& name, std::span<float> p, std::span<float> g) {
+        for (std::size_t i = 0; i < p.size(); i += std::max<std::size_t>(
+                                                  1, p.size() / 5)) {
+          const float saved = p[i];
+          p[i] = saved + static_cast<float>(kFdEpsilon);
+          const double up = objective();
+          p[i] = saved - static_cast<float>(kFdEpsilon);
+          const double down = objective();
+          p[i] = saved;
+          EXPECT_TRUE(
+              gradients_match(g[i], (up - down) / (2 * kFdEpsilon)))
+              << name << '[' << i << ']';
+        }
+      });
+}
+
+// ------------------------------------------------- full model gradcheck
+TEST(ModelGradCheck, SequenceLossGradientsMatchFiniteDifferences) {
+  Rng rng(44);
+  ModelConfig config;
+  config.input_dim = 3;
+  config.hidden_dim = 5;
+  config.num_layers = 2;
+  config.num_classes = 4;
+  SpeechModel model(config);
+  model.init(rng);
+
+  constexpr std::size_t kFrames = 4;
+  Matrix features(kFrames, 3);
+  fill_normal(features.span(), rng, 1.0F);
+  std::vector<std::uint16_t> labels = {0, 2, 1, 3};
+
+  const auto objective = [&] {
+    const Matrix logits = model.forward(features);
+    return softmax_cross_entropy(logits, labels);
+  };
+
+  ModelForwardCache cache;
+  const Matrix logits = model.forward(features, &cache);
+  Matrix dlogits(kFrames, 4);
+  static_cast<void>(softmax_cross_entropy(logits, labels, &dlogits));
+  SpeechModel grads(config);
+  grads.zero();
+  model.backward(cache, dlogits, grads);
+
+  ParamSet param_set;
+  model.register_params(param_set);
+  ParamSet grad_set;
+  grads.register_params(grad_set);
+  ParamSet::for_each_pair(
+      param_set, grad_set,
+      [&](const std::string& name, std::span<float> p, std::span<float> g) {
+        for (std::size_t i = 0; i < p.size(); i += std::max<std::size_t>(
+                                                  1, p.size() / 4)) {
+          const float saved = p[i];
+          p[i] = saved + static_cast<float>(kFdEpsilon);
+          const double up = objective();
+          p[i] = saved - static_cast<float>(kFdEpsilon);
+          const double down = objective();
+          p[i] = saved;
+          EXPECT_TRUE(
+              gradients_match(g[i], (up - down) / (2 * kFdEpsilon)))
+              << name << '[' << i << ']';
+        }
+      });
+}
+
+// ------------------------------------------------------------- the model
+TEST(Model, PaperFullSizeParameterCount) {
+  const ModelConfig config = ModelConfig::paper_full_size();
+  const SpeechModel model(config);
+  // RNN weights+biases: layer1 3*(1024*(153+1024)+1024), layer2
+  // 3*(1024*2048+1024) = 9,913,344 — the paper's "about 9.6M" GRU.
+  std::size_t rnn_params = 0;
+  for (std::size_t l = 0; l < 2; ++l) {
+    rnn_params += model.layer(l).param_count();
+  }
+  EXPECT_EQ(rnn_params, 9913344U);
+}
+
+TEST(Model, ForwardShapesAndDeterminism) {
+  Rng rng(45);
+  SpeechModel model(ModelConfig::scaled(16));
+  model.init(rng);
+  Matrix features(7, 39);
+  fill_normal(features.span(), rng, 1.0F);
+  const Matrix a = model.forward(features);
+  const Matrix b = model.forward(features);
+  EXPECT_EQ(a.rows(), 7U);
+  EXPECT_EQ(a.cols(), 39U);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Model, RejectsBadInput) {
+  SpeechModel model(ModelConfig::scaled(8));
+  Matrix wrong_dim(5, 7);
+  EXPECT_THROW(model.forward(wrong_dim), std::invalid_argument);
+  Matrix empty(0, 39);
+  EXPECT_THROW(model.forward(empty), std::invalid_argument);
+}
+
+TEST(Model, SaveLoadRoundTrip) {
+  Rng rng(46);
+  SpeechModel model(ModelConfig::scaled(12));
+  model.init(rng);
+  std::stringstream stream;
+  model.save(stream);
+
+  SpeechModel restored(ModelConfig::scaled(12));
+  restored.load(stream);
+  Matrix features(5, 39);
+  fill_normal(features.span(), rng, 1.0F);
+  const Matrix a = model.forward(features);
+  const Matrix b = restored.forward(features);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Model, LoadRejectsWrongShape) {
+  Rng rng(47);
+  SpeechModel model(ModelConfig::scaled(12));
+  model.init(rng);
+  std::stringstream stream;
+  model.save(stream);
+  SpeechModel other(ModelConfig::scaled(16));
+  EXPECT_THROW(other.load(stream), std::runtime_error);
+}
+
+TEST(Model, NonzeroCountTracksPruning) {
+  Rng rng(48);
+  SpeechModel model(ModelConfig::scaled(16));
+  model.init(rng);
+  const std::size_t dense_count = model.nonzero_param_count();
+  model.layer(0).w_z.fill(0.0F);
+  const std::size_t pruned_count = model.nonzero_param_count();
+  EXPECT_EQ(dense_count - pruned_count, model.layer(0).w_z.size());
+}
+
+TEST(Model, WeightNamesCoverAllGruMatrices) {
+  const SpeechModel model(ModelConfig::scaled(8));
+  const auto names = model.weight_names();
+  EXPECT_EQ(names.size(), 12U);  // 2 layers x 6 matrices
+  EXPECT_EQ(names.front(), "gru0.w_z");
+  EXPECT_EQ(names.back(), "gru1.u_h");
+}
+
+}  // namespace
+}  // namespace rtmobile

@@ -1,0 +1,307 @@
+// Robustness and property tests: randomized fuzzing of the sparse
+// execution stack against the dense oracle, thread-pool stress, WAV
+// round trips, and cross-cutting invariants that the focused unit tests
+// do not sweep.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <sstream>
+
+#include "compiler/execution_plan.hpp"
+#include "sparse/bspc.hpp"
+#include "hw/thread_pool.hpp"
+#include "speech/wav.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+#include "train/projection.hpp"
+#include "util/rng.hpp"
+
+namespace rtmobile {
+namespace {
+
+// ---------------------------------------------------- sparse-stack fuzzing
+// Property: for ANY random shape, block grid, keep fractions, format, and
+// thread count, executing the compiled plan equals the dense oracle on
+// the masked weights.
+class SparseStackFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SparseStackFuzz, CompiledPlanMatchesDenseOracle) {
+  Rng rng(GetParam() * 7919 + 13);
+  const std::size_t rows = 8 + rng.next_below(120);
+  const std::size_t cols = 8 + rng.next_below(120);
+  const std::size_t num_r =
+      1 + rng.next_below(std::min<std::size_t>(rows, 12));
+  const std::size_t num_c =
+      1 + rng.next_below(std::min<std::size_t>(cols, 12));
+  const double col_keep = 0.05 + 0.9 * rng.next_double();
+  const double row_keep = 0.2 + 0.8 * rng.next_double();
+
+  Matrix weights(rows, cols);
+  fill_normal(weights.span(), rng, 1.0F);
+  BlockMask mask = block_column_mask(weights, num_r, num_c, col_keep);
+  if (rng.bernoulli(0.5)) apply_row_pruning(weights, row_keep, mask);
+  Matrix masked = weights;
+  mask.apply(masked);
+
+  Vector x(cols);
+  fill_normal(x.span(), rng, 1.0F);
+  Vector expected(rows);
+  gemv_naive(masked, x.span(), expected.span());
+
+  const SparseFormat format = rng.bernoulli(0.5) ? SparseFormat::kBspc
+                                                 : SparseFormat::kCsr;
+  CompilerOptions options;
+  options.format = format;
+  options.reorder = rng.bernoulli(0.5);
+  options.lre = rng.bernoulli(0.5);
+  options.threads = 1 + rng.next_below(4);
+  options.min_nnz_for_threading = rng.bernoulli(0.5) ? 0 : 1 << 20;
+  const LayerPlan plan = LayerPlan::compile(weights, &mask, options);
+
+  std::unique_ptr<ThreadPool> pool;
+  if (options.threads > 1) {
+    pool = std::make_unique<ThreadPool>(options.threads);
+  }
+  Vector actual(rows);
+  plan.execute(x.span(), actual.span(), pool.get());
+  EXPECT_LT(max_abs_diff(expected.span(), actual.span()), 1e-4F)
+      << "rows=" << rows << " cols=" << cols << " grid=" << num_r << 'x'
+      << num_c << " format=" << to_string(format)
+      << " threads=" << options.threads;
+  EXPECT_EQ(plan.nnz(), mask.nnz());
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, SparseStackFuzz,
+                         ::testing::Range<std::uint64_t>(0, 24));
+
+// ----------------------------------------------------- thread-pool stress
+TEST(ThreadPoolStress, ManyConsecutiveJobsStayCorrect) {
+  ThreadPool pool(4);
+  Rng rng(99);
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t n = 1 + rng.next_below(50);
+    std::atomic<std::size_t> total{0};
+    pool.parallel_for(n, [&](std::size_t begin, std::size_t end) {
+      total.fetch_add(end - begin);
+    });
+    ASSERT_EQ(total.load(), n) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolStress, AlternatingSizesAndExceptions) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::function<void()>> tasks;
+    const bool poison = round % 7 == 0;
+    std::atomic<int> done{0};
+    for (int i = 0; i < 8; ++i) {
+      if (poison && i == 4) {
+        tasks.emplace_back([] { throw std::runtime_error("boom"); });
+      } else {
+        tasks.emplace_back([&done] { done.fetch_add(1); });
+      }
+    }
+    if (poison) {
+      EXPECT_THROW(pool.run_all(tasks), std::runtime_error);
+    } else {
+      pool.run_all(tasks);
+      EXPECT_EQ(done.load(), 8);
+    }
+  }
+}
+
+TEST(ThreadPoolStress, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  std::size_t counter = 0;  // no atomics: everything runs on the caller
+  pool.parallel_for(100, [&](std::size_t begin, std::size_t end) {
+    counter += end - begin;
+  });
+  EXPECT_EQ(counter, 100U);
+}
+
+TEST(ThreadPoolStress, HeavyAndLightTasksInterleaved) {
+  ThreadPool pool(4);
+  std::atomic<double> sink{0.0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 16; ++i) {
+    const int reps = (i % 4 == 0) ? 20000 : 10;
+    tasks.emplace_back([&sink, reps] {
+      double acc = 0.0;
+      for (int k = 0; k < reps; ++k) acc += std::sqrt(static_cast<double>(k));
+      double expected = sink.load();
+      while (!sink.compare_exchange_weak(expected, expected + acc)) {
+      }
+    });
+  }
+  pool.run_all(tasks);
+  EXPECT_GT(sink.load(), 0.0);
+}
+
+// --------------------------------------------------------------- WAV I/O
+TEST(Wav, RoundTripPreservesSamples) {
+  Rng rng(5);
+  std::vector<float> samples(1600);
+  for (auto& s : samples) s = 0.8F * rng.normal() * 0.3F;
+  std::stringstream stream;
+  speech::write_wav(stream, samples, 16000);
+  const speech::WavData wav = speech::read_wav(stream);
+  EXPECT_EQ(wav.sample_rate_hz, 16000U);
+  ASSERT_EQ(wav.samples.size(), samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_NEAR(wav.samples[i], std::clamp(samples[i], -1.0F, 1.0F),
+                1.0F / 32767.0F + 1e-6F);
+  }
+}
+
+TEST(Wav, ClampsOutOfRangeSamples) {
+  const std::vector<float> samples = {2.0F, -3.0F, 0.0F};
+  std::stringstream stream;
+  speech::write_wav(stream, samples, 8000);
+  const speech::WavData wav = speech::read_wav(stream);
+  EXPECT_NEAR(wav.samples[0], 1.0F, 1e-4F);
+  EXPECT_NEAR(wav.samples[1], -1.0F, 1e-4F);
+}
+
+TEST(Wav, RejectsGarbage) {
+  std::stringstream stream("not a wav file at all............");
+  EXPECT_THROW(speech::read_wav(stream), std::runtime_error);
+}
+
+TEST(Wav, RejectsUnsupportedFormats) {
+  // Hand-build a stereo header.
+  std::stringstream stream;
+  stream.write("RIFF", 4);
+  const std::uint32_t riff_size = 36;
+  stream.write(reinterpret_cast<const char*>(&riff_size), 4);
+  stream.write("WAVE", 4);
+  stream.write("fmt ", 4);
+  const std::uint32_t fmt_size = 16;
+  stream.write(reinterpret_cast<const char*>(&fmt_size), 4);
+  const std::uint16_t pcm = 1;
+  const std::uint16_t stereo = 2;  // unsupported
+  stream.write(reinterpret_cast<const char*>(&pcm), 2);
+  stream.write(reinterpret_cast<const char*>(&stereo), 2);
+  const std::uint32_t rate = 16000;
+  stream.write(reinterpret_cast<const char*>(&rate), 4);
+  const std::uint32_t byte_rate = 64000;
+  stream.write(reinterpret_cast<const char*>(&byte_rate), 4);
+  const std::uint16_t align = 4;
+  stream.write(reinterpret_cast<const char*>(&align), 2);
+  const std::uint16_t bits = 16;
+  stream.write(reinterpret_cast<const char*>(&bits), 2);
+  EXPECT_THROW(speech::read_wav(stream), std::runtime_error);
+}
+
+// ------------------------------------------------- cross-cutting invariants
+TEST(Invariants, MaskNnzConservedThroughCompilationChain) {
+  // BlockMask -> BSPC -> LayerPlan -> to_dense keeps the same support.
+  Rng rng(31);
+  Matrix weights(40, 60);
+  fill_normal(weights.span(), rng, 1.0F);
+  BlockMask mask = block_column_mask(weights, 5, 6, 0.3);
+  apply_row_pruning(weights, 0.6, mask);
+
+  CompilerOptions options;
+  options.format = SparseFormat::kBspc;
+  const LayerPlan plan = LayerPlan::compile(weights, &mask, options);
+  const Matrix dense = plan.to_dense();
+  EXPECT_EQ(dense.count_nonzero(), mask.nnz());
+  for (std::size_t r = 0; r < 40; ++r) {
+    for (std::size_t c = 0; c < 60; ++c) {
+      if (!mask.is_kept(r, c)) {
+        EXPECT_EQ(dense(r, c), 0.0F);
+      }
+    }
+  }
+}
+
+TEST(Invariants, ReorderNeverChangesResults) {
+  // Same plan with and without reorder must agree exactly (it only
+  // permutes the execution schedule).
+  Rng rng(32);
+  Matrix weights(64, 64);
+  fill_normal(weights.span(), rng, 1.0F);
+  const BlockMask mask = block_column_mask(weights, 16, 8, 0.2);
+  Vector x(64);
+  fill_normal(x.span(), rng, 1.0F);
+
+  CompilerOptions with_reorder;
+  with_reorder.format = SparseFormat::kBspc;
+  with_reorder.reorder = true;
+  CompilerOptions without_reorder = with_reorder;
+  without_reorder.reorder = false;
+
+  Vector y1(64);
+  Vector y2(64);
+  LayerPlan::compile(weights, &mask, with_reorder)
+      .execute(x.span(), y1.span());
+  LayerPlan::compile(weights, &mask, without_reorder)
+      .execute(x.span(), y2.span());
+  EXPECT_LT(max_abs_diff(y1.span(), y2.span()), 1e-6F);
+}
+
+// ----------------------------------------------------- BSPC serialization
+TEST(BspcSerialization, RoundTripPreservesStructureAndResults) {
+  Rng rng(41);
+  Matrix weights(48, 64);
+  fill_normal(weights.span(), rng, 1.0F);
+  BlockMask mask = block_column_mask(weights, 6, 8, 0.25);
+  apply_row_pruning(weights, 0.75, mask);
+  const BspcMatrix original = BspcMatrix::from_dense(weights, mask);
+
+  std::stringstream stream;
+  original.write(stream);
+  const BspcMatrix restored = BspcMatrix::read(stream);
+  EXPECT_TRUE(original == restored);
+  EXPECT_EQ(restored.nnz(), original.nnz());
+
+  Vector x(64);
+  fill_normal(x.span(), rng, 1.0F);
+  Vector y1(48);
+  Vector y2(48);
+  original.spmv(x.span(), y1.span());
+  restored.spmv(x.span(), y2.span());
+  EXPECT_LT(max_abs_diff(y1.span(), y2.span()), 1e-7F);
+}
+
+TEST(BspcSerialization, RejectsCorruptStreams) {
+  Rng rng(42);
+  Matrix weights(16, 16);
+  fill_normal(weights.span(), rng, 1.0F);
+  const BlockMask mask = block_column_mask(weights, 4, 4, 0.5);
+  const BspcMatrix original = BspcMatrix::from_dense(weights, mask);
+
+  std::stringstream good;
+  original.write(good);
+  const std::string payload = good.str();
+
+  // Bad magic.
+  std::stringstream bad_magic("XXXX" + payload.substr(4));
+  EXPECT_THROW(BspcMatrix::read(bad_magic), std::runtime_error);
+  // Truncation at every eighth byte boundary.
+  for (std::size_t cut = 8; cut < payload.size(); cut += payload.size() / 7) {
+    std::stringstream truncated(payload.substr(0, cut));
+    EXPECT_THROW(BspcMatrix::read(truncated), std::runtime_error)
+        << "cut at " << cut;
+  }
+  // Flipping a column index beyond cols must be caught by validation.
+  std::string corrupt = payload;
+  // Column pool sits near the end; stomp a late 4-byte field with 0xFF.
+  for (std::size_t i = corrupt.size() - 40; i < corrupt.size() - 36; ++i) {
+    corrupt[i] = static_cast<char>(0xFF);
+  }
+  std::stringstream corrupted(corrupt);
+  try {
+    const BspcMatrix read_back = BspcMatrix::read(corrupted);
+    // If validation passed, the payload stomp hit float values, which is
+    // acceptable — structure must still be intact.
+    EXPECT_EQ(read_back.rows(), original.rows());
+  } catch (const std::runtime_error&) {
+    SUCCEED();
+  }
+}
+
+}  // namespace
+}  // namespace rtmobile
+

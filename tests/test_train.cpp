@@ -1,0 +1,471 @@
+// Unit tests for the training stack: loss, optimizers, clipping, masks,
+// projections, the ADMM engine, and the trainer loop.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rnn/model.hpp"
+#include "train/admm.hpp"
+#include "train/loss.hpp"
+#include "train/mask_set.hpp"
+#include "train/optimizer.hpp"
+#include "train/projection.hpp"
+#include "train/trainer.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace rtmobile {
+namespace {
+
+// ------------------------------------------------------------------ loss
+TEST(Loss, MatchesHandComputedCrossEntropy) {
+  Matrix logits(1, 3, std::vector<float>{1.0F, 2.0F, 3.0F});
+  const std::vector<std::uint16_t> labels = {2};
+  const double loss = softmax_cross_entropy(logits, labels);
+  const double z = std::exp(1.0) + std::exp(2.0) + std::exp(3.0);
+  EXPECT_NEAR(loss, -std::log(std::exp(3.0) / z), 1e-5);
+}
+
+TEST(Loss, GradientIsSoftmaxMinusOnehotOverT) {
+  Matrix logits(2, 3, std::vector<float>{0.5F, -1.0F, 2.0F,
+                                         1.0F, 1.0F, 1.0F});
+  const std::vector<std::uint16_t> labels = {2, 0};
+  Matrix dlogits(2, 3);
+  static_cast<void>(softmax_cross_entropy(logits, labels, &dlogits));
+  // Row sums to zero; label entry negative; scaled by 1/T.
+  for (std::size_t t = 0; t < 2; ++t) {
+    double row_sum = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) {
+      row_sum += static_cast<double>(dlogits(t, c));
+    }
+    EXPECT_NEAR(row_sum, 0.0, 1e-6);
+    EXPECT_LT(dlogits(t, labels[t]), 0.0F);
+  }
+  EXPECT_NEAR(dlogits(1, 1), (1.0 / 3.0) / 2.0, 1e-5);
+}
+
+TEST(Loss, GradientMatchesFiniteDifferences) {
+  Rng rng(1);
+  Matrix logits(3, 5);
+  fill_normal(logits.span(), rng, 1.0F);
+  const std::vector<std::uint16_t> labels = {4, 0, 2};
+  Matrix dlogits(3, 5);
+  static_cast<void>(softmax_cross_entropy(logits, labels, &dlogits));
+  constexpr double kEps = 1e-3;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const float saved = logits.span()[i];
+    logits.span()[i] = saved + static_cast<float>(kEps);
+    const double up = softmax_cross_entropy(logits, labels);
+    logits.span()[i] = saved - static_cast<float>(kEps);
+    const double down = softmax_cross_entropy(logits, labels);
+    logits.span()[i] = saved;
+    EXPECT_NEAR(dlogits.span()[i], (up - down) / (2 * kEps), 2e-3);
+  }
+}
+
+TEST(Loss, ValidatesLabels) {
+  Matrix logits(1, 3);
+  const std::vector<std::uint16_t> bad = {3};
+  EXPECT_THROW(static_cast<void>(softmax_cross_entropy(logits, bad)),
+               std::invalid_argument);
+}
+
+TEST(Loss, FrameAccuracy) {
+  Matrix logits(2, 2, std::vector<float>{1.0F, 0.0F, 0.0F, 1.0F});
+  const std::vector<std::uint16_t> labels = {0, 0};
+  EXPECT_DOUBLE_EQ(frame_accuracy(logits, labels), 0.5);
+}
+
+// ------------------------------------------------------------ optimizers
+// Minimizing f(w) = 0.5 ||w - target||^2 with gradient (w - target).
+class QuadraticProblem {
+ public:
+  QuadraticProblem() : w_(1, 4, 0.0F), g_(1, 4, 0.0F), target_(1, 4) {
+    target_(0, 0) = 1.0F;
+    target_(0, 1) = -2.0F;
+    target_(0, 2) = 0.5F;
+    target_(0, 3) = 3.0F;
+    params_.add("w", &w_);
+    grads_.add("w", &g_);
+  }
+
+  void compute_gradient() {
+    for (std::size_t i = 0; i < w_.size(); ++i) {
+      g_.span()[i] = w_.span()[i] - target_.span()[i];
+    }
+  }
+
+  [[nodiscard]] double loss() const {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < w_.size(); ++i) {
+      const double d = static_cast<double>(w_.span()[i]) -
+                       static_cast<double>(target_.span()[i]);
+      acc += 0.5 * d * d;
+    }
+    return acc;
+  }
+
+  Matrix w_, g_, target_;
+  ParamSet params_, grads_;
+};
+
+TEST(Optimizer, SgdConvergesOnQuadratic) {
+  QuadraticProblem problem;
+  Sgd sgd(0.1, 0.9);
+  for (int step = 0; step < 200; ++step) {
+    problem.compute_gradient();
+    sgd.step(problem.params_, problem.grads_);
+  }
+  EXPECT_LT(problem.loss(), 1e-6);
+}
+
+TEST(Optimizer, AdamConvergesOnQuadratic) {
+  QuadraticProblem problem;
+  Adam adam(0.05);
+  for (int step = 0; step < 500; ++step) {
+    problem.compute_gradient();
+    adam.step(problem.params_, problem.grads_);
+  }
+  EXPECT_LT(problem.loss(), 1e-4);
+}
+
+TEST(Optimizer, AdamFirstStepIsLearningRateSized) {
+  // With bias correction, the first Adam update is ~lr * sign(grad).
+  QuadraticProblem problem;
+  Adam adam(0.01);
+  problem.compute_gradient();
+  adam.step(problem.params_, problem.grads_);
+  EXPECT_NEAR(problem.w_(0, 0), 0.01F, 1e-4F);
+  EXPECT_NEAR(problem.w_(0, 1), -0.01F, 1e-4F);
+}
+
+TEST(Optimizer, HyperparameterValidation) {
+  EXPECT_THROW(Sgd(-1.0), std::invalid_argument);
+  EXPECT_THROW(Sgd(0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(Adam(0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(Adam(0.1, 0.9, 0.999, 0.0), std::invalid_argument);
+}
+
+TEST(Optimizer, ClipGlobalNorm) {
+  Matrix g(1, 2, std::vector<float>{3.0F, 4.0F});
+  ParamSet grads;
+  grads.add("g", &g);
+  const double norm = clip_global_norm(grads, 1.0);
+  EXPECT_NEAR(norm, 5.0, 1e-6);
+  EXPECT_NEAR(g(0, 0), 0.6F, 1e-5F);
+  EXPECT_NEAR(g(0, 1), 0.8F, 1e-5F);
+  // No-op when already below the bound or when disabled.
+  const double norm2 = clip_global_norm(grads, 10.0);
+  EXPECT_NEAR(norm2, 1.0, 1e-5);
+  EXPECT_NEAR(g(0, 0), 0.6F, 1e-5F);
+  clip_global_norm(grads, 0.0);
+  EXPECT_NEAR(g(0, 0), 0.6F, 1e-5F);
+}
+
+// --------------------------------------------------------------- masking
+TEST(MaskSet, AppliesToParamsAndGrads) {
+  Matrix w(2, 2, 5.0F);
+  Matrix g(2, 2, 3.0F);
+  ParamSet params;
+  params.add("w", &w);
+  ParamSet grads;
+  grads.add("w", &g);
+
+  Matrix mask(2, 2, 1.0F);
+  mask(0, 1) = 0.0F;
+  MaskSet masks;
+  masks.set("w", mask);
+
+  masks.apply(params);
+  masks.apply_to_grads(grads);
+  EXPECT_FLOAT_EQ(w(0, 1), 0.0F);
+  EXPECT_FLOAT_EQ(w(0, 0), 5.0F);
+  EXPECT_FLOAT_EQ(g(0, 1), 0.0F);
+  EXPECT_EQ(masks.total_kept(), 3U);
+  EXPECT_EQ(masks.total_slots(), 4U);
+}
+
+TEST(MaskSet, RejectsNonBinaryMasks) {
+  MaskSet masks;
+  Matrix bad(1, 1, 0.5F);
+  EXPECT_THROW(masks.set("w", bad), std::invalid_argument);
+}
+
+TEST(MaskSet, ShapeMismatchDetected) {
+  Matrix w(2, 3, 1.0F);
+  ParamSet params;
+  params.add("w", &w);
+  MaskSet masks;
+  masks.set("w", Matrix(3, 2, 1.0F));
+  EXPECT_THROW(masks.apply(params), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ projections
+TEST(Projection, KeepCountRounds) {
+  EXPECT_EQ(keep_count(100, 0.1), 10U);
+  EXPECT_EQ(keep_count(10, 0.06), 1U);
+  EXPECT_EQ(keep_count(10, 0.04), 0U);
+  EXPECT_EQ(keep_count(10, 1.0), 10U);
+  EXPECT_THROW(static_cast<void>(keep_count(10, 1.5)),
+               std::invalid_argument);
+}
+
+TEST(Projection, TopKIndicesSortedAndCorrect) {
+  const std::vector<double> scores = {0.5, 3.0, 1.0, 3.0, 0.1};
+  const auto top = top_k_indices(scores, 2);
+  ASSERT_EQ(top.size(), 2U);
+  EXPECT_EQ(top[0], 1U);  // ties break toward lower index
+  EXPECT_EQ(top[1], 3U);
+  EXPECT_EQ(top_k_indices(scores, 99).size(), 5U);
+  EXPECT_TRUE(top_k_indices(scores, 0).empty());
+}
+
+TEST(Projection, MagnitudeKeepsLargest) {
+  Matrix w(2, 2, std::vector<float>{0.1F, -5.0F, 2.0F, 0.3F});
+  const Matrix projected = project_magnitude(w, 0.5);
+  EXPECT_FLOAT_EQ(projected(0, 1), -5.0F);
+  EXPECT_FLOAT_EQ(projected(1, 0), 2.0F);
+  EXPECT_EQ(projected.count_nonzero(), 2U);
+}
+
+TEST(Projection, BlockColumnMaskKeepsHighestEnergyColumns) {
+  // Stripe 0 rows {0,1}, stripe 1 rows {2,3}; one block spanning 4 cols.
+  Matrix w(4, 4, 0.0F);
+  // Stripe 0: column 2 carries all the energy.
+  w(0, 2) = 3.0F;
+  w(1, 2) = -2.0F;
+  w(0, 0) = 0.1F;
+  // Stripe 1: column 1 dominates.
+  w(2, 1) = 5.0F;
+  w(3, 1) = 1.0F;
+  w(3, 3) = 0.2F;
+  const BlockMask mask = block_column_mask(w, 2, 1, 0.25);
+  EXPECT_TRUE(mask.is_kept(0, 2));
+  EXPECT_FALSE(mask.is_kept(0, 0));
+  EXPECT_TRUE(mask.is_kept(2, 1));
+  EXPECT_FALSE(mask.is_kept(2, 3));
+  EXPECT_EQ(mask.nnz(), 4U);  // one column per stripe, two rows each
+}
+
+TEST(Projection, RowPruningKeepsHighestEnergyRows) {
+  Matrix w(4, 2, 0.0F);
+  w(0, 0) = 5.0F;
+  w(1, 0) = 0.1F;
+  w(2, 1) = 4.0F;
+  w(3, 1) = 0.2F;
+  BlockMask mask(4, 2, 2, 1);
+  apply_row_pruning(w, 0.5, mask);
+  EXPECT_TRUE(mask.row_kept(0));
+  EXPECT_FALSE(mask.row_kept(1));
+  EXPECT_TRUE(mask.row_kept(2));
+  EXPECT_FALSE(mask.row_kept(3));
+}
+
+TEST(Projection, BspProjectionIsIdempotent) {
+  Rng rng(2);
+  Matrix w(16, 16);
+  fill_normal(w.span(), rng, 1.0F);
+  const Matrix once = project_bsp(w, 4, 4, 0.25, 0.5);
+  const Matrix twice = project_bsp(once, 4, 4, 0.25, 0.5);
+  EXPECT_EQ(once, twice);
+}
+
+TEST(Projection, RowColumnProjection) {
+  Rng rng(3);
+  Matrix w(8, 8);
+  fill_normal(w.span(), rng, 1.0F);
+  const Matrix projected = project_row_column(w, 0.5, 0.5);
+  // Exactly 4 surviving rows and 4 surviving columns.
+  std::size_t live_rows = 0;
+  std::size_t live_cols = 0;
+  for (std::size_t r = 0; r < 8; ++r) {
+    bool any = false;
+    for (std::size_t c = 0; c < 8; ++c) any |= projected(r, c) != 0.0F;
+    if (any) ++live_rows;
+  }
+  for (std::size_t c = 0; c < 8; ++c) {
+    bool any = false;
+    for (std::size_t r = 0; r < 8; ++r) any |= projected(r, c) != 0.0F;
+    if (any) ++live_cols;
+  }
+  EXPECT_EQ(live_rows, 4U);
+  EXPECT_EQ(live_cols, 4U);
+  EXPECT_EQ(projected.count_nonzero(), 16U);
+}
+
+// ------------------------------------------------------------------ ADMM
+TEST(Admm, PenaltyGradientIsRhoTimesResidual) {
+  Matrix w(1, 2, std::vector<float>{1.0F, 2.0F});
+  AdmmState admm;
+  admm.attach("w", &w, [](const Matrix& m) { return project_magnitude(m, 0.5); },
+              2.0);
+  admm.initialize();
+  // Z = [0, 2] (keeps the larger), U = 0; penalty grad = rho*(W - Z).
+  Matrix g(1, 2, 0.0F);
+  ParamSet grads;
+  grads.add("w", &g);
+  admm.add_penalty_gradients(grads);
+  EXPECT_NEAR(g(0, 0), 2.0F * 1.0F, 1e-5F);
+  EXPECT_NEAR(g(0, 1), 0.0F, 1e-5F);
+}
+
+TEST(Admm, DualUpdateTracksResidual) {
+  Matrix w(1, 2, std::vector<float>{1.0F, 2.0F});
+  AdmmState admm;
+  admm.attach("w", &w, [](const Matrix& m) { return project_magnitude(m, 0.5); },
+              1.0);
+  admm.initialize();
+  admm.dual_update();
+  // U = W - Z = [1, 0].
+  EXPECT_NEAR(admm.u("w")(0, 0), 1.0F, 1e-5F);
+  EXPECT_NEAR(admm.u("w")(0, 1), 0.0F, 1e-5F);
+}
+
+TEST(Admm, GradientFlowDrivesWeightsTowardConstraint) {
+  // Minimize 0.5||W - target||^2 + ADMM penalty, target not sparse.
+  // After enough rounds, W should be (near-)50%-sparse. rho must exceed
+  // the loss curvature here: at equilibrium a pruned coordinate carries
+  // u = t/rho, and |w + u| = |t|/rho competes in the magnitude projection
+  // with kept coordinates' |t| — rho < 1 makes the support oscillate.
+  Rng rng(4);
+  Matrix w(4, 4);
+  fill_normal(w.span(), rng, 1.0F);
+  Matrix target = w;
+
+  AdmmState admm;
+  admm.attach("w", &w, [](const Matrix& m) { return project_magnitude(m, 0.5); },
+              2.0);
+  admm.initialize();
+
+  Matrix g(4, 4, 0.0F);
+  ParamSet params;
+  params.add("w", &w);
+  ParamSet grads;
+  grads.add("w", &g);
+  Sgd sgd(0.1, 0.0);
+  for (int round = 0; round < 60; ++round) {
+    for (int inner = 0; inner < 10; ++inner) {
+      for (std::size_t i = 0; i < w.size(); ++i) {
+        g.span()[i] = w.span()[i] - target.span()[i];
+      }
+      admm.add_penalty_gradients(grads);
+      sgd.step(params, grads);
+    }
+    admm.dual_update();
+  }
+  EXPECT_LT(admm.max_relative_residual(), 0.15);
+  // Hard prune lands exactly on the constraint set.
+  const MaskSet masks = admm.hard_prune();
+  EXPECT_EQ(w.count_nonzero(), 8U);
+  EXPECT_EQ(masks.total_kept(), 8U);
+}
+
+TEST(Admm, ValidatesUsage) {
+  AdmmState admm;
+  Matrix w(2, 2);
+  EXPECT_THROW(admm.attach("w", nullptr,
+                           [](const Matrix& m) { return m; }, 1.0),
+               std::invalid_argument);
+  admm.attach("w", &w, [](const Matrix& m) { return m; }, 1.0);
+  EXPECT_THROW(admm.attach("w", &w, [](const Matrix& m) { return m; }, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(admm.dual_update(), std::invalid_argument);  // not initialized
+  EXPECT_THROW(static_cast<void>(admm.z("nope")),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------------- trainer
+std::vector<LabeledSequence> toy_dataset(std::size_t utterances,
+                                         std::size_t frames,
+                                         std::size_t input_dim,
+                                         std::size_t classes,
+                                         std::uint64_t seed) {
+  // Learnable toy task: class = argmax over first `classes` feature dims.
+  Rng rng(seed);
+  std::vector<LabeledSequence> data(utterances);
+  for (auto& utt : data) {
+    utt.features = Matrix(frames, input_dim);
+    fill_normal(utt.features.span(), rng, 1.0F);
+    utt.labels.resize(frames);
+    for (std::size_t t = 0; t < frames; ++t) {
+      std::size_t best = 0;
+      for (std::size_t c = 1; c < classes; ++c) {
+        if (utt.features(t, c) > utt.features(t, best)) best = c;
+      }
+      utt.labels[t] = static_cast<std::uint16_t>(best);
+    }
+  }
+  return data;
+}
+
+TEST(Trainer, LossDecreasesOnToyTask) {
+  Rng rng(5);
+  ModelConfig config;
+  config.input_dim = 8;
+  config.hidden_dim = 16;
+  config.num_layers = 1;
+  config.num_classes = 4;
+  SpeechModel model(config);
+  model.init(rng);
+  const auto data = toy_dataset(12, 6, 8, 4, 6);
+
+  Trainer trainer(model);
+  Adam adam(5e-3);
+  const double initial_loss = Trainer::evaluate(model, data).loss;
+  TrainConfig train_config;
+  train_config.epochs = 8;
+  trainer.train(train_config, data, adam, rng);
+  const EvalResult result = Trainer::evaluate(model, data);
+  EXPECT_LT(result.loss, initial_loss * 0.7);
+  EXPECT_GT(result.frame_accuracy, 0.5);
+}
+
+TEST(Trainer, MaskedTrainingPreservesZeros) {
+  Rng rng(7);
+  ModelConfig config;
+  config.input_dim = 6;
+  config.hidden_dim = 8;
+  config.num_layers = 1;
+  config.num_classes = 3;
+  SpeechModel model(config);
+  model.init(rng);
+  const auto data = toy_dataset(6, 5, 6, 3, 8);
+
+  // Mask out half of u_h and train; the zeros must survive.
+  Matrix mask(8, 8, 1.0F);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) mask(r, c) = 0.0F;
+  }
+  MaskSet masks;
+  masks.set("gru0.u_h", mask);
+  ParamSet params;
+  model.register_params(params);
+  masks.apply(params);
+
+  Trainer trainer(model);
+  Adam adam(2e-3);
+  TrainConfig train_config;
+  train_config.epochs = 3;
+  trainer.train(train_config, data, adam, rng, nullptr, &masks);
+  const Matrix& u_h = model.layer(0).u_h;
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_FLOAT_EQ(u_h(r, c), 0.0F);
+    }
+  }
+  // Unmasked half must have been trained (nonzero).
+  EXPECT_GT(u_h.count_nonzero(), 0U);
+}
+
+TEST(Trainer, RejectsEmptyDataset) {
+  Rng rng(9);
+  SpeechModel model(ModelConfig::scaled(8));
+  model.init(rng);
+  Trainer trainer(model);
+  Adam adam(1e-3);
+  std::vector<LabeledSequence> empty;
+  EXPECT_THROW(trainer.run_epoch(empty, adam, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rtmobile

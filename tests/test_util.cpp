@@ -1,0 +1,291 @@
+// Unit tests for src/util: checks, rng, strings, table, report, cli.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/report.hpp"
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace rtmobile {
+namespace {
+
+// ---------------------------------------------------------------- checks
+TEST(Check, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(RT_REQUIRE(false, "boom"), std::invalid_argument);
+  EXPECT_NO_THROW(RT_REQUIRE(true, "fine"));
+}
+
+TEST(Check, CheckThrowsRuntimeError) {
+  EXPECT_THROW(RT_CHECK(false, "boom"), std::runtime_error);
+}
+
+TEST(Check, AssertThrowsInternalError) {
+  EXPECT_THROW(RT_ASSERT(false, "boom"), InternalError);
+}
+
+TEST(Check, MessageCarriesContext) {
+  try {
+    RT_REQUIRE(1 == 2, "my context message");
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("my context message"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("test_util.cpp"), std::string::npos);
+  }
+}
+
+// ------------------------------------------------------------------- rng
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.next_u64() != b.next_u64()) ++differing;
+  }
+  EXPECT_GT(differing, 24);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17U);
+  }
+  EXPECT_THROW(rng.next_below(0), std::invalid_argument);
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7U);
+}
+
+TEST(Rng, FloatsInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const float f = rng.next_float();
+    EXPECT_GE(f, 0.0F);
+    EXPECT_LT(f, 1.0F);
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kSamples;
+  const double variance = sum_sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(variance, 1.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(17);
+  int hits = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.02);
+  EXPECT_THROW(rng.bernoulli(1.5), std::invalid_argument);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(19);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.categorical(weights)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kSamples, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / kSamples, 0.75, 0.02);
+  EXPECT_THROW(rng.categorical({}), std::invalid_argument);
+  EXPECT_THROW(rng.categorical({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(rng.categorical({-1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(23);
+  std::vector<int> items = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto shuffled = items;
+  rng.shuffle(shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, items);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.fork();
+  // The child stream should differ from the parent's continuation.
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) {
+    if (parent.next_u64() != child.next_u64()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+// --------------------------------------------------------------- strings
+TEST(StringUtil, SplitKeepsEmptyFields) {
+  const auto fields = split("a,,b,", ',');
+  ASSERT_EQ(fields.size(), 4U);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(StringUtil, TrimRemovesEdgesOnly) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringUtil, JoinWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-", "--"));
+}
+
+TEST(StringUtil, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+  EXPECT_THROW(format_double(1.0, -1), std::invalid_argument);
+}
+
+TEST(StringUtil, FormatSi) {
+  EXPECT_EQ(format_si(9600000.0, 1), "9.6M");
+  EXPECT_EQ(format_si(0.0012, 2), "1.20m");
+  EXPECT_EQ(format_si(0.0, 2), "0.00");
+}
+
+TEST(StringUtil, FormatPercent) {
+  EXPECT_EQ(format_percent(0.1234, 1), "12.3%");
+}
+
+// ----------------------------------------------------------------- table
+TEST(Table, RendersAlignedColumns) {
+  Table table({"method", "rate"});
+  table.add_row({"BSP", "10x"});
+  table.add_separator();
+  table.add_row({"ESE", "8x"});
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("| method | rate |"), std::string::npos);
+  EXPECT_NE(text.find("| BSP    | 10x  |"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2U);
+}
+
+TEST(Table, RejectsWrongCellCount) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- report
+TEST(Report, RecordSerializesAllTypes) {
+  JsonRecord record;
+  record.set("name", "bsp");
+  record.set("rate", 10.5);
+  record.set("count", static_cast<std::int64_t>(42));
+  record.set("ok", true);
+  const std::string json = record.to_json();
+  EXPECT_NE(json.find("\"name\": \"bsp\""), std::string::npos);
+  EXPECT_NE(json.find("\"rate\": 10.5"), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"ok\": true"), std::string::npos);
+}
+
+TEST(Report, EscapesSpecials) {
+  EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST(Report, ArrayHoldsRecords) {
+  JsonReport report;
+  JsonRecord r1;
+  r1.set("i", static_cast<std::int64_t>(1));
+  report.add(r1);
+  JsonRecord r2;
+  r2.set("i", static_cast<std::int64_t>(2));
+  report.add(r2);
+  const std::string json = report.to_json_array();
+  EXPECT_NE(json.find("{\"i\": 1},"), std::string::npos);
+  EXPECT_EQ(report.size(), 2U);
+}
+
+// ------------------------------------------------------------------- cli
+TEST(Cli, ParsesFlagsAndSwitches) {
+  CliParser cli;
+  cli.add_flag("rate", "10", "compression rate");
+  cli.add_flag("name", "bsp", "method");
+  cli.add_switch("verbose", "log more");
+  const char* argv[] = {"prog", "--rate", "29", "--verbose",
+                        "--name=ese", "positional"};
+  cli.parse(6, argv);
+  EXPECT_EQ(cli.get_int("rate"), 29);
+  EXPECT_EQ(cli.get_string("name"), "ese");
+  EXPECT_TRUE(cli.get_switch("verbose"));
+  ASSERT_EQ(cli.positional().size(), 1U);
+  EXPECT_EQ(cli.positional()[0], "positional");
+}
+
+TEST(Cli, RejectsUnknownAndMalformed) {
+  CliParser cli;
+  cli.add_flag("rate", "1", "");
+  const char* unknown[] = {"prog", "--nope", "1"};
+  EXPECT_THROW(cli.parse(3, unknown), std::invalid_argument);
+
+  CliParser cli2;
+  cli2.add_flag("rate", "1", "");
+  const char* missing[] = {"prog", "--rate"};
+  EXPECT_THROW(cli2.parse(2, missing), std::invalid_argument);
+
+  CliParser cli3;
+  cli3.add_flag("rate", "1", "");
+  const char* bad_int[] = {"prog", "--rate", "abc"};
+  cli3.parse(3, bad_int);
+  EXPECT_THROW(static_cast<void>(cli3.get_int("rate")),
+               std::invalid_argument);
+}
+
+TEST(Cli, DefaultsApplyWhenAbsent) {
+  CliParser cli;
+  cli.add_flag("rate", "10", "");
+  cli.add_switch("verbose", "");
+  const char* argv[] = {"prog"};
+  cli.parse(1, argv);
+  EXPECT_EQ(cli.get_int("rate"), 10);
+  EXPECT_FALSE(cli.get_switch("verbose"));
+  EXPECT_NE(cli.help("prog").find("--rate"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtmobile
