@@ -1,0 +1,150 @@
+// Streaming runtime benchmark: aggregate throughput and step latency of
+// the batched InferenceEngine as concurrent streams scale 1 -> 8.
+//
+// Each configuration serves N independent audio streams through one
+// BSP-pruned compiled model. All audio is pushed up front and the engine
+// drained, so every step batches the maximum number of ready streams —
+// the steady-state regime of a loaded server. Reported per row: frames
+// processed, mean batch size, p50/p95 step latency, aggregate frames/sec,
+// the real-time factor (audio seconds per compute second, summed over
+// streams), and throughput speedup versus the single-stream row.
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/gru_executor.hpp"
+#include "hw/thread_pool.hpp"
+#include "rnn/model.hpp"
+#include "rnn/param_set.hpp"
+#include "runtime/inference_engine.hpp"
+#include "sparse/block_mask.hpp"
+#include "speech/streaming_mfcc.hpp"
+#include "train/projection.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace rtmobile {
+namespace {
+
+struct BenchSetup {
+  std::unique_ptr<ThreadPool> pool;
+  std::unique_ptr<SpeechModel> model;
+  std::unique_ptr<CompiledSpeechModel> compiled;
+};
+
+BenchSetup build_model(std::size_t hidden, std::size_t threads,
+                       double keep_fraction) {
+  BenchSetup setup;
+  Rng rng(1234);
+  ModelConfig config = ModelConfig::scaled(hidden);
+  setup.model = std::make_unique<SpeechModel>(config);
+  setup.model->init(rng);
+
+  std::map<std::string, BlockMask> masks;
+  ParamSet params;
+  setup.model->register_params(params);
+  for (const std::string& name : setup.model->weight_names()) {
+    Matrix& w = params.matrix(name);
+    BlockMask mask = block_column_mask(w, 8, 4, keep_fraction);
+    mask.apply(w);
+    masks.emplace(name, std::move(mask));
+  }
+
+  CompilerOptions options;
+  options.format = SparseFormat::kBspc;
+  options.threads = threads;
+  if (threads > 1) setup.pool = std::make_unique<ThreadPool>(threads);
+  setup.compiled = std::make_unique<CompiledSpeechModel>(
+      *setup.model, masks, options, setup.pool.get());
+  return setup;
+}
+
+std::vector<float> make_waveform(double seconds, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> wave(static_cast<std::size_t>(seconds * 16000.0));
+  for (float& s : wave) s = 0.1F * rng.normal();
+  return wave;
+}
+
+}  // namespace
+}  // namespace rtmobile
+
+int main(int argc, char** argv) {
+  using namespace rtmobile;
+
+  CliParser cli;
+  cli.add_flag("hidden", "256", "GRU hidden size of the served model");
+  cli.add_flag("threads", std::to_string(ThreadPool::default_thread_count()),
+               "thread pool size");
+  cli.add_flag("seconds", "4", "audio seconds per stream");
+  cli.add_flag("max-streams", "8", "largest concurrent-stream count");
+  cli.add_flag("keep", "0.25", "BSP column keep fraction");
+  cli.add_switch("quick", "small model + short audio (CI smoke run)");
+  try {
+    cli.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n%s", e.what(),
+                 cli.help("bench_streaming").c_str());
+    return 1;
+  }
+
+  const bool quick = cli.get_switch("quick");
+  const std::size_t hidden =
+      quick ? 96 : static_cast<std::size_t>(cli.get_int("hidden"));
+  const double seconds = quick ? 0.5 : cli.get_double("seconds");
+  const std::size_t threads =
+      static_cast<std::size_t>(cli.get_int("threads"));
+  const std::size_t max_streams =
+      static_cast<std::size_t>(cli.get_int("max-streams"));
+  const double keep = cli.get_double("keep");
+
+  std::printf(
+      "Streaming engine scaling: hidden=%zu threads=%zu audio=%.1fs/stream "
+      "keep=%.2f%s\n\n",
+      hidden, threads, seconds, keep, quick ? " (quick)" : "");
+
+  BenchSetup setup = build_model(hidden, threads, keep);
+
+  speech::MfccConfig mfcc;
+  mfcc.cepstral_mean_norm = false;
+
+  Table table({"streams", "frames", "mean batch", "p50 us", "p95 us",
+               "frames/s", "RTF", "speedup"});
+  // Powers of two up to max-streams, always ending on max-streams itself
+  // so a non-power-of-two request still benchmarks the count asked for.
+  std::vector<std::size_t> stream_counts;
+  for (std::size_t s = 1; s < max_streams; s *= 2) stream_counts.push_back(s);
+  stream_counts.push_back(max_streams);
+  double base_fps = 0.0;
+  for (const std::size_t streams : stream_counts) {
+    runtime::InferenceEngine engine(*setup.compiled);
+    for (std::size_t s = 0; s < streams; ++s) {
+      runtime::StreamingSession& session = engine.create_session(mfcc);
+      const std::vector<float> wave = make_waveform(seconds, 9000 + s);
+      session.push_audio(wave);
+      session.finish();
+    }
+    engine.drain();
+
+    const runtime::RuntimeStats& stats = engine.stats();
+    const double fps = stats.frames_per_second();
+    if (streams == 1) base_fps = fps;
+    table.add_row({std::to_string(streams),
+                   std::to_string(stats.frames_processed),
+                   format_double(stats.mean_batch(), 1),
+                   format_double(stats.step_latency.p50_us(), 1),
+                   format_double(stats.step_latency.p95_us(), 1),
+                   format_double(fps, 0),
+                   format_double(stats.real_time_factor(), 1),
+                   format_double(base_fps > 0.0 ? fps / base_fps : 0.0, 2)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "RTF = audio seconds processed per compute second, summed over "
+      "streams (>1 is faster than real time).\n");
+  return 0;
+}

@@ -56,38 +56,91 @@ void CompiledSpeechModel::step_layer(const CompiledLayer& layer,
                                      std::span<const float> x,
                                      std::span<const float> h_prev,
                                      std::span<float> h_out,
-                                     std::span<float> scratch_a,
-                                     std::span<float> scratch_b,
-                                     std::span<float> scratch_c) const {
+                                     StepScratch& scratch,
+                                     ThreadPool* pool) const {
   const std::size_t hidden = config_.hidden_dim;
-  RT_ASSERT(scratch_a.size() == hidden && scratch_b.size() == hidden &&
-                scratch_c.size() == hidden,
-            "scratch buffers must be hidden-sized");
+  const std::span<float> scratch_a = scratch.a.span();
+  const std::span<float> scratch_b = scratch.b.span();
+  const std::span<float> scratch_c = scratch.c.span();
+  const std::span<float> scratch_d = scratch.d.span();
+  RT_ASSERT(scratch_a.size() == hidden, "scratch buffers must be hidden-sized");
 
   // z = sigmoid(W_z x + U_z h + b_z)  (scratch_a holds z)
-  layer.w_z.execute(x, scratch_a, pool_);
-  layer.u_z.execute(h_prev, scratch_b, pool_);
+  layer.w_z.execute(x, scratch_a, pool);
+  layer.u_z.execute(h_prev, scratch_b, pool);
   for (std::size_t i = 0; i < hidden; ++i) {
     scratch_a[i] = sigmoid(scratch_a[i] + scratch_b[i] + layer.b_z[i]);
   }
   // r = sigmoid(W_r x + U_r h + b_r)  (scratch_b holds r . h_prev)
-  layer.w_r.execute(x, scratch_b, pool_);
-  layer.u_r.execute(h_prev, scratch_c, pool_);
+  layer.w_r.execute(x, scratch_b, pool);
+  layer.u_r.execute(h_prev, scratch_c, pool);
   for (std::size_t i = 0; i < hidden; ++i) {
     const float r = sigmoid(scratch_b[i] + scratch_c[i] + layer.b_r[i]);
     scratch_b[i] = r * h_prev[i];
   }
   // h~ = tanh(W_h x + U_h (r . h) + b_h)  (scratch_c holds h~)
-  layer.w_h.execute(x, scratch_c, pool_);
-  Vector uh(hidden);
-  layer.u_h.execute(scratch_b, uh.span(), pool_);
+  layer.w_h.execute(x, scratch_c, pool);
+  layer.u_h.execute(scratch_b, scratch_d, pool);
   for (std::size_t i = 0; i < hidden; ++i) {
-    scratch_c[i] = std::tanh(scratch_c[i] + uh[i] + layer.b_h[i]);
+    scratch_c[i] = std::tanh(scratch_c[i] + scratch_d[i] + layer.b_h[i]);
   }
   // h = (1 - z) h_prev + z h~
   for (std::size_t i = 0; i < hidden; ++i) {
     h_out[i] = (1.0F - scratch_a[i]) * h_prev[i] +
                scratch_a[i] * scratch_c[i];
+  }
+}
+
+void CompiledSpeechModel::step_stream(std::span<const float> frame,
+                                      StreamState& state,
+                                      std::span<float> logits,
+                                      StepScratch& scratch,
+                                      ThreadPool* pool) const {
+  std::span<const float> input = frame;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    step_layer(layers_[l], input, state.h[l].span(), scratch.h_next.span(),
+               scratch, pool);
+    std::swap(state.h[l], scratch.h_next);
+    input = state.h[l].span();
+  }
+  fc_.execute(input, logits, pool);
+  add_inplace(logits, fc_b_.span());
+}
+
+StreamState CompiledSpeechModel::make_state() const {
+  StreamState state;
+  state.h.assign(layers_.size(), Vector(config_.hidden_dim, 0.0F));
+  return state;
+}
+
+void CompiledSpeechModel::step_batch(const Matrix& features,
+                                     std::span<StreamState* const> states,
+                                     Matrix& logits) const {
+  const std::size_t batch = states.size();
+  RT_REQUIRE(batch > 0, "step_batch: empty batch");
+  RT_REQUIRE(features.cols() == config_.input_dim,
+             "step_batch: feature dimension mismatch");
+  RT_REQUIRE(features.rows() >= batch,
+             "step_batch: one feature row per state");
+  RT_REQUIRE(logits.rows() >= batch && logits.cols() == config_.num_classes,
+             "step_batch: logits shape mismatch");
+
+  const auto run_rows = [&](std::size_t begin, std::size_t end) {
+    StepScratch scratch(config_.hidden_dim);
+    for (std::size_t b = begin; b < end; ++b) {
+      RT_REQUIRE(states[b] != nullptr && states[b]->h.size() == layers_.size(),
+                 "step_batch: state layer count mismatch");
+      // Per-stream kernels run single-threaded: with many streams in
+      // flight, cross-stream partitioning keeps every core busy without
+      // nested pool dispatch.
+      step_stream(features.row(b), *states[b], logits.row(b), scratch,
+                  nullptr);
+    }
+  };
+  if (pool_ != nullptr && batch > 1) {
+    pool_->parallel_for(batch, run_rows);
+  } else {
+    run_rows(0, batch);
   }
 }
 
@@ -99,15 +152,13 @@ Matrix CompiledSpeechModel::infer(const Matrix& features) const {
   const std::size_t hidden = config_.hidden_dim;
 
   Matrix current = features;
-  Vector scratch_a(hidden);
-  Vector scratch_b(hidden);
-  Vector scratch_c(hidden);
+  StepScratch scratch(hidden);
   for (const CompiledLayer& layer : layers_) {
     Matrix next(frames, hidden);
     Vector h(hidden, 0.0F);
     for (std::size_t t = 0; t < frames; ++t) {
-      step_layer(layer, current.row(t), h.span(), next.row(t),
-                 scratch_a.span(), scratch_b.span(), scratch_c.span());
+      step_layer(layer, current.row(t), h.span(), next.row(t), scratch,
+                 pool_);
       std::copy(next.row(t).begin(), next.row(t).end(), h.begin());
     }
     current = std::move(next);
@@ -121,25 +172,40 @@ Matrix CompiledSpeechModel::infer(const Matrix& features) const {
   return logits;
 }
 
-void CompiledSpeechModel::run_recurrence(std::size_t frames) const {
+void CompiledSpeechModel::run_recurrence(std::size_t frames,
+                                         std::size_t batch) const {
   RT_REQUIRE(frames > 0, "run_recurrence: frames must be positive");
+  RT_REQUIRE(batch > 0, "run_recurrence: batch must be positive");
   const std::size_t hidden = config_.hidden_dim;
-  Vector x(config_.input_dim, 0.1F);
-  std::vector<Vector> states(layers_.size(), Vector(hidden, 0.0F));
-  Vector h_next(hidden);
-  Vector scratch_a(hidden);
-  Vector scratch_b(hidden);
-  Vector scratch_c(hidden);
-  for (std::size_t t = 0; t < frames; ++t) {
-    // First layer consumes x, each later layer consumes the layer below's
-    // fresh state; every layer keeps its own recurrent state.
-    std::span<const float> input = x.span();
-    for (std::size_t l = 0; l < layers_.size(); ++l) {
-      step_layer(layers_[l], input, states[l].span(), h_next.span(),
-                 scratch_a.span(), scratch_b.span(), scratch_c.span());
-      std::swap(states[l], h_next);
-      input = states[l].span();
+
+  if (batch == 1) {
+    // Single-stream steady state: each matvec may thread internally.
+    Vector x(config_.input_dim, 0.1F);
+    std::vector<Vector> states(layers_.size(), Vector(hidden, 0.0F));
+    Vector h_next(hidden);
+    StepScratch scratch(hidden);
+    for (std::size_t t = 0; t < frames; ++t) {
+      // First layer consumes x, each later layer consumes the layer
+      // below's fresh state; every layer keeps its own recurrent state.
+      std::span<const float> input = x.span();
+      for (std::size_t l = 0; l < layers_.size(); ++l) {
+        step_layer(layers_[l], input, states[l].span(), h_next.span(),
+                   scratch, pool_);
+        std::swap(states[l], h_next);
+        input = states[l].span();
+      }
     }
+    return;
+  }
+
+  // Multi-stream steady state through the batched step path.
+  Matrix x(batch, config_.input_dim, 0.1F);
+  Matrix logits(batch, config_.num_classes);
+  std::vector<StreamState> states(batch, make_state());
+  std::vector<StreamState*> state_ptrs(batch);
+  for (std::size_t b = 0; b < batch; ++b) state_ptrs[b] = &states[b];
+  for (std::size_t t = 0; t < frames; ++t) {
+    step_batch(x, state_ptrs, logits);
   }
 }
 

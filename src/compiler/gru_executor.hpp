@@ -8,6 +8,7 @@
 #pragma once
 
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,19 @@
 #include "sparse/block_mask.hpp"
 
 namespace rtmobile {
+
+/// Recurrent state of one audio stream: the hidden vector of every GRU
+/// layer. Obtained from CompiledSpeechModel::make_state and threaded
+/// through step_batch so many concurrent streams can share one compiled
+/// model.
+struct StreamState {
+  std::vector<Vector> h;  // [num_layers][hidden_dim]
+
+  /// Zeroes all hidden vectors (start of a new utterance).
+  void reset() {
+    for (Vector& layer : h) layer.fill(0.0F);
+  }
+};
 
 class CompiledSpeechModel {
  public:
@@ -32,9 +46,25 @@ class CompiledSpeechModel {
   /// Per-frame logits for an utterance (T x input_dim) -> (T x classes).
   [[nodiscard]] Matrix infer(const Matrix& features) const;
 
+  /// Fresh zero-initialized recurrent state for one stream.
+  [[nodiscard]] StreamState make_state() const;
+
+  /// Advances `states.size()` independent streams by one timestep each:
+  /// row b of `features` is stream b's input frame, `states[b]` carries
+  /// its recurrence (updated in place), and row b of `logits` receives its
+  /// per-frame class scores. `features`/`logits` may have extra trailing
+  /// rows (callers reuse grow-only buffers across fluctuating batch
+  /// sizes). Streams are partitioned across the thread pool (cross-stream
+  /// parallelism replaces intra-matvec threading), and each stream
+  /// computes exactly the arithmetic of infer(), so chunked streaming
+  /// output is bit-identical to whole-utterance inference.
+  void step_batch(const Matrix& features, std::span<StreamState* const> states,
+                  Matrix& logits) const;
+
   /// Runs only the recurrent stack for `frames` timesteps on zero input —
-  /// the steady-state inference kernel that Table II times.
-  void run_recurrence(std::size_t frames) const;
+  /// the steady-state inference kernel that Table II times. `batch` > 1
+  /// measures the batched multi-stream path (one state per stream).
+  void run_recurrence(std::size_t frames, std::size_t batch = 1) const;
 
   /// Total surviving weights across all compiled plans.
   [[nodiscard]] std::size_t total_nnz() const;
@@ -68,10 +98,26 @@ class CompiledSpeechModel {
     Vector b_z, b_r, b_h;
   };
 
+  /// Hidden-sized scratch buffers for one stream's step_layer calls;
+  /// `h_next` is the staging vector step_stream swaps layer states
+  /// through, hoisted here to keep the serving hot path allocation-free.
+  struct StepScratch {
+    explicit StepScratch(std::size_t hidden)
+        : a(hidden), b(hidden), c(hidden), d(hidden), h_next(hidden) {}
+    Vector a, b, c, d, h_next;
+  };
+
+  /// One GRU timestep of one stream. `pool` threads the individual
+  /// matvecs (nullptr = single-threaded, the mode the batched path uses
+  /// because it parallelizes across streams instead).
   void step_layer(const CompiledLayer& layer, std::span<const float> x,
                   std::span<const float> h_prev, std::span<float> h_out,
-                  std::span<float> scratch_a, std::span<float> scratch_b,
-                  std::span<float> scratch_c) const;
+                  StepScratch& scratch, ThreadPool* pool) const;
+
+  /// Advances every layer of one stream and writes its logits row.
+  void step_stream(std::span<const float> frame, StreamState& state,
+                   std::span<float> logits, StepScratch& scratch,
+                   ThreadPool* pool) const;
 
   ModelConfig config_;
   CompilerOptions options_;

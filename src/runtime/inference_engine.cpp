@@ -1,0 +1,104 @@
+#include "runtime/inference_engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "hw/timer.hpp"
+#include "util/check.hpp"
+
+namespace rtmobile::runtime {
+
+InferenceEngine::InferenceEngine(const CompiledSpeechModel& model,
+                                 EngineConfig config)
+    : model_(model), config_(std::move(config)) {
+  RT_REQUIRE(config_.max_batch > 0, "engine: max_batch must be positive");
+}
+
+StreamingSession& InferenceEngine::create_session() {
+  return create_session(config_.mfcc);
+}
+
+StreamingSession& InferenceEngine::create_session(
+    const speech::MfccConfig& mfcc) {
+  sessions_.push_back(
+      std::make_unique<StreamingSession>(next_id_++, model_, mfcc));
+  return *sessions_.back();
+}
+
+StreamingSession& InferenceEngine::session(std::size_t index) {
+  RT_REQUIRE(index < sessions_.size(), "session index out of range");
+  return *sessions_[index];
+}
+
+std::size_t InferenceEngine::step() {
+  const std::size_t count = sessions_.size();
+  if (count == 0) return 0;
+  // Times the whole scheduling round — gather and scatter copies are part
+  // of the serving cost the stats must reflect, not just the model step.
+  WallTimer timer;
+
+  // Gather one ready frame per session, round-robin so no stream starves
+  // when more than max_batch are ready.
+  active_.clear();
+  for (std::size_t i = 0; i < count && active_.size() < config_.max_batch;
+       ++i) {
+    StreamingSession& candidate = *sessions_[(round_robin_ + i) % count];
+    if (candidate.frame_ready()) active_.push_back(&candidate);
+  }
+  round_robin_ = (round_robin_ + 1) % count;
+  if (active_.empty()) return 0;
+
+  // Grow-only reuse: the ready count fluctuates step to step as streams
+  // finish, so only ever enlarge; step_batch reads just the first rows.
+  const std::size_t batch = active_.size();
+  if (batch_features_.rows() < batch) {
+    batch_features_ = Matrix(batch, model_.config().input_dim);
+    batch_logits_ = Matrix(batch, model_.config().num_classes);
+  }
+
+  states_.resize(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::span<const float> frame = active_[b]->front_frame();
+    std::copy(frame.begin(), frame.end(), batch_features_.row(b).begin());
+    states_[b] = &active_[b]->state();
+  }
+
+  model_.step_batch(batch_features_, states_, batch_logits_);
+
+  double audio_seconds = 0.0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    active_[b]->append_logits(batch_logits_.row(b));
+    active_[b]->pop_frame();
+    audio_seconds += active_[b]->seconds_per_frame();
+  }
+
+  const double elapsed_us = timer.elapsed_us();
+  stats_.step_latency.record(elapsed_us);
+  stats_.busy_us += elapsed_us;
+  stats_.frames_processed += batch;
+  stats_.steps += 1;
+  stats_.audio_seconds += audio_seconds;
+  return batch;
+}
+
+std::size_t InferenceEngine::drain() {
+  std::size_t total = 0;
+  while (true) {
+    const std::size_t advanced = step();
+    if (advanced == 0) return total;
+    total += advanced;
+  }
+}
+
+std::size_t InferenceEngine::remove_done() {
+  const std::size_t before = sessions_.size();
+  std::erase_if(sessions_,
+                [](const std::unique_ptr<StreamingSession>& session) {
+                  return session->done();
+                });
+  if (sessions_.empty()) round_robin_ = 0;
+  else round_robin_ %= sessions_.size();
+  return before - sessions_.size();
+}
+
+}  // namespace rtmobile::runtime

@@ -1,0 +1,86 @@
+// Batched streaming inference engine: many concurrent audio streams, one
+// CompiledSpeechModel.
+//
+// Each scheduling round (step) gathers at most one ready feature frame
+// from up to max_batch sessions, stacks them into a single timestep
+// batch, and advances all of those streams with one
+// CompiledSpeechModel::step_batch call — which partitions the rows across
+// the model's thread pool, so cross-stream work saturates cores even when
+// each stream's matvecs are too small to thread individually. Logit rows
+// are scattered back to their sessions, and a RuntimeStats collector
+// tracks p50/p95 step latency, aggregate frames/sec, and the real-time
+// factor.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "compiler/gru_executor.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/streaming_session.hpp"
+#include "speech/streaming_mfcc.hpp"
+
+namespace rtmobile::runtime {
+
+struct EngineConfig {
+  /// Maximum streams advanced per step. Bounds tail latency: a stream
+  /// never waits on more than max_batch - 1 peers per timestep.
+  std::size_t max_batch = 32;
+  /// Front-end defaults for sessions created without an explicit config
+  /// (CMN disabled — it is whole-utterance and cannot stream).
+  speech::MfccConfig mfcc = [] {
+    speech::MfccConfig config;
+    config.cepstral_mean_norm = false;
+    return config;
+  }();
+};
+
+class InferenceEngine {
+ public:
+  /// `model` must outlive the engine; its thread pool (if any) is what
+  /// step_batch parallelizes over.
+  explicit InferenceEngine(const CompiledSpeechModel& model,
+                           EngineConfig config = EngineConfig{});
+
+  /// Admits a new stream using the engine's default MFCC config.
+  StreamingSession& create_session();
+  /// Admits a new stream with a per-session front-end config.
+  StreamingSession& create_session(const speech::MfccConfig& mfcc);
+
+  [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
+  [[nodiscard]] StreamingSession& session(std::size_t index);
+
+  /// One scheduling round: advances up to max_batch streams by one frame.
+  /// Returns the batch size (0 when no stream had a ready frame).
+  std::size_t step();
+
+  /// Pumps step() until no session has a ready frame; returns total
+  /// frames processed. With all audio pushed and sessions finished, this
+  /// completes every stream.
+  std::size_t drain();
+
+  /// Removes sessions that are done (audio finished, queue empty).
+  /// Returns how many were reaped; live sessions keep their order.
+  std::size_t remove_done();
+
+  [[nodiscard]] const RuntimeStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+  [[nodiscard]] const EngineConfig& config() const { return config_; }
+
+ private:
+  const CompiledSpeechModel& model_;
+  EngineConfig config_;
+  std::vector<std::unique_ptr<StreamingSession>> sessions_;
+  std::size_t next_id_ = 0;
+  std::size_t round_robin_ = 0;  // fairness cursor over sessions_
+  RuntimeStats stats_;
+  // Reused batch buffers, grown only when a step's batch exceeds them.
+  Matrix batch_features_;
+  Matrix batch_logits_;
+  std::vector<StreamingSession*> active_;
+  std::vector<StreamState*> states_;
+};
+
+}  // namespace rtmobile::runtime

@@ -1,0 +1,29 @@
+#include "runtime/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace rtmobile::runtime {
+
+double LatencyRecorder::mean_us() const {
+  if (samples_.empty()) return 0.0;
+  double total = 0.0;
+  for (const double s : samples_) total += s;
+  return total / static_cast<double>(samples_.size());
+}
+
+double LatencyRecorder::quantile_us(double q) const {
+  RT_REQUIRE(q >= 0.0 && q <= 1.0, "quantile: q must be in [0, 1]");
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  // Nearest-rank: the ceil(q*n)-th smallest sample (1-based), q=0 -> min.
+  const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+  const std::size_t index =
+      rank < 1.0 ? 0 : static_cast<std::size_t>(std::llround(rank)) - 1;
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+}  // namespace rtmobile::runtime

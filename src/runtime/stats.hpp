@@ -1,0 +1,64 @@
+// Latency/throughput accounting for the streaming runtime.
+//
+// LatencyRecorder keeps every sample so quantiles are exact; at one entry
+// per engine step (not per matvec) the memory cost is negligible against
+// the audio being served. RuntimeStats aggregates what the ISSUE's
+// serving story needs: p50/p95 step latency, frames/sec, and the
+// real-time factor (audio seconds processed per wall second — > 1 means
+// faster than real time).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rtmobile::runtime {
+
+class LatencyRecorder {
+ public:
+  void record(double value_us) { samples_.push_back(value_us); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double mean_us() const;
+  /// Exact quantile by nearest-rank; q in [0, 1]. Returns 0 when empty.
+  [[nodiscard]] double quantile_us(double q) const;
+  [[nodiscard]] double p50_us() const { return quantile_us(0.50); }
+  [[nodiscard]] double p95_us() const { return quantile_us(0.95); }
+
+  void reset() { samples_.clear(); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+struct RuntimeStats {
+  LatencyRecorder step_latency;   // one sample per InferenceEngine::step
+  std::size_t frames_processed = 0;
+  std::size_t steps = 0;
+  double busy_us = 0.0;           // wall time spent inside step()
+  double audio_seconds = 0.0;     // audio represented by processed frames
+
+  [[nodiscard]] double frames_per_second() const {
+    return busy_us > 0.0
+               ? static_cast<double>(frames_processed) / (busy_us * 1e-6)
+               : 0.0;
+  }
+  /// Aggregate real-time factor across all streams.
+  [[nodiscard]] double real_time_factor() const {
+    return busy_us > 0.0 ? audio_seconds / (busy_us * 1e-6) : 0.0;
+  }
+  [[nodiscard]] double mean_batch() const {
+    return steps > 0 ? static_cast<double>(frames_processed) /
+                           static_cast<double>(steps)
+                     : 0.0;
+  }
+
+  void reset() {
+    step_latency.reset();
+    frames_processed = 0;
+    steps = 0;
+    busy_us = 0.0;
+    audio_seconds = 0.0;
+  }
+};
+
+}  // namespace rtmobile::runtime

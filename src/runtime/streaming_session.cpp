@@ -1,0 +1,70 @@
+#include "runtime/streaming_session.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rtmobile::runtime {
+
+StreamingSession::StreamingSession(std::size_t id,
+                                   const CompiledSpeechModel& model,
+                                   const speech::MfccConfig& mfcc)
+    : id_(id), model_(model), mfcc_(mfcc), state_(model.make_state()) {
+  RT_REQUIRE(mfcc_.feature_dim() == model.config().input_dim,
+             "session: MFCC feature dimension must match model input");
+}
+
+void StreamingSession::push_audio(std::span<const float> samples) {
+  mfcc_.push(samples);
+  drain_front_end();
+}
+
+void StreamingSession::finish() {
+  mfcc_.finish();
+  drain_front_end();
+}
+
+void StreamingSession::drain_front_end() {
+  const std::size_t dim = mfcc_.feature_dim();
+  while (mfcc_.ready_frames() > 0) {
+    pending_.emplace_back(dim);  // written in place: no intermediate copy
+    const bool popped =
+        mfcc_.pop_row({pending_.back().data(), pending_.back().size()});
+    RT_ASSERT(popped, "ready front end must yield a row");
+  }
+}
+
+std::span<const float> StreamingSession::front_frame() const {
+  RT_REQUIRE(!pending_.empty(), "front_frame: no frame queued");
+  return {pending_.front().data(), pending_.front().size()};
+}
+
+void StreamingSession::pop_frame() {
+  RT_REQUIRE(!pending_.empty(), "pop_frame: no frame queued");
+  pending_.pop_front();
+}
+
+void StreamingSession::append_logits(std::span<const float> row) {
+  RT_REQUIRE(row.size() == model_.config().num_classes,
+             "append_logits: row width mismatch");
+  logits_.insert(logits_.end(), row.begin(), row.end());
+  ++frames_done_;
+}
+
+double StreamingSession::audio_seconds_processed() const {
+  return static_cast<double>(frames_done_) * seconds_per_frame();
+}
+
+double StreamingSession::seconds_per_frame() const {
+  const speech::MfccConfig& cfg = mfcc_.config();
+  return static_cast<double>(cfg.frame_shift) / cfg.sample_rate_hz;
+}
+
+Matrix StreamingSession::logits() const {
+  const std::size_t classes = model_.config().num_classes;
+  Matrix out(frames_done_, classes);
+  std::copy(logits_.begin(), logits_.end(), out.data());
+  return out;
+}
+
+}  // namespace rtmobile::runtime

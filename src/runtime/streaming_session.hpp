@@ -1,0 +1,77 @@
+// One live audio stream being recognized through a shared compiled model.
+//
+// A session owns the stream-local pieces of inference: the incremental
+// MFCC front end, the queue of feature frames awaiting a model step, the
+// GRU hidden state carried across chunks, and the logits produced so far.
+// It does no model computation itself — the InferenceEngine pulls ready
+// frames from many sessions, batches them into one timestep, and pushes
+// the resulting logit rows back.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "compiler/gru_executor.hpp"
+#include "speech/streaming_mfcc.hpp"
+#include "tensor/matrix.hpp"
+
+namespace rtmobile::runtime {
+
+class StreamingSession {
+ public:
+  /// `model` must outlive the session. `mfcc.cepstral_mean_norm` must be
+  /// false, and the feature dimension must match the model's input.
+  StreamingSession(std::size_t id, const CompiledSpeechModel& model,
+                   const speech::MfccConfig& mfcc);
+
+  [[nodiscard]] std::size_t id() const { return id_; }
+
+  /// Feeds an audio chunk (any size); newly completed feature frames are
+  /// queued for the engine.
+  void push_audio(std::span<const float> samples);
+
+  /// Marks end of audio: the tail frames held back for Δ lookahead are
+  /// released.
+  void finish();
+
+  /// Audio ended (finish() called).
+  [[nodiscard]] bool finished() const { return mfcc_.finished(); }
+
+  /// Audio ended and every queued frame has been processed.
+  [[nodiscard]] bool done() const {
+    return finished() && pending_.empty() && mfcc_.ready_frames() == 0;
+  }
+
+  // ---- engine-facing frame queue ----
+  [[nodiscard]] bool frame_ready() const { return !pending_.empty(); }
+  [[nodiscard]] std::span<const float> front_frame() const;
+  void pop_frame();
+  [[nodiscard]] StreamState& state() { return state_; }
+
+  /// Appends one logits row produced for this stream's oldest frame.
+  void append_logits(std::span<const float> row);
+
+  // ---- results / accounting ----
+  [[nodiscard]] std::size_t frames_processed() const { return frames_done_; }
+  /// Seconds of audio represented by the processed frames.
+  [[nodiscard]] double audio_seconds_processed() const;
+  /// Seconds of audio one feature frame represents (the hop size).
+  [[nodiscard]] double seconds_per_frame() const;
+  /// All logit rows so far as a [frames_processed x num_classes] matrix.
+  [[nodiscard]] Matrix logits() const;
+
+ private:
+  void drain_front_end();
+
+  std::size_t id_;
+  const CompiledSpeechModel& model_;
+  speech::StreamingMfcc mfcc_;
+  std::deque<std::vector<float>> pending_;  // feature frames awaiting a step
+  StreamState state_;
+  std::vector<float> logits_;  // row-major [frames_done_ x num_classes]
+  std::size_t frames_done_ = 0;
+};
+
+}  // namespace rtmobile::runtime

@@ -118,37 +118,60 @@ std::size_t MfccExtractor::frame_count(std::size_t num_samples) const {
   return 1 + (num_samples - config_.frame_length) / config_.frame_shift;
 }
 
+void MfccExtractor::extract_frame(std::span<const float> samples,
+                                  float prev_sample,
+                                  std::span<float> cepstra) const {
+  std::vector<float> scratch(config_.frame_length);
+  extract_frame(samples, prev_sample, cepstra, scratch);
+}
+
+void MfccExtractor::extract_frame(std::span<const float> samples,
+                                  float prev_sample,
+                                  std::span<float> cepstra,
+                                  std::span<float> scratch) const {
+  RT_REQUIRE(samples.size() == config_.frame_length,
+             "extract_frame: window must be frame_length samples");
+  RT_REQUIRE(cepstra.size() == config_.num_cepstra,
+             "extract_frame: output must hold num_cepstra values");
+  RT_REQUIRE(scratch.size() == config_.frame_length,
+             "extract_frame: scratch must be frame_length samples");
+
+  // Pre-emphasis + Hamming window.
+  const std::span<float> frame = scratch;
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    const float previous = i > 0 ? samples[i - 1] : prev_sample;
+    frame[i] = (samples[i] -
+                static_cast<float>(config_.preemphasis) * previous) *
+               window_[i];
+  }
+  const std::vector<float> power =
+      rtmobile::power_spectrum(frame, config_.fft_size);
+  std::vector<float> mel = mel_bank_.apply(power);
+  for (float& e : mel) {
+    e = std::log(std::max(e, 1e-10F));  // floor avoids log(0)
+  }
+  // DCT-II to cepstra.
+  for (std::size_t c = 0; c < config_.num_cepstra; ++c) {
+    double acc = 0.0;
+    const float* row = dct_.data() + c * config_.num_mel_filters;
+    for (std::size_t m = 0; m < mel.size(); ++m) {
+      acc += static_cast<double>(row[m]) * static_cast<double>(mel[m]);
+    }
+    cepstra[c] = static_cast<float>(acc);
+  }
+}
+
 Matrix MfccExtractor::extract(std::span<const float> waveform) const {
   const std::size_t frames = frame_count(waveform.size());
   RT_REQUIRE(frames > 0, "waveform shorter than one frame");
 
   Matrix cepstra(frames, config_.num_cepstra);
-  std::vector<float> frame(config_.frame_length);
+  std::vector<float> scratch(config_.frame_length);
   for (std::size_t t = 0; t < frames; ++t) {
     const std::size_t start = t * config_.frame_shift;
-    // Pre-emphasis + Hamming window.
-    for (std::size_t i = 0; i < frame.size(); ++i) {
-      const float current = waveform[start + i];
-      const float previous = (start + i) > 0 ? waveform[start + i - 1] : 0.0F;
-      frame[i] = (current - static_cast<float>(config_.preemphasis) *
-                                previous) *
-                 window_[i];
-    }
-    const std::vector<float> power =
-        rtmobile::power_spectrum(frame, config_.fft_size);
-    std::vector<float> mel = mel_bank_.apply(power);
-    for (float& e : mel) {
-      e = std::log(std::max(e, 1e-10F));  // floor avoids log(0)
-    }
-    // DCT-II to cepstra.
-    for (std::size_t c = 0; c < config_.num_cepstra; ++c) {
-      double acc = 0.0;
-      const float* row = dct_.data() + c * config_.num_mel_filters;
-      for (std::size_t m = 0; m < mel.size(); ++m) {
-        acc += static_cast<double>(row[m]) * static_cast<double>(mel[m]);
-      }
-      cepstra(t, c) = static_cast<float>(acc);
-    }
+    const float prev = start > 0 ? waveform[start - 1] : 0.0F;
+    extract_frame(waveform.subspan(start, config_.frame_length), prev,
+                  cepstra.row(t), scratch);
   }
 
   if (config_.cepstral_mean_norm) cepstral_mean_normalize(cepstra);
@@ -163,8 +186,8 @@ Matrix add_delta_features(const Matrix& base) {
 
   // Standard regression deltas with window N=2:
   // d_t = sum_n n (x_{t+n} - x_{t-n}) / (2 sum_n n^2), edges clamped.
-  constexpr int kWindow = 2;
-  constexpr float kDenominator = 10.0F;  // 2 * (1^2 + 2^2)
+  constexpr int kWindow = kDeltaRegressionWindow;
+  constexpr float kDenominator = kDeltaRegressionDenominator;
   const auto clamped_row = [&](const Matrix& m, std::ptrdiff_t t) {
     const std::ptrdiff_t last = static_cast<std::ptrdiff_t>(frames) - 1;
     return m.row(static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(t, 0,

@@ -70,12 +70,33 @@ class MfccExtractor {
   /// Full pipeline. The waveform must contain at least one frame.
   [[nodiscard]] Matrix extract(std::span<const float> waveform) const;
 
+  /// Cepstra of a single frame: `samples` is the frame_length-sample
+  /// window and `prev_sample` the sample preceding it (0 at stream
+  /// start), which pre-emphasis of the first sample needs. Writes
+  /// num_cepstra values. extract() and the streaming front end both call
+  /// this, so chunked extraction is bit-identical to batch extraction.
+  void extract_frame(std::span<const float> samples, float prev_sample,
+                     std::span<float> cepstra) const;
+
+  /// As above, with a caller-provided frame_length-sized scratch buffer
+  /// so per-frame callers (extract(), the streaming front end) avoid one
+  /// heap allocation per frame.
+  void extract_frame(std::span<const float> samples, float prev_sample,
+                     std::span<float> cepstra,
+                     std::span<float> scratch) const;
+
  private:
   MfccConfig config_;
   MelFilterBank mel_bank_;
   std::vector<float> window_;      // Hamming coefficients
   std::vector<float> dct_;         // [num_cepstra x num_mel_filters]
 };
+
+/// Regression window of the Δ/ΔΔ features and its normalizer
+/// 2 * sum(n^2). Shared between add_delta_features and the streaming
+/// front end so the two paths cannot drift apart.
+inline constexpr int kDeltaRegressionWindow = 2;
+inline constexpr float kDeltaRegressionDenominator = 10.0F;
 
 /// Appends Δ and ΔΔ columns (regression window of 2) to a feature matrix.
 [[nodiscard]] Matrix add_delta_features(const Matrix& base);

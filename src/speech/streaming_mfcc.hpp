@@ -1,0 +1,95 @@
+// Incremental MFCC extraction for streaming audio.
+//
+// Accepts audio in arbitrarily-sized chunks and emits feature frames that
+// are bit-identical to MfccExtractor::extract() over the concatenated
+// waveform: both paths share the same per-frame kernel
+// (MfccExtractor::extract_frame), and Δ/ΔΔ features are emitted with a
+// 4-frame lookahead so the regression windows see exactly the rows the
+// batch path sees. Cepstral mean normalization is whole-utterance (not
+// causal) and therefore unsupported here; configs must disable it.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "speech/mfcc.hpp"
+#include "tensor/matrix.hpp"
+
+namespace rtmobile::speech {
+
+class StreamingMfcc {
+ public:
+  static constexpr std::size_t kAllFrames =
+      std::numeric_limits<std::size_t>::max();
+
+  /// `config.cepstral_mean_norm` must be false.
+  explicit StreamingMfcc(const MfccConfig& config = MfccConfig{});
+
+  [[nodiscard]] const MfccConfig& config() const {
+    return extractor_.config();
+  }
+  [[nodiscard]] std::size_t feature_dim() const {
+    return extractor_.feature_dim();
+  }
+
+  /// Appends audio samples; computes cepstra for every frame that became
+  /// complete. May be called with chunks of any size, including one
+  /// sample at a time.
+  void push(std::span<const float> samples);
+
+  /// Marks end of stream: remaining frames become emittable (Δ windows
+  /// clamp at the final frame, as in the batch path). push() afterwards
+  /// is an error.
+  void finish();
+
+  [[nodiscard]] bool finished() const { return finished_; }
+
+  /// Base cepstral frames computed so far.
+  [[nodiscard]] std::size_t total_frames() const { return num_frames_; }
+
+  /// Frames already returned by pop_ready().
+  [[nodiscard]] std::size_t frames_emitted() const { return emitted_; }
+
+  /// Frames whose features are final and not yet popped. Without deltas
+  /// every computed frame is final immediately; with deltas a frame
+  /// finalizes once 4 successor frames exist (or the stream finished).
+  [[nodiscard]] std::size_t ready_frames() const;
+
+  /// Pops up to `max_frames` finalized rows (possibly zero), identical to
+  /// the corresponding rows of the batch extraction.
+  [[nodiscard]] Matrix pop_ready(std::size_t max_frames = kAllFrames);
+
+  /// Pops one finalized row into `out` (feature_dim-sized) without
+  /// allocating; returns false when no row is ready. The allocation-free
+  /// path the serving runtime uses.
+  [[nodiscard]] bool pop_row(std::span<float> out);
+
+ private:
+  /// Writes finalized frame `t`'s features (base [+ Δ, ΔΔ]) into `out`.
+  void write_row(std::size_t t, std::span<float> out) const;
+  [[nodiscard]] std::span<const float> base_row(std::size_t t) const;
+  /// Regression delta of base row `t` (window 2, edges clamped), matching
+  /// add_delta_features arithmetic exactly.
+  [[nodiscard]] float delta_at(std::size_t t, std::size_t d) const;
+  [[nodiscard]] float delta2_at(std::size_t t, std::size_t d) const;
+
+  MfccExtractor extractor_;
+  // Raw samples not yet fully consumed. buffer_[0] is absolute sample
+  // index buffer_start_; prev_sample_ holds index buffer_start_ - 1 for
+  // pre-emphasis continuity across compactions.
+  std::vector<float> buffer_;
+  std::size_t buffer_start_ = 0;
+  float prev_sample_ = 0.0F;
+  std::vector<float> frame_scratch_;  // reused windowing buffer
+  // Base cepstra, row-major [num_frames_ x num_cepstra]. Kept for the
+  // whole stream: the left-clamped Δ windows of early frames reference
+  // row 0, and at 13 floats per 10 ms the cost is ~5 KB per audio minute.
+  std::vector<float> base_;
+  std::size_t num_frames_ = 0;
+  std::size_t emitted_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace rtmobile::speech

@@ -1,0 +1,365 @@
+// Tests for the batched streaming runtime: incremental MFCC equality with
+// the batch extractor, chunked streaming inference equality with
+// whole-utterance CompiledSpeechModel::infer, batched multi-session
+// equality with independent single-session runs, and the stats collector.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "compiler/gru_executor.hpp"
+#include "core/bsp.hpp"
+#include "hw/thread_pool.hpp"
+#include "rnn/model.hpp"
+#include "rnn/param_set.hpp"
+#include "runtime/inference_engine.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/streaming_session.hpp"
+#include "speech/mfcc.hpp"
+#include "speech/streaming_mfcc.hpp"
+#include "sparse/block_mask.hpp"
+#include "tensor/ops.hpp"
+#include "train/projection.hpp"
+#include "util/rng.hpp"
+
+namespace rtmobile {
+namespace {
+
+using runtime::EngineConfig;
+using runtime::InferenceEngine;
+using runtime::StreamingSession;
+using speech::MfccConfig;
+using speech::MfccExtractor;
+using speech::StreamingMfcc;
+
+std::vector<float> random_waveform(std::size_t samples, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> wave(samples);
+  for (float& s : wave) s = 0.1F * rng.normal();
+  return wave;
+}
+
+MfccConfig streaming_mfcc_config(bool deltas = true) {
+  MfccConfig config;
+  config.cepstral_mean_norm = false;  // whole-utterance; cannot stream
+  config.add_deltas = deltas;
+  return config;
+}
+
+/// Pushes `wave` into `mfcc` in chunks of `chunk` samples.
+void push_chunked(StreamingMfcc& mfcc, std::span<const float> wave,
+                  std::size_t chunk) {
+  for (std::size_t pos = 0; pos < wave.size(); pos += chunk) {
+    mfcc.push(wave.subspan(pos, std::min(chunk, wave.size() - pos)));
+  }
+  mfcc.finish();
+}
+
+/// A small BSP-pruned compiled model plus its pool, for streaming tests.
+struct TestDeployment {
+  std::unique_ptr<ThreadPool> pool;
+  std::unique_ptr<SpeechModel> model;
+  std::unique_ptr<CompiledSpeechModel> compiled;
+};
+
+TestDeployment make_deployment(std::size_t hidden, std::size_t threads,
+                               std::uint64_t seed) {
+  TestDeployment d;
+  Rng rng(seed);
+  ModelConfig config = ModelConfig::scaled(hidden);
+  d.model = std::make_unique<SpeechModel>(config);
+  d.model->init(rng);
+
+  std::map<std::string, BlockMask> masks;
+  ParamSet params;
+  d.model->register_params(params);
+  for (const std::string& name : d.model->weight_names()) {
+    Matrix& w = params.matrix(name);
+    BlockMask mask = block_column_mask(w, 4, 4, 0.5);
+    mask.apply(w);
+    masks.emplace(name, std::move(mask));
+  }
+
+  CompilerOptions options;
+  options.format = SparseFormat::kBspc;
+  options.threads = threads;
+  if (threads > 1) d.pool = std::make_unique<ThreadPool>(threads);
+  d.compiled = std::make_unique<CompiledSpeechModel>(*d.model, masks,
+                                                     options, d.pool.get());
+  return d;
+}
+
+// ------------------------------------------------------- streaming MFCC
+TEST(StreamingMfcc, MatchesBatchExtractionAcrossChunkSizes) {
+  const MfccConfig config = streaming_mfcc_config();
+  const MfccExtractor extractor(config);
+  const std::vector<float> wave = random_waveform(8000 + 123, 42);
+  const Matrix batch = extractor.extract(wave);
+
+  for (const std::size_t chunk : {1UL, 160UL, 400UL, 1601UL, 8123UL}) {
+    StreamingMfcc streaming(config);
+    push_chunked(streaming, wave, chunk);
+    const Matrix streamed = streaming.pop_ready();
+    ASSERT_EQ(streamed.rows(), batch.rows()) << "chunk=" << chunk;
+    ASSERT_EQ(streamed.cols(), batch.cols()) << "chunk=" << chunk;
+    EXPECT_EQ(streamed, batch) << "chunk=" << chunk;  // bitwise
+  }
+}
+
+TEST(StreamingMfcc, MidStreamFramesAreFinal) {
+  const MfccConfig config = streaming_mfcc_config();
+  const MfccExtractor extractor(config);
+  const std::vector<float> wave = random_waveform(6400, 7);
+  const Matrix batch = extractor.extract(wave);
+
+  // Pop eagerly after every chunk; concatenation must equal the batch
+  // result (no mid-stream row may change once emitted).
+  StreamingMfcc streaming(config);
+  std::vector<Matrix> pieces;
+  for (std::size_t pos = 0; pos < wave.size(); pos += 555) {
+    streaming.push(std::span<const float>(wave).subspan(
+        pos, std::min<std::size_t>(555, wave.size() - pos)));
+    pieces.push_back(streaming.pop_ready());
+  }
+  streaming.finish();
+  pieces.push_back(streaming.pop_ready());
+
+  std::size_t row = 0;
+  for (const Matrix& piece : pieces) {
+    for (std::size_t t = 0; t < piece.rows(); ++t, ++row) {
+      ASSERT_LT(row, batch.rows());
+      EXPECT_EQ(0.0F, max_abs_diff(piece.row(t), batch.row(row)))
+          << "row " << row;
+    }
+  }
+  EXPECT_EQ(row, batch.rows());
+}
+
+TEST(StreamingMfcc, WithoutDeltasEmitsImmediately) {
+  const MfccConfig config = streaming_mfcc_config(/*deltas=*/false);
+  StreamingMfcc streaming(config);
+  const std::vector<float> wave = random_waveform(1200, 3);
+  streaming.push(wave);
+  // 1200 samples = 25 ms + 5 hops -> 6 complete frames, all final.
+  EXPECT_EQ(streaming.ready_frames(), 6U);
+  const Matrix rows = streaming.pop_ready();
+  EXPECT_EQ(rows.rows(), 6U);
+  EXPECT_EQ(rows.cols(), config.num_cepstra);
+}
+
+TEST(StreamingMfcc, DeltaLookaheadHoldsBackTail) {
+  const MfccConfig config = streaming_mfcc_config();
+  StreamingMfcc streaming(config);
+  streaming.push(random_waveform(1200, 4));  // 6 frames
+  EXPECT_EQ(streaming.total_frames(), 6U);
+  EXPECT_EQ(streaming.ready_frames(), 2U);  // 4 held for dd lookahead
+  streaming.finish();
+  EXPECT_EQ(streaming.ready_frames(), 6U);
+}
+
+TEST(StreamingMfcc, HandlesShiftLargerThanFrameLength) {
+  // Sparse framing (gaps between windows) stressed the buffer-compaction
+  // path: the next window starts beyond the samples received so far.
+  MfccConfig config = streaming_mfcc_config();
+  config.frame_length = 256;
+  config.frame_shift = 700;
+  config.fft_size = 256;
+  const MfccExtractor extractor(config);
+  const std::vector<float> wave = random_waveform(5000, 21);
+  const Matrix batch = extractor.extract(wave);
+
+  for (const std::size_t chunk : {37UL, 700UL, 5000UL}) {
+    StreamingMfcc streaming(config);
+    push_chunked(streaming, wave, chunk);
+    const Matrix streamed = streaming.pop_ready();
+    EXPECT_EQ(streamed, batch) << "chunk=" << chunk;
+  }
+}
+
+TEST(StreamingMfcc, RejectsCepstralMeanNorm) {
+  MfccConfig config;
+  config.cepstral_mean_norm = true;
+  EXPECT_THROW(StreamingMfcc{config}, std::invalid_argument);
+}
+
+// ------------------------------------------------- session vs utterance
+TEST(StreamingSession, ChunkedLogitsMatchWholeUtteranceInfer) {
+  const MfccConfig mfcc = streaming_mfcc_config();
+  const std::vector<float> wave = random_waveform(16000, 11);  // 1 s
+  const Matrix features = MfccExtractor(mfcc).extract(wave);
+
+  for (const std::size_t threads : {1UL, 4UL}) {
+    TestDeployment d = make_deployment(32, threads, 100 + threads);
+    const Matrix reference = d.compiled->infer(features);
+
+    InferenceEngine engine(*d.compiled);
+    StreamingSession& session = engine.create_session(mfcc);
+    for (std::size_t pos = 0; pos < wave.size(); pos += 1600) {  // 100 ms
+      session.push_audio(std::span<const float>(wave).subspan(
+          pos, std::min<std::size_t>(1600, wave.size() - pos)));
+      engine.drain();  // interleave compute with arrival
+    }
+    session.finish();
+    engine.drain();
+
+    ASSERT_TRUE(session.done());
+    const Matrix streamed = session.logits();
+    ASSERT_EQ(streamed.rows(), reference.rows());
+    EXPECT_EQ(streamed, reference) << "threads=" << threads;  // bitwise
+  }
+}
+
+// ------------------------------------------------- batched multi-stream
+TEST(InferenceEngine, BatchedSessionsMatchIndependentRuns) {
+  constexpr std::size_t kStreams = 5;
+  const MfccConfig mfcc = streaming_mfcc_config();
+  TestDeployment d = make_deployment(24, 4, 55);
+
+  std::vector<std::vector<float>> waves;
+  std::vector<Matrix> references;
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    // Different lengths so streams finish at different times.
+    waves.push_back(random_waveform(8000 + 1234 * s, 200 + s));
+    references.push_back(
+        d.compiled->infer(MfccExtractor(mfcc).extract(waves.back())));
+  }
+
+  InferenceEngine engine(*d.compiled);
+  for (std::size_t s = 0; s < kStreams; ++s) engine.create_session(mfcc);
+
+  // Feed streams unevenly (different chunk sizes), pumping as we go.
+  std::vector<std::size_t> positions(kStreams, 0);
+  bool any_pending = true;
+  while (any_pending) {
+    any_pending = false;
+    for (std::size_t s = 0; s < kStreams; ++s) {
+      const std::size_t chunk = 800 + 160 * s;
+      if (positions[s] < waves[s].size()) {
+        const std::size_t n =
+            std::min(chunk, waves[s].size() - positions[s]);
+        engine.session(s).push_audio(
+            std::span<const float>(waves[s]).subspan(positions[s], n));
+        positions[s] += n;
+        if (positions[s] == waves[s].size()) engine.session(s).finish();
+        any_pending = any_pending || positions[s] < waves[s].size();
+      }
+    }
+    engine.step();  // partial progress between arrivals
+  }
+  engine.drain();
+
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    ASSERT_TRUE(engine.session(s).done()) << "stream " << s;
+    const Matrix streamed = engine.session(s).logits();
+    ASSERT_EQ(streamed.rows(), references[s].rows()) << "stream " << s;
+    EXPECT_EQ(streamed, references[s]) << "stream " << s;  // bitwise
+  }
+
+  const runtime::RuntimeStats& stats = engine.stats();
+  std::size_t total_frames = 0;
+  for (const Matrix& ref : references) total_frames += ref.rows();
+  EXPECT_EQ(stats.frames_processed, total_frames);
+  EXPECT_GT(stats.mean_batch(), 1.0);  // batching actually happened
+  EXPECT_EQ(engine.remove_done(), kStreams);
+  EXPECT_EQ(engine.session_count(), 0U);
+}
+
+TEST(InferenceEngine, MaxBatchBoundsStepSize) {
+  TestDeployment d = make_deployment(16, 1, 77);
+  EngineConfig config;
+  config.max_batch = 2;
+  InferenceEngine engine(*d.compiled, config);
+  const std::vector<float> wave = random_waveform(4000, 5);
+  for (int s = 0; s < 4; ++s) {
+    StreamingSession& session = engine.create_session();
+    session.push_audio(wave);
+    session.finish();
+  }
+  std::size_t max_step = 0;
+  while (true) {
+    const std::size_t advanced = engine.step();
+    if (advanced == 0) break;
+    max_step = std::max(max_step, advanced);
+  }
+  EXPECT_EQ(max_step, 2U);
+  for (std::size_t s = 0; s < 4; ++s) EXPECT_TRUE(engine.session(s).done());
+}
+
+// -------------------------------------------------------- batched kernel
+TEST(CompiledModel, StepBatchMatchesPerStreamInfer) {
+  TestDeployment d = make_deployment(24, 4, 91);
+  const std::size_t input_dim = d.compiled->config().input_dim;
+  const std::size_t classes = d.compiled->config().num_classes;
+  constexpr std::size_t kBatch = 3;
+  constexpr std::size_t kFrames = 7;
+
+  Rng rng(17);
+  std::vector<Matrix> utterances;
+  for (std::size_t b = 0; b < kBatch; ++b) {
+    Matrix features(kFrames, input_dim);
+    fill_normal(features.span(), rng, 1.0F);
+    utterances.push_back(std::move(features));
+  }
+
+  std::vector<StreamState> states(kBatch, d.compiled->make_state());
+  std::vector<StreamState*> state_ptrs;
+  for (StreamState& s : states) state_ptrs.push_back(&s);
+  Matrix frame(kBatch, input_dim);
+  Matrix logits(kBatch, classes);
+  std::vector<Matrix> batched(kBatch, Matrix(kFrames, classes));
+  for (std::size_t t = 0; t < kFrames; ++t) {
+    for (std::size_t b = 0; b < kBatch; ++b) {
+      std::copy(utterances[b].row(t).begin(), utterances[b].row(t).end(),
+                frame.row(b).begin());
+    }
+    d.compiled->step_batch(frame, state_ptrs, logits);
+    for (std::size_t b = 0; b < kBatch; ++b) {
+      std::copy(logits.row(b).begin(), logits.row(b).end(),
+                batched[b].row(t).begin());
+    }
+  }
+
+  for (std::size_t b = 0; b < kBatch; ++b) {
+    EXPECT_EQ(batched[b], d.compiled->infer(utterances[b])) << "b=" << b;
+  }
+}
+
+TEST(CompiledModel, BatchedRunRecurrenceExecutes) {
+  TestDeployment d = make_deployment(16, 2, 31);
+  EXPECT_NO_THROW(d.compiled->run_recurrence(5, 4));
+  EXPECT_THROW(d.compiled->run_recurrence(5, 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- stats
+TEST(RuntimeStats, QuantilesAndRates) {
+  runtime::LatencyRecorder recorder;
+  EXPECT_EQ(recorder.quantile_us(0.5), 0.0);
+  for (int i = 1; i <= 100; ++i) recorder.record(static_cast<double>(i));
+  EXPECT_EQ(recorder.count(), 100U);
+  EXPECT_DOUBLE_EQ(recorder.mean_us(), 50.5);
+  EXPECT_DOUBLE_EQ(recorder.p50_us(), 50.0);  // nearest-rank
+  EXPECT_DOUBLE_EQ(recorder.p95_us(), 95.0);
+  EXPECT_EQ(recorder.quantile_us(0.0), 1.0);
+  EXPECT_EQ(recorder.quantile_us(1.0), 100.0);
+  EXPECT_THROW(recorder.quantile_us(1.5), std::invalid_argument);
+
+  runtime::LatencyRecorder two;
+  two.record(2.0);
+  two.record(1.0);
+  EXPECT_DOUBLE_EQ(two.quantile_us(0.5), 1.0);  // ceil(0.5*2) = 1st
+
+  runtime::RuntimeStats stats;
+  stats.frames_processed = 200;
+  stats.steps = 50;
+  stats.busy_us = 2e6;  // 2 s of compute
+  stats.audio_seconds = 4.0;
+  EXPECT_DOUBLE_EQ(stats.frames_per_second(), 100.0);
+  EXPECT_DOUBLE_EQ(stats.real_time_factor(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.mean_batch(), 4.0);
+  stats.reset();
+  EXPECT_EQ(stats.frames_processed, 0U);
+}
+
+}  // namespace
+}  // namespace rtmobile
