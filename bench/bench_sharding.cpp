@@ -1,0 +1,309 @@
+// Shard-count sweep for the sharded serving layer.
+//
+// A fixed population of concurrent streams is served by 1, 2, ... N
+// engine replicas; shard count 1 is exactly the PR-1 single-engine
+// deployment, so every later row reads as "what replication buys".
+// `aggregate_fps` follows the runtime's stats convention (summed
+// real-time factor): it sums each shard's frames per compute second —
+// fleet capacity when every replica owns its disjoint core range, which
+// is what the pin-cores hint arranges in a real deployment. Speedup is
+// aggregate_fps versus the 1-shard row.
+//
+// Two measurement modes, because a shared benchmark host can lie:
+//  - capacity (default): audio is routed through the MPSC ingress as
+//    usual, then each shard drains to completion *in isolation*
+//    (synchronous pumping, one shard at a time). Per-shard compute time
+//    is then uncontended, so aggregate_fps is exactly what S pinned
+//    replicas sustain. Deterministic on any host.
+//  - wall: one pump thread per shard, audio submitted chunk-by-chunk
+//    with ingress backpressure, everything concurrent. wall_fps (total
+//    frames over the wall window) is what THIS host actually serves;
+//    when the host has fewer free cores than shards the pumps time-share
+//    and per-step latency inflates with preemption — that contention is
+//    the measurement.
+//
+// Output is a single JSON object on stdout (machine-readable sweep
+// artifact); the human-readable table goes to stderr.
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rnn/model.hpp"
+#include "rnn/param_set.hpp"
+#include "serve/sharded_engine.hpp"
+#include "sparse/block_mask.hpp"
+#include "train/projection.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace rtmobile {
+namespace {
+
+struct Workload {
+  std::unique_ptr<SpeechModel> model;
+  std::map<std::string, BlockMask> masks;
+  CompilerOptions options;
+  std::vector<std::vector<float>> waves;  // one utterance per stream
+};
+
+Workload build_workload(std::size_t hidden, double keep_fraction,
+                        std::size_t streams, double seconds) {
+  Workload w;
+  Rng rng(1234);
+  w.model = std::make_unique<SpeechModel>(ModelConfig::scaled(hidden));
+  w.model->init(rng);
+
+  ParamSet params;
+  w.model->register_params(params);
+  for (const std::string& name : w.model->weight_names()) {
+    Matrix& weights = params.matrix(name);
+    BlockMask mask = block_column_mask(weights, 8, 4, keep_fraction);
+    mask.apply(weights);
+    w.masks.emplace(name, std::move(mask));
+  }
+  w.options.format = SparseFormat::kBspc;
+
+  for (std::size_t s = 0; s < streams; ++s) {
+    Rng wave_rng(9000 + s);
+    std::vector<float> wave(static_cast<std::size_t>(seconds * 16000.0));
+    for (float& sample : wave) sample = 0.1F * wave_rng.normal();
+    w.waves.push_back(std::move(wave));
+  }
+  return w;
+}
+
+struct SweepRow {
+  std::size_t shards = 0;
+  serve::GlobalStats stats;
+  double speedup = 0.0;  // aggregate_fps vs the 1-shard row
+};
+
+serve::ShardedEngine make_engine(const Workload& w, std::size_t shards,
+                                 std::size_t threads_per_shard, bool pin,
+                                 serve::RoutePolicy policy) {
+  serve::ShardConfig config;
+  config.shards = shards;
+  config.policy = policy;
+  config.threads_per_shard = threads_per_shard;
+  config.pin_cores = pin;
+  return serve::ShardedEngine(*w.model, w.masks, w.options, config);
+}
+
+/// Capacity mode: ingress as usual, then each shard drains alone so its
+/// compute time is uncontended by sibling shards.
+serve::GlobalStats run_capacity(const Workload& w, std::size_t shards,
+                                std::size_t threads_per_shard, bool pin,
+                                serve::RoutePolicy policy) {
+  serve::ShardedEngine engine =
+      make_engine(w, shards, threads_per_shard, pin, policy);
+
+  std::vector<serve::StreamHandle> handles;
+  handles.reserve(w.waves.size());
+  for (std::size_t s = 0; s < w.waves.size(); ++s) {
+    handles.push_back(engine.open_stream(/*session_key=*/s));
+  }
+  for (std::size_t s = 0; s < w.waves.size(); ++s) {
+    const std::vector<float>& wave = w.waves[s];
+    constexpr std::size_t kChunk = 1600;  // 100 ms arrivals
+    for (std::size_t pos = 0; pos < wave.size(); pos += kChunk) {
+      const std::size_t n = std::min(kChunk, wave.size() - pos);
+      while (!engine.submit_audio(
+          handles[s], std::span<const float>(wave).subspan(pos, n))) {
+        engine.pump_shard(engine.stream_shard(handles[s]));  // backpressure
+      }
+    }
+    while (!engine.finish_stream(handles[s])) {
+      engine.pump_shard(engine.stream_shard(handles[s]));
+    }
+  }
+
+  // One shard at a time: per-shard busy time sees no cross-shard
+  // preemption, so frames/busy is true per-replica capacity.
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    while (engine.pump_shard(shard) > 0) {
+    }
+  }
+  engine.drain();  // belt and braces: nothing may be left anywhere
+  return engine.stats();
+}
+
+/// Wall mode: fully concurrent serving through per-shard pump threads.
+serve::GlobalStats run_wall(const Workload& w, std::size_t shards,
+                            std::size_t threads_per_shard, bool pin,
+                            serve::RoutePolicy policy) {
+  serve::ShardedEngine engine =
+      make_engine(w, shards, threads_per_shard, pin, policy);
+
+  std::vector<serve::StreamHandle> handles;
+  handles.reserve(w.waves.size());
+  for (std::size_t s = 0; s < w.waves.size(); ++s) {
+    handles.push_back(engine.open_stream(/*session_key=*/s));
+  }
+
+  engine.start();
+  // Interleaved 100 ms arrivals across all streams, with ingress
+  // backpressure honored — the pattern of a loaded front door.
+  constexpr std::size_t kChunk = 1600;
+  std::vector<std::size_t> positions(w.waves.size(), 0);
+  bool arriving = true;
+  while (arriving) {
+    arriving = false;
+    for (std::size_t s = 0; s < w.waves.size(); ++s) {
+      const std::vector<float>& wave = w.waves[s];
+      if (positions[s] >= wave.size()) continue;
+      const std::size_t n =
+          std::min(kChunk, wave.size() - positions[s]);
+      while (!engine.submit_audio(
+          handles[s],
+          std::span<const float>(wave).subspan(positions[s], n))) {
+        std::this_thread::yield();
+      }
+      positions[s] += n;
+      if (positions[s] >= wave.size()) {
+        while (!engine.finish_stream(handles[s])) {
+          std::this_thread::yield();
+        }
+      }
+      arriving = arriving || positions[s] < wave.size();
+    }
+  }
+  for (const serve::StreamHandle h : handles) {
+    while (!engine.stream_done(h)) std::this_thread::yield();
+  }
+  engine.stop();
+  return engine.stats();
+}
+
+void print_json(const Workload& w, const std::string& mode,
+                std::size_t threads_per_shard, bool pin,
+                serve::RoutePolicy policy, double seconds,
+                const std::vector<SweepRow>& rows) {
+  std::printf("{\n");
+  std::printf(
+      "  \"bench\": \"bench_sharding\",\n  \"mode\": \"%s\",\n"
+      "  \"hidden\": %zu,\n  \"streams\": %zu,\n"
+      "  \"audio_seconds_per_stream\": %.3f,\n"
+      "  \"threads_per_shard\": %zu,\n  \"pin_cores\": %s,\n"
+      "  \"policy\": \"%s\",\n  \"rows\": [\n",
+      mode.c_str(), w.model->config().hidden_dim, w.waves.size(), seconds,
+      threads_per_shard, pin ? "true" : "false", to_string(policy));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& row = rows[i];
+    const runtime::RuntimeStats& merged = row.stats.merged;
+    std::printf(
+        "    {\"shards\": %zu, \"frames\": %zu, \"steps\": %zu, "
+        "\"p50_us\": %.1f, \"p95_us\": %.1f, "
+        "\"aggregate_fps\": %.1f, \"wall_fps\": %.1f, "
+        "\"rtf\": %.2f, \"wall_rtf\": %.2f, \"speedup\": %.3f}%s\n",
+        row.shards, merged.frames_processed, merged.steps,
+        merged.step_latency.p50_us(), merged.step_latency.p95_us(),
+        row.stats.aggregate_fps, row.stats.wall_fps(),
+        merged.real_time_factor(), row.stats.wall_real_time_factor(),
+        row.speedup, i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+}
+
+}  // namespace
+}  // namespace rtmobile
+
+int main(int argc, char** argv) {
+  using namespace rtmobile;
+
+  CliParser cli;
+  cli.add_flag("hidden", "1024", "GRU hidden size (1024 = full-size width)");
+  cli.add_flag("streams", "8", "total concurrent streams (fixed across rows)");
+  cli.add_flag("seconds", "2", "audio seconds per stream");
+  cli.add_flag("max-shards", "4", "largest shard count in the sweep");
+  cli.add_flag("threads-per-shard", "1", "pool width per shard");
+  cli.add_flag("keep", "0.25", "BSP column keep fraction");
+  cli.add_flag("policy", "least-loaded",
+               "round-robin | least-loaded | session-hash");
+  cli.add_flag("mode", "capacity",
+               "capacity (isolated per-shard drains) | wall (concurrent "
+               "pump threads)");
+  cli.add_switch("pin", "pin each shard to its disjoint core range");
+  cli.add_switch("quick", "small model + short audio (CI smoke run)");
+  try {
+    cli.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n%s", e.what(),
+                 cli.help("bench_sharding").c_str());
+    return 1;
+  }
+
+  const bool quick = cli.get_switch("quick");
+  const std::size_t hidden =
+      quick ? 96 : static_cast<std::size_t>(cli.get_int("hidden"));
+  const std::size_t streams =
+      quick ? 4 : static_cast<std::size_t>(cli.get_int("streams"));
+  const double seconds = quick ? 0.4 : cli.get_double("seconds");
+  const std::size_t max_shards =
+      quick ? 2 : static_cast<std::size_t>(cli.get_int("max-shards"));
+  const std::size_t threads_per_shard =
+      static_cast<std::size_t>(cli.get_int("threads-per-shard"));
+  const double keep = cli.get_double("keep");
+  const bool pin = cli.get_switch("pin");
+  const serve::RoutePolicy policy =
+      serve::parse_route_policy(cli.get_string("policy"));
+  const std::string mode = cli.get_string("mode");
+  if (mode != "capacity" && mode != "wall") {
+    std::fprintf(stderr, "unknown --mode %s\n%s", mode.c_str(),
+                 cli.help("bench_sharding").c_str());
+    return 1;
+  }
+
+  std::fprintf(stderr,
+               "Sharding sweep: mode=%s hidden=%zu streams=%zu "
+               "audio=%.1fs/stream keep=%.2f threads/shard=%zu "
+               "policy=%s%s%s\n\n",
+               mode.c_str(), hidden, streams, seconds, keep,
+               threads_per_shard, to_string(policy), pin ? " pinned" : "",
+               quick ? " (quick)" : "");
+
+  const Workload workload =
+      build_workload(hidden, keep, streams, seconds);
+
+  // Shard counts: powers of two up to max-shards, ending on max-shards.
+  std::vector<std::size_t> shard_counts;
+  for (std::size_t s = 1; s < max_shards; s *= 2) shard_counts.push_back(s);
+  shard_counts.push_back(max_shards);
+
+  Table table({"shards", "frames", "p50 us", "p95 us", "agg f/s",
+               "wall f/s", "RTF", "speedup"});
+  std::vector<SweepRow> rows;
+  double base_fps = 0.0;
+  for (const std::size_t shards : shard_counts) {
+    SweepRow row;
+    row.shards = shards;
+    row.stats =
+        mode == "capacity"
+            ? run_capacity(workload, shards, threads_per_shard, pin, policy)
+            : run_wall(workload, shards, threads_per_shard, pin, policy);
+    if (shards == 1) base_fps = row.stats.aggregate_fps;
+    row.speedup = base_fps > 0.0 ? row.stats.aggregate_fps / base_fps : 0.0;
+    table.add_row({std::to_string(shards),
+                   std::to_string(row.stats.merged.frames_processed),
+                   format_double(row.stats.merged.step_latency.p50_us(), 1),
+                   format_double(row.stats.merged.step_latency.p95_us(), 1),
+                   format_double(row.stats.aggregate_fps, 0),
+                   format_double(row.stats.wall_fps(), 0),
+                   format_double(row.stats.merged.real_time_factor(), 1),
+                   format_double(row.speedup, 2)});
+    rows.push_back(std::move(row));
+  }
+
+  std::fprintf(stderr, "%s\n", table.to_string().c_str());
+  std::fprintf(stderr,
+               "agg f/s = sum over shards of frames per compute second "
+               "(fleet capacity; shards own disjoint cores when pinned).\n"
+               "wall f/s = frames over the wall-clock window (wall mode "
+               "only; 0 in capacity mode).\n");
+  print_json(workload, mode, threads_per_shard, pin, policy, seconds, rows);
+  return 0;
+}

@@ -39,6 +39,11 @@ struct CompilerOptions {
   /// pool is available: dispatch latency would dominate the kernel. This
   /// mirrors the auto-tuner's thread-count decision for tiny workloads.
   std::size_t min_nnz_for_threading = 16384;
+  /// Optional placement hint: the core range the pool executing these
+  /// plans should occupy. The compiler records it; whoever constructs the
+  /// pool honors it (the sharded serving layer pins each engine replica's
+  /// pool to a disjoint range so shards don't contend for cores).
+  std::optional<CoreRange> core_range;
 };
 
 class LayerPlan {

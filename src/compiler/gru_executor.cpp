@@ -50,6 +50,16 @@ CompiledSpeechModel::CompiledSpeechModel(
   }
   fc_ = compile_weight(model.fc_weight(), masks, "fc.w", options);
   fc_b_ = model.fc_bias();
+
+  // One scratch slot per possible step_batch chunk (the pool never runs
+  // more than thread_count chunks per job; slot 0 doubles as the
+  // single-threaded path's scratch).
+  const std::size_t slots = pool_ != nullptr ? pool_->thread_count() : 1;
+  step_scratch_.reserve(slots);
+  for (std::size_t s = 0; s < slots; ++s) {
+    step_scratch_.push_back(
+        std::make_unique<StepScratch>(config_.hidden_dim));
+  }
 }
 
 void CompiledSpeechModel::step_layer(const CompiledLayer& layer,
@@ -125,8 +135,9 @@ void CompiledSpeechModel::step_batch(const Matrix& features,
   RT_REQUIRE(logits.rows() >= batch && logits.cols() == config_.num_classes,
              "step_batch: logits shape mismatch");
 
-  const auto run_rows = [&](std::size_t begin, std::size_t end) {
-    StepScratch scratch(config_.hidden_dim);
+  const auto run_rows = [&](std::size_t slot, std::size_t begin,
+                            std::size_t end) {
+    StepScratch& scratch = *step_scratch_[slot];
     for (std::size_t b = begin; b < end; ++b) {
       RT_REQUIRE(states[b] != nullptr && states[b]->h.size() == layers_.size(),
                  "step_batch: state layer count mismatch");
@@ -138,9 +149,9 @@ void CompiledSpeechModel::step_batch(const Matrix& features,
     }
   };
   if (pool_ != nullptr && batch > 1) {
-    pool_->parallel_for(batch, run_rows);
+    pool_->parallel_for_indexed(batch, run_rows);
   } else {
-    run_rows(0, batch);
+    run_rows(0, 0, batch);
   }
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -58,6 +59,11 @@ class CompiledSpeechModel {
   /// parallelism replaces intra-matvec threading), and each stream
   /// computes exactly the arithmetic of infer(), so chunked streaming
   /// output is bit-identical to whole-utterance inference.
+  ///
+  /// Chunk workers reuse per-slot StepScratch buffers cached on the model,
+  /// so one engine driving step_batch is allocation-free per timestep; as
+  /// a consequence step_batch must not be called concurrently on the same
+  /// CompiledSpeechModel (each serving shard owns its own instance).
   void step_batch(const Matrix& features, std::span<StreamState* const> states,
                   Matrix& logits) const;
 
@@ -125,6 +131,12 @@ class CompiledSpeechModel {
   LayerPlan fc_;
   Vector fc_b_;
   ThreadPool* pool_;
+  /// One StepScratch per step_batch chunk slot (pool thread count entries,
+  /// built eagerly so hot-path access never mutates the vector). Chunk w
+  /// of a parallel_for_indexed job uses slot w; slots are never shared
+  /// within a job, which is what makes the batched path allocation-free
+  /// per timestep instead of building a scratch per chunk per step.
+  std::vector<std::unique_ptr<StepScratch>> step_scratch_;
 };
 
 }  // namespace rtmobile

@@ -2,6 +2,11 @@
 
 #include <algorithm>
 
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "util/check.hpp"
 
 namespace rtmobile {
@@ -18,14 +23,26 @@ inline void spin_pause(int iteration) {
 
 }  // namespace
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads, std::optional<CoreRange> affinity) {
   RT_REQUIRE(threads >= 1, "thread pool needs at least one thread");
+  RT_REQUIRE(!affinity || affinity->count >= 1,
+             "thread pool affinity range must be non-empty");
   // The caller participates in every job, so spawn threads-1 workers to
   // keep the total concurrency at `threads`.
   const std::size_t workers = threads - 1;
   threads_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i, affinity] {
+      if (affinity) {
+        // Core begin is reserved for the caller; workers take the rest
+        // round-robin so a range narrower than the pool still covers it.
+        const std::size_t slot = affinity->count > 1
+                                     ? 1 + i % (affinity->count - 1)
+                                     : 0;
+        pin_current_thread(affinity->begin + slot);
+      }
+      worker_loop();
+    });
   }
   configured_threads_ = threads;
 }
@@ -143,6 +160,15 @@ void ThreadPool::run_all(const std::vector<std::function<void()>>& tasks) {
 
 void ThreadPool::parallel_for(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  parallel_for_indexed(
+      n, [&fn](std::size_t, std::size_t begin, std::size_t end) {
+        fn(begin, end);
+      });
+}
+
+void ThreadPool::parallel_for_indexed(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
   const std::size_t workers = std::min(thread_count(), n);
   std::vector<std::function<void()>> tasks;
@@ -150,7 +176,7 @@ void ThreadPool::parallel_for(
   for (std::size_t w = 0; w < workers; ++w) {
     const std::size_t begin = w * n / workers;
     const std::size_t end = (w + 1) * n / workers;
-    tasks.emplace_back([&fn, begin, end] { fn(begin, end); });
+    tasks.emplace_back([&fn, w, begin, end] { fn(w, begin, end); });
   }
   run_all(tasks);
 }
@@ -158,6 +184,19 @@ void ThreadPool::parallel_for(
 std::size_t ThreadPool::default_thread_count() {
   const unsigned hw = std::thread::hardware_concurrency();
   return std::clamp<std::size_t>(hw == 0 ? 4 : hw, 1, 16);
+}
+
+bool ThreadPool::pin_current_thread(std::size_t core) {
+#ifdef __linux__
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (core >= CPU_SETSIZE) return false;
+  CPU_SET(core, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)core;
+  return false;
+#endif
 }
 
 }  // namespace rtmobile

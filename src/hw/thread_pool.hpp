@@ -15,15 +15,30 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
 namespace rtmobile {
 
+/// A contiguous range of CPU cores, the placement hint the sharded
+/// serving layer uses to keep engine replicas from fighting over cores:
+/// shard s gets [s * threads_per_shard, ...) and pins its pool there.
+struct CoreRange {
+  std::size_t begin = 0;
+  std::size_t count = 0;
+};
+
 class ThreadPool {
  public:
-  /// Spawns `threads` persistent workers (>= 1).
-  explicit ThreadPool(std::size_t threads);
+  /// Spawns `threads` persistent workers (>= 1). When `affinity` is set,
+  /// spawned workers are pinned round-robin onto that core range
+  /// (best-effort: unsupported platforms and invalid cores are ignored).
+  /// Core `affinity->begin` is left for the calling thread, which
+  /// participates in every job and can pin itself via
+  /// pin_current_thread().
+  explicit ThreadPool(std::size_t threads,
+                      std::optional<CoreRange> affinity = std::nullopt);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -40,6 +55,13 @@ class ThreadPool {
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
+  /// parallel_for variant that also hands fn the chunk index (0-based,
+  /// < min(thread_count(), n)). Each chunk index is claimed exactly once
+  /// per job, so it can key per-chunk scratch storage without locking.
+  void parallel_for_indexed(
+      std::size_t n, const std::function<void(std::size_t, std::size_t,
+                                              std::size_t)>& fn);
+
   /// Runs `tasks` concurrently across the pool (the caller participates);
   /// blocks until all complete. Not reentrant from inside a task.
   void run_all(const std::vector<std::function<void()>>& tasks);
@@ -47,6 +69,10 @@ class ThreadPool {
   /// A sensible default worker count for this host (hardware_concurrency,
   /// at least 1, capped at 16 to stay in smartphone-core territory).
   [[nodiscard]] static std::size_t default_thread_count();
+
+  /// Best-effort pin of the calling thread to one core; returns false when
+  /// pinning is unsupported on this platform or the core does not exist.
+  static bool pin_current_thread(std::size_t core);
 
  private:
   void worker_loop();

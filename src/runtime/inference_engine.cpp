@@ -90,6 +90,39 @@ std::size_t InferenceEngine::drain() {
   }
 }
 
+std::unique_ptr<StreamingSession> InferenceEngine::release_session(
+    std::size_t index) {
+  RT_REQUIRE(index < sessions_.size(), "release_session: index out of range");
+  std::unique_ptr<StreamingSession> released = std::move(sessions_[index]);
+  sessions_.erase(sessions_.begin() + static_cast<std::ptrdiff_t>(index));
+  if (sessions_.empty()) round_robin_ = 0;
+  else round_robin_ %= sessions_.size();
+  return released;
+}
+
+std::unique_ptr<StreamingSession> InferenceEngine::release_session(
+    const StreamingSession* session) {
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    if (sessions_[i].get() == session) return release_session(i);
+  }
+  RT_REQUIRE(false, "release_session: session not owned by this engine");
+  return nullptr;
+}
+
+StreamingSession& InferenceEngine::adopt_session(
+    std::unique_ptr<StreamingSession> session) {
+  RT_REQUIRE(session != nullptr, "adopt_session: null session");
+  session->rebind(model_);
+  sessions_.push_back(std::move(session));
+  return *sessions_.back();
+}
+
+std::size_t InferenceEngine::pending_frames() const {
+  std::size_t total = 0;
+  for (const auto& session : sessions_) total += session->pending_frames();
+  return total;
+}
+
 std::size_t InferenceEngine::remove_done() {
   const std::size_t before = sessions_.size();
   std::erase_if(sessions_,

@@ -64,6 +64,25 @@ class InferenceEngine {
   /// Returns how many were reaped; live sessions keep their order.
   std::size_t remove_done();
 
+  // ---- cross-engine session transfer (shard migration) ----
+  /// Detaches the session at `index` and returns ownership; remaining
+  /// sessions keep their relative order. The session still references
+  /// this engine's model until adopted elsewhere.
+  [[nodiscard]] std::unique_ptr<StreamingSession> release_session(
+      std::size_t index);
+  /// Same, addressed by the session pointer this engine handed out.
+  [[nodiscard]] std::unique_ptr<StreamingSession> release_session(
+      const StreamingSession* session);
+  /// Takes ownership of a session released from another engine, rebinding
+  /// it to this engine's model (dimensions must match). Its hidden state,
+  /// queued frames, and logits carry over untouched.
+  StreamingSession& adopt_session(std::unique_ptr<StreamingSession> session);
+
+  // ---- load signal for shard routing ----
+  /// Feature frames queued across all sessions and not yet stepped (the
+  /// engine-internal backlog a shard publishes to its router).
+  [[nodiscard]] std::size_t pending_frames() const;
+
   [[nodiscard]] const RuntimeStats& stats() const { return stats_; }
   void reset_stats() { stats_.reset(); }
 

@@ -14,6 +14,11 @@ double LatencyRecorder::mean_us() const {
   return total / static_cast<double>(samples_.size());
 }
 
+void LatencyRecorder::merge_from(const LatencyRecorder& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+}
+
 double LatencyRecorder::quantile_us(double q) const {
   RT_REQUIRE(q >= 0.0 && q <= 1.0, "quantile: q must be in [0, 1]");
   if (samples_.empty()) return 0.0;

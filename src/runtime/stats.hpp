@@ -24,6 +24,12 @@ class LatencyRecorder {
   [[nodiscard]] double p50_us() const { return quantile_us(0.50); }
   [[nodiscard]] double p95_us() const { return quantile_us(0.95); }
 
+  /// Absorbs another recorder's samples. Because every sample is kept,
+  /// merging is exact: quantiles of merge(a, b) equal quantiles computed
+  /// over the union of a's and b's samples — the identity cross-shard
+  /// aggregation relies on.
+  void merge_from(const LatencyRecorder& other);
+
   void reset() { samples_.clear(); }
 
  private:
@@ -50,6 +56,17 @@ struct RuntimeStats {
     return steps > 0 ? static_cast<double>(frames_processed) /
                            static_cast<double>(steps)
                      : 0.0;
+  }
+
+  /// Accumulates another engine's stats into this one. Counters add and
+  /// latency samples concatenate, so merging the stats of disjoint
+  /// workload splits yields exactly the stats of the whole workload.
+  void merge_from(const RuntimeStats& other) {
+    step_latency.merge_from(other.step_latency);
+    frames_processed += other.frames_processed;
+    steps += other.steps;
+    busy_us += other.busy_us;
+    audio_seconds += other.audio_seconds;
   }
 
   void reset() {

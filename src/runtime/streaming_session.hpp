@@ -28,6 +28,14 @@ class StreamingSession {
 
   [[nodiscard]] std::size_t id() const { return id_; }
 
+  /// Re-points the session at another compiled instance of the same
+  /// model (identical dimensions required). Used when a serving shard
+  /// drains and its live streams migrate to a sibling shard: the hidden
+  /// state, pending frames, and logits all carry over, and because every
+  /// replica computes identical arithmetic the stream's output stays
+  /// bit-identical to an unmigrated run.
+  void rebind(const CompiledSpeechModel& model);
+
   /// Feeds an audio chunk (any size); newly completed feature frames are
   /// queued for the engine.
   void push_audio(std::span<const float> samples);
@@ -46,6 +54,8 @@ class StreamingSession {
 
   // ---- engine-facing frame queue ----
   [[nodiscard]] bool frame_ready() const { return !pending_.empty(); }
+  /// Feature frames queued and not yet stepped (a queue-depth signal).
+  [[nodiscard]] std::size_t pending_frames() const { return pending_.size(); }
   [[nodiscard]] std::span<const float> front_frame() const;
   void pop_frame();
   [[nodiscard]] StreamState& state() { return state_; }
@@ -66,7 +76,7 @@ class StreamingSession {
   void drain_front_end();
 
   std::size_t id_;
-  const CompiledSpeechModel& model_;
+  const CompiledSpeechModel* model_;  // rebindable on shard migration
   speech::StreamingMfcc mfcc_;
   std::deque<std::vector<float>> pending_;  // feature frames awaiting a step
   StreamState state_;

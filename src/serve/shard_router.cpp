@@ -1,0 +1,99 @@
+#include "serve/shard_router.hpp"
+
+#include <string>
+
+#include "util/check.hpp"
+
+namespace rtmobile::serve {
+namespace {
+
+/// splitmix64: cheap, well-mixed stable hash so session keys spread
+/// evenly across shards regardless of how clients number themselves.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* to_string(RoutePolicy policy) {
+  switch (policy) {
+    case RoutePolicy::kRoundRobin: return "round-robin";
+    case RoutePolicy::kLeastLoaded: return "least-loaded";
+    case RoutePolicy::kSessionHash: return "session-hash";
+  }
+  return "?";
+}
+
+RoutePolicy parse_route_policy(const std::string& name) {
+  if (name == "round-robin") return RoutePolicy::kRoundRobin;
+  if (name == "least-loaded") return RoutePolicy::kLeastLoaded;
+  if (name == "session-hash") return RoutePolicy::kSessionHash;
+  throw std::invalid_argument("unknown route policy: " + name);
+}
+
+ShardRouter::ShardRouter(std::size_t shards, RoutePolicy policy)
+    : policy_(policy), admissible_(shards, true) {
+  RT_REQUIRE(shards >= 1, "router needs at least one shard");
+}
+
+void ShardRouter::set_admissible(std::size_t shard, bool admissible) {
+  RT_REQUIRE(shard < admissible_.size(), "router: shard out of range");
+  admissible_[shard] = admissible;
+}
+
+bool ShardRouter::admissible(std::size_t shard) const {
+  RT_REQUIRE(shard < admissible_.size(), "router: shard out of range");
+  return admissible_[shard];
+}
+
+std::size_t ShardRouter::admissible_count() const {
+  std::size_t count = 0;
+  for (const bool a : admissible_) count += a ? 1 : 0;
+  return count;
+}
+
+std::size_t ShardRouter::pick(std::span<const std::size_t> loads,
+                              std::uint64_t session_key) {
+  const std::size_t shards = admissible_.size();
+  RT_REQUIRE(loads.size() == shards, "router: one load per shard");
+  RT_REQUIRE(admissible_count() > 0, "router: no admissible shard");
+
+  switch (policy_) {
+    case RoutePolicy::kRoundRobin: {
+      for (std::size_t i = 0; i < shards; ++i) {
+        const std::size_t shard = (cursor_ + i) % shards;
+        if (admissible_[shard]) {
+          cursor_ = (shard + 1) % shards;
+          return shard;
+        }
+      }
+      break;  // unreachable: admissible_count() > 0
+    }
+    case RoutePolicy::kLeastLoaded: {
+      std::size_t best = shards;
+      for (std::size_t shard = 0; shard < shards; ++shard) {
+        if (!admissible_[shard]) continue;
+        if (best == shards || loads[shard] < loads[best]) best = shard;
+      }
+      return best;
+    }
+    case RoutePolicy::kSessionHash: {
+      // Stable target first, then linear probe past drained shards so a
+      // key's placement only moves when its home shard is inadmissible.
+      const std::size_t home =
+          static_cast<std::size_t>(mix(session_key) % shards);
+      for (std::size_t i = 0; i < shards; ++i) {
+        const std::size_t shard = (home + i) % shards;
+        if (admissible_[shard]) return shard;
+      }
+      break;  // unreachable: admissible_count() > 0
+    }
+  }
+  RT_ASSERT(false, "router: pick fell through");
+  return 0;
+}
+
+}  // namespace rtmobile::serve

@@ -1,0 +1,58 @@
+// Stream admission policy: which shard a new stream lands on.
+//
+// The router sees only per-shard load numbers (submission-queue depth
+// plus pending engine work) and an admissibility mask (shards being
+// drained stop taking new streams). Three policies cover the serving
+// spectrum: round-robin (uniform traffic), least-loaded (queue-depth
+// balancing under skewed utterance lengths), and session-hash (sticky
+// placement so one client's repeated utterances hit the same replica's
+// warm caches).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rtmobile::serve {
+
+enum class RoutePolicy : std::uint8_t {
+  kRoundRobin,   // cycle shards in order, skipping inadmissible ones
+  kLeastLoaded,  // lowest current load; ties break to the lowest index
+  kSessionHash,  // stable hash of a client key, probing past drained shards
+};
+
+[[nodiscard]] const char* to_string(RoutePolicy policy);
+/// Parses "round-robin" / "least-loaded" / "session-hash"; throws
+/// std::invalid_argument otherwise.
+[[nodiscard]] RoutePolicy parse_route_policy(const std::string& name);
+
+class ShardRouter {
+ public:
+  ShardRouter(std::size_t shards, RoutePolicy policy);
+
+  [[nodiscard]] std::size_t shard_count() const {
+    return admissible_.size();
+  }
+  [[nodiscard]] RoutePolicy policy() const { return policy_; }
+
+  /// Marks a shard (in)admissible; draining shards stop receiving new
+  /// streams but keep serving the ones they own.
+  void set_admissible(std::size_t shard, bool admissible);
+  [[nodiscard]] bool admissible(std::size_t shard) const;
+  [[nodiscard]] std::size_t admissible_count() const;
+
+  /// Picks the shard for a new stream. `loads[s]` is shard s's current
+  /// queue depth; `session_key` feeds the hash policy (ignored by the
+  /// others). Throws when no shard is admissible.
+  [[nodiscard]] std::size_t pick(std::span<const std::size_t> loads,
+                                 std::uint64_t session_key = 0);
+
+ private:
+  RoutePolicy policy_;
+  std::vector<bool> admissible_;
+  std::size_t cursor_ = 0;  // round-robin position
+};
+
+}  // namespace rtmobile::serve

@@ -1,0 +1,546 @@
+#include "serve/sharded_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "hw/timer.hpp"
+#include "util/check.hpp"
+
+namespace rtmobile::serve {
+
+ShardedEngine::ShardedEngine(const SpeechModel& model,
+                             const std::map<std::string, BlockMask>& masks,
+                             const CompilerOptions& options,
+                             ShardConfig config)
+    : config_(std::move(config)),
+      router_(config_.shards, config_.policy) {
+  RT_REQUIRE(config_.shards >= 1, "sharded engine needs >= 1 shard");
+  RT_REQUIRE(config_.threads_per_shard >= 1,
+             "sharded engine needs >= 1 thread per shard");
+
+  shards_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    CompilerOptions shard_options = options;
+    shard_options.threads = config_.threads_per_shard;
+    if (config_.pin_cores) {
+      shard_options.core_range = CoreRange{s * config_.threads_per_shard,
+                                           config_.threads_per_shard};
+    }
+    if (config_.threads_per_shard > 1) {
+      shard->pool = std::make_unique<ThreadPool>(config_.threads_per_shard,
+                                                 shard_options.core_range);
+    }
+    shard->model = std::make_unique<CompiledSpeechModel>(
+        model, masks, shard_options, shard->pool.get());
+    shard->engine = std::make_unique<runtime::InferenceEngine>(
+        *shard->model, config_.engine);
+    shard->queue = std::make_unique<SubmissionQueue>(config_.queue_capacity);
+    shards_.push_back(std::move(shard));
+  }
+  blocks_ = std::make_unique<std::unique_ptr<EntryBlock>[]>(kMaxBlocks);
+}
+
+ShardedEngine::~ShardedEngine() {
+  try {
+    stop();
+  } catch (...) {
+    // A pump's stored failure must not escape a destructor.
+  }
+}
+
+const CompiledSpeechModel& ShardedEngine::shard_model(std::size_t s) const {
+  RT_REQUIRE(s < shards_.size(), "shard index out of range");
+  return *shards_[s]->model;
+}
+
+ShardedEngine::StreamEntry& ShardedEngine::entry(StreamHandle h) const {
+  // Lock-free: open_stream fully initializes the entry (and its block)
+  // before publishing the slot through slot_count_ with release order,
+  // so a slot below the acquired count always maps to a ready entry. The
+  // generation check rejects handles whose stream was closed and whose
+  // slot has since been reissued.
+  const std::uint64_t slot = h.id & kSlotMask;
+  RT_REQUIRE(slot < slot_count_.load(std::memory_order_acquire),
+             "unknown stream handle");
+  StreamEntry& e = blocks_[slot / kEntriesPerBlock]
+                       ->entries[slot % kEntriesPerBlock];
+  RT_REQUIRE(e.generation.load(std::memory_order_acquire) ==
+                 h.id >> kSlotBits,
+             "stale stream handle (stream closed, slot reissued)");
+  return e;
+}
+
+ShardedEngine::StreamEntry* ShardedEngine::try_entry(
+    std::uint64_t id) const {
+  const std::uint64_t slot = id & kSlotMask;
+  if (slot >= slot_count_.load(std::memory_order_acquire)) return nullptr;
+  StreamEntry& e = blocks_[slot / kEntriesPerBlock]
+                       ->entries[slot % kEntriesPerBlock];
+  if (e.generation.load(std::memory_order_acquire) != id >> kSlotBits) {
+    return nullptr;
+  }
+  return &e;
+}
+
+std::vector<std::size_t> ShardedEngine::snapshot_loads() const {
+  std::vector<std::size_t> loads(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) loads[s] = load(s);
+  return loads;
+}
+
+StreamHandle ShardedEngine::open_stream(std::uint64_t session_key) {
+  std::size_t target = 0;
+  StreamHandle handle;
+  {
+    const std::lock_guard<std::mutex> lock(admit_mutex_);
+    target = router_.pick(snapshot_loads(), session_key);
+
+    // Prefer a slot freed by a closed stream; grow the table otherwise.
+    std::uint64_t slot = 0;
+    bool reused = false;
+    {
+      const std::lock_guard<std::mutex> free_lock(free_mutex_);
+      if (!free_slots_.empty()) {
+        slot = free_slots_.back();
+        free_slots_.pop_back();
+        reused = true;
+      }
+    }
+    if (!reused) {
+      slot = slot_count_.load(std::memory_order_relaxed);
+      RT_REQUIRE(slot < kEntriesPerBlock * kMaxBlocks,
+                 "stream handle table exhausted (too many live streams)");
+      std::unique_ptr<EntryBlock>& block = blocks_[slot / kEntriesPerBlock];
+      if (block == nullptr) block = std::make_unique<EntryBlock>();
+    }
+    StreamEntry& e = blocks_[slot / kEntriesPerBlock]
+                         ->entries[slot % kEntriesPerBlock];
+    const std::uint64_t generation =
+        reused ? e.generation.load(std::memory_order_relaxed) + 1 : 0;
+    e.shard.store(target, std::memory_order_relaxed);
+    e.session.store(nullptr, std::memory_order_relaxed);
+    e.done.store(false, std::memory_order_relaxed);
+    e.session_key = session_key;
+    // Publish: a stale handle's generation stops matching here, and for
+    // a fresh slot entry() accepts it only after the count store.
+    e.generation.store(generation, std::memory_order_release);
+    if (!reused) {
+      slot_count_.store(slot + 1, std::memory_order_release);
+    }
+    handle.id = generation << kSlotBits | slot;
+    // Counted before the admission lock drops so concurrent admissions
+    // see this stream in load() and don't dog-pile one shard.
+    shards_[target]->live_streams.fetch_add(1, std::memory_order_acq_rel);
+  }
+  Shard& shard = *shards_[target];
+  StreamCommand open;
+  open.kind = StreamCommand::Kind::kOpen;
+  open.stream = handle.id;
+  try {
+    if (running()) {
+      // The pump is draining this ring; spin-yield until the open fits
+      // so a handle is never silently lost.
+      while (!enqueue(target, std::move(open))) {
+        std::this_thread::yield();
+      }
+    } else {
+      // Synchronous mode: the caller is the only actor, apply in place.
+      apply(shard, std::move(open));
+    }
+  } catch (...) {
+    // Dead shard: the stream never existed. Undo the load signal and
+    // recycle the slot (its next occupant bumps the generation, so the
+    // handle we never returned can't alias it).
+    shard.live_streams.fetch_sub(1, std::memory_order_acq_rel);
+    const std::lock_guard<std::mutex> free_lock(free_mutex_);
+    free_slots_.push_back(static_cast<std::uint32_t>(handle.id & kSlotMask));
+    throw;
+  }
+  return handle;
+}
+
+bool ShardedEngine::enqueue(std::size_t shard, StreamCommand&& command) {
+  // Fail fast on a dead shard: returning false would send backpressure
+  // loops spinning on a ring nobody will ever drain.
+  RT_REQUIRE(!shards_[shard]->dead.load(std::memory_order_acquire),
+             "serve: shard pump died; stop() reports the cause");
+  return shards_[shard]->queue->try_push(std::move(command));
+}
+
+bool ShardedEngine::submit_audio(StreamHandle h,
+                                 std::span<const float> samples) {
+  StreamEntry& e = entry(h);
+  const std::size_t shard = e.shard.load(std::memory_order_acquire);
+  // Cheap pre-check: when the ring is saturated, report backpressure
+  // before copying the payload — retry loops would otherwise allocate
+  // and copy the chunk on every failed attempt. (Racy by nature; the
+  // authoritative answer is still try_push's.)
+  if (shards_[shard]->queue->depth() >= shards_[shard]->queue->capacity()) {
+    RT_REQUIRE(!shards_[shard]->dead.load(std::memory_order_acquire),
+               "serve: shard pump died; stop() reports the cause");
+    return false;
+  }
+  StreamCommand command;
+  command.kind = StreamCommand::Kind::kAudio;
+  command.stream = h.id;
+  command.samples.assign(samples.begin(), samples.end());
+  return enqueue(shard, std::move(command));
+}
+
+bool ShardedEngine::finish_stream(StreamHandle h) {
+  StreamEntry& e = entry(h);
+  StreamCommand command;
+  command.kind = StreamCommand::Kind::kFinish;
+  command.stream = h.id;
+  return enqueue(e.shard.load(std::memory_order_acquire),
+                 std::move(command));
+}
+
+bool ShardedEngine::close_stream(StreamHandle h) {
+  StreamEntry& e = entry(h);
+  const std::size_t shard = e.shard.load(std::memory_order_acquire);
+  StreamCommand command;
+  command.kind = StreamCommand::Kind::kClose;
+  command.stream = h.id;
+  if (running()) return enqueue(shard, std::move(command));
+  apply(*shards_[shard], std::move(command));  // synchronous mode
+  return true;
+}
+
+bool ShardedEngine::stream_done(StreamHandle h) const {
+  StreamEntry& e = entry(h);
+  if (e.done.load(std::memory_order_acquire)) return true;
+  // An incomplete stream on a dead shard will never finish; surface
+  // that instead of letting completion pollers spin forever.
+  RT_REQUIRE(
+      !shards_[e.shard.load(std::memory_order_acquire)]->dead.load(
+          std::memory_order_acquire),
+      "serve: shard pump died; stop() reports the cause");
+  return false;
+}
+
+Matrix ShardedEngine::stream_logits(StreamHandle h) const {
+  StreamEntry& e = entry(h);
+  RT_REQUIRE(e.done.load(std::memory_order_acquire) || !running(),
+             "stream_logits: stream still being served");
+  const runtime::StreamingSession* session =
+      e.session.load(std::memory_order_acquire);
+  RT_REQUIRE(session != nullptr,
+             "stream_logits: stream not open (never pumped or closed)");
+  return session->logits();
+}
+
+std::size_t ShardedEngine::stream_shard(StreamHandle h) const {
+  return entry(h).shard.load(std::memory_order_acquire);
+}
+
+// ---------------------------------------------------------- command flow
+
+void ShardedEngine::apply(Shard& shard, StreamCommand&& command) {
+  switch (command.kind) {
+    case StreamCommand::Kind::kOpen: {
+      runtime::StreamingSession& session = shard.engine->create_session();
+      shard.local.emplace(command.stream, &session);
+      entry(StreamHandle{command.stream})
+          .session.store(&session, std::memory_order_release);
+      break;
+    }
+    // kAudio/kFinish for a stream no longer in `local` (it completed or
+    // was closed while the command sat in the ring) are dropped: one
+    // misbehaving client must not take the shard down.
+    case StreamCommand::Kind::kAudio: {
+      const auto it = shard.local.find(command.stream);
+      if (it != shard.local.end() && !it->second->finished()) {
+        it->second->push_audio(command.samples);
+      }
+      break;
+    }
+    case StreamCommand::Kind::kFinish: {
+      const auto it = shard.local.find(command.stream);
+      if (it != shard.local.end() && !it->second->finished()) {
+        it->second->finish();
+      }
+      break;
+    }
+    case StreamCommand::Kind::kClose: {
+      StreamEntry* stale_checked = try_entry(command.stream);
+      if (stale_checked == nullptr) break;  // slot already reissued: drop
+      StreamEntry& e = *stale_checked;
+      runtime::StreamingSession* session =
+          e.session.load(std::memory_order_acquire);
+      if (session == nullptr) break;  // double close: drop
+      const auto it = shard.local.find(command.stream);
+      if (it != shard.local.end()) {  // closing a live stream abandons it
+        shard.local.erase(it);
+        shard.live_streams.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      // Unpublish so no NEW stream_logits lookup can reach the dying
+      // session. A lookup already in flight on this handle is the
+      // documented client misuse (reading a handle while closing it).
+      e.session.store(nullptr, std::memory_order_release);
+      e.done.store(true, std::memory_order_release);
+      // Ownership returns to us and dies here: the session is freed.
+      (void)shard.engine->release_session(session);
+      // The slot can serve a future stream; its next occupant bumps the
+      // generation, invalidating this handle.
+      {
+        const std::lock_guard<std::mutex> free_lock(free_mutex_);
+        free_slots_.push_back(
+            static_cast<std::uint32_t>(command.stream & kSlotMask));
+      }
+      break;
+    }
+  }
+}
+
+std::size_t ShardedEngine::apply_commands(Shard& shard) {
+  std::size_t applied = 0;
+  StreamCommand command;
+  while (shard.queue->try_pop(command)) {
+    apply(shard, std::move(command));
+    ++applied;
+  }
+  return applied;
+}
+
+void ShardedEngine::mark_done(Shard& shard) {
+  for (auto it = shard.local.begin(); it != shard.local.end();) {
+    if (it->second->done()) {
+      entry(StreamHandle{it->first}).done.store(true,
+                                                std::memory_order_release);
+      shard.live_streams.fetch_sub(1, std::memory_order_acq_rel);
+      it = shard.local.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ShardedEngine::publish_backlog(Shard& shard) {
+  shard.backlog.store(shard.engine->pending_frames(),
+                      std::memory_order_release);
+}
+
+// ---------------------------------------------------------- threaded mode
+
+void ShardedEngine::pump_loop(std::size_t s) {
+  Shard& shard = *shards_[s];
+  if (config_.pin_cores) {
+    ThreadPool::pin_current_thread(s * config_.threads_per_shard);
+  }
+  try {
+    std::size_t idle_rounds = 0;
+    for (;;) {
+      std::size_t worked = apply_commands(shard);
+      worked += shard.engine->step();
+      mark_done(shard);
+      publish_backlog(shard);
+      if (worked > 0) {
+        idle_rounds = 0;
+        continue;
+      }
+      if (stop_requested_.load(std::memory_order_acquire) &&
+          shard.queue->depth() == 0) {
+        break;  // graceful: everything submitted has been served
+      }
+      // Idle backoff: yield first so bursts restart instantly, then
+      // sleep so parked shards do not burn a core.
+      ++idle_rounds;
+      if (idle_rounds < 64) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+  } catch (...) {
+    // An internal error must not std::terminate the whole service; park
+    // the shard (producers fail fast on `dead`) and surface the failure
+    // from stop().
+    shard.failure = std::current_exception();
+    shard.dead.store(true, std::memory_order_release);
+  }
+}
+
+void ShardedEngine::start() {
+  RT_REQUIRE(!running(), "sharded engine already running");
+  stop_requested_.store(false, std::memory_order_release);
+  for (const auto& shard : shards_) {
+    // A shard parked by a previous window's failure gets a fresh pump;
+    // clear its health state so traffic flows again.
+    shard->failure = nullptr;
+    shard->dead.store(false, std::memory_order_release);
+  }
+  running_.store(true, std::memory_order_release);
+  window_timer_.reset();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->pump = std::thread([this, s] { pump_loop(s); });
+  }
+}
+
+void ShardedEngine::stop() {
+  if (!running()) return;
+  stop_requested_.store(true, std::memory_order_release);
+  for (const auto& shard : shards_) {
+    if (shard->pump.joinable()) shard->pump.join();
+  }
+  // A submission can race the pumps' exit check and strand in a ring.
+  // With the pumps joined this thread is the sole consumer, so sweep
+  // until every ring reads empty — anything accepted before the sweep
+  // finishes is served here. running_ stays true until the sweep is
+  // over, so stream_logits cannot read a session the sweep still feeds.
+  std::exception_ptr failure;
+  try {
+    for (;;) {
+      std::size_t worked = 0;
+      for (const auto& shard : shards_) {
+        worked += apply_commands(*shard);
+        worked += shard->engine->drain();
+        mark_done(*shard);
+        publish_backlog(*shard);
+      }
+      if (worked == 0) break;
+    }
+  } catch (...) {
+    failure = std::current_exception();
+  }
+  // Close the window only now (frames the sweep served are in the
+  // per-shard stats, so they must be inside it), and accumulate: stats
+  // counters span every window since reset_stats, so the wall view must
+  // too.
+  window_us_ += window_timer_.elapsed_us();
+  running_.store(false, std::memory_order_release);
+  for (const auto& shard : shards_) {
+    if (failure == nullptr && shard->failure != nullptr) {
+      failure = shard->failure;
+    }
+    shard->failure = nullptr;
+  }
+  if (failure != nullptr) std::rethrow_exception(failure);
+}
+
+// ------------------------------------------------------- synchronous mode
+
+std::size_t ShardedEngine::pump_shard(std::size_t s) {
+  RT_REQUIRE(!running(), "pump_shard: engine is in threaded mode");
+  RT_REQUIRE(s < shards_.size(), "shard index out of range");
+  Shard& shard = *shards_[s];
+  std::size_t worked = apply_commands(shard);
+  worked += shard.engine->step();
+  mark_done(shard);
+  publish_backlog(shard);
+  return worked;
+}
+
+std::size_t ShardedEngine::drain() {
+  RT_REQUIRE(!running(), "drain: engine is in threaded mode");
+  std::size_t total_frames = 0;
+  for (;;) {
+    std::size_t worked = 0;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      Shard& shard = *shards_[s];
+      worked += apply_commands(shard);
+      const std::size_t frames = shard.engine->drain();
+      worked += frames;
+      total_frames += frames;
+      mark_done(shard);
+      publish_backlog(shard);
+    }
+    if (worked == 0) return total_frames;
+  }
+}
+
+// ------------------------------------------------------------- migration
+
+std::size_t ShardedEngine::drain_shard(std::size_t s) {
+  RT_REQUIRE(!running(), "drain_shard: stop the engine first");
+  RT_REQUIRE(s < shards_.size(), "shard index out of range");
+  Shard& source = *shards_[s];
+  {
+    const std::lock_guard<std::mutex> lock(admit_mutex_);
+    router_.set_admissible(s, false);
+    RT_REQUIRE(router_.admissible_count() > 0,
+               "drain_shard: no shard left to migrate to");
+  }
+  // Flush the ingress ring so no command is stranded on the dead shard.
+  apply_commands(source);
+  mark_done(source);
+
+  // Move every live stream to an admissible sibling, state intact.
+  std::size_t migrated = 0;
+  while (!source.local.empty()) {
+    const auto [id, session] = *source.local.begin();
+    source.local.erase(source.local.begin());
+    StreamEntry& e = entry(StreamHandle{id});
+
+    std::size_t target_index = 0;
+    {
+      const std::lock_guard<std::mutex> lock(admit_mutex_);
+      // Re-route with the client's original key so session-hash
+      // placement stays consistent with future streams of that client.
+      target_index = router_.pick(snapshot_loads(), e.session_key);
+    }
+    Shard& target = *shards_[target_index];
+    target.engine->adopt_session(source.engine->release_session(session));
+
+    target.local.emplace(id, session);
+    source.live_streams.fetch_sub(1, std::memory_order_acq_rel);
+    target.live_streams.fetch_add(1, std::memory_order_acq_rel);
+    e.shard.store(target_index, std::memory_order_release);
+    ++migrated;
+  }
+  for (const auto& shard : shards_) publish_backlog(*shard);
+  return migrated;
+}
+
+void ShardedEngine::set_shard_admissible(std::size_t s, bool admissible) {
+  const std::lock_guard<std::mutex> lock(admit_mutex_);
+  router_.set_admissible(s, admissible);
+}
+
+// ----------------------------------------------------------- load & stats
+
+std::size_t ShardedEngine::load(std::size_t s) const {
+  RT_REQUIRE(s < shards_.size(), "shard index out of range");
+  const Shard& shard = *shards_[s];
+  return shard.queue->depth() +
+         shard.live_streams.load(std::memory_order_acquire) +
+         shard.backlog.load(std::memory_order_acquire);
+}
+
+std::size_t ShardedEngine::queue_depth(std::size_t s) const {
+  RT_REQUIRE(s < shards_.size(), "shard index out of range");
+  return shards_[s]->queue->depth();
+}
+
+const runtime::RuntimeStats& ShardedEngine::shard_stats(
+    std::size_t s) const {
+  RT_REQUIRE(!running(), "shard_stats: stop the engine first");
+  RT_REQUIRE(s < shards_.size(), "shard index out of range");
+  return shards_[s]->engine->stats();
+}
+
+std::size_t ShardedEngine::shard_session_count(std::size_t s) const {
+  RT_REQUIRE(!running(), "shard_session_count: stop the engine first");
+  RT_REQUIRE(s < shards_.size(), "shard index out of range");
+  return shards_[s]->engine->session_count();
+}
+
+GlobalStats ShardedEngine::stats() const {
+  RT_REQUIRE(!running(), "stats: stop the engine first");
+  StatsAggregator aggregator;
+  for (const auto& shard : shards_) {
+    aggregator.add_shard(shard->engine->stats());
+  }
+  aggregator.set_wall_us(window_us_);
+  return aggregator.global();
+}
+
+void ShardedEngine::reset_stats() {
+  RT_REQUIRE(!running(), "reset_stats: stop the engine first");
+  for (const auto& shard : shards_) shard->engine->reset_stats();
+  window_us_ = 0.0;
+}
+
+}  // namespace rtmobile::serve

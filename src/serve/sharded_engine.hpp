@@ -1,0 +1,253 @@
+// Sharded multi-engine serving layer.
+//
+// A ShardedEngine owns N engine replicas ("shards"): each shard compiles
+// its own CompiledSpeechModel instance, owns a private thread pool
+// (optionally pinned to a disjoint core range so shards never fight over
+// cores), an InferenceEngine multiplexing that shard's streams, and a
+// bounded MPSC SubmissionQueue as its ingress. Client threads enqueue
+// audio chunks through the queue without ever taking an engine step
+// lock; one pump thread per shard applies queued commands and steps its
+// engine. A ShardRouter admits each new stream to a shard (round-robin,
+// least-loaded by queue depth, or session-hash affinity), and a
+// StatsAggregator folds per-shard RuntimeStats into the fleet view.
+//
+// Two execution modes:
+//  - threaded: start() launches one pump thread per shard; stop() is a
+//    graceful shutdown that serves everything already submitted before
+//    returning.
+//  - synchronous: without start(), the caller drives pump_shard()/
+//    drain() directly — the mode tests use to prove that per-stream
+//    logits are bit-identical regardless of shard placement, and the
+//    mode in which drain_shard() migrates live streams (hidden state,
+//    queued frames, and produced logits intact) onto sibling shards.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "compiler/gru_executor.hpp"
+#include "hw/timer.hpp"
+#include "runtime/inference_engine.hpp"
+#include "serve/shard_router.hpp"
+#include "serve/stats_aggregator.hpp"
+#include "serve/submission_queue.hpp"
+
+namespace rtmobile::serve {
+
+struct ShardConfig {
+  /// Engine replicas to run. Each compiles its own copy of the model.
+  std::size_t shards = 2;
+  RoutePolicy policy = RoutePolicy::kLeastLoaded;
+  /// Per-shard ingress ring capacity (commands; rounded up to a power of
+  /// two). A full ring surfaces as submit_audio() returning false.
+  std::size_t queue_capacity = 1024;
+  /// Pool width per shard (1 = the pump thread computes alone).
+  std::size_t threads_per_shard = 1;
+  /// Pin shard s's pump + pool onto cores [s*threads_per_shard, ...), the
+  /// core-range hint recorded in each replica's CompilerOptions.
+  bool pin_cores = false;
+  /// Per-shard engine settings (max_batch, default MFCC front end).
+  runtime::EngineConfig engine;
+};
+
+/// Opaque ticket for one client stream, valid for the ShardedEngine that
+/// issued it.
+struct StreamHandle {
+  std::uint64_t id = 0;
+};
+
+class ShardedEngine {
+ public:
+  /// Compiles `config.shards` replicas of `model` under `options` (the
+  /// per-shard thread width and core range are filled in per replica).
+  ShardedEngine(const SpeechModel& model,
+                const std::map<std::string, BlockMask>& masks,
+                const CompilerOptions& options, ShardConfig config);
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] const ShardConfig& config() const { return config_; }
+  [[nodiscard]] const CompiledSpeechModel& shard_model(std::size_t s) const;
+
+  // ---- stream lifecycle (any thread) ----
+  /// Admits a new stream; the router picks its shard. `session_key`
+  /// drives the session-hash policy (clients reusing a key stick to one
+  /// shard); other policies ignore it.
+  [[nodiscard]] StreamHandle open_stream(std::uint64_t session_key = 0);
+  /// Enqueues an audio chunk on the stream's shard without taking any
+  /// engine lock. Returns false when the shard's ingress ring is full —
+  /// backpressure the caller handles by retrying or dropping. Throws if
+  /// the shard's pump died on an internal error (retrying could never
+  /// succeed); stop() reports the underlying cause.
+  [[nodiscard]] bool submit_audio(StreamHandle h,
+                                  std::span<const float> samples);
+  /// Marks end of audio (releases the front end's lookahead tail). Same
+  /// backpressure contract as submit_audio.
+  [[nodiscard]] bool finish_stream(StreamHandle h);
+  /// Releases the stream's session (results included) once the client
+  /// has read its logits — without this, finished sessions accumulate on
+  /// their engines forever. Closing a live stream abandons it. Same
+  /// backpressure contract as submit_audio. The handle is dead once the
+  /// close is issued: the owning client must not race stream_logits()
+  /// against close_stream() on the same handle (same rule as read()
+  /// racing close() on a file descriptor).
+  [[nodiscard]] bool close_stream(StreamHandle h);
+
+  /// True once the stream's audio is finished and every frame is served.
+  /// After it returns true, stream_logits() is safe from any thread (for
+  /// as long as the handle is not closed). Throws if the stream's shard
+  /// died before completing it — it would otherwise never flip.
+  [[nodiscard]] bool stream_done(StreamHandle h) const;
+  /// The stream's logits so far. Requires the stream to be done, or the
+  /// engine to be out of threaded mode (no pump running).
+  [[nodiscard]] Matrix stream_logits(StreamHandle h) const;
+  /// Which shard currently serves the stream (moves on migration).
+  [[nodiscard]] std::size_t stream_shard(StreamHandle h) const;
+
+  // ---- threaded mode ----
+  /// Launches one pump thread per shard.
+  void start();
+  /// Graceful shutdown: pumps finish every command already enqueued and
+  /// step their engines dry before exiting; submissions that raced the
+  /// stop are then flushed synchronously until the rings read empty. A
+  /// submission landing after that final sweep (producers must quiesce
+  /// for a strict guarantee) is served by the next drain() or start().
+  /// If a pump died on an internal error, stop() rethrows it (first one
+  /// wins) after the remaining shards are wound down.
+  void stop();
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  // ---- synchronous mode (no pump threads) ----
+  /// One scheduling round for one shard: applies all queued commands,
+  /// then one engine step. Returns units of work done (commands+frames).
+  std::size_t pump_shard(std::size_t s);
+  /// Pumps all shards round-robin until no shard makes progress (all
+  /// submitted audio served). Returns total frames stepped.
+  std::size_t drain();
+
+  // ---- shard drain / migration (synchronous mode) ----
+  /// Gracefully drains shard `s`: stops admission, flushes its ingress
+  /// queue, and migrates its live streams onto admissible sibling shards
+  /// with hidden state, pending frames, and logits intact. Finished
+  /// streams stay readable where they are. Returns streams migrated.
+  std::size_t drain_shard(std::size_t s);
+  /// Re-opens (or closes) a shard for new-stream admission.
+  void set_shard_admissible(std::size_t s, bool admissible);
+
+  // ---- load & stats ----
+  /// The router's load signal: ingress-queue depth, live streams, and
+  /// the engine-internal frame backlog the shard last published.
+  [[nodiscard]] std::size_t load(std::size_t s) const;
+  [[nodiscard]] std::size_t queue_depth(std::size_t s) const;
+  /// Per-shard engine stats (requires no pump running).
+  [[nodiscard]] const runtime::RuntimeStats& shard_stats(std::size_t s) const;
+  /// Sessions currently held by a shard's engine — live plus
+  /// done-but-not-closed (requires no pump running).
+  [[nodiscard]] std::size_t shard_session_count(std::size_t s) const;
+  /// Fleet view: merged counters/latency plus capacity and wall-clock
+  /// throughput over the threaded serving windows accumulated since the
+  /// last reset_stats (requires no pump running).
+  [[nodiscard]] GlobalStats stats() const;
+  void reset_stats();
+
+ private:
+  struct StreamEntry {
+    std::atomic<std::size_t> shard{0};
+    std::atomic<runtime::StreamingSession*> session{nullptr};
+    std::atomic<bool> done{false};
+    /// Bumped every time the slot is reissued to a new stream; a handle
+    /// whose generation no longer matches is stale (its stream was
+    /// closed and the slot reused) and is rejected instead of silently
+    /// aliasing the new occupant.
+    std::atomic<std::uint64_t> generation{0};
+    /// The client key open_stream was given; migration re-hashes it so
+    /// session-hash placement stays consistent with future streams of
+    /// the same client. Written once at admission, before the handle is
+    /// published.
+    std::uint64_t session_key = 0;
+  };
+
+  struct Shard {
+    std::unique_ptr<ThreadPool> pool;  // null when threads_per_shard == 1
+    std::unique_ptr<CompiledSpeechModel> model;
+    std::unique_ptr<runtime::InferenceEngine> engine;
+    std::unique_ptr<SubmissionQueue> queue;
+    std::thread pump;
+    /// Live streams owned by this shard; touched only by its pump (or
+    /// the caller in synchronous mode).
+    std::unordered_map<std::uint64_t, runtime::StreamingSession*> local;
+    std::atomic<std::size_t> live_streams{0};
+    /// Engine-internal frame backlog, republished after every pump
+    /// round so the router can read it without touching the engine.
+    std::atomic<std::size_t> backlog{0};
+    /// First internal error that killed the pump (written by the pump
+    /// before exiting, read after join); rethrown by stop().
+    std::exception_ptr failure;
+    /// Set when the pump dies so producers fail fast (throw) instead of
+    /// spinning on a ring nobody drains.
+    std::atomic<bool> dead{false};
+  };
+
+  // Handle table: a fixed array of lazily allocated blocks. Blocks are
+  // only written under admit_mutex_ before the slot is published through
+  // slot_count_ (release), so entry() can index without any lock — the
+  // chunk-submission path never serializes on the admission mutex.
+  // A handle id packs [generation | slot]; closed slots return to a free
+  // list and are reissued under a bumped generation, so the table bounds
+  // concurrent streams (~1M), not lifetime streams.
+  static constexpr std::size_t kEntriesPerBlock = 256;
+  static constexpr std::size_t kMaxBlocks = 4096;
+  static constexpr std::uint64_t kSlotBits = 20;  // 256 * 4096 = 2^20
+  static constexpr std::uint64_t kSlotMask = (1ULL << kSlotBits) - 1;
+  struct EntryBlock {
+    std::array<StreamEntry, kEntriesPerBlock> entries;
+  };
+
+  StreamEntry& entry(StreamHandle h) const;
+  /// entry() that reports unknown/stale handles as nullptr instead of
+  /// throwing — for the command applier, where a stale command must be
+  /// dropped, never kill the shard.
+  StreamEntry* try_entry(std::uint64_t id) const;
+  bool enqueue(std::size_t shard, StreamCommand&& command);
+  void apply(Shard& shard, StreamCommand&& command);
+  std::size_t apply_commands(Shard& shard);
+  void mark_done(Shard& shard);
+  void publish_backlog(Shard& shard);
+  void pump_loop(std::size_t s);
+  std::vector<std::size_t> snapshot_loads() const;
+
+  ShardConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  ShardRouter router_;
+  /// Guards admission (table growth + router state); never taken on the
+  /// audio-chunk path and never held while stepping an engine.
+  mutable std::mutex admit_mutex_;
+  std::unique_ptr<std::unique_ptr<EntryBlock>[]> blocks_;
+  std::atomic<std::uint64_t> slot_count_{0};  // high-water slots in use
+  /// Slots whose streams were closed, awaiting reissue. Pushed by the
+  /// applier (pump or sync caller), popped at admission.
+  std::mutex free_mutex_;
+  std::vector<std::uint32_t> free_slots_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  WallTimer window_timer_;  // spans start() .. stop()
+  double window_us_ = 0.0;  // threaded window wall time since reset_stats
+};
+
+}  // namespace rtmobile::serve

@@ -1,0 +1,11 @@
+#include "serve/stats_aggregator.hpp"
+
+namespace rtmobile::serve {
+
+void StatsAggregator::add_shard(const runtime::RuntimeStats& stats) {
+  global_.merged.merge_from(stats);
+  global_.shards += 1;
+  global_.aggregate_fps += stats.frames_per_second();
+}
+
+}  // namespace rtmobile::serve

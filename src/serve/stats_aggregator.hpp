@@ -1,0 +1,58 @@
+// Cross-shard serving statistics.
+//
+// Each shard's InferenceEngine keeps its own RuntimeStats; the
+// aggregator folds those into one fleet view. Counters add and latency
+// samples concatenate, so the merge is exact: merging the stats of any
+// disjoint split of the workload reproduces the stats of the whole
+// (tested as an identity). Two throughput views are reported because
+// shards run concurrently: `aggregate_fps` sums each shard's
+// frames-per-compute-second (capacity — what the fleet sustains with a
+// core range per shard, same convention as the runtime's summed
+// real-time factor), and `wall_fps` divides total frames by a measured
+// wall-clock window when the caller provides one.
+#pragma once
+
+#include <cstddef>
+
+#include "runtime/stats.hpp"
+
+namespace rtmobile::serve {
+
+struct GlobalStats {
+  runtime::RuntimeStats merged;  // counters summed, samples concatenated
+  std::size_t shards = 0;
+  double aggregate_fps = 0.0;  // sum over shards of frames / busy seconds
+  double wall_us = 0.0;        // serving window; 0 when not measured
+
+  /// Frames per wall-clock second over the measured window (0 when no
+  /// window was recorded).
+  [[nodiscard]] double wall_fps() const {
+    return wall_us > 0.0
+               ? static_cast<double>(merged.frames_processed) /
+                     (wall_us * 1e-6)
+               : 0.0;
+  }
+  /// Audio seconds served per wall second over the measured window.
+  [[nodiscard]] double wall_real_time_factor() const {
+    return wall_us > 0.0 ? merged.audio_seconds / (wall_us * 1e-6) : 0.0;
+  }
+};
+
+class StatsAggregator {
+ public:
+  /// Folds one shard's stats into the global view.
+  void add_shard(const runtime::RuntimeStats& stats);
+
+  /// Records the wall-clock duration of the serving window the shard
+  /// stats cover (shards overlap in time, so wall != sum of busy).
+  void set_wall_us(double wall_us) { global_.wall_us = wall_us; }
+
+  [[nodiscard]] const GlobalStats& global() const { return global_; }
+
+  void reset() { global_ = GlobalStats{}; }
+
+ private:
+  GlobalStats global_;
+};
+
+}  // namespace rtmobile::serve

@@ -1,0 +1,68 @@
+#include "serve/submission_queue.hpp"
+
+#include <bit>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace rtmobile::serve {
+
+SubmissionQueue::SubmissionQueue(std::size_t capacity) {
+  RT_REQUIRE(capacity >= 1, "submission queue needs capacity >= 1");
+  capacity_ = std::bit_ceil(capacity < 2 ? 2 : capacity);
+  mask_ = capacity_ - 1;
+  slots_ = std::make_unique<Slot[]>(capacity_);
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    slots_[i].sequence.store(i, std::memory_order_relaxed);
+  }
+}
+
+bool SubmissionQueue::try_push(StreamCommand&& command) {
+  std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+  for (;;) {
+    Slot& slot = slots_[pos & mask_];
+    const std::size_t seq = slot.sequence.load(std::memory_order_acquire);
+    const std::ptrdiff_t diff =
+        static_cast<std::ptrdiff_t>(seq) - static_cast<std::ptrdiff_t>(pos);
+    if (diff == 0) {
+      // Slot is free at this ticket; race other producers for it.
+      if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                             std::memory_order_relaxed)) {
+        slot.command = std::move(command);
+        // Publish: consumer may pop once sequence reads pos + 1.
+        slot.sequence.store(pos + 1, std::memory_order_release);
+        return true;
+      }
+      // CAS refreshed `pos`; retry with the new ticket.
+    } else if (diff < 0) {
+      // Slot still holds an unconsumed command a full lap behind: full.
+      return false;
+    } else {
+      // Another producer claimed this ticket; chase the cursor.
+      pos = enqueue_pos_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+bool SubmissionQueue::try_pop(StreamCommand& out) {
+  const std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+  Slot& slot = slots_[pos & mask_];
+  const std::size_t seq = slot.sequence.load(std::memory_order_acquire);
+  const std::ptrdiff_t diff = static_cast<std::ptrdiff_t>(seq) -
+                              static_cast<std::ptrdiff_t>(pos + 1);
+  if (diff < 0) return false;  // producer has not published this slot yet
+  out = std::move(slot.command);
+  slot.command = StreamCommand{};  // drop any payload capacity promptly
+  // Mark the slot free for the producers' next lap.
+  slot.sequence.store(pos + capacity_, std::memory_order_release);
+  dequeue_pos_.store(pos + 1, std::memory_order_relaxed);
+  return true;
+}
+
+std::size_t SubmissionQueue::depth() const {
+  const std::size_t head = enqueue_pos_.load(std::memory_order_acquire);
+  const std::size_t tail = dequeue_pos_.load(std::memory_order_acquire);
+  return head >= tail ? head - tail : 0;
+}
+
+}  // namespace rtmobile::serve

@@ -1,0 +1,69 @@
+// Bounded MPSC ingress queue: the lock-free-ish path between client
+// threads and one serving shard.
+//
+// Callers (any number of producer threads) enqueue stream commands —
+// open, audio chunk, finish — without ever taking the shard's engine
+// step lock; the shard's pump thread is the single consumer that applies
+// them between engine steps. The implementation is a Vyukov-style
+// bounded ring: each slot carries an atomic sequence number, producers
+// claim slots with a CAS on the enqueue cursor, and a full queue is
+// reported to the caller (backpressure) instead of blocking.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace rtmobile::serve {
+
+/// One ingress message for a stream on its owning shard.
+struct StreamCommand {
+  enum class Kind : std::uint8_t {
+    kOpen,    // create the session for `stream` on this shard
+    kAudio,   // append `samples` to the stream's front end
+    kFinish,  // end of audio: release lookahead tail frames
+    kClose,   // client is done with the results: release the session
+  };
+  Kind kind = Kind::kAudio;
+  std::uint64_t stream = 0;    // ShardedEngine stream handle id
+  std::vector<float> samples;  // audio payload (kAudio only, moved in)
+};
+
+class SubmissionQueue {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit SubmissionQueue(std::size_t capacity);
+
+  SubmissionQueue(const SubmissionQueue&) = delete;
+  SubmissionQueue& operator=(const SubmissionQueue&) = delete;
+
+  /// Enqueues from any thread; returns false when the ring is full (the
+  /// caller decides whether to retry, drop, or slow the client).
+  bool try_push(StreamCommand&& command);
+
+  /// Dequeues into `out`; single consumer only. Returns false when empty.
+  bool try_pop(StreamCommand& out);
+
+  /// Commands currently buffered (approximate under concurrency; exact
+  /// when producers are quiescent). This is the router's queue-depth
+  /// signal.
+  [[nodiscard]] std::size_t depth() const;
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Slot {
+    std::atomic<std::size_t> sequence{0};
+    StreamCommand command;
+  };
+
+  std::size_t capacity_ = 0;
+  std::size_t mask_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+  alignas(64) std::atomic<std::size_t> enqueue_pos_{0};
+  alignas(64) std::atomic<std::size_t> dequeue_pos_{0};
+};
+
+}  // namespace rtmobile::serve

@@ -342,7 +342,7 @@ TEST(RuntimeStats, QuantilesAndRates) {
   EXPECT_DOUBLE_EQ(recorder.p95_us(), 95.0);
   EXPECT_EQ(recorder.quantile_us(0.0), 1.0);
   EXPECT_EQ(recorder.quantile_us(1.0), 100.0);
-  EXPECT_THROW(recorder.quantile_us(1.5), std::invalid_argument);
+  EXPECT_THROW((void)recorder.quantile_us(1.5), std::invalid_argument);
 
   runtime::LatencyRecorder two;
   two.record(2.0);
@@ -359,6 +359,66 @@ TEST(RuntimeStats, QuantilesAndRates) {
   EXPECT_DOUBLE_EQ(stats.mean_batch(), 4.0);
   stats.reset();
   EXPECT_EQ(stats.frames_processed, 0U);
+}
+
+TEST(RuntimeStats, PercentileEdgeCases) {
+  // Empty window: every statistic degrades to 0 rather than dividing by
+  // zero or indexing an empty sample set.
+  runtime::LatencyRecorder empty;
+  EXPECT_EQ(empty.count(), 0U);
+  EXPECT_DOUBLE_EQ(empty.mean_us(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.p50_us(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.p95_us(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile_us(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile_us(1.0), 0.0);
+
+  // Single sample: every quantile is that sample.
+  runtime::LatencyRecorder one;
+  one.record(42.0);
+  for (const double q : {0.0, 0.25, 0.5, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(one.quantile_us(q), 42.0) << "q=" << q;
+  }
+
+  // Exact nearest-rank boundary: with 20 samples 1..20, p95 ranks at
+  // ceil(0.95 * 20) = 19 exactly — no off-by-one to 20 (and p50 at
+  // ceil(10) = 10).
+  runtime::LatencyRecorder twenty;
+  for (int i = 20; i >= 1; --i) twenty.record(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(twenty.p95_us(), 19.0);
+  EXPECT_DOUBLE_EQ(twenty.p50_us(), 10.0);
+  EXPECT_DOUBLE_EQ(twenty.quantile_us(1.0), 20.0);
+
+  // A quantile that lands between ranks rounds up (nearest rank), never
+  // interpolates: ceil(0.9 * 3) = 3rd smallest.
+  runtime::LatencyRecorder three;
+  three.record(1.0);
+  three.record(2.0);
+  three.record(3.0);
+  EXPECT_DOUBLE_EQ(three.quantile_us(0.9), 3.0);
+}
+
+TEST(RuntimeStats, MergeFromIsExactOverSplits) {
+  // merge(empty, x) == x, and splitting a sample set in any proportion
+  // then merging reproduces the whole — the identity the cross-shard
+  // aggregator depends on.
+  runtime::LatencyRecorder whole;
+  runtime::LatencyRecorder left;
+  runtime::LatencyRecorder right;
+  for (int i = 1; i <= 25; ++i) {
+    whole.record(static_cast<double>(i));
+    (i <= 7 ? left : right).record(static_cast<double>(i));
+  }
+  runtime::LatencyRecorder merged;
+  merged.merge_from(left);
+  merged.merge_from(right);
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_DOUBLE_EQ(merged.mean_us(), whole.mean_us());
+  EXPECT_DOUBLE_EQ(merged.p50_us(), whole.p50_us());
+  EXPECT_DOUBLE_EQ(merged.p95_us(), whole.p95_us());
+
+  runtime::LatencyRecorder untouched;
+  untouched.merge_from(runtime::LatencyRecorder{});
+  EXPECT_EQ(untouched.count(), 0U);
 }
 
 }  // namespace
