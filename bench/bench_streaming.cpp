@@ -37,7 +37,8 @@ struct BenchSetup {
 };
 
 BenchSetup build_model(std::size_t hidden, std::size_t threads,
-                       double keep_fraction) {
+                       double keep_fraction,
+                       WeightPrecision precision = WeightPrecision::kFp32) {
   BenchSetup setup;
   Rng rng(1234);
   ModelConfig config = ModelConfig::scaled(hidden);
@@ -57,6 +58,7 @@ BenchSetup build_model(std::size_t hidden, std::size_t threads,
   CompilerOptions options;
   options.format = SparseFormat::kBspc;
   options.threads = threads;
+  options.precision = precision;
   if (threads > 1) setup.pool = std::make_unique<ThreadPool>(threads);
   setup.compiled = std::make_unique<CompiledSpeechModel>(
       *setup.model, masks, options, setup.pool.get());
@@ -83,9 +85,17 @@ int main(int argc, char** argv) {
   cli.add_flag("seconds", "4", "audio seconds per stream");
   cli.add_flag("max-streams", "8", "largest concurrent-stream count");
   cli.add_flag("keep", "0.25", "BSP column keep fraction");
-  cli.add_switch("quick", "small model + short audio (CI smoke run)");
+  cli.add_flag("precision", "fp32",
+               "weight storage for the scaling table: fp32|fp16|int8|"
+               "int8/row (the sweep section always covers all four)");
+  cli.add_switch("quick",
+                 "small model + short audio (CI smoke run; overrides "
+                 "--hidden and --seconds)");
+  WeightPrecision precision = WeightPrecision::kFp32;
   try {
     cli.parse(argc, argv);
+    precision = weight_precision_from_string(
+        cli.get_string("precision").c_str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n%s", e.what(),
                  cli.help("bench_streaming").c_str());
@@ -104,10 +114,11 @@ int main(int argc, char** argv) {
 
   std::printf(
       "Streaming engine scaling: hidden=%zu threads=%zu audio=%.1fs/stream "
-      "keep=%.2f%s\n\n",
-      hidden, threads, seconds, keep, quick ? " (quick)" : "");
+      "keep=%.2f precision=%s%s\n\n",
+      hidden, threads, seconds, keep, to_string(precision),
+      quick ? " (quick)" : "");
 
-  BenchSetup setup = build_model(hidden, threads, keep);
+  BenchSetup setup = build_model(hidden, threads, keep, precision);
 
   speech::MfccConfig mfcc;
   mfcc.cepstral_mean_norm = false;
@@ -145,6 +156,40 @@ int main(int argc, char** argv) {
   std::printf("%s\n", table.to_string().c_str());
   std::printf(
       "RTF = audio seconds processed per compute second, summed over "
-      "streams (>1 is faster than real time).\n");
+      "streams (>1 is faster than real time).\n\n");
+
+  // Precision sweep at the largest stream count: the same end-to-end
+  // serving pipeline (streaming MFCC + batched engine) with the model
+  // compiled at each packed storage width. This also exercises the
+  // packed kernels in CI's sanitizer smoke run.
+  std::printf("Weight-precision sweep at %zu streams:\n\n", max_streams);
+  Table precision_table(
+      {"precision", "weight MB", "frames/s", "RTF", "speedup"});
+  double fp32_fps = 0.0;
+  for (const WeightPrecision precision :
+       {WeightPrecision::kFp32, WeightPrecision::kFp16,
+        WeightPrecision::kInt8PerTensor, WeightPrecision::kInt8PerRow}) {
+    BenchSetup swept = build_model(hidden, threads, keep, precision);
+    runtime::InferenceEngine engine(*swept.compiled);
+    for (std::size_t s = 0; s < max_streams; ++s) {
+      runtime::StreamingSession& session = engine.create_session(mfcc);
+      const std::vector<float> wave = make_waveform(seconds, 9000 + s);
+      session.push_audio(wave);
+      session.finish();
+    }
+    engine.drain();
+    const runtime::RuntimeStats& stats = engine.stats();
+    const double fps = stats.frames_per_second();
+    if (precision == WeightPrecision::kFp32) fp32_fps = fps;
+    precision_table.add_row(
+        {to_string(precision),
+         format_double(static_cast<double>(
+                           swept.compiled->total_memory_bytes()) /
+                           (1024.0 * 1024.0),
+                       2),
+         format_double(fps, 0), format_double(stats.real_time_factor(), 1),
+         format_double(fp32_fps > 0.0 ? fps / fp32_fps : 0.0, 2)});
+  }
+  std::printf("%s\n", precision_table.to_string().c_str());
   return 0;
 }

@@ -26,10 +26,18 @@ LayerPlan LayerPlan::compile(const Matrix& weights, const BlockMask* mask,
 
   switch (options.format) {
     case SparseFormat::kDense: {
-      plan.dense_ = weights;
+      if (plan.packed()) {
+        plan.packed_dense_ = PackedDenseMatrix::pack(weights,
+                                                     options.precision);
+      } else {
+        plan.dense_ = weights;
+      }
       break;
     }
     case SparseFormat::kCsr: {
+      RT_REQUIRE(options.precision == WeightPrecision::kFp32,
+                 "CSR plans support fp32 only; use kBspc or kDense for "
+                 "packed int8/fp16 storage");
       if (mask != nullptr) {
         Matrix masked = weights;
         mask->apply(masked);
@@ -41,7 +49,15 @@ LayerPlan LayerPlan::compile(const Matrix& weights, const BlockMask* mask,
     }
     case SparseFormat::kBspc: {
       RT_REQUIRE(mask != nullptr, "BSPC compilation requires a BlockMask");
-      plan.bspc_ = BspcMatrix::from_dense(weights, *mask);
+      // The fp32 BspcMatrix is built either way; packed plans quantize
+      // its value payload and drop the fp32 copy.
+      BspcMatrix bspc = BspcMatrix::from_dense(weights, *mask);
+      if (plan.packed()) {
+        plan.packed_bspc_ = PackedQuantizedBspc::pack(bspc,
+                                                      options.precision);
+      } else {
+        plan.bspc_ = std::move(bspc);
+      }
       plan.reorder_ = options.reorder
                           ? reorder_block_mask(*mask, options.threads)
                           : identity_plan(*mask, options.threads);
@@ -62,6 +78,16 @@ void LayerPlan::execute(std::span<const float> x, std::span<float> y,
 
   switch (options_.format) {
     case SparseFormat::kDense: {
+      if (packed()) {
+        if (!threaded) {
+          packed_dense_.gemv(x, y);
+          return;
+        }
+        pool->parallel_for(rows_, [&](std::size_t begin, std::size_t end) {
+          packed_dense_.gemv_rows(x, y, begin, end);
+        });
+        return;
+      }
       if (!threaded) {
         gemv(dense_, x, y);
         return;
@@ -99,23 +125,26 @@ void LayerPlan::execute(std::span<const float> x, std::span<float> y,
       RT_ASSERT(reorder_.has_value(), "BSPC plan lacks a reorder plan");
       std::fill(y.begin(), y.end(), 0.0F);
       const ReorderPlan& ro = *reorder_;
+      // The packed and fp32 kernels share the stripe-list contract, so
+      // the thread partition below dispatches either transparently.
+      const auto run_stripes = [&](std::span<const std::uint32_t> stripes) {
+        if (packed()) {
+          packed_bspc_.spmv_stripe_list(x, y, stripes, options_.lre);
+        } else {
+          bspc_.spmv_stripe_list(x, y, stripes, options_.lre);
+        }
+      };
       if (!threaded) {
-        bspc_.spmv_stripe_list(x, y,
-                               {ro.stripe_order.data(),
-                                ro.stripe_order.size()},
-                               options_.lre);
+        run_stripes({ro.stripe_order.data(), ro.stripe_order.size()});
         return;
       }
       std::vector<std::function<void()>> tasks;
       tasks.reserve(ro.thread_ranges.size());
       for (const auto& [begin, end] : ro.thread_ranges) {
         if (begin == end) continue;
-        tasks.emplace_back([this, &ro, x, y, begin = begin, end = end] {
-          bspc_.spmv_stripe_list(
-              x, y,
-              {ro.stripe_order.data() + begin,
-               static_cast<std::size_t>(end - begin)},
-              options_.lre);
+        tasks.emplace_back([&ro, &run_stripes, begin = begin, end = end] {
+          run_stripes({ro.stripe_order.data() + begin,
+                       static_cast<std::size_t>(end - begin)});
         });
       }
       pool->run_all(tasks);
@@ -126,9 +155,12 @@ void LayerPlan::execute(std::span<const float> x, std::span<float> y,
 
 std::size_t LayerPlan::nnz() const {
   switch (options_.format) {
-    case SparseFormat::kDense: return dense_.count_nonzero();
+    case SparseFormat::kDense:
+      return packed() ? packed_dense_.count_nonzero()
+                      : dense_.count_nonzero();
     case SparseFormat::kCsr: return csr_.nnz();
-    case SparseFormat::kBspc: return bspc_.nnz();
+    case SparseFormat::kBspc:
+      return packed() ? packed_bspc_.nnz() : bspc_.nnz();
   }
   return 0;
 }
@@ -136,11 +168,13 @@ std::size_t LayerPlan::nnz() const {
 std::size_t LayerPlan::memory_bytes() const {
   switch (options_.format) {
     case SparseFormat::kDense:
-      return dense_.size() * options_.value_bytes;
+      return packed() ? packed_dense_.memory_bytes()
+                      : dense_.size() * options_.value_bytes;
     case SparseFormat::kCsr:
       return csr_.memory_bytes(options_.value_bytes);
     case SparseFormat::kBspc:
-      return bspc_.memory_bytes(options_.value_bytes);
+      return packed() ? packed_bspc_.memory_bytes()
+                      : bspc_.memory_bytes(options_.value_bytes);
   }
   return 0;
 }
@@ -154,9 +188,11 @@ double LayerPlan::imbalance() const {
 
 Matrix LayerPlan::to_dense() const {
   switch (options_.format) {
-    case SparseFormat::kDense: return dense_;
+    case SparseFormat::kDense:
+      return packed() ? packed_dense_.to_dense() : dense_;
     case SparseFormat::kCsr: return csr_.to_dense();
-    case SparseFormat::kBspc: return bspc_.to_dense();
+    case SparseFormat::kBspc:
+      return packed() ? packed_bspc_.to_dense() : bspc_.to_dense();
   }
   return Matrix();
 }

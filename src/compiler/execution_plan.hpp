@@ -16,8 +16,11 @@
 #include "hw/thread_pool.hpp"
 #include "sparse/block_mask.hpp"
 #include "sparse/bspc.hpp"
+#include "sparse/bspc_quant.hpp"
 #include "sparse/csr.hpp"
 #include "tensor/matrix.hpp"
+#include "tensor/packed_dense.hpp"
+#include "tensor/precision.hpp"
 
 namespace rtmobile {
 
@@ -34,7 +37,15 @@ struct CompilerOptions {
   bool reorder = true;       // matrix reorder pass (BSPC only)
   bool lre = true;           // redundant load elimination (BSPC only)
   std::size_t threads = 1;   // thread partition width
-  std::size_t value_bytes = 4;  // storage accounting (2 models fp16)
+  /// Weight storage the compiled plan actually carries. kFp32 (the
+  /// default) keeps today's fp32 kernels bit-identical; kFp16 / kInt8*
+  /// pack BSPC and dense plans into the quantized formats and run the
+  /// packed kernels (fp32 accumulation). CSR supports fp32 only.
+  WeightPrecision precision = WeightPrecision::kFp32;
+  /// Storage accounting for fp32 plans (2 models fp16 without packing).
+  /// Ignored when `precision` != kFp32: packed plans report their real
+  /// stored width including scale overhead.
+  std::size_t value_bytes = 4;
   /// Below this many nonzeros a matvec runs single-threaded even when a
   /// pool is available: dispatch latency would dominate the kernel. This
   /// mirrors the auto-tuner's thread-count decision for tiny workloads.
@@ -79,13 +90,23 @@ class LayerPlan {
   [[nodiscard]] Matrix to_dense() const;
 
  private:
+  /// True when the plan stores packed int8/fp16 weights (precision !=
+  /// fp32 on a dense or BSPC plan).
+  [[nodiscard]] bool packed() const {
+    return options_.precision != WeightPrecision::kFp32;
+  }
+
   CompilerOptions options_;
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::size_t nnz_ = 0;  // cached at compile time for the thread heuristic
+  // Exactly one storage member is populated, chosen by (format,
+  // precision) at compile time.
   Matrix dense_;
+  PackedDenseMatrix packed_dense_;
   CsrMatrix csr_;
   BspcMatrix bspc_;
+  PackedQuantizedBspc packed_bspc_;
   std::optional<ReorderPlan> reorder_;
 };
 

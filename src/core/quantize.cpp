@@ -1,112 +1,11 @@
 #include "core/quantize.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <cmath>
 
 #include "util/check.hpp"
 
 namespace rtmobile {
-
-const char* to_string(WeightPrecision precision) {
-  switch (precision) {
-    case WeightPrecision::kFp32: return "fp32";
-    case WeightPrecision::kFp16: return "fp16";
-    case WeightPrecision::kInt8PerTensor: return "int8";
-    case WeightPrecision::kInt8PerRow: return "int8/row";
-  }
-  return "?";
-}
-
-std::size_t bytes_per_weight(WeightPrecision precision) {
-  switch (precision) {
-    case WeightPrecision::kFp32: return 4;
-    case WeightPrecision::kFp16: return 2;
-    case WeightPrecision::kInt8PerTensor:
-    case WeightPrecision::kInt8PerRow:
-      return 1;
-  }
-  return 4;
-}
-
-std::uint16_t fp16_from_float(float value) {
-  const std::uint32_t bits = std::bit_cast<std::uint32_t>(value);
-  const std::uint32_t sign = (bits >> 16) & 0x8000U;
-  const std::uint32_t exponent = (bits >> 23) & 0xFFU;
-  std::uint32_t mantissa = bits & 0x7FFFFFU;
-
-  if (exponent == 0xFFU) {
-    // Inf / NaN: preserve NaN-ness with a quiet mantissa bit.
-    return static_cast<std::uint16_t>(
-        sign | 0x7C00U | (mantissa != 0 ? 0x0200U : 0U));
-  }
-
-  // Unbias from float (127) and rebias for half (15).
-  const int half_exponent = static_cast<int>(exponent) - 127 + 15;
-  if (half_exponent >= 0x1F) {
-    // Overflow: round to infinity.
-    return static_cast<std::uint16_t>(sign | 0x7C00U);
-  }
-  if (half_exponent <= 0) {
-    // Subnormal half (or underflow to zero). Shift the implicit leading 1
-    // into the mantissa and denormalize.
-    if (half_exponent < -10) return static_cast<std::uint16_t>(sign);
-    mantissa |= 0x800000U;
-    const int shift = 14 - half_exponent;  // 14..24
-    const std::uint32_t rounded = mantissa >> shift;
-    const std::uint32_t remainder = mantissa & ((1U << shift) - 1U);
-    const std::uint32_t halfway = 1U << (shift - 1);
-    std::uint32_t result = rounded;
-    if (remainder > halfway || (remainder == halfway && (rounded & 1U))) {
-      ++result;  // round to nearest even
-    }
-    return static_cast<std::uint16_t>(sign | result);
-  }
-
-  // Normal half: keep 10 mantissa bits with round-to-nearest-even.
-  std::uint32_t result =
-      sign | (static_cast<std::uint32_t>(half_exponent) << 10) |
-      (mantissa >> 13);
-  const std::uint32_t remainder = mantissa & 0x1FFFU;
-  if (remainder > 0x1000U || (remainder == 0x1000U && (result & 1U))) {
-    ++result;  // may carry into the exponent — that is correct rounding
-  }
-  return static_cast<std::uint16_t>(result);
-}
-
-float fp16_to_float(std::uint16_t half_bits) {
-  const std::uint32_t sign = (static_cast<std::uint32_t>(half_bits) & 0x8000U)
-                             << 16;
-  const std::uint32_t exponent = (half_bits >> 10) & 0x1FU;
-  const std::uint32_t mantissa = half_bits & 0x3FFU;
-
-  std::uint32_t bits;
-  if (exponent == 0x1FU) {
-    bits = sign | 0x7F800000U | (mantissa << 13);  // inf / nan
-  } else if (exponent == 0) {
-    if (mantissa == 0) {
-      bits = sign;  // signed zero
-    } else {
-      // Subnormal half -> normalized float.
-      int e = -1;
-      std::uint32_t m = mantissa;
-      while ((m & 0x400U) == 0) {
-        m <<= 1;
-        ++e;
-      }
-      m &= 0x3FFU;
-      bits = sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) |
-             (m << 13);
-    }
-  } else {
-    bits = sign | ((exponent - 15 + 127) << 23) | (mantissa << 13);
-  }
-  return std::bit_cast<float>(bits);
-}
-
-float fp16_round_trip(float value) {
-  return fp16_to_float(fp16_from_float(value));
-}
 
 void quantize_fp16(Matrix& weights) {
   for (float& w : weights.span()) w = fp16_round_trip(w);
@@ -117,7 +16,7 @@ float int8_step(const Matrix& weights) {
   for (const float w : weights.span()) {
     max_abs = std::max(max_abs, std::fabs(w));
   }
-  return max_abs / 127.0F;
+  return max_abs / kInt8CodeLimit;
 }
 
 namespace {
@@ -126,10 +25,10 @@ void quantize_span_int8(std::span<float> values) {
   float max_abs = 0.0F;
   for (const float w : values) max_abs = std::max(max_abs, std::fabs(w));
   if (max_abs == 0.0F) return;
-  const float scale = max_abs / 127.0F;
+  const float scale = max_abs / kInt8CodeLimit;
   for (float& w : values) {
     const float q = std::round(w / scale);
-    w = std::clamp(q, -127.0F, 127.0F) * scale;
+    w = std::clamp(q, -kInt8CodeLimit, kInt8CodeLimit) * scale;
   }
 }
 

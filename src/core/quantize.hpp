@@ -1,48 +1,34 @@
 // Weight quantization (simulated storage precision).
 //
-// The paper's mobile GPU kernels store weights in 16-bit floating point
-// ("Our GPU implementation uses 16-bit floating point"); the CPU path is
-// fp32. This module makes that precision axis explicit: weights are
-// quantized (fp16 or symmetric int8) and dequantized back into the fp32
-// compute path, so accuracy experiments measure exactly the storage
-// precision the deployed model would carry, and memory accounting uses
-// the true stored width.
+// This module rounds a model's weights through the int8/fp16 grid and
+// dequantizes back into the fp32 compute path, so accuracy experiments
+// measure exactly the storage precision the deployed model would carry,
+// and memory accounting uses the true stored width. The *packed* compute
+// path — which actually stores int8/fp16 weights and runs the quantized
+// kernels — lives in src/sparse/bspc_quant and src/tensor/packed_dense,
+// selected through CompilerOptions::precision; its numerics match this
+// simulation within the grid's rounding bound (exactly, for fp16).
+//
+// The precision enum and fp16 conversion primitives live in
+// tensor/precision.hpp (shared with the packed formats); this header
+// re-exports them for existing callers.
 #pragma once
 
 #include <cstdint>
 
 #include "rnn/model.hpp"
 #include "tensor/matrix.hpp"
+#include "tensor/precision.hpp"
 
 namespace rtmobile {
-
-enum class WeightPrecision : std::uint8_t {
-  kFp32,          // reference, 4 bytes/weight
-  kFp16,          // IEEE 754 binary16, 2 bytes/weight (the paper's GPU path)
-  kInt8PerTensor, // symmetric int8, one scale per matrix
-  kInt8PerRow,    // symmetric int8, one scale per output row
-};
-
-[[nodiscard]] const char* to_string(WeightPrecision precision);
-
-/// Stored bytes per weight under the precision (scales amortize to ~0).
-[[nodiscard]] std::size_t bytes_per_weight(WeightPrecision precision);
-
-/// float -> IEEE binary16 bit pattern, round-to-nearest-even; handles
-/// normals, subnormals, overflow-to-infinity, and NaN.
-[[nodiscard]] std::uint16_t fp16_from_float(float value);
-
-/// IEEE binary16 bit pattern -> float (exact).
-[[nodiscard]] float fp16_to_float(std::uint16_t half_bits);
-
-/// Rounds a float through fp16 storage (quantize + dequantize).
-[[nodiscard]] float fp16_round_trip(float value);
 
 /// In-place fp16 storage simulation for a whole matrix.
 void quantize_fp16(Matrix& weights);
 
-/// In-place symmetric int8 simulation: w -> round(w/scale) * scale with
-/// scale = max|w| / 127 over the tensor (or per row).
+/// In-place symmetric int8 simulation: w -> clamp(round(w/scale)) * scale
+/// with scale = max|w| / 127 over the tensor (or per row). Codes are
+/// clamped to [-127, 127] so a tensor whose extreme value is negative
+/// cannot round to the unrepresentable -128 slot.
 void quantize_int8(Matrix& weights, bool per_row);
 
 /// Worst-case absolute rounding error the int8 grid admits for `weights`

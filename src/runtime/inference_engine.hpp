@@ -88,6 +88,12 @@ class InferenceEngine {
 
   [[nodiscard]] const EngineConfig& config() const { return config_; }
 
+  /// The compiled model this engine serves — capacity planners read its
+  /// weight precision and storage footprint from here (a packed int8
+  /// replica costs ~4x less resident weight memory than fp32, which is
+  /// what decides how many replicas fit a NUMA domain).
+  [[nodiscard]] const CompiledSpeechModel& model() const { return model_; }
+
  private:
   const CompiledSpeechModel& model_;
   EngineConfig config_;

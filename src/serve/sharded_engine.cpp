@@ -534,7 +534,11 @@ GlobalStats ShardedEngine::stats() const {
     aggregator.add_shard(shard->engine->stats());
   }
   aggregator.set_wall_us(window_us_);
-  return aggregator.global();
+  GlobalStats global = aggregator.global();
+  for (const auto& shard : shards_) {
+    global.weight_bytes += shard->model->total_memory_bytes();
+  }
+  return global;
 }
 
 void ShardedEngine::reset_stats() {

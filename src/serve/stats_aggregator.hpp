@@ -23,6 +23,11 @@ struct GlobalStats {
   std::size_t shards = 0;
   double aggregate_fps = 0.0;  // sum over shards of frames / busy seconds
   double wall_us = 0.0;        // serving window; 0 when not measured
+  /// Compiled weight storage (values + indices + quantization scales)
+  /// each replica carries — the per-shard memory cost of another
+  /// replica, which CompilerOptions::precision shrinks 2-4x. Summed over
+  /// shards by the engine when it fills this view.
+  std::size_t weight_bytes = 0;
 
   /// Frames per wall-clock second over the measured window (0 when no
   /// window was recorded).

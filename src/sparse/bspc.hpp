@@ -24,6 +24,17 @@ namespace rtmobile {
 
 class BspcMatrix {
  public:
+  /// One (stripe, block) tile: `col_count` kept columns starting at
+  /// `col_offset` in the column pool, with a dense [active rows x
+  /// col_count] value payload at `value_offset`. Public so the packed
+  /// quantized format (PackedQuantizedBspc) can share the structural
+  /// metadata while swapping the value payload's storage width.
+  struct BlockRef {
+    std::uint32_t col_offset = 0;  // into col_pool()
+    std::uint32_t col_count = 0;
+    std::uint64_t value_offset = 0;  // into values()
+  };
+
   BspcMatrix() = default;
 
   /// Packs `weights` according to `mask`. Shapes must match. Entries not
@@ -83,18 +94,32 @@ class BspcMatrix {
   /// Structural + value equality.
   friend bool operator==(const BspcMatrix& a, const BspcMatrix& b);
 
+  // ---- structural views (consumed by PackedQuantizedBspc) ----
+  [[nodiscard]] std::size_t num_col_blocks() const { return num_c_; }
+  [[nodiscard]] std::size_t max_block_cols() const {
+    return max_block_cols_;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> stripe_row_ptr() const {
+    return stripe_row_ptr_;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> active_rows() const {
+    return active_rows_;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> stripe_block_ptr() const {
+    return stripe_block_ptr_;
+  }
+  [[nodiscard]] std::span<const BlockRef> blocks() const { return blocks_; }
+  [[nodiscard]] std::span<const std::uint32_t> col_pool() const {
+    return col_pool_;
+  }
+  [[nodiscard]] std::span<const float> values() const { return values_; }
+
  private:
   /// Runs one stripe's blocks, accumulating into y. `gathered` is the
   /// caller-provided LRE scratch buffer (>= max_block_cols_ when use_lre).
   void process_stripe(std::span<const float> x, std::span<float> y,
                       std::size_t s, bool use_lre,
                       std::vector<float>& gathered) const;
-
-  struct BlockRef {
-    std::uint32_t col_offset = 0;  // into col_pool_
-    std::uint32_t col_count = 0;
-    std::uint64_t value_offset = 0;  // into values_
-  };
 
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;

@@ -1,0 +1,106 @@
+// PackedQuantizedBspc — the BSPC format with int8/fp16 value storage.
+//
+// core/quantize only *simulates* storage precision: weights are rounded
+// through the grid and dequantized back into fp32 matrices, so the hot
+// loops never get smaller. This format actually stores the packed value
+// payload at reduced width — int8 codes with per-row (or per-tensor)
+// fp32 scales, or IEEE binary16 bits — while sharing BspcMatrix's
+// structural metadata (stripe row sets, kept-column pool, block refs)
+// byte for byte. Kernels accumulate in fp32 and apply the int8 scale
+// once per (row, block) partial sum, so numerics stay within the grid's
+// rounding bound of the dequantize-then-fp32 simulation; the fp16 path
+// is bit-identical to it (fp16 -> fp32 conversion is exact and the loop
+// structure matches BspcMatrix::spmv exactly).
+//
+// The throughput win is bandwidth: the value payload is 2-4x smaller,
+// which is what the memory-bound batched serving path streams per
+// stream per timestep.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/bspc.hpp"
+#include "tensor/aligned.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/precision.hpp"
+
+namespace rtmobile {
+
+class PackedQuantizedBspc {
+ public:
+  PackedQuantizedBspc() = default;
+
+  /// Quantizes `source`'s value payload under `precision` (kFp32 is
+  /// rejected — keep the BspcMatrix itself for fp32). Int8 scales are
+  /// computed over the kept entries only, which matches quantize_int8 on
+  /// the masked dense matrix: pruned entries are zero there and cannot
+  /// raise a row's max |w|.
+  [[nodiscard]] static PackedQuantizedBspc pack(const BspcMatrix& source,
+                                                WeightPrecision precision);
+
+  [[nodiscard]] WeightPrecision precision() const { return precision_; }
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t num_stripes() const { return num_r_; }
+  [[nodiscard]] std::size_t nnz() const { return nnz_; }
+
+  /// y = A x over all stripes (zeroes y first).
+  void spmv(std::span<const float> x, std::span<float> y) const;
+
+  /// Processes an explicit stripe list in order, accumulating into y —
+  /// the unit the compiler's thread partition dispatches, mirroring
+  /// BspcMatrix::spmv_stripe_list. Stripe row sets are disjoint, so
+  /// concurrent calls with disjoint lists never race on y.
+  void spmv_stripe_list(std::span<const float> x, std::span<float> y,
+                        std::span<const std::uint32_t> stripes,
+                        bool use_lre = true) const;
+
+  /// Batched right-hand sides: row b of X (b < batch) is an independent
+  /// input vector and row b of Y receives A X[b]. Weights are streamed
+  /// once per block for the whole batch instead of once per vector;
+  /// each row's result is bit-identical to spmv on that row (same
+  /// per-row accumulation order). Y rows [0, batch) are zeroed first.
+  /// Not yet wired into step_batch (which keeps per-stream matvecs for
+  /// its chunked thread partition — see the ROADMAP next step);
+  /// bench_quantization quantifies the matmat-vs-matvec gap.
+  void spmm(const Matrix& x, Matrix& y, std::size_t batch) const;
+
+  /// Dequantized dense reconstruction (for verification).
+  [[nodiscard]] Matrix to_dense() const;
+
+  /// Storage footprint: packed values at their true width, plus scales,
+  /// plus the shared structural metadata.
+  [[nodiscard]] std::size_t memory_bytes(std::size_t index_bytes = 4) const;
+
+ private:
+  template <bool kUseLre>
+  void process_stripe(std::span<const float> x, std::span<float> y,
+                      std::size_t s, std::vector<float>& gathered) const;
+
+  [[nodiscard]] float dequantize_at(std::size_t value_index,
+                                    std::size_t row) const;
+
+  WeightPrecision precision_ = WeightPrecision::kInt8PerTensor;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t num_r_ = 0;
+  std::size_t num_c_ = 0;
+  std::size_t max_block_cols_ = 0;
+  std::size_t nnz_ = 0;
+  // Structural metadata, copied verbatim from the source BspcMatrix.
+  std::vector<std::uint32_t> stripe_row_ptr_;
+  std::vector<std::uint32_t> active_rows_;
+  std::vector<std::uint32_t> stripe_block_ptr_;
+  std::vector<BspcMatrix::BlockRef> blocks_;
+  std::vector<std::uint32_t> col_pool_;
+  // Value payload: exactly one of these is populated.
+  std::vector<std::int8_t, AlignedAllocator<std::int8_t>> q8_;
+  std::vector<std::uint16_t, AlignedAllocator<std::uint16_t>> f16_;
+  /// Dequantization scale per global row (per-tensor precision stores
+  /// the one tensor scale replicated, keeping the kernel uniform).
+  std::vector<float, AlignedAllocator<float>> row_scale_;
+};
+
+}  // namespace rtmobile

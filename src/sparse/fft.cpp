@@ -1,5 +1,6 @@
 #include "sparse/fft.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
@@ -116,12 +117,30 @@ void circular_convolve_naive(std::span<const float> a,
 
 std::vector<float> power_spectrum(std::span<const float> frame,
                                   std::size_t fft_size) {
-  const std::vector<Complex> spectrum = fft_real(frame, fft_size);
   std::vector<float> power(fft_size / 2 + 1);
-  for (std::size_t i = 0; i < power.size(); ++i) {
-    power[i] = static_cast<float>(std::norm(spectrum[i]));
-  }
+  std::vector<Complex> scratch(fft_size);
+  power_spectrum(frame, fft_size, power, scratch);
   return power;
+}
+
+void power_spectrum(std::span<const float> frame, std::size_t fft_size,
+                    std::span<float> power,
+                    std::span<Complex> fft_scratch) {
+  RT_REQUIRE(is_power_of_two(fft_size), "FFT size must be a power of two");
+  RT_REQUIRE(frame.size() <= fft_size, "signal longer than FFT size");
+  RT_REQUIRE(power.size() == fft_size / 2 + 1,
+             "power_spectrum: output must hold fft_size/2+1 bins");
+  RT_REQUIRE(fft_scratch.size() == fft_size,
+             "power_spectrum: scratch must hold fft_size entries");
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    fft_scratch[i] = Complex(static_cast<double>(frame[i]), 0.0);
+  }
+  std::fill(fft_scratch.begin() + static_cast<std::ptrdiff_t>(frame.size()),
+            fft_scratch.end(), Complex(0.0, 0.0));
+  fft_inplace(fft_scratch, /*inverse=*/false);
+  for (std::size_t i = 0; i < power.size(); ++i) {
+    power[i] = static_cast<float>(std::norm(fft_scratch[i]));
+  }
 }
 
 }  // namespace rtmobile

@@ -47,4 +47,11 @@ void circular_convolve_naive(std::span<const float> a,
 [[nodiscard]] std::vector<float> power_spectrum(std::span<const float> frame,
                                                 std::size_t fft_size);
 
+/// Allocation-free power spectrum: writes fft_size/2+1 bins into `power`
+/// using `fft_scratch` (fft_size entries) as the transform workspace.
+/// The 10 ms streaming front end calls this once per frame, so per-frame
+/// heap traffic would land directly on the serving hot path.
+void power_spectrum(std::span<const float> frame, std::size_t fft_size,
+                    std::span<float> power, std::span<Complex> fft_scratch);
+
 }  // namespace rtmobile

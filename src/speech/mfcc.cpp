@@ -56,9 +56,17 @@ MelFilterBank::MelFilterBank(const MfccConfig& config)
 
 std::vector<float> MelFilterBank::apply(
     std::span<const float> power_spectrum) const {
+  std::vector<float> energies(filters_.size());
+  apply(power_spectrum, energies);
+  return energies;
+}
+
+void MelFilterBank::apply(std::span<const float> power_spectrum,
+                          std::span<float> energies) const {
   RT_REQUIRE(power_spectrum.size() == num_bins_,
              "power spectrum bin count mismatch");
-  std::vector<float> energies(filters_.size());
+  RT_REQUIRE(energies.size() == filters_.size(),
+             "mel energies must hold num_filters values");
   for (std::size_t f = 0; f < filters_.size(); ++f) {
     double acc = 0.0;
     const auto& weights = filters_[f];
@@ -68,7 +76,6 @@ std::vector<float> MelFilterBank::apply(
     }
     energies[f] = static_cast<float>(acc);
   }
-  return energies;
 }
 
 std::span<const float> MelFilterBank::filter(std::size_t f) const {
@@ -121,7 +128,7 @@ std::size_t MfccExtractor::frame_count(std::size_t num_samples) const {
 void MfccExtractor::extract_frame(std::span<const float> samples,
                                   float prev_sample,
                                   std::span<float> cepstra) const {
-  std::vector<float> scratch(config_.frame_length);
+  FrameScratch scratch(config_);
   extract_frame(samples, prev_sample, cepstra, scratch);
 }
 
@@ -129,24 +136,47 @@ void MfccExtractor::extract_frame(std::span<const float> samples,
                                   float prev_sample,
                                   std::span<float> cepstra,
                                   std::span<float> scratch) const {
+  std::vector<Complex> fft(config_.fft_size);
+  std::vector<float> power(config_.fft_size / 2 + 1);
+  std::vector<float> mel(config_.num_mel_filters);
+  extract_frame_impl(samples, prev_sample, cepstra, scratch, fft, power,
+                     mel);
+}
+
+void MfccExtractor::extract_frame(std::span<const float> samples,
+                                  float prev_sample,
+                                  std::span<float> cepstra,
+                                  FrameScratch& scratch) const {
+  extract_frame_impl(samples, prev_sample, cepstra, scratch.frame,
+                     scratch.fft, scratch.power, scratch.mel);
+}
+
+void MfccExtractor::extract_frame_impl(std::span<const float> samples,
+                                       float prev_sample,
+                                       std::span<float> cepstra,
+                                       std::span<float> frame,
+                                       std::span<Complex> fft,
+                                       std::span<float> power,
+                                       std::span<float> mel) const {
   RT_REQUIRE(samples.size() == config_.frame_length,
              "extract_frame: window must be frame_length samples");
   RT_REQUIRE(cepstra.size() == config_.num_cepstra,
              "extract_frame: output must hold num_cepstra values");
-  RT_REQUIRE(scratch.size() == config_.frame_length,
-             "extract_frame: scratch must be frame_length samples");
+  RT_REQUIRE(frame.size() == config_.frame_length &&
+                 fft.size() == config_.fft_size &&
+                 power.size() == config_.fft_size / 2 + 1 &&
+                 mel.size() == config_.num_mel_filters,
+             "extract_frame: scratch sized for a different config");
 
   // Pre-emphasis + Hamming window.
-  const std::span<float> frame = scratch;
   for (std::size_t i = 0; i < frame.size(); ++i) {
     const float previous = i > 0 ? samples[i - 1] : prev_sample;
     frame[i] = (samples[i] -
                 static_cast<float>(config_.preemphasis) * previous) *
                window_[i];
   }
-  const std::vector<float> power =
-      rtmobile::power_spectrum(frame, config_.fft_size);
-  std::vector<float> mel = mel_bank_.apply(power);
+  rtmobile::power_spectrum(frame, config_.fft_size, power, fft);
+  mel_bank_.apply(power, mel);
   for (float& e : mel) {
     e = std::log(std::max(e, 1e-10F));  // floor avoids log(0)
   }
@@ -166,7 +196,7 @@ Matrix MfccExtractor::extract(std::span<const float> waveform) const {
   RT_REQUIRE(frames > 0, "waveform shorter than one frame");
 
   Matrix cepstra(frames, config_.num_cepstra);
-  std::vector<float> scratch(config_.frame_length);
+  FrameScratch scratch(config_);
   for (std::size_t t = 0; t < frames; ++t) {
     const std::size_t start = t * config_.frame_shift;
     const float prev = start > 0 ? waveform[start - 1] : 0.0F;

@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "sparse/fft.hpp"
 #include "tensor/matrix.hpp"
 
 namespace rtmobile::speech {
@@ -46,6 +47,11 @@ class MelFilterBank {
   [[nodiscard]] std::vector<float> apply(
       std::span<const float> power_spectrum) const;
 
+  /// Allocation-free variant: writes num_filters() energies into
+  /// `energies`. The per-frame path of the streaming front end.
+  void apply(std::span<const float> power_spectrum,
+             std::span<float> energies) const;
+
   /// Triangle weights of filter `f` (over all bins; zero outside support).
   [[nodiscard]] std::span<const float> filter(std::size_t f) const;
 
@@ -70,6 +76,23 @@ class MfccExtractor {
   /// Full pipeline. The waveform must contain at least one frame.
   [[nodiscard]] Matrix extract(std::span<const float> waveform) const;
 
+  /// Every buffer one frame's extraction touches: the windowed frame,
+  /// the FFT workspace, the power-spectrum bins, and the mel energies.
+  /// Per-frame callers (extract(), the streaming front end) construct
+  /// one of these once and reuse it, which makes the 10 ms frame path
+  /// allocation-free.
+  struct FrameScratch {
+    explicit FrameScratch(const MfccConfig& config)
+        : frame(config.frame_length),
+          fft(config.fft_size),
+          power(config.fft_size / 2 + 1),
+          mel(config.num_mel_filters) {}
+    std::vector<float> frame;
+    std::vector<Complex> fft;
+    std::vector<float> power;
+    std::vector<float> mel;
+  };
+
   /// Cepstra of a single frame: `samples` is the frame_length-sample
   /// window and `prev_sample` the sample preceding it (0 at stream
   /// start), which pre-emphasis of the first sample needs. Writes
@@ -78,14 +101,26 @@ class MfccExtractor {
   void extract_frame(std::span<const float> samples, float prev_sample,
                      std::span<float> cepstra) const;
 
-  /// As above, with a caller-provided frame_length-sized scratch buffer
-  /// so per-frame callers (extract(), the streaming front end) avoid one
-  /// heap allocation per frame.
+  /// As above, with caller-provided scratch: no heap allocation at all.
+  void extract_frame(std::span<const float> samples, float prev_sample,
+                     std::span<float> cepstra, FrameScratch& scratch) const;
+
+  /// Transitional wrapper kept for callers holding only a windowing
+  /// buffer: `scratch` is used for the window; the FFT/power/mel
+  /// buffers are still allocated per frame. Prefer the FrameScratch
+  /// overload on hot paths.
   void extract_frame(std::span<const float> samples, float prev_sample,
                      std::span<float> cepstra,
                      std::span<float> scratch) const;
 
  private:
+  /// The whole per-frame pipeline over caller-provided buffers; every
+  /// public extract_frame overload lands here.
+  void extract_frame_impl(std::span<const float> samples, float prev_sample,
+                          std::span<float> cepstra, std::span<float> frame,
+                          std::span<Complex> fft, std::span<float> power,
+                          std::span<float> mel) const;
+
   MfccConfig config_;
   MelFilterBank mel_bank_;
   std::vector<float> window_;      // Hamming coefficients

@@ -18,7 +18,8 @@ constexpr std::size_t kDeltaLookahead =
 
 }  // namespace
 
-StreamingMfcc::StreamingMfcc(const MfccConfig& config) : extractor_(config) {
+StreamingMfcc::StreamingMfcc(const MfccConfig& config)
+    : extractor_(config), frame_scratch_(config) {
   RT_REQUIRE(!config.cepstral_mean_norm,
              "streaming MFCC cannot apply per-utterance CMN; disable "
              "cepstral_mean_norm");
@@ -40,7 +41,6 @@ void StreamingMfcc::push(std::span<const float> samples) {
         offset > 0 ? buffer_[offset - 1]
                    : (frame_start > 0 ? prev_sample_ : 0.0F);
     base_.resize(base_.size() + dim);
-    frame_scratch_.resize(cfg.frame_length);
     extractor_.extract_frame({buffer_.data() + offset, cfg.frame_length},
                              prev, {base_.data() + num_frames_ * dim, dim},
                              frame_scratch_);

@@ -82,7 +82,9 @@ class StreamingMfcc {
   std::vector<float> buffer_;
   std::size_t buffer_start_ = 0;
   float prev_sample_ = 0.0F;
-  std::vector<float> frame_scratch_;  // reused windowing buffer
+  // Reused per-frame work buffers (window, FFT, power, mel): the 10 ms
+  // frame path allocates nothing.
+  MfccExtractor::FrameScratch frame_scratch_;
   // Base cepstra, row-major [num_frames_ x num_cepstra]. Kept for the
   // whole stream: the left-clamped Δ windows of early frames reference
   // row 0, and at 13 floats per 10 ms the cost is ~5 KB per audio minute.

@@ -1,0 +1,126 @@
+#include "tensor/packed_dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/quant_dot.hpp"
+#include "util/check.hpp"
+
+namespace rtmobile {
+
+PackedDenseMatrix PackedDenseMatrix::pack(const Matrix& weights,
+                                          WeightPrecision precision) {
+  RT_REQUIRE(precision != WeightPrecision::kFp32,
+             "pack: fp32 keeps the Matrix itself");
+  PackedDenseMatrix out;
+  out.precision_ = precision;
+  out.rows_ = weights.rows();
+  out.cols_ = weights.cols();
+
+  if (precision == WeightPrecision::kFp16) {
+    out.f16_.resize(weights.size());
+    const std::span<const float> values = weights.span();
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      out.f16_[i] = fp16_from_float(values[i]);
+    }
+    return out;
+  }
+
+  out.row_scale_.assign(out.rows_, 0.0F);
+  if (precision == WeightPrecision::kInt8PerTensor) {
+    float max_abs = 0.0F;
+    for (const float w : weights.span()) {
+      max_abs = std::max(max_abs, std::fabs(w));
+    }
+    std::fill(out.row_scale_.begin(), out.row_scale_.end(),
+              max_abs / kInt8CodeLimit);
+  } else {
+    for (std::size_t r = 0; r < out.rows_; ++r) {
+      float max_abs = 0.0F;
+      for (const float w : weights.row(r)) {
+        max_abs = std::max(max_abs, std::fabs(w));
+      }
+      out.row_scale_[r] = max_abs / kInt8CodeLimit;
+    }
+  }
+
+  out.q8_.resize(weights.size());
+  for (std::size_t r = 0; r < out.rows_; ++r) {
+    const float scale = out.row_scale_[r];
+    const std::span<const float> row = weights.row(r);
+    std::int8_t* q = out.q8_.data() + r * out.cols_;
+    for (std::size_t c = 0; c < out.cols_; ++c) {
+      if (scale == 0.0F) {
+        q[c] = 0;
+      } else {
+        q[c] = static_cast<std::int8_t>(std::clamp(
+            std::round(row[c] / scale), -kInt8CodeLimit, kInt8CodeLimit));
+      }
+    }
+  }
+  return out;
+}
+
+void PackedDenseMatrix::gemv(std::span<const float> x,
+                             std::span<float> y) const {
+  gemv_rows(x, y, 0, rows_);
+}
+
+void PackedDenseMatrix::gemv_rows(std::span<const float> x,
+                                  std::span<float> y, std::size_t row_begin,
+                                  std::size_t row_end) const {
+  RT_REQUIRE(x.size() == cols_ && y.size() == rows_,
+             "packed gemv: shape mismatch");
+  RT_REQUIRE(row_begin <= row_end && row_end <= rows_,
+             "packed gemv: row range out of bounds");
+  if (!q8_.empty()) {
+    const float* xp = x.data();
+    for (std::size_t r = row_begin; r < row_end; ++r) {
+      const std::int8_t* row = q8_.data() + r * cols_;
+      y[r] = dot_q8_f32(row, xp, cols_) * row_scale_[r];
+    }
+  } else {
+    for (std::size_t r = row_begin; r < row_end; ++r) {
+      const std::uint16_t* row = f16_.data() + r * cols_;
+      y[r] = dot_f16_f32(row, x.data(), cols_);
+    }
+  }
+}
+
+Matrix PackedDenseMatrix::to_dense() const {
+  Matrix dense(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      dense(r, c) = q8_.empty()
+                        ? fp16_bits_to_float(f16_[r * cols_ + c])
+                        : static_cast<float>(q8_[r * cols_ + c]) *
+                              row_scale_[r];
+    }
+  }
+  return dense;
+}
+
+std::size_t PackedDenseMatrix::count_nonzero() const {
+  std::size_t count = 0;
+  if (!q8_.empty()) {
+    for (const std::int8_t q : q8_) count += q != 0 ? 1 : 0;
+  } else {
+    // fp16 zero is 0x0000 or signed 0x8000.
+    for (const std::uint16_t b : f16_) {
+      count += (b & 0x7FFFU) != 0 ? 1 : 0;
+    }
+  }
+  return count;
+}
+
+std::size_t PackedDenseMatrix::memory_bytes() const {
+  std::size_t scale_bytes = 0;
+  if (precision_ == WeightPrecision::kInt8PerRow) {
+    scale_bytes = row_scale_.size() * sizeof(float);
+  } else if (precision_ == WeightPrecision::kInt8PerTensor) {
+    scale_bytes = sizeof(float);
+  }
+  return size() * bytes_per_weight(precision_) + scale_bytes;
+}
+
+}  // namespace rtmobile

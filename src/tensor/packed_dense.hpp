@@ -1,0 +1,61 @@
+// PackedDenseMatrix — dense row-major weights stored at int8/fp16 width.
+//
+// The compiler leaves unpruned matrices (typically the FC output layer)
+// dense; when CompilerOptions::precision asks for reduced storage those
+// plans pack here instead of carrying fp32. Same numerics contract as
+// PackedQuantizedBspc: fp32 accumulation, int8 scales applied once per
+// row, fp16 bit-identical to running the fp32 GEMV on fp16-rounded
+// weights (the per-row accumulation order matches gemv exactly).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/aligned.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/precision.hpp"
+
+namespace rtmobile {
+
+class PackedDenseMatrix {
+ public:
+  PackedDenseMatrix() = default;
+
+  /// Quantizes `weights` under `precision` (kFp32 rejected — keep the
+  /// Matrix itself for fp32).
+  [[nodiscard]] static PackedDenseMatrix pack(const Matrix& weights,
+                                              WeightPrecision precision);
+
+  [[nodiscard]] WeightPrecision precision() const { return precision_; }
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return rows_ * cols_; }
+
+  /// y = W x with fp32 accumulation.
+  void gemv(std::span<const float> x, std::span<float> y) const;
+
+  /// Rows [row_begin, row_end) only — the unit the threaded dense plan
+  /// partitions across the pool.
+  void gemv_rows(std::span<const float> x, std::span<float> y,
+                 std::size_t row_begin, std::size_t row_end) const;
+
+  /// Dequantized dense reconstruction (for verification).
+  [[nodiscard]] Matrix to_dense() const;
+
+  /// Entries that dequantize to a nonzero value.
+  [[nodiscard]] std::size_t count_nonzero() const;
+
+  /// Values at their stored width plus scale overhead.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  WeightPrecision precision_ = WeightPrecision::kInt8PerTensor;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::int8_t, AlignedAllocator<std::int8_t>> q8_;
+  std::vector<std::uint16_t, AlignedAllocator<std::uint16_t>> f16_;
+  std::vector<float, AlignedAllocator<float>> row_scale_;  // int8 only
+};
+
+}  // namespace rtmobile

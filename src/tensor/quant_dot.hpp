@@ -1,0 +1,164 @@
+// Inner dot products for the packed quantized int8 kernels.
+//
+// The fp32 and fp16 kernels must preserve a strict left-to-right
+// accumulation order (their outputs are tested bit-identical to the
+// storage simulation), which blocks SIMD: the compiler may not
+// reassociate float adds. The int8 path only promises to stay within
+// the grid's rounding slack, so it commits to a fixed 8-lane summation
+// tree instead — lane j accumulates elements k+j — which maps exactly
+// onto one AVX2 register (sign-extend 8 codes, convert, FMA). Every
+// int8 caller (spmv LRE and no-LRE, spmm, dense gemv) goes through
+// these helpers, so all of them share one summation tree and remain
+// bit-identical to each other within a build.
+//
+// CMake compiles only the two TUs including this header with
+// -mavx2 -mfma (when the configuring host supports them) and
+// -ffp-contract=off, so the neighboring fp16 loops cannot be
+// FMA-contracted away from the simulation's arithmetic. Do not include
+// this header from other translation units: the AVX2/fallback split is
+// per-TU and would otherwise violate the one-definition rule.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "tensor/precision.hpp"
+
+#if (defined(__AVX2__) && defined(__FMA__)) || defined(__F16C__)
+#include <immintrin.h>
+#endif
+
+namespace rtmobile {
+
+// ---- fp16 dot products (strict left-to-right accumulation) ----
+//
+// Bit-identity with the storage simulation requires the exact
+// accumulation order of BspcMatrix::spmv / gemv, so only the fp16 ->
+// fp32 *conversion* is vectorized (F16C converts 8 halves per
+// instruction into a staging buffer); the multiply-adds stay sequential.
+
+/// sum_k fp16(v[k]) * x[k], accumulated left to right.
+inline float dot_f16_f32(const std::uint16_t* v, const float* x,
+                         std::size_t n) {
+  float acc = 0.0F;
+  std::size_t k = 0;
+#if defined(__F16C__)
+  alignas(32) float buf[8];
+  for (; k + 8 <= n; k += 8) {
+    _mm256_store_ps(buf, _mm256_cvtph_ps(_mm_loadu_si128(
+                             reinterpret_cast<const __m128i*>(v + k))));
+    for (std::size_t j = 0; j < 8; ++j) acc += buf[j] * x[k + j];
+  }
+#endif
+  for (; k < n; ++k) acc += fp16_bits_to_float(v[k]) * x[k];
+  return acc;
+}
+
+/// sum_k fp16(v[k]) * x[idx[k]], accumulated left to right.
+inline float dot_f16_f32_indexed(const std::uint16_t* v, const float* x,
+                                 const std::uint32_t* idx, std::size_t n) {
+  float acc = 0.0F;
+  std::size_t k = 0;
+#if defined(__F16C__)
+  alignas(32) float buf[8];
+  for (; k + 8 <= n; k += 8) {
+    _mm256_store_ps(buf, _mm256_cvtph_ps(_mm_loadu_si128(
+                             reinterpret_cast<const __m128i*>(v + k))));
+    for (std::size_t j = 0; j < 8; ++j) acc += buf[j] * x[idx[k + j]];
+  }
+#endif
+  for (; k < n; ++k) acc += fp16_bits_to_float(v[k]) * x[idx[k]];
+  return acc;
+}
+
+// ---- int8 dot products (fixed 8-lane summation tree) ----
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+namespace quant_detail {
+
+/// Horizontal sum with the fixed pairwise tree the scalar fallback uses.
+inline float reduce_lanes(__m256 acc) {
+  alignas(32) float lane[8];
+  _mm256_store_ps(lane, acc);
+  return ((lane[0] + lane[1]) + (lane[2] + lane[3])) +
+         ((lane[4] + lane[5]) + (lane[6] + lane[7]));
+}
+
+}  // namespace quant_detail
+
+/// sum_k q[k] * x[k] in fp32 (8-lane tree).
+inline float dot_q8_f32(const std::int8_t* q, const float* x,
+                        std::size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    const __m128i bytes =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(q + k));
+    const __m256 vq = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(bytes));
+    acc = _mm256_fmadd_ps(vq, _mm256_loadu_ps(x + k), acc);
+  }
+  float tail = 0.0F;
+  for (; k < n; ++k) tail += static_cast<float>(q[k]) * x[k];
+  return quant_detail::reduce_lanes(acc) + tail;
+}
+
+/// sum_k q[k] * x[idx[k]] in fp32 — same tree as the contiguous form
+/// (the gather buffer only reorders loads, not the arithmetic).
+inline float dot_q8_f32_indexed(const std::int8_t* q, const float* x,
+                                const std::uint32_t* idx, std::size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t k = 0;
+  alignas(32) float gathered[8];
+  for (; k + 8 <= n; k += 8) {
+    for (std::size_t j = 0; j < 8; ++j) gathered[j] = x[idx[k + j]];
+    const __m128i bytes =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(q + k));
+    const __m256 vq = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(bytes));
+    acc = _mm256_fmadd_ps(vq, _mm256_load_ps(gathered), acc);
+  }
+  float tail = 0.0F;
+  for (; k < n; ++k) tail += static_cast<float>(q[k]) * x[idx[k]];
+  return quant_detail::reduce_lanes(acc) + tail;
+}
+
+#else  // portable fallback: same summation tree, scalar lanes
+
+namespace quant_detail {
+
+template <typename LoadX>
+inline float dot_lanes(const std::int8_t* q, std::size_t n, LoadX load) {
+  float lane[8] = {0.0F, 0.0F, 0.0F, 0.0F, 0.0F, 0.0F, 0.0F, 0.0F};
+  std::size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      // NOTE: matches the AVX2 build only when FMA contraction is off
+      // for this TU; the int8 parity tests are tolerance-based, so a
+      // contracted build is still correct, just not bit-equal to it.
+      lane[j] += static_cast<float>(q[k + j]) * load(k + j);
+    }
+  }
+  float tail = 0.0F;
+  for (; k < n; ++k) tail += static_cast<float>(q[k]) * load(k);
+  return (((lane[0] + lane[1]) + (lane[2] + lane[3])) +
+          ((lane[4] + lane[5]) + (lane[6] + lane[7]))) +
+         tail;
+}
+
+}  // namespace quant_detail
+
+inline float dot_q8_f32(const std::int8_t* q, const float* x,
+                        std::size_t n) {
+  return quant_detail::dot_lanes(q, n,
+                                 [x](std::size_t k) { return x[k]; });
+}
+
+inline float dot_q8_f32_indexed(const std::int8_t* q, const float* x,
+                                const std::uint32_t* idx, std::size_t n) {
+  return quant_detail::dot_lanes(
+      q, n, [x, idx](std::size_t k) { return x[idx[k]]; });
+}
+
+#endif
+
+}  // namespace rtmobile

@@ -111,6 +111,36 @@ TEST(Mfcc, ExtractShapesAndFiniteness) {
   }
 }
 
+TEST(Mfcc, FrameScratchOverloadBitIdenticalToAllocatingPath) {
+  // The allocation-free frame path (caller-provided FrameScratch, the
+  // one the 10 ms streaming front end runs) must produce exactly the
+  // cepstra of the allocating overloads.
+  const MfccExtractor mfcc;
+  const MfccConfig& config = mfcc.config();
+  Rng rng(7);
+  std::vector<float> wave(config.frame_length + 1);
+  for (auto& s : wave) s = 0.1F * rng.normal();
+  const std::span<const float> samples{wave.data() + 1,
+                                       config.frame_length};
+
+  std::vector<float> expected(config.num_cepstra);
+  mfcc.extract_frame(samples, wave[0], expected);
+
+  MfccExtractor::FrameScratch scratch(config);
+  std::vector<float> reused(config.num_cepstra);
+  // Run twice through the same scratch: state left behind by frame n
+  // must not leak into frame n+1.
+  mfcc.extract_frame(samples, wave[0], reused, scratch);
+  mfcc.extract_frame(samples, wave[0], reused, scratch);
+  EXPECT_EQ(expected, reused);
+
+  std::vector<float> window_scratch(config.frame_length);
+  std::vector<float> via_span(config.num_cepstra);
+  mfcc.extract_frame(samples, wave[0], via_span,
+                     std::span<float>(window_scratch));
+  EXPECT_EQ(expected, via_span);
+}
+
 TEST(Mfcc, CmnZeroesColumnMeans) {
   Rng rng(2);
   Matrix features(50, 13);
