@@ -1,13 +1,20 @@
 // Streaming runtime benchmark: aggregate throughput and step latency of
-// the batched InferenceEngine as concurrent streams scale 1 -> 8.
+// the batched serving path as concurrent streams scale 1 -> 8, measured
+// through the unified Recognizer surface (LocalRecognizer).
 //
 // Each configuration serves N independent audio streams through one
-// BSP-pruned compiled model. All audio is pushed up front and the engine
-// drained, so every step batches the maximum number of ready streams —
-// the steady-state regime of a loaded server. Reported per row: frames
-// processed, mean batch size, p50/p95 step latency, aggregate frames/sec,
-// the real-time factor (audio seconds per compute second, summed over
-// streams), and throughput speedup versus the single-stream row.
+// BSP-pruned compiled model. All audio is pushed up front and the
+// recognizer drained, so every step batches the maximum number of ready
+// streams — the steady-state regime of a loaded server. Each stream
+// count runs twice: logits-only (decode off) and with the in-loop
+// greedy StreamingDecoder, so the "dec ovh%" column prices streaming
+// decode (partial-hypothesis emission) against raw inference. Reported
+// per row: frames processed, mean batch size, p50/p95 step latency,
+// aggregate frames/sec, the real-time factor (audio seconds per compute
+// second, summed over streams), throughput speedup versus the
+// single-stream row, decoded frames/sec, and the decode overhead. The
+// whole sweep is also emitted as streaming.json (a CI artifact), so the
+// cost of in-loop decoding is tracked across runs.
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -19,10 +26,12 @@
 #include "rnn/model.hpp"
 #include "rnn/param_set.hpp"
 #include "runtime/inference_engine.hpp"
+#include "serve/local_recognizer.hpp"
 #include "sparse/block_mask.hpp"
 #include "speech/streaming_mfcc.hpp"
 #include "train/projection.hpp"
 #include "util/cli.hpp"
+#include "util/report.hpp"
 #include "util/rng.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
@@ -70,6 +79,25 @@ std::vector<float> make_waveform(double seconds, std::uint64_t seed) {
   std::vector<float> wave(static_cast<std::size_t>(seconds * 16000.0));
   for (float& s : wave) s = 0.1F * rng.normal();
   return wave;
+}
+
+/// Serves `streams` identical-length waveforms through a LocalRecognizer
+/// (decode mode per `mode`) and returns the engine's stats.
+runtime::RuntimeStats run_serving(const BenchSetup& setup,
+                                  std::size_t streams, double seconds,
+                                  speech::DecodeMode mode) {
+  serve::LocalRecognizer recognizer(*setup.compiled);
+  serve::StreamConfig config;
+  config.decode.mode = mode;
+  std::vector<serve::StreamHandle> handles;
+  for (std::size_t s = 0; s < streams; ++s) {
+    handles.push_back(recognizer.open_stream(config));
+    const std::vector<float> wave = make_waveform(seconds, 9000 + s);
+    (void)recognizer.submit_audio(handles[s], wave);
+    (void)recognizer.finish_stream(handles[s]);
+  }
+  recognizer.drain();
+  return recognizer.engine().stats();
 }
 
 }  // namespace
@@ -123,8 +151,9 @@ int main(int argc, char** argv) {
   speech::MfccConfig mfcc;
   mfcc.cepstral_mean_norm = false;
 
+  JsonReport report;
   Table table({"streams", "frames", "mean batch", "p50 us", "p95 us",
-               "frames/s", "RTF", "speedup"});
+               "frames/s", "RTF", "speedup", "dec fps", "dec ovh%"});
   // Powers of two up to max-streams, always ending on max-streams itself
   // so a non-power-of-two request still benchmarks the count asked for.
   std::vector<std::size_t> stream_counts;
@@ -132,17 +161,15 @@ int main(int argc, char** argv) {
   stream_counts.push_back(max_streams);
   double base_fps = 0.0;
   for (const std::size_t streams : stream_counts) {
-    runtime::InferenceEngine engine(*setup.compiled);
-    for (std::size_t s = 0; s < streams; ++s) {
-      runtime::StreamingSession& session = engine.create_session(mfcc);
-      const std::vector<float> wave = make_waveform(seconds, 9000 + s);
-      session.push_audio(wave);
-      session.finish();
-    }
-    engine.drain();
+    const runtime::RuntimeStats stats =
+        run_serving(setup, streams, seconds, speech::DecodeMode::kNone);
+    const runtime::RuntimeStats decoded =
+        run_serving(setup, streams, seconds, speech::DecodeMode::kGreedy);
 
-    const runtime::RuntimeStats& stats = engine.stats();
     const double fps = stats.frames_per_second();
+    const double decode_fps = decoded.frames_per_second();
+    const double overhead_pct =
+        decode_fps > 0.0 ? (fps / decode_fps - 1.0) * 100.0 : 0.0;
     if (streams == 1) base_fps = fps;
     table.add_row({std::to_string(streams),
                    std::to_string(stats.frames_processed),
@@ -151,12 +178,32 @@ int main(int argc, char** argv) {
                    format_double(stats.step_latency.p95_us(), 1),
                    format_double(fps, 0),
                    format_double(stats.real_time_factor(), 1),
-                   format_double(base_fps > 0.0 ? fps / base_fps : 0.0, 2)});
+                   format_double(base_fps > 0.0 ? fps / base_fps : 0.0, 2),
+                   format_double(decode_fps, 0),
+                   format_double(overhead_pct, 1)});
+
+    JsonRecord record;
+    record.set("section", "scaling");
+    record.set("streams", static_cast<std::int64_t>(streams));
+    record.set("hidden", static_cast<std::int64_t>(hidden));
+    record.set("threads", static_cast<std::int64_t>(threads));
+    record.set("precision", to_string(precision));
+    record.set("frames", static_cast<std::int64_t>(stats.frames_processed));
+    record.set("mean_batch", stats.mean_batch());
+    record.set("p50_us", stats.step_latency.p50_us());
+    record.set("p95_us", stats.step_latency.p95_us());
+    record.set("frames_per_sec", fps);
+    record.set("rtf", stats.real_time_factor());
+    record.set("decode_frames_per_sec", decode_fps);
+    record.set("decode_overhead_pct", overhead_pct);
+    report.add(std::move(record));
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf(
       "RTF = audio seconds processed per compute second, summed over "
-      "streams (>1 is faster than real time).\n\n");
+      "streams (>1 is faster than real time). dec fps re-runs the sweep "
+      "with the in-loop greedy StreamingDecoder (partial-hypothesis "
+      "events); dec ovh%% is its throughput cost.\n\n");
 
   // Precision sweep at the largest stream count: the same end-to-end
   // serving pipeline (streaming MFCC + batched engine) with the model
@@ -189,7 +236,20 @@ int main(int argc, char** argv) {
                        2),
          format_double(fps, 0), format_double(stats.real_time_factor(), 1),
          format_double(fp32_fps > 0.0 ? fps / fp32_fps : 0.0, 2)});
+
+    JsonRecord record;
+    record.set("section", "precision");
+    record.set("precision", to_string(precision));
+    record.set("streams", static_cast<std::int64_t>(max_streams));
+    record.set("weight_bytes", static_cast<std::int64_t>(
+                                   swept.compiled->total_memory_bytes()));
+    record.set("frames_per_sec", fps);
+    record.set("rtf", stats.real_time_factor());
+    report.add(std::move(record));
   }
   std::printf("%s\n", precision_table.to_string().c_str());
+
+  report.write_file("streaming.json");
+  std::printf("wrote streaming.json (%zu records)\n", report.size());
   return 0;
 }

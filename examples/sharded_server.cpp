@@ -1,27 +1,32 @@
-// Simulated sharded recognition service.
+// Simulated sharded recognition service on the unified Recognizer API.
 //
 // N clients speak synthesized phone sequences. Each client opens a
-// stream against the ShardedEngine (the router places it: round-robin,
-// least-loaded, or session-hash), then delivers audio in 100 ms chunks
-// from its own producer thread through the shard's lock-free-ish MPSC
-// ingress — no client ever touches an engine lock. One pump thread per
-// shard applies arrivals and steps its replica. When all clients hang
-// up, the engine stops gracefully (serving everything submitted), each
-// stream's logits are greedy-decoded, and the per-shard plus aggregated
-// fleet stats are printed.
+// stream against the ShardedEngine — the same serve::Recognizer surface
+// LocalRecognizer speaks, so the submission loop below is byte-for-byte
+// the client code a single-engine deployment would run. The router
+// places each stream (round-robin, least-loaded, or session-hash), then
+// every client delivers audio in 100 ms chunks from its own producer
+// thread through the shard's lock-free-ish MPSC ingress — no client
+// ever touches an engine lock. One pump thread per shard applies
+// arrivals, steps its replica, and flushes each stream's decoder events
+// into its handle's mailbox; a consumer thread concurrently drains all
+// streams' hypothesis events through the drain-all poll. When all
+// clients hang up, the engine stops gracefully, finals (bit-identical
+// to batch greedy_decode) print per client, and the per-shard plus
+// aggregated fleet stats close the report.
 #include <cstdio>
 #include <map>
 #include <memory>
 #include <span>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "rnn/model.hpp"
 #include "rnn/param_set.hpp"
 #include "serve/sharded_engine.hpp"
 #include "sparse/block_mask.hpp"
-#include "speech/decoder.hpp"
 #include "speech/phones.hpp"
 #include "speech/synth.hpp"
 #include "train/projection.hpp"
@@ -74,7 +79,7 @@ std::vector<float> client_utterance(std::size_t num_phones, Rng& rng) {
   return synth.render_sequence(phones, durations, rng);
 }
 
-std::string phone_string(const std::vector<std::uint16_t>& ids) {
+std::string phone_string(std::span<const std::uint16_t> ids) {
   std::string out;
   const auto& names = speech::surface_phones();
   for (const std::uint16_t id : ids) {
@@ -133,7 +138,9 @@ int main(int argc, char** argv) {
   std::vector<serve::StreamHandle> handles;
   for (std::size_t c = 0; c < clients; ++c) {
     audio.push_back(client_utterance(phones, rng));
-    handles.push_back(engine.open_stream(/*session_key=*/c));
+    serve::StreamConfig stream;
+    stream.session_key = c;  // sticky under the session-hash policy
+    handles.push_back(engine.open_stream(stream));
   }
 
   engine.start();
@@ -155,24 +162,52 @@ int main(int argc, char** argv) {
       while (!engine.finish_stream(handles[c])) std::this_thread::yield();
     });
   }
+
+  // One consumer drains every stream's hypothesis events while the
+  // pumps serve — partials flow out mid-utterance, concurrently with
+  // submission, through the drain-all poll.
+  std::unordered_map<std::uint64_t, std::vector<std::uint16_t>> hypotheses;
+  std::unordered_map<std::uint64_t, bool> finals_seen;
+  std::size_t partial_updates = 0;
+  std::thread consumer([&] {
+    std::vector<serve::RecognizerEvent> events;
+    std::size_t finals = 0;
+    while (finals < clients) {
+      events.clear();
+      if (engine.poll_events(events) == 0) {
+        std::this_thread::yield();
+        continue;
+      }
+      for (const serve::RecognizerEvent& tagged : events) {
+        std::vector<std::uint16_t>& hyp = hypotheses[tagged.stream.id];
+        hyp.insert(hyp.end(), tagged.event.stable.begin(),
+                   tagged.event.stable.end());
+        partial_updates += tagged.event.partial.empty() ? 0 : 1;
+        if (tagged.event.is_final && !finals_seen[tagged.stream.id]) {
+          finals_seen[tagged.stream.id] = true;
+          ++finals;
+        }
+      }
+    }
+  });
+
   for (std::thread& t : producers) t.join();
-  for (const serve::StreamHandle h : handles) {
-    while (!engine.stream_done(h)) std::this_thread::yield();
-  }
+  consumer.join();
   engine.stop();  // graceful: everything submitted has been served
 
   for (std::size_t c = 0; c < clients; ++c) {
     const Matrix logits = engine.stream_logits(handles[c]);
-    const std::vector<std::uint16_t> decoded = speech::greedy_decode(logits);
     std::printf("client %zu (shard %zu): %4zu frames -> %s\n", c,
                 engine.stream_shard(handles[c]), logits.rows(),
-                phone_string(decoded).c_str());
+                phone_string(hypotheses[handles[c].id]).c_str());
     // Results read: release the session so the shard does not hold
     // finished streams forever.
     if (!engine.close_stream(handles[c])) {
       std::fprintf(stderr, "close_stream(%zu) backpressured\n", c);
     }
   }
+  std::printf("\n%zu partial-hypothesis updates streamed mid-utterance\n",
+              partial_updates);
 
   std::printf("\nper-shard:\n");
   for (std::size_t s = 0; s < engine.shard_count(); ++s) {

@@ -1,13 +1,15 @@
-// Simulated streaming recognition server.
+// Simulated streaming recognition server on the unified Recognizer API.
 //
 // N clients speak synthesized phone sequences; their audio arrives in
 // 100 ms chunks, interleaved across clients the way packets arrive at a
-// real service. After every arrival round the engine takes one batched
-// step, so recognition overlaps with arrival instead of waiting for
-// end-of-utterance. When all audio is in, the engine drains, each
-// stream's logits are greedy-decoded to a phone string, and the serving
-// stats (p50/p95 step latency, aggregate frames/sec, real-time factor)
-// are printed.
+// real service. The server is a LocalRecognizer — one InferenceEngine
+// behind the same serve::Recognizer surface the sharded fleet speaks, so
+// this client loop runs unmodified against either. After every arrival
+// round the recognizer drains and hypothesis events are polled: each
+// stream's partial hypotheses print as they evolve mid-utterance
+// (stable prefix | unstable tail), and the final hypotheses — which are
+// bit-identical to batch greedy_decode of the stream's logits — print
+// with the serving stats at the end.
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -19,9 +21,8 @@
 #include "hw/thread_pool.hpp"
 #include "rnn/model.hpp"
 #include "rnn/param_set.hpp"
-#include "runtime/inference_engine.hpp"
+#include "serve/local_recognizer.hpp"
 #include "sparse/block_mask.hpp"
-#include "speech/decoder.hpp"
 #include "speech/phones.hpp"
 #include "speech/synth.hpp"
 #include "train/projection.hpp"
@@ -80,7 +81,7 @@ std::vector<float> client_utterance(std::size_t num_phones, Rng& rng) {
   return synth.render_sequence(phones, durations, rng);
 }
 
-std::string phone_string(const std::vector<std::uint16_t>& ids) {
+std::string phone_string(std::span<const std::uint16_t> ids) {
   std::string out;
   const auto& names = speech::surface_phones();
   for (const std::uint16_t id : ids) {
@@ -102,6 +103,7 @@ int main(int argc, char** argv) {
   cli.add_flag("hidden", "128", "GRU hidden size of the served model");
   cli.add_flag("threads", std::to_string(ThreadPool::default_thread_count()),
                "thread pool size");
+  cli.add_flag("watch", "0", "client whose partial hypotheses print live");
   try {
     cli.parse(argc, argv);
   } catch (const std::exception& e) {
@@ -115,25 +117,28 @@ int main(int argc, char** argv) {
   const std::size_t hidden = static_cast<std::size_t>(cli.get_int("hidden"));
   const std::size_t threads =
       static_cast<std::size_t>(cli.get_int("threads"));
+  const std::size_t watch = static_cast<std::size_t>(cli.get_int("watch"));
 
   std::printf("streaming_server: %zu clients, hidden=%zu, threads=%zu\n\n",
               clients, hidden, threads);
   Server server = build_server(hidden, threads);
-
-  speech::MfccConfig mfcc;
-  mfcc.cepstral_mean_norm = false;
-  runtime::InferenceEngine engine(*server.compiled);
+  serve::LocalRecognizer recognizer(*server.compiled);
 
   Rng rng(7);
   std::vector<std::vector<float>> audio;
+  std::vector<serve::StreamHandle> handles;
+  std::vector<std::vector<std::uint16_t>> hypotheses(clients);
   for (std::size_t c = 0; c < clients; ++c) {
-    engine.create_session(mfcc);
+    handles.push_back(recognizer.open_stream());  // greedy decode default
     audio.push_back(client_utterance(phones, rng));
   }
 
-  // Interleaved arrival: every round each live client delivers 100 ms.
+  // Interleaved arrival: every round each live client delivers 100 ms,
+  // the recognizer serves what is ready, and hypothesis events stream
+  // out. The watched client's partials print as they evolve.
   constexpr std::size_t kChunk = 1600;
   std::vector<std::size_t> positions(clients, 0);
+  std::vector<speech::StreamEvent> events;
   bool arriving = true;
   while (arriving) {
     arriving = false;
@@ -141,32 +146,58 @@ int main(int argc, char** argv) {
       if (positions[c] >= audio[c].size()) continue;
       const std::size_t n =
           std::min(kChunk, audio[c].size() - positions[c]);
-      engine.session(c).push_audio(
+      (void)recognizer.submit_audio(
+          handles[c],
           std::span<const float>(audio[c]).subspan(positions[c], n));
       positions[c] += n;
-      if (positions[c] >= audio[c].size()) engine.session(c).finish();
+      if (positions[c] >= audio[c].size()) {
+        (void)recognizer.finish_stream(handles[c]);
+      }
       arriving = arriving || positions[c] < audio[c].size();
     }
-    engine.step();  // recognition overlaps with arrival
+    recognizer.drain();  // recognition overlaps with arrival
+    for (std::size_t c = 0; c < clients; ++c) {
+      events.clear();
+      recognizer.poll_events(handles[c], events);
+      for (const speech::StreamEvent& event : events) {
+        hypotheses[c].insert(hypotheses[c].end(), event.stable.begin(),
+                             event.stable.end());
+        if (c == watch && (!event.stable.empty() || event.is_final)) {
+          std::printf("client %zu @%4zu frames: %s | %s\n", c, event.frames,
+                      phone_string(hypotheses[c]).c_str(),
+                      phone_string(event.partial).c_str());
+        }
+      }
+    }
   }
-  engine.drain();
+  recognizer.drain();
 
+  std::printf("\nfinal hypotheses:\n");
+  const speech::MfccConfig& mfcc = recognizer.engine().config().mfcc;
+  const double seconds_per_frame =
+      static_cast<double>(mfcc.frame_shift) / mfcc.sample_rate_hz;
   for (std::size_t c = 0; c < clients; ++c) {
-    runtime::StreamingSession& session = engine.session(c);
-    const std::vector<std::uint16_t> decoded =
-        speech::greedy_decode(session.logits());
+    events.clear();
+    recognizer.poll_events(handles[c], events);
+    for (const speech::StreamEvent& event : events) {
+      hypotheses[c].insert(hypotheses[c].end(), event.stable.begin(),
+                           event.stable.end());
+    }
+    const Matrix logits = recognizer.stream_logits(handles[c]);
     std::printf("client %zu: %5.2f s audio, %4zu frames -> %s\n", c,
-                session.audio_seconds_processed(), session.frames_processed(),
-                phone_string(decoded).c_str());
+                static_cast<double>(logits.rows()) * seconds_per_frame,
+                logits.rows(), phone_string(hypotheses[c]).c_str());
+    (void)recognizer.close_stream(handles[c]);
   }
 
-  const runtime::RuntimeStats& stats = engine.stats();
+  const serve::GlobalStats stats = recognizer.stats();
   std::printf(
       "\nserved %zu frames in %zu steps (mean batch %.1f)\n"
       "step latency p50 %.1f us, p95 %.1f us\n"
       "aggregate %.0f frames/s, real-time factor %.1fx\n",
-      stats.frames_processed, stats.steps, stats.mean_batch(),
-      stats.step_latency.p50_us(), stats.step_latency.p95_us(),
-      stats.frames_per_second(), stats.real_time_factor());
+      stats.merged.frames_processed, stats.merged.steps,
+      stats.merged.mean_batch(), stats.merged.step_latency.p50_us(),
+      stats.merged.step_latency.p95_us(), stats.merged.frames_per_second(),
+      stats.merged.real_time_factor());
   return 0;
 }

@@ -7,6 +7,19 @@
 
 namespace rtmobile {
 
+void LreScratch::prepare(std::size_t partitions, std::size_t floats) {
+  if (buffers_.size() < partitions) buffers_.resize(partitions);
+  for (std::size_t p = 0; p < partitions; ++p) {
+    if (buffers_[p].size() < floats) buffers_[p].resize(floats);
+  }
+}
+
+std::span<float> LreScratch::partition(std::size_t index) {
+  RT_REQUIRE(index < buffers_.size(),
+             "LreScratch: partition index not prepare()d");
+  return {buffers_[index].data(), buffers_[index].size()};
+}
+
 const char* to_string(SparseFormat format) {
   switch (format) {
     case SparseFormat::kDense: return "dense";
@@ -68,8 +81,13 @@ LayerPlan LayerPlan::compile(const Matrix& weights, const BlockMask* mask,
   return plan;
 }
 
+std::size_t LayerPlan::lre_gather_floats() const {
+  if (options_.format != SparseFormat::kBspc || !options_.lre) return 0;
+  return packed() ? packed_bspc_.max_block_cols() : bspc_.max_block_cols();
+}
+
 void LayerPlan::execute(std::span<const float> x, std::span<float> y,
-                        ThreadPool* pool) const {
+                        ThreadPool* pool, LreScratch* scratch) const {
   RT_REQUIRE(x.size() == cols_ && y.size() == rows_,
              "execute: shape mismatch");
   // Tiny matvecs run inline: a pool dispatch costs more than the kernel.
@@ -125,26 +143,40 @@ void LayerPlan::execute(std::span<const float> x, std::span<float> y,
       RT_ASSERT(reorder_.has_value(), "BSPC plan lacks a reorder plan");
       std::fill(y.begin(), y.end(), 0.0F);
       const ReorderPlan& ro = *reorder_;
+      // Caller scratch keeps the step path allocation-free; one-shot
+      // callers without scratch pay a local allocation here instead.
+      LreScratch local;
+      LreScratch& gather = scratch != nullptr ? *scratch : local;
+      const std::size_t gather_floats = lre_gather_floats();
       // The packed and fp32 kernels share the stripe-list contract, so
       // the thread partition below dispatches either transparently.
-      const auto run_stripes = [&](std::span<const std::uint32_t> stripes) {
+      const auto run_stripes = [&](std::span<const std::uint32_t> stripes,
+                                   std::span<float> buffer) {
         if (packed()) {
-          packed_bspc_.spmv_stripe_list(x, y, stripes, options_.lre);
+          packed_bspc_.spmv_stripe_list(x, y, stripes, options_.lre, buffer);
         } else {
-          bspc_.spmv_stripe_list(x, y, stripes, options_.lre);
+          bspc_.spmv_stripe_list(x, y, stripes, options_.lre, buffer);
         }
       };
       if (!threaded) {
-        run_stripes({ro.stripe_order.data(), ro.stripe_order.size()});
+        gather.prepare(1, gather_floats);
+        run_stripes({ro.stripe_order.data(), ro.stripe_order.size()},
+                    gather.partition(0));
         return;
       }
       std::vector<std::function<void()>> tasks;
       tasks.reserve(ro.thread_ranges.size());
-      for (const auto& [begin, end] : ro.thread_ranges) {
+      // Buffers are prepared before dispatch: tasks only read the spans,
+      // so concurrent partitions never touch the scratch's vectors.
+      gather.prepare(ro.thread_ranges.size(), gather_floats);
+      for (std::size_t r = 0; r < ro.thread_ranges.size(); ++r) {
+        const auto& [begin, end] = ro.thread_ranges[r];
         if (begin == end) continue;
-        tasks.emplace_back([&ro, &run_stripes, begin = begin, end = end] {
+        tasks.emplace_back([&ro, &run_stripes, buffer = gather.partition(r),
+                            begin = begin, end = end] {
           run_stripes({ro.stripe_order.data() + begin,
-                       static_cast<std::size_t>(end - begin)});
+                       static_cast<std::size_t>(end - begin)},
+                      buffer);
         });
       }
       pool->run_all(tasks);

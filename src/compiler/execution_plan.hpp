@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "compiler/reorder.hpp"
 #include "hw/thread_pool.hpp"
@@ -57,6 +58,23 @@ struct CompilerOptions {
   std::optional<CoreRange> core_range;
 };
 
+/// Reusable LRE gather scratch for LayerPlan::execute: one buffer per
+/// thread partition, grown on demand and never shrunk. prepare() must run
+/// on the dispatching thread before partitions are handed to concurrent
+/// tasks; partition() is then a plain indexed read, safe from any task.
+/// Owning one per serving scratch slot is what makes the step path free
+/// of per-matvec heap allocation.
+class LreScratch {
+ public:
+  /// Ensures `partitions` buffers of at least `floats` capacity exist.
+  void prepare(std::size_t partitions, std::size_t floats);
+  /// The gather buffer for one thread partition (prepare()d first).
+  [[nodiscard]] std::span<float> partition(std::size_t index);
+
+ private:
+  std::vector<std::vector<float>> buffers_;
+};
+
 class LayerPlan {
  public:
   LayerPlan() = default;
@@ -73,9 +91,18 @@ class LayerPlan {
   [[nodiscard]] const CompilerOptions& options() const { return options_; }
 
   /// y = W x. `pool` may be nullptr (or options.threads == 1) for
-  /// single-threaded execution. y must not alias x.
+  /// single-threaded execution. y must not alias x. `scratch` supplies
+  /// the BSPC kernels' LRE gather buffers; nullptr falls back to a local
+  /// allocation (fine for one-shot callers; the serving step path passes
+  /// its per-slot scratch so no matvec allocates). A scratch instance
+  /// must not be shared by concurrent execute() calls.
   void execute(std::span<const float> x, std::span<float> y,
-               ThreadPool* pool = nullptr) const;
+               ThreadPool* pool = nullptr,
+               LreScratch* scratch = nullptr) const;
+
+  /// Floats of LRE gather scratch one partition of this plan needs (0
+  /// when the plan has no LRE gather — dense, CSR, or lre disabled).
+  [[nodiscard]] std::size_t lre_gather_floats() const;
 
   /// Surviving nonzeros.
   [[nodiscard]] std::size_t nnz() const;

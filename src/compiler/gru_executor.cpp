@@ -55,10 +55,21 @@ CompiledSpeechModel::CompiledSpeechModel(
   // more than thread_count chunks per job; slot 0 doubles as the
   // single-threaded path's scratch).
   const std::size_t slots = pool_ != nullptr ? pool_->thread_count() : 1;
+  // Pre-size every slot's LRE gather scratch to the widest plan's need
+  // so the first serving step never allocates, for however many thread
+  // partitions a single-stream matvec might split into.
+  std::size_t gather_floats = fc_.lre_gather_floats();
+  for (const CompiledLayer& layer : layers_) {
+    for (const LayerPlan* plan : {&layer.w_z, &layer.w_r, &layer.w_h,
+                                  &layer.u_z, &layer.u_r, &layer.u_h}) {
+      gather_floats = std::max(gather_floats, plan->lre_gather_floats());
+    }
+  }
   step_scratch_.reserve(slots);
   for (std::size_t s = 0; s < slots; ++s) {
     step_scratch_.push_back(
         std::make_unique<StepScratch>(config_.hidden_dim));
+    step_scratch_.back()->lre.prepare(options_.threads, gather_floats);
   }
 }
 
@@ -76,21 +87,21 @@ void CompiledSpeechModel::step_layer(const CompiledLayer& layer,
   RT_ASSERT(scratch_a.size() == hidden, "scratch buffers must be hidden-sized");
 
   // z = sigmoid(W_z x + U_z h + b_z)  (scratch_a holds z)
-  layer.w_z.execute(x, scratch_a, pool);
-  layer.u_z.execute(h_prev, scratch_b, pool);
+  layer.w_z.execute(x, scratch_a, pool, &scratch.lre);
+  layer.u_z.execute(h_prev, scratch_b, pool, &scratch.lre);
   for (std::size_t i = 0; i < hidden; ++i) {
     scratch_a[i] = sigmoid(scratch_a[i] + scratch_b[i] + layer.b_z[i]);
   }
   // r = sigmoid(W_r x + U_r h + b_r)  (scratch_b holds r . h_prev)
-  layer.w_r.execute(x, scratch_b, pool);
-  layer.u_r.execute(h_prev, scratch_c, pool);
+  layer.w_r.execute(x, scratch_b, pool, &scratch.lre);
+  layer.u_r.execute(h_prev, scratch_c, pool, &scratch.lre);
   for (std::size_t i = 0; i < hidden; ++i) {
     const float r = sigmoid(scratch_b[i] + scratch_c[i] + layer.b_r[i]);
     scratch_b[i] = r * h_prev[i];
   }
   // h~ = tanh(W_h x + U_h (r . h) + b_h)  (scratch_c holds h~)
-  layer.w_h.execute(x, scratch_c, pool);
-  layer.u_h.execute(scratch_b, scratch_d, pool);
+  layer.w_h.execute(x, scratch_c, pool, &scratch.lre);
+  layer.u_h.execute(scratch_b, scratch_d, pool, &scratch.lre);
   for (std::size_t i = 0; i < hidden; ++i) {
     scratch_c[i] = std::tanh(scratch_c[i] + scratch_d[i] + layer.b_h[i]);
   }
@@ -113,7 +124,7 @@ void CompiledSpeechModel::step_stream(std::span<const float> frame,
     std::swap(state.h[l], scratch.h_next);
     input = state.h[l].span();
   }
-  fc_.execute(input, logits, pool);
+  fc_.execute(input, logits, pool, &scratch.lre);
   add_inplace(logits, fc_b_.span());
 }
 
@@ -177,7 +188,7 @@ Matrix CompiledSpeechModel::infer(const Matrix& features) const {
 
   Matrix logits(frames, config_.num_classes);
   for (std::size_t t = 0; t < frames; ++t) {
-    fc_.execute(current.row(t), logits.row(t), pool_);
+    fc_.execute(current.row(t), logits.row(t), pool_, &scratch.lre);
     add_inplace(logits.row(t), fc_b_.span());
   }
   return logits;

@@ -106,11 +106,14 @@ class CompiledSpeechModel {
 
   /// Hidden-sized scratch buffers for one stream's step_layer calls;
   /// `h_next` is the staging vector step_stream swaps layer states
-  /// through, hoisted here to keep the serving hot path allocation-free.
+  /// through, and `lre` carries the BSPC kernels' gather buffers — both
+  /// hoisted here to keep the serving hot path allocation-free (the
+  /// model ctor pre-sizes `lre` to the widest plan's need).
   struct StepScratch {
     explicit StepScratch(std::size_t hidden)
         : a(hidden), b(hidden), c(hidden), d(hidden), h_next(hidden) {}
     Vector a, b, c, d, h_next;
+    LreScratch lre;
   };
 
   /// One GRU timestep of one stream. `pool` threads the individual

@@ -25,6 +25,14 @@ StreamingSession& InferenceEngine::create_session(
   return *sessions_.back();
 }
 
+StreamingSession& InferenceEngine::create_session(
+    const speech::MfccConfig& mfcc,
+    const speech::StreamingDecoderConfig& decode) {
+  sessions_.push_back(
+      std::make_unique<StreamingSession>(next_id_++, model_, mfcc, decode));
+  return *sessions_.back();
+}
+
 StreamingSession& InferenceEngine::session(std::size_t index) {
   RT_REQUIRE(index < sessions_.size(), "session index out of range");
   return *sessions_[index];

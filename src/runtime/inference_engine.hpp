@@ -43,10 +43,17 @@ class InferenceEngine {
   explicit InferenceEngine(const CompiledSpeechModel& model,
                            EngineConfig config = EngineConfig{});
 
-  /// Admits a new stream using the engine's default MFCC config.
+  /// Admits a new stream using the engine's default MFCC config (no
+  /// in-loop decoding).
   StreamingSession& create_session();
-  /// Admits a new stream with a per-session front-end config.
+  /// Admits a new stream with a per-session front-end config (no in-loop
+  /// decoding).
   StreamingSession& create_session(const speech::MfccConfig& mfcc);
+  /// Admits a new stream with a per-session front end and streaming
+  /// decoder (decode.mode == kNone collects logits only).
+  StreamingSession& create_session(
+      const speech::MfccConfig& mfcc,
+      const speech::StreamingDecoderConfig& decode);
 
   [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
   [[nodiscard]] StreamingSession& session(std::size_t index);

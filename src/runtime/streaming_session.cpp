@@ -8,11 +8,21 @@ namespace rtmobile::runtime {
 
 StreamingSession::StreamingSession(std::size_t id,
                                    const CompiledSpeechModel& model,
-                                   const speech::MfccConfig& mfcc)
+                                   const speech::MfccConfig& mfcc,
+                                   const speech::StreamingDecoderConfig& decode)
     : id_(id), model_(&model), mfcc_(mfcc), state_(model.make_state()) {
   RT_REQUIRE(mfcc_.feature_dim() == model.config().input_dim,
              "session: MFCC feature dimension must match model input");
+  if (decode.mode != speech::DecodeMode::kNone) {
+    decoder_.emplace(model.config().num_classes, decode);
+  }
 }
+
+StreamingSession::StreamingSession(std::size_t id,
+                                   const CompiledSpeechModel& model,
+                                   const speech::MfccConfig& mfcc)
+    : StreamingSession(id, model, mfcc,
+                       speech::StreamingDecoderConfig::none()) {}
 
 void StreamingSession::rebind(const CompiledSpeechModel& model) {
   const ModelConfig& from = model_->config();
@@ -33,6 +43,9 @@ void StreamingSession::push_audio(std::span<const float> samples) {
 void StreamingSession::finish() {
   mfcc_.finish();
   drain_front_end();
+  // An utterance whose frames were all served before finish() (or that
+  // produced none at all) completes here, not in pop_frame.
+  maybe_finish_decoder();
 }
 
 void StreamingSession::drain_front_end() {
@@ -53,6 +66,9 @@ std::span<const float> StreamingSession::front_frame() const {
 void StreamingSession::pop_frame() {
   RT_REQUIRE(!pending_.empty(), "pop_frame: no frame queued");
   pending_.pop_front();
+  // The engine appends this frame's logits before popping it, so the
+  // stream's last row has been decoded by the time done() flips here.
+  maybe_finish_decoder();
 }
 
 void StreamingSession::append_logits(std::span<const float> row) {
@@ -60,6 +76,28 @@ void StreamingSession::append_logits(std::span<const float> row) {
              "append_logits: row width mismatch");
   logits_.insert(logits_.end(), row.begin(), row.end());
   ++frames_done_;
+  if (decoder_.has_value()) decoder_->push_row(row);
+}
+
+void StreamingSession::maybe_finish_decoder() {
+  if (decoder_.has_value() && !decoder_->finished() && done()) {
+    decoder_->finish();
+  }
+}
+
+std::size_t StreamingSession::poll_events(
+    std::vector<speech::StreamEvent>& out) {
+  return decoder_.has_value() ? decoder_->poll_events(out) : 0;
+}
+
+const speech::StreamingDecoder& StreamingSession::decoder() const {
+  RT_REQUIRE(decoder_.has_value(),
+             "session: no streaming decoder configured (mode kNone)");
+  return *decoder_;
+}
+
+std::vector<std::uint16_t> StreamingSession::hypothesis() const {
+  return decoder().hypothesis();
 }
 
 double StreamingSession::audio_seconds_processed() const {

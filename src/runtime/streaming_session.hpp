@@ -2,18 +2,23 @@
 //
 // A session owns the stream-local pieces of inference: the incremental
 // MFCC front end, the queue of feature frames awaiting a model step, the
-// GRU hidden state carried across chunks, and the logits produced so far.
-// It does no model computation itself — the InferenceEngine pulls ready
-// frames from many sessions, batches them into one timestep, and pushes
-// the resulting logit rows back.
+// GRU hidden state carried across chunks, the logits produced so far,
+// and — when a decode mode is configured — an incremental
+// speech::StreamingDecoder fed each logit row as the engine produces it,
+// whose StreamEvents (stable prefix + unstable tail) buffer here until
+// the serving layer polls them. It does no model computation itself —
+// the InferenceEngine pulls ready frames from many sessions, batches
+// them into one timestep, and pushes the resulting logit rows back.
 #pragma once
 
 #include <cstddef>
 #include <deque>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "compiler/gru_executor.hpp"
+#include "speech/streaming_decoder.hpp"
 #include "speech/streaming_mfcc.hpp"
 #include "tensor/matrix.hpp"
 
@@ -23,6 +28,11 @@ class StreamingSession {
  public:
   /// `model` must outlive the session. `mfcc.cepstral_mean_norm` must be
   /// false, and the feature dimension must match the model's input.
+  /// `decode.mode` selects in-loop decoding (kNone = logits only).
+  StreamingSession(std::size_t id, const CompiledSpeechModel& model,
+                   const speech::MfccConfig& mfcc,
+                   const speech::StreamingDecoderConfig& decode);
+  /// Logits-only session (decode mode kNone).
   StreamingSession(std::size_t id, const CompiledSpeechModel& model,
                    const speech::MfccConfig& mfcc);
 
@@ -63,6 +73,20 @@ class StreamingSession {
   /// Appends one logits row produced for this stream's oldest frame.
   void append_logits(std::span<const float> row);
 
+  // ---- streaming decode ----
+  /// True when the session decodes in-loop (mode != kNone).
+  [[nodiscard]] bool decoding() const { return decoder_.has_value(); }
+  /// Hypothesis events not yet polled (0 for non-decoding sessions).
+  [[nodiscard]] std::size_t pending_events() const {
+    return decoder_.has_value() ? decoder_->pending_events() : 0;
+  }
+  /// Appends pending events to `out` (oldest first); returns the count.
+  std::size_t poll_events(std::vector<speech::StreamEvent>& out);
+  /// The live decoder (requires decoding()).
+  [[nodiscard]] const speech::StreamingDecoder& decoder() const;
+  /// Stable prefix + unstable tail right now (requires decoding()).
+  [[nodiscard]] std::vector<std::uint16_t> hypothesis() const;
+
   // ---- results / accounting ----
   [[nodiscard]] std::size_t frames_processed() const { return frames_done_; }
   /// Seconds of audio represented by the processed frames.
@@ -74,6 +98,9 @@ class StreamingSession {
 
  private:
   void drain_front_end();
+  /// Finishes the decoder once the last logit row has been produced (the
+  /// decoder's tail can only be finalized when no more rows can come).
+  void maybe_finish_decoder();
 
   std::size_t id_;
   const CompiledSpeechModel* model_;  // rebindable on shard migration
@@ -82,6 +109,9 @@ class StreamingSession {
   StreamState state_;
   std::vector<float> logits_;  // row-major [frames_done_ x num_classes]
   std::size_t frames_done_ = 0;
+  /// In-loop decoder; migrates with the session (its stable prefix, DP
+  /// state, and unpolled events all live here).
+  std::optional<speech::StreamingDecoder> decoder_;
 };
 
 }  // namespace rtmobile::runtime

@@ -1,0 +1,94 @@
+#include "serve/local_recognizer.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace rtmobile::serve {
+
+LocalRecognizer::LocalRecognizer(const CompiledSpeechModel& model,
+                                 runtime::EngineConfig config)
+    : engine_(model, std::move(config)) {}
+
+runtime::StreamingSession& LocalRecognizer::session(StreamHandle h) const {
+  const auto it = streams_.find(h.id);
+  RT_REQUIRE(it != streams_.end(),
+             "unknown stream handle (never opened or already closed)");
+  return *it->second;
+}
+
+StreamHandle LocalRecognizer::open_stream(const StreamConfig& config) {
+  // One engine: config.session_key has no routing to influence.
+  runtime::StreamingSession& session =
+      engine_.create_session(engine_.config().mfcc, config.decode);
+  const StreamHandle handle{next_id_++};
+  streams_.emplace(handle.id, &session);
+  return handle;
+}
+
+bool LocalRecognizer::submit_audio(StreamHandle h,
+                                   std::span<const float> samples) {
+  runtime::StreamingSession& s = session(h);
+  // Audio after finish is dropped, matching the sharded applier.
+  if (!s.finished()) s.push_audio(samples);
+  return true;  // in-memory ingestion never backpressures
+}
+
+bool LocalRecognizer::finish_stream(StreamHandle h) {
+  runtime::StreamingSession& s = session(h);
+  if (!s.finished()) s.finish();
+  return true;
+}
+
+bool LocalRecognizer::close_stream(StreamHandle h) {
+  runtime::StreamingSession& s = session(h);
+  streams_.erase(h.id);
+  // Ownership returns to us and dies here: the session is freed.
+  (void)engine_.release_session(&s);
+  return true;
+}
+
+std::size_t LocalRecognizer::poll_events(
+    StreamHandle h, std::vector<speech::StreamEvent>& out) {
+  return session(h).poll_events(out);
+}
+
+std::size_t LocalRecognizer::poll_events(std::vector<RecognizerEvent>& out) {
+  std::size_t total = 0;
+  for (const auto& [id, session] : streams_) {
+    if (session->pending_events() == 0) continue;
+    std::vector<speech::StreamEvent> events;
+    session->poll_events(events);
+    for (speech::StreamEvent& event : events) {
+      out.push_back(RecognizerEvent{StreamHandle{id}, std::move(event)});
+    }
+    total += events.size();
+  }
+  return total;
+}
+
+bool LocalRecognizer::stream_done(StreamHandle h) const {
+  return session(h).done();
+}
+
+Matrix LocalRecognizer::stream_logits(StreamHandle h) const {
+  return session(h).logits();
+}
+
+std::size_t LocalRecognizer::drain() { return engine_.drain(); }
+
+GlobalStats LocalRecognizer::stats() const {
+  StatsAggregator aggregator;
+  aggregator.add_shard(engine_.stats());
+  aggregator.set_wall_us(window_.elapsed_us());
+  GlobalStats global = aggregator.global();
+  global.weight_bytes = engine_.model().total_memory_bytes();
+  return global;
+}
+
+void LocalRecognizer::reset_stats() {
+  engine_.reset_stats();
+  window_.reset();
+}
+
+}  // namespace rtmobile::serve

@@ -1,0 +1,68 @@
+// Recognizer over one InferenceEngine + its CompiledSpeechModel.
+//
+// The single-engine implementation of the unified serving surface: the
+// smallest deployment (one compiled model, one engine, caller-driven
+// stepping) speaks the exact same stream API as the sharded fleet, so a
+// client outgrowing one engine swaps the constructor, not its code.
+// Single-threaded by design — the caller that submits audio also calls
+// drain(); for concurrent producers and background pumping, use
+// ShardedEngine (even with shards = 1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "compiler/gru_executor.hpp"
+#include "hw/timer.hpp"
+#include "runtime/inference_engine.hpp"
+#include "serve/recognizer.hpp"
+
+namespace rtmobile::serve {
+
+class LocalRecognizer final : public Recognizer {
+ public:
+  /// `model` must outlive the recognizer; its thread pool (if any) is
+  /// what step batches parallelize over.
+  explicit LocalRecognizer(const CompiledSpeechModel& model,
+                           runtime::EngineConfig config = {});
+
+  using Recognizer::open_stream;
+  [[nodiscard]] StreamHandle open_stream(const StreamConfig& config) override;
+  [[nodiscard]] bool submit_audio(StreamHandle h,
+                                  std::span<const float> samples) override;
+  [[nodiscard]] bool finish_stream(StreamHandle h) override;
+  [[nodiscard]] bool close_stream(StreamHandle h) override;
+
+  std::size_t poll_events(StreamHandle h,
+                          std::vector<speech::StreamEvent>& out) override;
+  std::size_t poll_events(std::vector<RecognizerEvent>& out) override;
+
+  [[nodiscard]] bool stream_done(StreamHandle h) const override;
+  [[nodiscard]] Matrix stream_logits(StreamHandle h) const override;
+
+  std::size_t drain() override;
+  /// One scheduling round (up to max_batch streams advance one frame);
+  /// finer-grained than drain() for callers interleaving with arrival.
+  std::size_t step() { return engine_.step(); }
+
+  [[nodiscard]] GlobalStats stats() const override;
+  void reset_stats() override;
+
+  /// The wrapped engine (stats inspection, tests).
+  [[nodiscard]] const runtime::InferenceEngine& engine() const {
+    return engine_;
+  }
+
+ private:
+  [[nodiscard]] runtime::StreamingSession& session(StreamHandle h) const;
+
+  runtime::InferenceEngine engine_;
+  /// Ordered so the drain-all poll visits streams deterministically.
+  std::map<std::uint64_t, runtime::StreamingSession*> streams_;
+  std::uint64_t next_id_ = 1;
+  WallTimer window_;  // spans construction / reset_stats() .. now
+};
+
+}  // namespace rtmobile::serve

@@ -1,0 +1,109 @@
+// The unified serving surface: audio in, incremental hypotheses out.
+//
+// A Recognizer is what a speech client codes against — one abstract
+// stream API implemented by both LocalRecognizer (a single
+// InferenceEngine wrapping one CompiledSpeechModel) and ShardedEngine
+// (N engine replicas behind a router), so the exact same client code
+// runs against one engine or a sharded fleet:
+//
+//   StreamHandle h = recognizer.open_stream({});        // router decides
+//   while (audio) recognizer.submit_audio(h, chunk);    // backpressured
+//   recognizer.finish_stream(h);
+//   ... recognizer.poll_events(h, events);              // partials stream
+//   // final hypothesis = concatenation of every event's stable delta
+//
+// Every stream carries an incremental speech::StreamingDecoder; its
+// StreamEvents (stable decoded prefix + unstable partial tail) are the
+// product output, with the final hypothesis bit-identical to the batch
+// greedy_decode / viterbi_decode of the stream's logits. Events are a
+// pure function of the logit-row stream, so they are identical across
+// implementations, chunk sizes, shard placements, and live migrations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "serve/stats_aggregator.hpp"
+#include "speech/streaming_decoder.hpp"
+#include "tensor/matrix.hpp"
+
+namespace rtmobile::serve {
+
+/// Opaque ticket for one client stream, valid for the Recognizer that
+/// issued it.
+struct StreamHandle {
+  std::uint64_t id = 0;
+};
+
+/// Per-stream options a client passes at open time.
+struct StreamConfig {
+  /// In-loop decoding. The default emits greedy partial hypotheses;
+  /// kViterbi upgrades to the duration-penalty DP; kNone collects logits
+  /// only (no events).
+  speech::StreamingDecoderConfig decode;
+  /// Client affinity key for the session-hash routing policy (sharded
+  /// implementations; a single engine ignores it).
+  std::uint64_t session_key = 0;
+};
+
+/// A hypothesis update tagged with the stream it belongs to (the
+/// drain-all poll's result element).
+struct RecognizerEvent {
+  StreamHandle stream;
+  speech::StreamEvent event;
+};
+
+class Recognizer {
+ public:
+  virtual ~Recognizer() = default;
+
+  // ---- stream lifecycle ----
+  /// Admits a new stream and returns its ticket.
+  [[nodiscard]] virtual StreamHandle open_stream(
+      const StreamConfig& config) = 0;
+  [[nodiscard]] StreamHandle open_stream() {
+    return open_stream(StreamConfig{});
+  }
+  /// Feeds an audio chunk. Returns false under ingress backpressure (the
+  /// caller retries or drops); audio submitted after finish_stream is
+  /// dropped. Throws on a dead stream/serving failure.
+  [[nodiscard]] virtual bool submit_audio(StreamHandle h,
+                                          std::span<const float> samples) = 0;
+  /// Marks end of audio; the decoder finalizes once the tail is served.
+  /// Same backpressure contract as submit_audio.
+  [[nodiscard]] virtual bool finish_stream(StreamHandle h) = 0;
+  /// Releases the stream's resources once the client has read what it
+  /// needs; the handle is dead afterwards. Closing a live stream
+  /// abandons it. Same backpressure contract as submit_audio.
+  [[nodiscard]] virtual bool close_stream(StreamHandle h) = 0;
+
+  // ---- hypothesis events ----
+  /// Appends the stream's pending events to `out` (oldest first);
+  /// returns how many were appended.
+  virtual std::size_t poll_events(StreamHandle h,
+                                  std::vector<speech::StreamEvent>& out) = 0;
+  /// Drain-all: appends every stream's pending events, each tagged with
+  /// its handle; returns how many were appended.
+  virtual std::size_t poll_events(std::vector<RecognizerEvent>& out) = 0;
+
+  // ---- completion & results ----
+  /// True once the stream's audio is finished and every frame served
+  /// (its final event has been emitted).
+  [[nodiscard]] virtual bool stream_done(StreamHandle h) const = 0;
+  /// The stream's raw logit rows so far (whole matrix once done) — the
+  /// escape hatch for clients that decode externally.
+  [[nodiscard]] virtual Matrix stream_logits(StreamHandle h) const = 0;
+
+  // ---- caller-driven serving ----
+  /// Serves everything submitted so far and returns frames stepped.
+  /// Implementations with their own serving threads (a started
+  /// ShardedEngine) reject this — the pumps already drain continuously.
+  virtual std::size_t drain() = 0;
+
+  // ---- fleet view ----
+  [[nodiscard]] virtual GlobalStats stats() const = 0;
+  virtual void reset_stats() = 0;
+};
+
+}  // namespace rtmobile::serve

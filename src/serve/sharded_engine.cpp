@@ -91,11 +91,18 @@ std::vector<std::size_t> ShardedEngine::snapshot_loads() const {
 }
 
 StreamHandle ShardedEngine::open_stream(std::uint64_t session_key) {
+  StreamConfig config;
+  config.decode = speech::StreamingDecoderConfig::none();
+  config.session_key = session_key;
+  return open_stream(config);
+}
+
+StreamHandle ShardedEngine::open_stream(const StreamConfig& config) {
   std::size_t target = 0;
   StreamHandle handle;
   {
     const std::lock_guard<std::mutex> lock(admit_mutex_);
-    target = router_.pick(snapshot_loads(), session_key);
+    target = router_.pick(snapshot_loads(), config.session_key);
 
     // Prefer a slot freed by a closed stream; grow the table otherwise.
     std::uint64_t slot = 0;
@@ -122,7 +129,12 @@ StreamHandle ShardedEngine::open_stream(std::uint64_t session_key) {
     e.shard.store(target, std::memory_order_relaxed);
     e.session.store(nullptr, std::memory_order_relaxed);
     e.done.store(false, std::memory_order_relaxed);
-    e.session_key = session_key;
+    e.session_key = config.session_key;
+    {
+      // Events the previous occupant never polled die with its handle.
+      const std::lock_guard<std::mutex> events_lock(e.events_mutex);
+      e.events.clear();
+    }
     // Publish: a stale handle's generation stops matching here, and for
     // a fresh slot entry() accepts it only after the count store.
     e.generation.store(generation, std::memory_order_release);
@@ -138,6 +150,7 @@ StreamHandle ShardedEngine::open_stream(std::uint64_t session_key) {
   StreamCommand open;
   open.kind = StreamCommand::Kind::kOpen;
   open.stream = handle.id;
+  open.decode = config.decode;
   try {
     if (running()) {
       // The pump is draining this ring; spin-yield until the open fits
@@ -236,12 +249,46 @@ std::size_t ShardedEngine::stream_shard(StreamHandle h) const {
   return entry(h).shard.load(std::memory_order_acquire);
 }
 
+std::size_t ShardedEngine::poll_events(StreamHandle h,
+                                       std::vector<speech::StreamEvent>& out) {
+  StreamEntry& e = entry(h);
+  const std::lock_guard<std::mutex> lock(e.events_mutex);
+  const std::size_t moved = e.events.size();
+  out.insert(out.end(), std::make_move_iterator(e.events.begin()),
+             std::make_move_iterator(e.events.end()));
+  e.events.clear();
+  return moved;
+}
+
+std::size_t ShardedEngine::poll_events(std::vector<RecognizerEvent>& out) {
+  std::size_t total = 0;
+  const std::uint64_t slots = slot_count_.load(std::memory_order_acquire);
+  for (std::uint64_t slot = 0; slot < slots; ++slot) {
+    StreamEntry& e = blocks_[slot / kEntriesPerBlock]
+                         ->entries[slot % kEntriesPerBlock];
+    const std::lock_guard<std::mutex> lock(e.events_mutex);
+    if (e.events.empty()) continue;
+    // The mailbox was cleared when this slot was last reissued, so its
+    // events belong to the current generation's stream.
+    const std::uint64_t generation =
+        e.generation.load(std::memory_order_acquire);
+    const StreamHandle handle{generation << kSlotBits | slot};
+    for (speech::StreamEvent& event : e.events) {
+      out.push_back(RecognizerEvent{handle, std::move(event)});
+    }
+    total += e.events.size();
+    e.events.clear();
+  }
+  return total;
+}
+
 // ---------------------------------------------------------- command flow
 
 void ShardedEngine::apply(Shard& shard, StreamCommand&& command) {
   switch (command.kind) {
     case StreamCommand::Kind::kOpen: {
-      runtime::StreamingSession& session = shard.engine->create_session();
+      runtime::StreamingSession& session = shard.engine->create_session(
+          config_.engine.mfcc, command.decode);
       shard.local.emplace(command.stream, &session);
       entry(StreamHandle{command.stream})
           .session.store(&session, std::memory_order_release);
@@ -281,6 +328,11 @@ void ShardedEngine::apply(Shard& shard, StreamCommand&& command) {
       // documented client misuse (reading a handle while closing it).
       e.session.store(nullptr, std::memory_order_release);
       e.done.store(true, std::memory_order_release);
+      {
+        // Unpolled hypotheses die with the stream the client abandoned.
+        const std::lock_guard<std::mutex> events_lock(e.events_mutex);
+        e.events.clear();
+      }
       // Ownership returns to us and dies here: the session is freed.
       (void)shard.engine->release_session(session);
       // The slot can serve a future stream; its next occupant bumps the
@@ -303,6 +355,16 @@ std::size_t ShardedEngine::apply_commands(Shard& shard) {
     ++applied;
   }
   return applied;
+}
+
+void ShardedEngine::collect_events(Shard& shard) {
+  for (const auto& [id, session] : shard.local) {
+    if (session->pending_events() == 0) continue;
+    StreamEntry* e = try_entry(id);
+    if (e == nullptr) continue;  // slot reissued mid-flight: drop
+    const std::lock_guard<std::mutex> lock(e->events_mutex);
+    session->poll_events(e->events);
+  }
 }
 
 void ShardedEngine::mark_done(Shard& shard) {
@@ -335,6 +397,7 @@ void ShardedEngine::pump_loop(std::size_t s) {
     for (;;) {
       std::size_t worked = apply_commands(shard);
       worked += shard.engine->step();
+      collect_events(shard);
       mark_done(shard);
       publish_backlog(shard);
       if (worked > 0) {
@@ -397,6 +460,7 @@ void ShardedEngine::stop() {
       for (const auto& shard : shards_) {
         worked += apply_commands(*shard);
         worked += shard->engine->drain();
+        collect_events(*shard);
         mark_done(*shard);
         publish_backlog(*shard);
       }
@@ -428,6 +492,7 @@ std::size_t ShardedEngine::pump_shard(std::size_t s) {
   Shard& shard = *shards_[s];
   std::size_t worked = apply_commands(shard);
   worked += shard.engine->step();
+  collect_events(shard);
   mark_done(shard);
   publish_backlog(shard);
   return worked;
@@ -444,6 +509,7 @@ std::size_t ShardedEngine::drain() {
       const std::size_t frames = shard.engine->drain();
       worked += frames;
       total_frames += frames;
+      collect_events(shard);
       mark_done(shard);
       publish_backlog(shard);
     }
@@ -463,8 +529,10 @@ std::size_t ShardedEngine::drain_shard(std::size_t s) {
     RT_REQUIRE(router_.admissible_count() > 0,
                "drain_shard: no shard left to migrate to");
   }
-  // Flush the ingress ring so no command is stranded on the dead shard.
+  // Flush the ingress ring so no command is stranded on the dead shard,
+  // and publish any decoder events it produced before its streams leave.
   apply_commands(source);
+  collect_events(source);
   mark_done(source);
 
   // Move every live stream to an admissible sibling, state intact.

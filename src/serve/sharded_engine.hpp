@@ -39,6 +39,7 @@
 #include "compiler/gru_executor.hpp"
 #include "hw/timer.hpp"
 #include "runtime/inference_engine.hpp"
+#include "serve/recognizer.hpp"
 #include "serve/shard_router.hpp"
 #include "serve/stats_aggregator.hpp"
 #include "serve/submission_queue.hpp"
@@ -61,20 +62,14 @@ struct ShardConfig {
   runtime::EngineConfig engine;
 };
 
-/// Opaque ticket for one client stream, valid for the ShardedEngine that
-/// issued it.
-struct StreamHandle {
-  std::uint64_t id = 0;
-};
-
-class ShardedEngine {
+class ShardedEngine final : public Recognizer {
  public:
   /// Compiles `config.shards` replicas of `model` under `options` (the
   /// per-shard thread width and core range are filled in per replica).
   ShardedEngine(const SpeechModel& model,
                 const std::map<std::string, BlockMask>& masks,
                 const CompilerOptions& options, ShardConfig config);
-  ~ShardedEngine();
+  ~ShardedEngine() override;
 
   ShardedEngine(const ShardedEngine&) = delete;
   ShardedEngine& operator=(const ShardedEngine&) = delete;
@@ -84,20 +79,28 @@ class ShardedEngine {
   [[nodiscard]] const CompiledSpeechModel& shard_model(std::size_t s) const;
 
   // ---- stream lifecycle (any thread) ----
-  /// Admits a new stream; the router picks its shard. `session_key`
-  /// drives the session-hash policy (clients reusing a key stick to one
-  /// shard); other policies ignore it.
-  [[nodiscard]] StreamHandle open_stream(std::uint64_t session_key = 0);
+  /// Admits a new stream; the router picks its shard (config.session_key
+  /// drives the session-hash policy: clients reusing a key stick to one
+  /// shard; other policies ignore it). The stream's decoder config rides
+  /// the open command to its shard.
+  using Recognizer::open_stream;
+  [[nodiscard]] StreamHandle open_stream(const StreamConfig& config) override;
+  /// Pre-Recognizer compatibility surface: a keyed stream with NO
+  /// in-loop decoding, exactly the pre-redesign behavior — existing
+  /// logits-only callers (and their benchmark baselines) keep their
+  /// workload. New code passes a StreamConfig, where decoding defaults
+  /// on.
+  [[nodiscard]] StreamHandle open_stream(std::uint64_t session_key);
   /// Enqueues an audio chunk on the stream's shard without taking any
   /// engine lock. Returns false when the shard's ingress ring is full —
   /// backpressure the caller handles by retrying or dropping. Throws if
   /// the shard's pump died on an internal error (retrying could never
   /// succeed); stop() reports the underlying cause.
   [[nodiscard]] bool submit_audio(StreamHandle h,
-                                  std::span<const float> samples);
+                                  std::span<const float> samples) override;
   /// Marks end of audio (releases the front end's lookahead tail). Same
   /// backpressure contract as submit_audio.
-  [[nodiscard]] bool finish_stream(StreamHandle h);
+  [[nodiscard]] bool finish_stream(StreamHandle h) override;
   /// Releases the stream's session (results included) once the client
   /// has read its logits — without this, finished sessions accumulate on
   /// their engines forever. Closing a live stream abandons it. Same
@@ -105,16 +108,27 @@ class ShardedEngine {
   /// close is issued: the owning client must not race stream_logits()
   /// against close_stream() on the same handle (same rule as read()
   /// racing close() on a file descriptor).
-  [[nodiscard]] bool close_stream(StreamHandle h);
+  [[nodiscard]] bool close_stream(StreamHandle h) override;
+
+  // ---- hypothesis events (any thread) ----
+  /// Drains the stream's hypothesis events into `out`. Each shard's pump
+  /// flushes its sessions' events into a per-stream mailbox after every
+  /// scheduling round, so polling never touches an engine; mailboxes
+  /// live in the handle table, so an event survives its stream's
+  /// migration to another shard.
+  std::size_t poll_events(StreamHandle h,
+                          std::vector<speech::StreamEvent>& out) override;
+  /// Drain-all: every stream's pending events, tagged with their handles.
+  std::size_t poll_events(std::vector<RecognizerEvent>& out) override;
 
   /// True once the stream's audio is finished and every frame is served.
   /// After it returns true, stream_logits() is safe from any thread (for
   /// as long as the handle is not closed). Throws if the stream's shard
   /// died before completing it — it would otherwise never flip.
-  [[nodiscard]] bool stream_done(StreamHandle h) const;
+  [[nodiscard]] bool stream_done(StreamHandle h) const override;
   /// The stream's logits so far. Requires the stream to be done, or the
   /// engine to be out of threaded mode (no pump running).
-  [[nodiscard]] Matrix stream_logits(StreamHandle h) const;
+  [[nodiscard]] Matrix stream_logits(StreamHandle h) const override;
   /// Which shard currently serves the stream (moves on migration).
   [[nodiscard]] std::size_t stream_shard(StreamHandle h) const;
 
@@ -139,7 +153,7 @@ class ShardedEngine {
   std::size_t pump_shard(std::size_t s);
   /// Pumps all shards round-robin until no shard makes progress (all
   /// submitted audio served). Returns total frames stepped.
-  std::size_t drain();
+  std::size_t drain() override;
 
   // ---- shard drain / migration (synchronous mode) ----
   /// Gracefully drains shard `s`: stops admission, flushes its ingress
@@ -163,14 +177,22 @@ class ShardedEngine {
   /// Fleet view: merged counters/latency plus capacity and wall-clock
   /// throughput over the threaded serving windows accumulated since the
   /// last reset_stats (requires no pump running).
-  [[nodiscard]] GlobalStats stats() const;
-  void reset_stats();
+  [[nodiscard]] GlobalStats stats() const override;
+  void reset_stats() override;
 
  private:
   struct StreamEntry {
     std::atomic<std::size_t> shard{0};
     std::atomic<runtime::StreamingSession*> session{nullptr};
     std::atomic<bool> done{false};
+    /// Hypothesis events flushed out of the stream's session by its
+    /// shard's pump, awaiting a client poll. Guarded by its own tiny
+    /// mutex: the pump appends between scheduling rounds, the client
+    /// drains — neither path ever holds an engine lock. Lives here (not
+    /// on the shard) so pending events follow the stream through
+    /// migration.
+    std::mutex events_mutex;
+    std::vector<speech::StreamEvent> events;
     /// Bumped every time the slot is reissued to a new stream; a handle
     /// whose generation no longer matches is stale (its stream was
     /// closed and the slot reused) and is rejected instead of silently
@@ -227,6 +249,11 @@ class ShardedEngine {
   bool enqueue(std::size_t shard, StreamCommand&& command);
   void apply(Shard& shard, StreamCommand&& command);
   std::size_t apply_commands(Shard& shard);
+  /// Flushes every local session's decoder events into its stream's
+  /// mailbox. Runs after each scheduling round, before mark_done, so a
+  /// completing stream's final event is published before its session
+  /// leaves `local`.
+  void collect_events(Shard& shard);
   void mark_done(Shard& shard);
   void publish_backlog(Shard& shard);
   void pump_loop(std::size_t s);

@@ -16,6 +16,8 @@
 #include <memory>
 #include <vector>
 
+#include "speech/streaming_decoder.hpp"
+
 namespace rtmobile::serve {
 
 /// One ingress message for a stream on its owning shard.
@@ -29,6 +31,11 @@ struct StreamCommand {
   Kind kind = Kind::kAudio;
   std::uint64_t stream = 0;    // ShardedEngine stream handle id
   std::vector<float> samples;  // audio payload (kAudio only, moved in)
+  /// The stream's decoder setup, carried across the shard boundary so
+  /// the pump builds the session exactly as the client configured it
+  /// (kOpen only).
+  speech::StreamingDecoderConfig decode =
+      speech::StreamingDecoderConfig::none();
 };
 
 class SubmissionQueue {

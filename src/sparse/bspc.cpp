@@ -89,18 +89,29 @@ void BspcMatrix::spmv_stripes(std::span<const float> x, std::span<float> y,
 void BspcMatrix::spmv_stripe_list(std::span<const float> x,
                                   std::span<float> y,
                                   std::span<const std::uint32_t> stripes,
+                                  bool use_lre,
+                                  std::span<float> gather) const {
+  RT_REQUIRE(!use_lre || gather.size() >= max_block_cols_,
+             "BSPC spmv: LRE gather scratch smaller than max_block_cols");
+  for (const std::uint32_t s : stripes) {
+    RT_REQUIRE(s < num_r_, "BSPC spmv: stripe index out of range");
+    process_stripe(x, y, s, use_lre, gather);
+  }
+}
+
+void BspcMatrix::spmv_stripe_list(std::span<const float> x,
+                                  std::span<float> y,
+                                  std::span<const std::uint32_t> stripes,
                                   bool use_lre) const {
   std::vector<float> gathered;
   if (use_lre) gathered.resize(max_block_cols_);
-  for (const std::uint32_t s : stripes) {
-    RT_REQUIRE(s < num_r_, "BSPC spmv: stripe index out of range");
-    process_stripe(x, y, s, use_lre, gathered);
-  }
+  spmv_stripe_list(x, y, stripes, use_lre,
+                   {gathered.data(), gathered.size()});
 }
 
 void BspcMatrix::process_stripe(std::span<const float> x, std::span<float> y,
                                 std::size_t s, bool use_lre,
-                                std::vector<float>& gathered) const {
+                                std::span<float> gathered) const {
   {
     const std::size_t row_lo = stripe_row_ptr_[s];
     const std::size_t row_hi = stripe_row_ptr_[s + 1];

@@ -65,7 +65,14 @@ class BspcMatrix {
   /// Processes an explicit list of stripes in the given order (the
   /// compiler's reorder pass chooses the order), accumulating into y.
   /// Stripe row sets are disjoint, so concurrent calls with disjoint
-  /// stripe lists never race on y.
+  /// stripe lists never race on y. `gather` is the LRE scratch buffer
+  /// (>= max_block_cols() floats when use_lre; may be empty otherwise) —
+  /// caller-provided so the serving step path performs zero heap
+  /// allocations per matvec. Concurrent calls need disjoint buffers.
+  void spmv_stripe_list(std::span<const float> x, std::span<float> y,
+                        std::span<const std::uint32_t> stripes, bool use_lre,
+                        std::span<float> gather) const;
+  /// Convenience overload that allocates its own gather scratch.
   void spmv_stripe_list(std::span<const float> x, std::span<float> y,
                         std::span<const std::uint32_t> stripes,
                         bool use_lre = true) const;
@@ -119,7 +126,7 @@ class BspcMatrix {
   /// caller-provided LRE scratch buffer (>= max_block_cols_ when use_lre).
   void process_stripe(std::span<const float> x, std::span<float> y,
                       std::size_t s, bool use_lre,
-                      std::vector<float>& gathered) const;
+                      std::span<float> gathered) const;
 
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;

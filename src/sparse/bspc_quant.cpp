@@ -96,7 +96,7 @@ PackedQuantizedBspc PackedQuantizedBspc::pack(const BspcMatrix& source,
 template <bool kUseLre>
 void PackedQuantizedBspc::process_stripe(std::span<const float> x,
                                          std::span<float> y, std::size_t s,
-                                         std::vector<float>& gathered) const {
+                                         std::span<float> gathered) const {
   const std::size_t row_lo = stripe_row_ptr_[s];
   const std::size_t row_hi = stripe_row_ptr_[s + 1];
   const std::size_t n_rows = row_hi - row_lo;
@@ -152,17 +152,27 @@ void PackedQuantizedBspc::spmv(std::span<const float> x,
 
 void PackedQuantizedBspc::spmv_stripe_list(
     std::span<const float> x, std::span<float> y,
-    std::span<const std::uint32_t> stripes, bool use_lre) const {
-  std::vector<float> gathered;
-  if (use_lre) gathered.resize(max_block_cols_);
+    std::span<const std::uint32_t> stripes, bool use_lre,
+    std::span<float> gather) const {
+  RT_REQUIRE(!use_lre || gather.size() >= max_block_cols_,
+             "packed spmv: LRE gather scratch smaller than max_block_cols");
   for (const std::uint32_t s : stripes) {
     RT_REQUIRE(s < num_r_, "packed spmv: stripe index out of range");
     if (use_lre) {
-      process_stripe<true>(x, y, s, gathered);
+      process_stripe<true>(x, y, s, gather);
     } else {
-      process_stripe<false>(x, y, s, gathered);
+      process_stripe<false>(x, y, s, gather);
     }
   }
+}
+
+void PackedQuantizedBspc::spmv_stripe_list(
+    std::span<const float> x, std::span<float> y,
+    std::span<const std::uint32_t> stripes, bool use_lre) const {
+  std::vector<float> gathered;
+  if (use_lre) gathered.resize(max_block_cols_);
+  spmv_stripe_list(x, y, stripes, use_lre,
+                   {gathered.data(), gathered.size()});
 }
 
 void PackedQuantizedBspc::spmm(const Matrix& x, Matrix& y,

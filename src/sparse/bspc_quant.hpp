@@ -52,10 +52,21 @@ class PackedQuantizedBspc {
   /// Processes an explicit stripe list in order, accumulating into y —
   /// the unit the compiler's thread partition dispatches, mirroring
   /// BspcMatrix::spmv_stripe_list. Stripe row sets are disjoint, so
-  /// concurrent calls with disjoint lists never race on y.
+  /// concurrent calls with disjoint lists never race on y. `gather` is
+  /// the caller-provided LRE scratch (>= max_block_cols() floats when
+  /// use_lre); concurrent calls need disjoint buffers.
+  void spmv_stripe_list(std::span<const float> x, std::span<float> y,
+                        std::span<const std::uint32_t> stripes, bool use_lre,
+                        std::span<float> gather) const;
+  /// Convenience overload that allocates its own gather scratch.
   void spmv_stripe_list(std::span<const float> x, std::span<float> y,
                         std::span<const std::uint32_t> stripes,
                         bool use_lre = true) const;
+
+  /// Widest block's kept-column count (the LRE gather scratch size).
+  [[nodiscard]] std::size_t max_block_cols() const {
+    return max_block_cols_;
+  }
 
   /// Batched right-hand sides: row b of X (b < batch) is an independent
   /// input vector and row b of Y receives A X[b]. Weights are streamed
@@ -77,7 +88,7 @@ class PackedQuantizedBspc {
  private:
   template <bool kUseLre>
   void process_stripe(std::span<const float> x, std::span<float> y,
-                      std::size_t s, std::vector<float>& gathered) const;
+                      std::size_t s, std::span<float> gathered) const;
 
   [[nodiscard]] float dequantize_at(std::size_t value_index,
                                     std::size_t row) const;

@@ -2,11 +2,22 @@
 
 #include <algorithm>
 #include <map>
+#include <string>
 
 #include "tensor/ops.hpp"
 #include "util/check.hpp"
 
 namespace rtmobile::speech {
+
+void DecoderConfig::validate() const {
+  RT_REQUIRE(smooth_window % 2 == 1,
+             "DecoderConfig.smooth_window must be odd (the majority window "
+             "needs a center frame; 1 disables smoothing), got " +
+                 std::to_string(smooth_window));
+  RT_REQUIRE(min_run >= 1,
+             "DecoderConfig.min_run must be >= 1 (1 keeps every run; 0 "
+             "would silently behave like 1)");
+}
 
 std::vector<std::uint16_t> frame_argmax(const Matrix& logits) {
   std::vector<std::uint16_t> labels(logits.rows());
@@ -14,6 +25,27 @@ std::vector<std::uint16_t> frame_argmax(const Matrix& logits) {
     labels[t] = static_cast<std::uint16_t>(argmax(logits.row(t)));
   }
   return labels;
+}
+
+std::uint16_t majority_vote(std::span<const std::uint16_t> frames,
+                            std::size_t lo, std::size_t hi,
+                            std::uint16_t center) {
+  RT_REQUIRE(lo < hi && hi <= frames.size(),
+             "majority_vote: window out of range");
+  std::map<std::uint16_t, std::size_t> votes;
+  for (std::size_t i = lo; i < hi; ++i) ++votes[frames[i]];
+  // Majority with tie preference for the center frame's label; remaining
+  // ties break toward the smallest label (ascending map order + strict
+  // improvement).
+  std::uint16_t best = center;
+  std::size_t best_votes = votes[center];
+  for (const auto& [label, count] : votes) {
+    if (count > best_votes) {
+      best = label;
+      best_votes = count;
+    }
+  }
+  return best;
 }
 
 std::vector<std::uint16_t> majority_smooth(
@@ -25,18 +57,7 @@ std::vector<std::uint16_t> majority_smooth(
   for (std::size_t t = 0; t < frames.size(); ++t) {
     const std::size_t lo = t >= half ? t - half : 0;
     const std::size_t hi = std::min(frames.size(), t + half + 1);
-    std::map<std::uint16_t, std::size_t> votes;
-    for (std::size_t i = lo; i < hi; ++i) ++votes[frames[i]];
-    // Majority with tie preference for the center frame's label.
-    std::uint16_t best = frames[t];
-    std::size_t best_votes = votes[frames[t]];
-    for (const auto& [label, count] : votes) {
-      if (count > best_votes) {
-        best = label;
-        best_votes = count;
-      }
-    }
-    smoothed[t] = best;
+    smoothed[t] = majority_vote(frames, lo, hi, frames[t]);
   }
   return smoothed;
 }
@@ -66,6 +87,7 @@ std::vector<std::uint16_t> collapse_runs(
 
 std::vector<std::uint16_t> greedy_decode(const Matrix& logits,
                                          const DecoderConfig& config) {
+  config.validate();
   return collapse_runs(majority_smooth(frame_argmax(logits),
                                        config.smooth_window),
                        config.min_run);

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "tensor/matrix.hpp"
@@ -15,10 +16,26 @@ namespace rtmobile::speech {
 struct DecoderConfig {
   std::size_t smooth_window = 3;  // odd; 1 disables smoothing
   std::size_t min_run = 2;        // drop decoded runs shorter than this
+
+  /// Rejects configurations whose behavior would otherwise be undefined
+  /// or silently surprising: an even smooth_window (the majority window
+  /// must have a center frame) and min_run == 0 (which would read as
+  /// "keep nothing" but actually behaves like 1). Throws
+  /// std::invalid_argument naming the offending field. Called by every
+  /// decode entry point that consumes the config.
+  void validate() const;
 };
 
 /// Per-frame argmax labels of a logit matrix (T x C).
 [[nodiscard]] std::vector<std::uint16_t> frame_argmax(const Matrix& logits);
+
+/// The majority label over frames [lo, hi), with ties resolved in favor
+/// of `center` (the window's center label) and then by smallest label.
+/// This is the single vote rule shared by batch and streaming smoothing,
+/// so the two can never drift apart.
+[[nodiscard]] std::uint16_t majority_vote(
+    std::span<const std::uint16_t> frames, std::size_t lo, std::size_t hi,
+    std::uint16_t center);
 
 /// Sliding-window majority vote (window must be odd; 1 = identity).
 [[nodiscard]] std::vector<std::uint16_t> majority_smooth(

@@ -1,0 +1,331 @@
+#include "speech/streaming_decoder.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "tensor/ops.hpp"
+#include "util/check.hpp"
+
+namespace rtmobile::speech {
+
+const char* to_string(DecodeMode mode) {
+  switch (mode) {
+    case DecodeMode::kNone: return "none";
+    case DecodeMode::kGreedy: return "greedy";
+    case DecodeMode::kViterbi: return "viterbi";
+  }
+  return "?";
+}
+
+bool operator==(const StreamEvent& a, const StreamEvent& b) {
+  return a.frames == b.frames && a.stable == b.stable &&
+         a.partial == b.partial && a.is_final == b.is_final;
+}
+
+StreamingDecoder::StreamingDecoder(std::size_t num_classes,
+                                   const StreamingDecoderConfig& config)
+    : classes_(num_classes), config_(config) {
+  RT_REQUIRE(num_classes >= 1, "streaming decoder: need >= 1 class");
+  RT_REQUIRE(config_.mode != DecodeMode::kNone,
+             "streaming decoder: mode kNone means no decoder — do not "
+             "construct one");
+  if (config_.mode == DecodeMode::kGreedy) {
+    config_.greedy.validate();
+  } else {
+    RT_REQUIRE(config_.switch_penalty >= 0.0,
+               "streaming decoder: switch penalty must be non-negative");
+    score_.resize(classes_);
+    next_score_.resize(classes_);
+    log_probs_.resize(classes_);
+  }
+}
+
+void StreamingDecoder::push_row(std::span<const float> row) {
+  RT_REQUIRE(!finished_, "streaming decoder: push after finish");
+  RT_REQUIRE(row.size() == classes_,
+             "streaming decoder: logits row width mismatch");
+  if (config_.mode == DecodeMode::kGreedy) {
+    labels_.push_back(static_cast<std::uint16_t>(argmax(row)));
+    ++frames_;
+    advance_greedy();
+    publish();
+    return;
+  }
+  viterbi_step(row);
+  // Scans (and the partial backtrack publish() performs) follow the
+  // backoff schedule; the DP itself advances every frame regardless, so
+  // skipped frames cost O(classes) and finals are unaffected.
+  if (frames_ < next_stabilize_) return;
+  const std::size_t before = path_done_;
+  viterbi_stabilize();
+  stabilize_gap_ = path_done_ > before ? 1 : stabilize_gap_ * 2;
+  next_stabilize_ = frames_ + stabilize_gap_;
+  publish();
+}
+
+void StreamingDecoder::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (config_.mode == DecodeMode::kGreedy) {
+    finish_greedy();
+  } else if (frames_ > 0) {
+    viterbi_emit_range(frames_ - 1, viterbi_best_state());
+  }
+  publish();
+}
+
+std::size_t StreamingDecoder::poll_events(std::vector<StreamEvent>& out) {
+  const std::size_t moved = events_.size();
+  out.insert(out.end(), std::make_move_iterator(events_.begin()),
+             std::make_move_iterator(events_.end()));
+  events_.clear();
+  return moved;
+}
+
+std::vector<std::uint16_t> StreamingDecoder::hypothesis() const {
+  std::vector<std::uint16_t> all(stable_.begin(), stable_.end());
+  all.insert(all.end(), partial_.begin(), partial_.end());
+  return all;
+}
+
+// ------------------------------------------------------------------ greedy
+
+void StreamingDecoder::advance_greedy() {
+  const std::size_t window = config_.greedy.smooth_window;
+  const std::size_t half = window / 2;
+  const std::size_t size = labels_.size();
+
+  // How many smoothed labels are final. majority_smooth is the identity
+  // for window <= 1 and for utterances of <= 2 frames — so with a real
+  // window nothing is final until a 3rd frame proves the identity case
+  // cannot apply, and then a frame is final once its full right half has
+  // arrived. finish() finalizes the clipped tail.
+  std::size_t finalizable = 0;
+  if (window <= 1) {
+    finalizable = size;
+  } else if (finished_) {
+    finalizable = size;
+  } else if (size >= 3) {
+    finalizable = size > half ? size - half : 0;
+  }
+
+  const bool identity = window <= 1 || (finished_ && size <= 2);
+  for (std::size_t t = smoothed_.size(); t < finalizable; ++t) {
+    std::uint16_t label = labels_[t];
+    if (!identity) {
+      const std::size_t lo = t >= half ? t - half : 0;
+      const std::size_t hi = std::min(size, t + half + 1);
+      label = majority_vote(labels_, lo, hi, labels_[t]);
+    }
+    smoothed_.push_back(label);
+    collapse_push(label);
+  }
+}
+
+void StreamingDecoder::collapse_push(std::uint16_t label) {
+  if (run_open_ && label == run_label_) {
+    ++run_length_;
+  } else {
+    // The previous run's fate (kept or dropped) was decided the moment
+    // it reached min_run; a shorter run simply never emitted.
+    run_open_ = true;
+    run_label_ = label;
+    run_length_ = 1;
+    run_emitted_ = false;
+  }
+  if (!run_emitted_ && run_length_ >= config_.greedy.min_run) {
+    // Matches collapse_runs: a kept run whose label equals the last kept
+    // one is absorbed, not repeated.
+    if (stable_.empty() || stable_.back() != run_label_) {
+      stable_.push_back(run_label_);
+    }
+    run_emitted_ = true;
+  }
+}
+
+void StreamingDecoder::finish_greedy() {
+  advance_greedy();  // finalizes the clipped-window tail
+  // collapse_runs' degenerate fallback: if every run was shorter than
+  // min_run the batch decoder re-collapses with min_run = 1 so a
+  // non-empty utterance never decodes to nothing.
+  if (stable_.empty() && !smoothed_.empty()) {
+    stable_ = collapse_runs(smoothed_, 1);
+  }
+}
+
+std::vector<std::uint16_t> StreamingDecoder::greedy_partial() const {
+  std::vector<std::uint16_t> seq;
+  if (run_open_ && !run_emitted_) seq.push_back(run_label_);
+  const std::size_t window = config_.greedy.smooth_window;
+  const std::size_t half = window / 2;
+  const std::size_t size = labels_.size();
+  // Provisional smoothing of the not-yet-final frames with the clipped
+  // window we have so far (identity while the utterance could still end
+  // at <= 2 frames).
+  const bool identity = window <= 1 || size < 3;
+  for (std::size_t t = smoothed_.size(); t < size; ++t) {
+    std::uint16_t label = labels_[t];
+    if (!identity) {
+      const std::size_t lo = t >= half ? t - half : 0;
+      const std::size_t hi = std::min(size, t + half + 1);
+      label = majority_vote(labels_, lo, hi, labels_[t]);
+    }
+    if (seq.empty() || seq.back() != label) seq.push_back(label);
+  }
+  if (!seq.empty() && !stable_.empty() && seq.front() == stable_.back()) {
+    seq.erase(seq.begin());
+  }
+  return seq;
+}
+
+// ----------------------------------------------------------------- viterbi
+
+void StreamingDecoder::viterbi_step(std::span<const float> row) {
+  // Mirrors viterbi_path()'s DP frame step operation-for-operation so the
+  // scores — and therefore every tie-break — are bit-identical.
+  if (frames_ == 0) {
+    log_softmax(row, log_probs_);
+    for (std::size_t c = 0; c < classes_; ++c) {
+      score_[c] = static_cast<double>(log_probs_[c]);
+    }
+    backpointers_.resize(classes_);  // frame 0 row, never read
+    ++frames_;
+    return;
+  }
+
+  const std::size_t t = frames_;
+  std::size_t best_prev = 0;
+  std::size_t second_prev = classes_ > 1 ? 1 : 0;
+  if (classes_ > 1 && score_[second_prev] > score_[best_prev]) {
+    std::swap(best_prev, second_prev);
+  }
+  for (std::size_t c = 2; c < classes_; ++c) {
+    if (score_[c] > score_[best_prev]) {
+      second_prev = best_prev;
+      best_prev = c;
+    } else if (score_[c] > score_[second_prev]) {
+      second_prev = c;
+    }
+  }
+
+  log_softmax(row, log_probs_);
+  backpointers_.resize((t + 1) * classes_);
+  for (std::size_t c = 0; c < classes_; ++c) {
+    const double stay = score_[c];
+    const std::size_t switch_from = c == best_prev ? second_prev : best_prev;
+    const double switched = score_[switch_from] - config_.switch_penalty;
+    if (stay >= switched) {
+      next_score_[c] = stay + static_cast<double>(log_probs_[c]);
+      backpointers_[t * classes_ + c] = static_cast<std::uint16_t>(c);
+    } else {
+      next_score_[c] = switched + static_cast<double>(log_probs_[c]);
+      backpointers_[t * classes_ + c] =
+          static_cast<std::uint16_t>(switch_from);
+    }
+  }
+  std::swap(score_, next_score_);
+  ++frames_;
+}
+
+void StreamingDecoder::viterbi_stabilize() {
+  if (path_done_ == frames_) return;
+  if (classes_ == 1) {  // a single class converges trivially every frame
+    viterbi_emit_range(frames_ - 1, 0);
+    return;
+  }
+  // Walk every class's backtrack down in lockstep; once all live paths
+  // pass through one state at some frame k, the path below k can never
+  // change again (Bellman: any future best path extends one of the
+  // current ones, all of which funnel through that state).
+  converge_.resize(classes_);
+  std::iota(converge_.begin(), converge_.end(), std::uint16_t{0});
+  std::size_t k = frames_ - 1;
+  const auto all_equal = [this] {
+    for (std::size_t i = 1; i < classes_; ++i) {
+      if (converge_[i] != converge_[0]) return false;
+    }
+    return true;
+  };
+  while (!all_equal() && k > path_done_) {
+    for (std::size_t i = 0; i < classes_; ++i) {
+      converge_[i] = backpointers_[k * classes_ + converge_[i]];
+    }
+    --k;
+  }
+  if (!all_equal()) return;  // nothing new stabilized this frame
+  viterbi_emit_range(k, converge_[0]);
+}
+
+void StreamingDecoder::viterbi_emit_range(std::size_t upto,
+                                          std::uint16_t state) {
+  if (upto < path_done_) return;
+  const std::size_t n = upto - path_done_ + 1;
+  backtrack_.resize(n);
+  backtrack_[n - 1] = state;
+  for (std::size_t j = upto; j > path_done_; --j) {
+    backtrack_[j - 1 - path_done_] =
+        backpointers_[j * classes_ + backtrack_[j - path_done_]];
+  }
+  // collapse_runs(path, 1): plain consecutive dedup, nothing dropped.
+  for (const std::uint16_t label : backtrack_) {
+    if (stable_.empty() || stable_.back() != label) {
+      stable_.push_back(label);
+    }
+  }
+  path_done_ = upto + 1;
+}
+
+std::uint16_t StreamingDecoder::viterbi_best_state() const {
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < classes_; ++c) {
+    if (score_[c] > score_[best]) best = c;
+  }
+  return static_cast<std::uint16_t>(best);
+}
+
+std::vector<std::uint16_t> StreamingDecoder::viterbi_partial() const {
+  std::vector<std::uint16_t> seq;
+  if (path_done_ == frames_) return seq;
+  const std::size_t last = frames_ - 1;
+  std::vector<std::uint16_t> path(frames_ - path_done_);
+  path.back() = viterbi_best_state();
+  for (std::size_t j = last; j > path_done_; --j) {
+    path[j - 1 - path_done_] =
+        backpointers_[j * classes_ + path[j - path_done_]];
+  }
+  for (const std::uint16_t label : path) {
+    if (seq.empty() || seq.back() != label) seq.push_back(label);
+  }
+  if (!seq.empty() && !stable_.empty() && seq.front() == stable_.back()) {
+    seq.erase(seq.begin());
+  }
+  return seq;
+}
+
+// ------------------------------------------------------------------ events
+
+void StreamingDecoder::publish() {
+  std::vector<std::uint16_t> partial;
+  if (!finished_) {  // a finished stream has no unstable tail by definition
+    partial = config_.mode == DecodeMode::kGreedy ? greedy_partial()
+                                                  : viterbi_partial();
+  }
+  const bool stable_grew = stable_.size() > published_stable_;
+  const bool partial_changed = partial != partial_;
+  const bool final_pending = finished_ && !published_final_;
+  partial_ = std::move(partial);
+  if (!stable_grew && !partial_changed && !final_pending) return;
+
+  StreamEvent event;
+  event.frames = frames_;
+  event.stable.assign(stable_.begin() +
+                          static_cast<std::ptrdiff_t>(published_stable_),
+                      stable_.end());
+  event.partial = partial_;
+  event.is_final = finished_;
+  events_.push_back(std::move(event));
+  published_stable_ = stable_.size();
+  published_final_ = published_final_ || finished_;
+}
+
+}  // namespace rtmobile::speech

@@ -1,0 +1,170 @@
+// Incremental phone decoder over logit rows as the engine produces them.
+//
+// The batch decoders in speech/decoder.hpp need the whole utterance; this
+// class consumes one logits row at a time and maintains a split
+// hypothesis: a *stable* prefix that is mathematically final (no future
+// frame can change it) plus an *unstable* partial tail (the best current
+// guess over the frames still in flight). Every time either part changes
+// it emits a StreamEvent, so a serving layer can surface partial
+// hypotheses mid-stream — the product surface of a streaming recognizer.
+//
+// Finality guarantees, per mode:
+//  - kGreedy: a frame's smoothed label is final once its full majority
+//    window has arrived; a run is final once its length reaches min_run.
+//    After finish(), stable() is bit-identical to greedy_decode() on the
+//    same logits.
+//  - kViterbi: the per-frame DP is identical to viterbi_path(); a path
+//    prefix is final once every live backtrack converges onto it (the
+//    classic path-convergence criterion, so the prefix lies on *every*
+//    possible future best path). After finish(), stable() is
+//    bit-identical to viterbi_decode() on the same logits.
+//
+// Events are a pure function of the logit-row stream: feeding the same
+// rows in any chunking, on any engine or shard, produces the same event
+// sequence — the identity the Recognizer conformance tests assert.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "speech/decoder.hpp"
+
+namespace rtmobile::speech {
+
+enum class DecodeMode : std::uint8_t {
+  kNone,     // collect logits only (no decode state, no events)
+  kGreedy,   // argmax -> majority smooth -> run collapse
+  kViterbi,  // duration-penalty Viterbi (switch cost per phone change)
+};
+
+[[nodiscard]] const char* to_string(DecodeMode mode);
+
+struct StreamingDecoderConfig {
+  DecodeMode mode = DecodeMode::kGreedy;
+  DecoderConfig greedy;         // kGreedy smoothing / min-run knobs
+  double switch_penalty = 4.0;  // kViterbi phone-switch cost (log units)
+
+  /// The logits-only marker config (no decoder is built): every other
+  /// field keeps its default, so callers cannot drift from the struct.
+  [[nodiscard]] static StreamingDecoderConfig none() {
+    StreamingDecoderConfig config;
+    config.mode = DecodeMode::kNone;
+    return config;
+  }
+};
+
+/// One incremental hypothesis update. `stable` carries only the phones
+/// finalized since the previous event (clients append them), `partial`
+/// the full current unstable tail (clients replace it). The final event
+/// of a stream has `is_final == true` and an empty partial: the
+/// concatenation of every `stable` delta is then the whole hypothesis.
+struct StreamEvent {
+  std::size_t frames = 0;  // logit rows consumed when this was emitted
+  std::vector<std::uint16_t> stable;   // newly finalized phones (delta)
+  std::vector<std::uint16_t> partial;  // current unstable tail (whole)
+  bool is_final = false;
+};
+
+[[nodiscard]] bool operator==(const StreamEvent& a, const StreamEvent& b);
+
+class StreamingDecoder {
+ public:
+  /// `num_classes` is the logits row width. `config.mode` must not be
+  /// kNone (a decoder that decodes nothing is a caller bug); the greedy
+  /// config and switch penalty are validated here, at use.
+  explicit StreamingDecoder(std::size_t num_classes,
+                            const StreamingDecoderConfig& config = {});
+
+  /// Consumes the next logits row (size num_classes) and updates the
+  /// hypothesis, emitting an event if it changed.
+  void push_row(std::span<const float> row);
+
+  /// Marks end of stream: the remaining tail is finalized and the final
+  /// event emitted. Idempotent. After this, push_row is rejected.
+  void finish();
+
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] std::size_t frames() const { return frames_; }
+  [[nodiscard]] const StreamingDecoderConfig& config() const {
+    return config_;
+  }
+
+  // ---- events ----
+  [[nodiscard]] std::size_t pending_events() const { return events_.size(); }
+  /// Appends all pending events to `out` (oldest first) and clears the
+  /// internal queue. Returns how many were moved.
+  std::size_t poll_events(std::vector<StreamEvent>& out);
+
+  // ---- hypothesis views ----
+  /// The finalized prefix (bit-identical to the batch decode once
+  /// finished).
+  [[nodiscard]] std::span<const std::uint16_t> stable() const {
+    return stable_;
+  }
+  /// The current unstable tail.
+  [[nodiscard]] const std::vector<std::uint16_t>& partial() const {
+    return partial_;
+  }
+  /// stable() + partial(): the full current best hypothesis.
+  [[nodiscard]] std::vector<std::uint16_t> hypothesis() const;
+
+ private:
+  void advance_greedy();
+  void finish_greedy();
+  /// Appends one finalized smoothed label to the run-collapse state.
+  void collapse_push(std::uint16_t label);
+  [[nodiscard]] std::vector<std::uint16_t> greedy_partial() const;
+
+  void viterbi_step(std::span<const float> row);
+  /// Detects backtrack convergence and finalizes the agreed path prefix.
+  void viterbi_stabilize();
+  /// Finalizes path frames [path_done_, upto] backtracking from `state`
+  /// at frame `upto`.
+  void viterbi_emit_range(std::size_t upto, std::uint16_t state);
+  [[nodiscard]] std::vector<std::uint16_t> viterbi_partial() const;
+  [[nodiscard]] std::uint16_t viterbi_best_state() const;
+
+  /// Emits an event when the hypothesis changed (or the stream ended).
+  void publish();
+
+  std::size_t classes_ = 0;
+  StreamingDecoderConfig config_;
+  bool finished_ = false;
+  std::size_t frames_ = 0;
+
+  // Shared hypothesis state.
+  std::vector<std::uint16_t> stable_;
+  std::vector<std::uint16_t> partial_;
+  std::vector<StreamEvent> events_;
+  std::size_t published_stable_ = 0;  // stable_ size at the last event
+  bool published_final_ = false;
+
+  // Greedy state.
+  std::vector<std::uint16_t> labels_;    // per-frame argmax so far
+  std::vector<std::uint16_t> smoothed_;  // finalized smoothed prefix
+  bool run_open_ = false;     // collapse: current run over smoothed_
+  std::uint16_t run_label_ = 0;
+  std::size_t run_length_ = 0;
+  bool run_emitted_ = false;  // run already appended to (or absorbed by)
+                              // stable_
+
+  // Viterbi state (mirrors viterbi_path()'s DP exactly).
+  std::vector<double> score_;
+  std::vector<double> next_score_;
+  std::vector<float> log_probs_;
+  std::vector<std::uint16_t> backpointers_;  // frames x classes
+  std::size_t path_done_ = 0;  // finalized path-frame count
+  std::vector<std::uint16_t> converge_;      // backtrack work buffer
+  std::vector<std::uint16_t> backtrack_;     // path-segment work buffer
+  /// Convergence-scan schedule. A scan costs O(unstable x classes), so
+  /// scanning every frame is quadratic over a stretch that refuses to
+  /// converge (e.g. a huge switch penalty freezing every backtrack).
+  /// Doubling the gap after each failed scan keeps total scan work
+  /// linear in stream length (amortized O(classes) per frame) while a
+  /// converging stream still stabilizes every frame.
+  std::size_t stabilize_gap_ = 1;
+  std::size_t next_stabilize_ = 0;  // frame count that triggers a scan
+};
+
+}  // namespace rtmobile::speech
