@@ -1,0 +1,52 @@
+// Time source for the runtime's real-time clock model.
+//
+// Stream lag — how far a stream's oldest queued audio has fallen behind
+// the wall clock — is the first-class serving metric of the deadline
+// scheduler, so the engine stamps every feature frame with an arrival
+// time. The source of those stamps is abstracted behind EngineClock so
+// scheduler tests and simulation benches can drive time deterministically
+// (ManualClock) while production uses the monotonic wall clock.
+//
+// WallClock reads microseconds since one process-wide steady epoch, so
+// arrival stamps taken on one engine compare correctly against "now" on
+// another — the property shard migration needs (a stream's frames keep
+// their stamps when the stream moves to a sibling shard's engine).
+#pragma once
+
+#include <chrono>
+
+namespace rtmobile::runtime {
+
+/// Monotonic microsecond time source; injectable for deterministic tests.
+class EngineClock {
+ public:
+  virtual ~EngineClock() = default;
+  [[nodiscard]] virtual double now_us() = 0;
+};
+
+/// Microseconds since a process-wide steady epoch (first use).
+class WallClock final : public EngineClock {
+ public:
+  [[nodiscard]] double now_us() override {
+    static const std::chrono::steady_clock::time_point epoch =
+        std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch)
+        .count();
+  }
+};
+
+/// Caller-advanced clock: time moves only when the test (or a simulation
+/// bench) says so, making lag accounting and scheduler decisions exactly
+/// reproducible.
+class ManualClock final : public EngineClock {
+ public:
+  [[nodiscard]] double now_us() override { return now_us_; }
+  void advance_us(double us) { now_us_ += us; }
+  void set_us(double us) { now_us_ = us; }
+
+ private:
+  double now_us_ = 0.0;
+};
+
+}  // namespace rtmobile::runtime

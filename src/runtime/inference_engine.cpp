@@ -1,6 +1,7 @@
 #include "runtime/inference_engine.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "hw/timer.hpp"
@@ -12,6 +13,9 @@ InferenceEngine::InferenceEngine(const CompiledSpeechModel& model,
                                  EngineConfig config)
     : model_(model), config_(std::move(config)) {
   RT_REQUIRE(config_.max_batch > 0, "engine: max_batch must be positive");
+  if (config_.stats_sample_cap != 0) {
+    stats_.set_sample_cap(config_.stats_sample_cap);
+  }
 }
 
 StreamingSession& InferenceEngine::create_session() {
@@ -20,9 +24,7 @@ StreamingSession& InferenceEngine::create_session() {
 
 StreamingSession& InferenceEngine::create_session(
     const speech::MfccConfig& mfcc) {
-  sessions_.push_back(
-      std::make_unique<StreamingSession>(next_id_++, model_, mfcc));
-  return *sessions_.back();
+  return create_session(mfcc, speech::StreamingDecoderConfig::none());
 }
 
 StreamingSession& InferenceEngine::create_session(
@@ -30,6 +32,7 @@ StreamingSession& InferenceEngine::create_session(
     const speech::StreamingDecoderConfig& decode) {
   sessions_.push_back(
       std::make_unique<StreamingSession>(next_id_++, model_, mfcc, decode));
+  sessions_.back()->set_clock(&clock());
   return *sessions_.back();
 }
 
@@ -38,22 +41,110 @@ StreamingSession& InferenceEngine::session(std::size_t index) {
   return *sessions_[index];
 }
 
+void InferenceEngine::apply_overload(double now_us) {
+  if (config_.overload == OverloadPolicy::kNone) return;
+  for (const auto& session : sessions_) {
+    if (!session->deadline().enabled() || session->rejected()) continue;
+    if (!session->frame_ready()) continue;
+    if (session->frame_wait_us(now_us) <= session->deadline().budget_us()) {
+      continue;
+    }
+    if (config_.overload == OverloadPolicy::kShed) {
+      stats_.shed_frames += session->shed_overdue(now_us);
+    } else {
+      stats_.shed_frames += session->reject();
+      stats_.rejected_streams += 1;
+    }
+  }
+}
+
+void InferenceEngine::gather_by_priority() {
+  ready_.clear();
+  for (const auto& session : sessions_) {
+    if (session->frame_ready()) ready_.push_back(session.get());
+  }
+  const bool edf =
+      config_.scheduler == SchedulerPolicy::kEarliestDeadlineFirst;
+  // EDF: serve the stream whose head-frame deadline (arrival + budget)
+  // expires first; budgetless streams sort after every deadlined one,
+  // oldest head frame first. Lag-aware: serve the most-behind stream
+  // (oldest head-frame arrival) first. Both keys are arrival-derived, so
+  // they are stable within a round; ties break by admission id for a
+  // deterministic total order.
+  auto key = [edf](const StreamingSession* s) {
+    const double arrival = s->oldest_arrival_us();
+    if (!edf) return arrival;
+    return s->deadline().enabled()
+               ? arrival + s->deadline().budget_us()
+               : std::numeric_limits<double>::infinity();
+  };
+  const std::size_t take = std::min(ready_.size(), config_.max_batch);
+  // Only the served prefix needs ordering: O(N log take) per round, not
+  // a full sort of every ready stream in the overload regime.
+  std::partial_sort(
+      ready_.begin(), ready_.begin() + static_cast<std::ptrdiff_t>(take),
+      ready_.end(),
+      [&key, edf](const StreamingSession* a, const StreamingSession* b) {
+        const double ka = key(a);
+        const double kb = key(b);
+        if (ka != kb) return ka < kb;
+        // EDF tie (same deadline, e.g. both budgetless): the more
+        // behind stream first, then id.
+        if (edf && a->oldest_arrival_us() != b->oldest_arrival_us()) {
+          return a->oldest_arrival_us() < b->oldest_arrival_us();
+        }
+        return a->id() < b->id();
+      });
+  active_.assign(ready_.begin(),
+                 ready_.begin() + static_cast<std::ptrdiff_t>(take));
+}
+
+void InferenceEngine::account_lag(double now_us) {
+  double max_wait_us = 0.0;
+  bool any_ready = false;
+  for (const auto& session : sessions_) {
+    if (!session->frame_ready()) continue;
+    any_ready = true;
+    max_wait_us = std::max(max_wait_us, session->frame_wait_us(now_us));
+  }
+  if (any_ready) stats_.lag.record(max_wait_us);
+  for (StreamingSession* session : active_) {
+    if (session->deadline().enabled() &&
+        session->frame_wait_us(now_us) > session->deadline().budget_us()) {
+      stats_.deadline_misses += 1;
+      session->note_deadline_miss();
+    }
+  }
+}
+
 std::size_t InferenceEngine::step() {
   const std::size_t count = sessions_.size();
   if (count == 0) return 0;
   // Times the whole scheduling round — gather and scatter copies are part
   // of the serving cost the stats must reflect, not just the model step.
   WallTimer timer;
+  const double now_us = clock().now_us();
 
-  // Gather one ready frame per session, round-robin so no stream starves
-  // when more than max_batch are ready.
+  // Overload actions run under every scheduler (shedding removes
+  // overdue frames, never reorders the gather); with the default
+  // OverloadPolicy::kNone this is a no-op, so the round-robin default
+  // stays bit-identical.
+  apply_overload(now_us);
   active_.clear();
-  for (std::size_t i = 0; i < count && active_.size() < config_.max_batch;
-       ++i) {
-    StreamingSession& candidate = *sessions_[(round_robin_ + i) % count];
-    if (candidate.frame_ready()) active_.push_back(&candidate);
+  if (config_.scheduler == SchedulerPolicy::kRoundRobin) {
+    // Gather one ready frame per session, round-robin so no stream
+    // starves when more than max_batch are ready. (Bit-identical to the
+    // historical scheduler; lag accounting below never reorders it.)
+    for (std::size_t i = 0; i < count && active_.size() < config_.max_batch;
+         ++i) {
+      StreamingSession& candidate = *sessions_[(round_robin_ + i) % count];
+      if (candidate.frame_ready()) active_.push_back(&candidate);
+    }
+    round_robin_ = (round_robin_ + 1) % count;
+  } else {
+    gather_by_priority();
   }
-  round_robin_ = (round_robin_ + 1) % count;
+  account_lag(now_us);
   if (active_.empty()) return 0;
 
   // Grow-only reuse: the ready count fluctuates step to step as streams
@@ -103,8 +194,14 @@ std::unique_ptr<StreamingSession> InferenceEngine::release_session(
   RT_REQUIRE(index < sessions_.size(), "release_session: index out of range");
   std::unique_ptr<StreamingSession> released = std::move(sessions_[index]);
   sessions_.erase(sessions_.begin() + static_cast<std::ptrdiff_t>(index));
-  if (sessions_.empty()) round_robin_ = 0;
-  else round_robin_ %= sessions_.size();
+  if (sessions_.empty()) {
+    round_robin_ = 0;
+  } else {
+    // Erasing below the cursor shifts the sessions it was about to scan
+    // one slot down; follow them so no stream loses its turn.
+    if (index < round_robin_) --round_robin_;
+    round_robin_ %= sessions_.size();
+  }
   return released;
 }
 
@@ -121,6 +218,7 @@ StreamingSession& InferenceEngine::adopt_session(
     std::unique_ptr<StreamingSession> session) {
   RT_REQUIRE(session != nullptr, "adopt_session: null session");
   session->rebind(model_);
+  session->set_clock(&clock());
   sessions_.push_back(std::move(session));
   return *sessions_.back();
 }
@@ -131,14 +229,37 @@ std::size_t InferenceEngine::pending_frames() const {
   return total;
 }
 
+double InferenceEngine::max_lag_seconds() {
+  const double now_us = clock().now_us();
+  double max_wait_us = 0.0;
+  for (const auto& session : sessions_) {
+    if (!session->frame_ready()) continue;
+    max_wait_us = std::max(max_wait_us, session->frame_wait_us(now_us));
+  }
+  return max_wait_us * 1e-6;
+}
+
 std::size_t InferenceEngine::remove_done() {
   const std::size_t before = sessions_.size();
-  std::erase_if(sessions_,
-                [](const std::unique_ptr<StreamingSession>& session) {
-                  return session->done();
-                });
-  if (sessions_.empty()) round_robin_ = 0;
-  else round_robin_ %= sessions_.size();
+  // Compact in place, counting removals below the cursor so it keeps
+  // pointing at the same next session (erase_if + a blind clamp would
+  // skip the streams that shifted under it).
+  std::size_t erased_below_cursor = 0;
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < sessions_.size(); ++read) {
+    if (sessions_[read]->done()) {
+      if (read < round_robin_) ++erased_below_cursor;
+      continue;
+    }
+    if (write != read) sessions_[write] = std::move(sessions_[read]);
+    ++write;
+  }
+  sessions_.resize(write);
+  if (sessions_.empty()) {
+    round_robin_ = 0;
+  } else {
+    round_robin_ = (round_robin_ - erased_below_cursor) % sessions_.size();
+  }
   return before - sessions_.size();
 }
 

@@ -10,6 +10,20 @@
 // are scattered back to their sessions, and a RuntimeStats collector
 // tracks p50/p95 step latency, aggregate frames/sec, and the real-time
 // factor.
+//
+// Which sessions a round serves is governed by a SchedulerPolicy:
+// round-robin (the bit-identical historical default) scans from a
+// rotating cursor; earliest-deadline-first and lag-aware order ready
+// streams by how close each is to blowing its per-stream StreamDeadline
+// budget or by how far behind real time its oldest frame already is.
+// Under an OverloadPolicy the engine also acts on streams past their
+// budget — shedding their overdue frames (kDegraded event) or rejecting
+// the stream outright (kRejected event) — which is what bounds tail lag
+// when offered load exceeds capacity. Every round additionally records
+// the worst head-frame wait across ready streams into RuntimeStats::lag
+// and counts deadline misses, for all policies, so round-robin's tail
+// behavior under overload is measurable against the deadline-aware
+// policies.
 #pragma once
 
 #include <cstddef>
@@ -17,6 +31,8 @@
 #include <vector>
 
 #include "compiler/gru_executor.hpp"
+#include "runtime/clock.hpp"
+#include "runtime/scheduler.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/streaming_session.hpp"
 #include "speech/streaming_mfcc.hpp"
@@ -27,6 +43,17 @@ struct EngineConfig {
   /// Maximum streams advanced per step. Bounds tail latency: a stream
   /// never waits on more than max_batch - 1 peers per timestep.
   std::size_t max_batch = 32;
+  /// How a scheduling round picks the streams it serves.
+  SchedulerPolicy scheduler = SchedulerPolicy::kRoundRobin;
+  /// What happens to streams that exceed their deadline budget, under
+  /// any scheduler (kNone = accounting only).
+  OverloadPolicy overload = OverloadPolicy::kNone;
+  /// Time source for arrival stamps and lag (must outlive the engine);
+  /// null = the shared-epoch monotonic wall clock.
+  EngineClock* clock = nullptr;
+  /// Retained-sample cap for the stats recorders (0 = keep every sample,
+  /// the exact-quantile default; see LatencyRecorder::set_cap).
+  std::size_t stats_sample_cap = 0;
   /// Front-end defaults for sessions created without an explicit config
   /// (CMN disabled — it is whole-utterance and cannot stream).
   speech::MfccConfig mfcc = [] {
@@ -58,8 +85,10 @@ class InferenceEngine {
   [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
   [[nodiscard]] StreamingSession& session(std::size_t index);
 
-  /// One scheduling round: advances up to max_batch streams by one frame.
-  /// Returns the batch size (0 when no stream had a ready frame).
+  /// One scheduling round: advances up to max_batch streams by one frame,
+  /// picked per the configured SchedulerPolicy (after the OverloadPolicy
+  /// has shed or rejected streams past their budget). Returns the batch
+  /// size (0 when no stream had a ready frame).
   std::size_t step();
 
   /// Pumps step() until no session has a ready frame; returns total
@@ -68,32 +97,44 @@ class InferenceEngine {
   std::size_t drain();
 
   /// Removes sessions that are done (audio finished, queue empty).
-  /// Returns how many were reaped; live sessions keep their order.
+  /// Returns how many were reaped; live sessions keep their order and
+  /// the round-robin cursor keeps pointing at the same next stream.
   std::size_t remove_done();
 
   // ---- cross-engine session transfer (shard migration) ----
   /// Detaches the session at `index` and returns ownership; remaining
-  /// sessions keep their relative order. The session still references
-  /// this engine's model until adopted elsewhere.
+  /// sessions keep their relative order (and their place in the
+  /// round-robin scan). The session still references this engine's model
+  /// until adopted elsewhere.
   [[nodiscard]] std::unique_ptr<StreamingSession> release_session(
       std::size_t index);
   /// Same, addressed by the session pointer this engine handed out.
   [[nodiscard]] std::unique_ptr<StreamingSession> release_session(
       const StreamingSession* session);
   /// Takes ownership of a session released from another engine, rebinding
-  /// it to this engine's model (dimensions must match). Its hidden state,
-  /// queued frames, and logits carry over untouched.
+  /// it to this engine's model (dimensions must match) and clock. Its
+  /// hidden state, queued frames (arrival stamps included), and logits
+  /// carry over untouched.
   StreamingSession& adopt_session(std::unique_ptr<StreamingSession> session);
 
-  // ---- load signal for shard routing ----
+  // ---- load signals for shard routing ----
   /// Feature frames queued across all sessions and not yet stepped (the
   /// engine-internal backlog a shard publishes to its router).
   [[nodiscard]] std::size_t pending_frames() const;
+  /// Worst head-frame wait across sessions right now, in seconds — the
+  /// lag signal a shard publishes so the router can prefer the shard
+  /// whose worst stream is least behind. 0 when nothing is queued.
+  [[nodiscard]] double max_lag_seconds();
 
   [[nodiscard]] const RuntimeStats& stats() const { return stats_; }
   void reset_stats() { stats_.reset(); }
 
   [[nodiscard]] const EngineConfig& config() const { return config_; }
+  /// The engine's time source (the configured override or the built-in
+  /// wall clock) — what sessions stamp arrivals with.
+  [[nodiscard]] EngineClock& clock() {
+    return config_.clock != nullptr ? *config_.clock : wall_clock_;
+  }
 
   /// The compiled model this engine serves — capacity planners read its
   /// weight precision and storage footprint from here (a packed int8
@@ -102,8 +143,18 @@ class InferenceEngine {
   [[nodiscard]] const CompiledSpeechModel& model() const { return model_; }
 
  private:
+  /// Sheds/rejects streams past their budget per the overload policy.
+  void apply_overload(double now_us);
+  /// Fills active_ per the deadline-aware schedulers (EDF / lag-aware).
+  void gather_by_priority();
+  /// Records the per-round worst head-frame wait and counts deadline
+  /// misses on the streams about to be served. Accounting only — never
+  /// changes what was scheduled.
+  void account_lag(double now_us);
+
   const CompiledSpeechModel& model_;
   EngineConfig config_;
+  WallClock wall_clock_;  // fallback when config_.clock is null
   std::vector<std::unique_ptr<StreamingSession>> sessions_;
   std::size_t next_id_ = 0;
   std::size_t round_robin_ = 0;  // fairness cursor over sessions_
@@ -113,6 +164,9 @@ class InferenceEngine {
   Matrix batch_logits_;
   std::vector<StreamingSession*> active_;
   std::vector<StreamState*> states_;
+  /// Priority-gather scratch: every ready session, sorted by deadline or
+  /// lag (reused across steps like the batch buffers).
+  std::vector<StreamingSession*> ready_;
 };
 
 }  // namespace rtmobile::runtime

@@ -1,0 +1,39 @@
+#include "runtime/scheduler.hpp"
+
+#include <stdexcept>
+
+namespace rtmobile::runtime {
+
+const char* to_string(SchedulerPolicy policy) {
+  switch (policy) {
+    case SchedulerPolicy::kRoundRobin: return "round-robin";
+    case SchedulerPolicy::kEarliestDeadlineFirst: return "edf";
+    case SchedulerPolicy::kLagAware: return "lag-aware";
+  }
+  return "?";
+}
+
+const char* to_string(OverloadPolicy policy) {
+  switch (policy) {
+    case OverloadPolicy::kNone: return "none";
+    case OverloadPolicy::kShed: return "shed";
+    case OverloadPolicy::kReject: return "reject";
+  }
+  return "?";
+}
+
+SchedulerPolicy parse_scheduler_policy(const std::string& name) {
+  if (name == "round-robin") return SchedulerPolicy::kRoundRobin;
+  if (name == "edf") return SchedulerPolicy::kEarliestDeadlineFirst;
+  if (name == "lag-aware") return SchedulerPolicy::kLagAware;
+  throw std::invalid_argument("unknown scheduler policy: " + name);
+}
+
+OverloadPolicy parse_overload_policy(const std::string& name) {
+  if (name == "none") return OverloadPolicy::kNone;
+  if (name == "shed") return OverloadPolicy::kShed;
+  if (name == "reject") return OverloadPolicy::kReject;
+  throw std::invalid_argument("unknown overload policy: " + name);
+}
+
+}  // namespace rtmobile::runtime

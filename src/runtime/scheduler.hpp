@@ -1,0 +1,61 @@
+// Scheduling-policy knobs for the batched streaming engine.
+//
+// The engine's scheduling round picks which streams advance this step.
+// Round-robin treats every stream equally — under overload every stream
+// degrades together and tail lag is unbounded. The deadline-aware
+// policies instead read each stream's real-time lag (how long its oldest
+// queued frame has waited, see StreamingSession::lag_seconds) and a
+// per-stream deadline budget, prioritizing the streams that are closest
+// to (or furthest past) falling behind the audio clock. The overload
+// policy decides what happens to streams that blow their budget anyway:
+// nothing, shed (drop the overdue frames so the stream snaps back under
+// budget, emitting a kDegraded event), or reject (terminate the stream
+// with a kRejected event so its capacity goes to streams still inside
+// their budgets).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rtmobile::runtime {
+
+enum class SchedulerPolicy : std::uint8_t {
+  /// Scan streams in admission order from a rotating cursor — the
+  /// bit-identical historical default.
+  kRoundRobin,
+  /// Serve the stream whose head-frame deadline (arrival + budget)
+  /// expires first; streams without a budget run after every deadlined
+  /// stream, oldest head frame first.
+  kEarliestDeadlineFirst,
+  /// Serve the most-behind stream (longest head-frame wait) first.
+  kLagAware,
+};
+
+enum class OverloadPolicy : std::uint8_t {
+  kNone,    // budgets are accounting only (misses counted, nothing acts)
+  kShed,    // drop frames older than the budget; stream continues degraded
+  kReject,  // terminate streams that exceed their budget
+};
+
+[[nodiscard]] const char* to_string(SchedulerPolicy policy);
+[[nodiscard]] const char* to_string(OverloadPolicy policy);
+/// Parses "round-robin" / "edf" / "lag-aware"; throws
+/// std::invalid_argument otherwise.
+[[nodiscard]] SchedulerPolicy parse_scheduler_policy(const std::string& name);
+/// Parses "none" / "shed" / "reject"; throws std::invalid_argument
+/// otherwise.
+[[nodiscard]] OverloadPolicy parse_overload_policy(const std::string& name);
+
+/// Per-stream real-time budget: how long a queued frame may wait before
+/// the stream counts as behind real time (a deadline miss) and the
+/// engine's overload policy may act on it.
+struct StreamDeadline {
+  /// Maximum head-frame wait in seconds; 0 disables (the stream never
+  /// misses and is never shed or rejected).
+  double budget_seconds = 0.0;
+
+  [[nodiscard]] bool enabled() const { return budget_seconds > 0.0; }
+  [[nodiscard]] double budget_us() const { return budget_seconds * 1e6; }
+};
+
+}  // namespace rtmobile::runtime

@@ -36,11 +36,13 @@ void StreamingSession::rebind(const CompiledSpeechModel& model) {
 }
 
 void StreamingSession::push_audio(std::span<const float> samples) {
+  if (rejected_) return;  // terminated stream: audio is dropped
   mfcc_.push(samples);
   drain_front_end();
 }
 
 void StreamingSession::finish() {
+  if (rejected_) return;
   mfcc_.finish();
   drain_front_end();
   // An utterance whose frames were all served before finish() (or that
@@ -50,11 +52,13 @@ void StreamingSession::finish() {
 
 void StreamingSession::drain_front_end() {
   const std::size_t dim = mfcc_.feature_dim();
+  const double now_us = clock_ != nullptr ? clock_->now_us() : 0.0;
   while (mfcc_.ready_frames() > 0) {
     pending_.emplace_back(dim);  // written in place: no intermediate copy
     const bool popped =
         mfcc_.pop_row({pending_.back().data(), pending_.back().size()});
     RT_ASSERT(popped, "ready front end must yield a row");
+    arrival_us_.push_back(now_us);
   }
 }
 
@@ -66,6 +70,7 @@ std::span<const float> StreamingSession::front_frame() const {
 void StreamingSession::pop_frame() {
   RT_REQUIRE(!pending_.empty(), "pop_frame: no frame queued");
   pending_.pop_front();
+  arrival_us_.pop_front();
   // The engine appends this frame's logits before popping it, so the
   // stream's last row has been decoded by the time done() flips here.
   maybe_finish_decoder();
@@ -79,6 +84,74 @@ void StreamingSession::append_logits(std::span<const float> row) {
   if (decoder_.has_value()) decoder_->push_row(row);
 }
 
+// ------------------------------------------------- real-time clock model
+
+double StreamingSession::lag_seconds() {
+  if (pending_.empty() || clock_ == nullptr) return 0.0;
+  return frame_wait_us(clock_->now_us()) * 1e-6;
+}
+
+double StreamingSession::frame_wait_us(double now_us) const {
+  RT_REQUIRE(!pending_.empty(), "frame_wait_us: no frame queued");
+  return std::max(0.0, now_us - arrival_us_.front());
+}
+
+double StreamingSession::oldest_arrival_us() const {
+  RT_REQUIRE(!pending_.empty(), "oldest_arrival_us: no frame queued");
+  return arrival_us_.front();
+}
+
+std::size_t StreamingSession::shed_overdue(double now_us) {
+  if (!deadline_.enabled()) return 0;
+  const double budget_us = deadline_.budget_us();
+  std::size_t dropped = 0;
+  while (!pending_.empty() && now_us - arrival_us_.front() > budget_us) {
+    pending_.pop_front();
+    arrival_us_.pop_front();
+    ++dropped;
+  }
+  if (dropped > 0) {
+    shed_frames_ += dropped;
+    push_control_event(speech::StreamEventKind::kDegraded, dropped,
+                       /*is_final=*/false);
+    // A shed that empties the queue of a finished stream completes it.
+    maybe_finish_decoder();
+  }
+  return dropped;
+}
+
+std::size_t StreamingSession::reject() {
+  if (rejected_) return 0;
+  const std::size_t dropped = pending_.size();
+  pending_.clear();
+  arrival_us_.clear();
+  shed_frames_ += dropped;
+  // Finalize the decoder over the frames already served so the client's
+  // last hypothesis event precedes the terminal rejection event.
+  if (decoder_.has_value() && !decoder_->finished()) decoder_->finish();
+  rejected_ = true;
+  push_control_event(speech::StreamEventKind::kRejected, dropped,
+                     /*is_final=*/true);
+  return dropped;
+}
+
+void StreamingSession::push_control_event(speech::StreamEventKind kind,
+                                          std::size_t dropped,
+                                          bool is_final) {
+  // Fold the decoder's already-emitted events in first, so a poll sees
+  // every event in emission order (a kDegraded lands before hypotheses
+  // the decoder produces afterwards, keeping `frames` monotonic).
+  if (decoder_.has_value()) decoder_->poll_events(queued_events_);
+  speech::StreamEvent event;
+  event.kind = kind;
+  event.frames = frames_done_;
+  event.dropped_frames = dropped;
+  event.is_final = is_final;
+  queued_events_.push_back(std::move(event));
+}
+
+// ------------------------------------------------------ decode & results
+
 void StreamingSession::maybe_finish_decoder() {
   if (decoder_.has_value() && !decoder_->finished() && done()) {
     decoder_->finish();
@@ -87,7 +160,15 @@ void StreamingSession::maybe_finish_decoder() {
 
 std::size_t StreamingSession::poll_events(
     std::vector<speech::StreamEvent>& out) {
-  return decoder_.has_value() ? decoder_->poll_events(out) : 0;
+  // Session-queued events predate whatever the decoder has emitted
+  // since (push_control_event folds the decoder queue in), so this
+  // order is emission order.
+  std::size_t moved = queued_events_.size();
+  out.insert(out.end(), std::make_move_iterator(queued_events_.begin()),
+             std::make_move_iterator(queued_events_.end()));
+  queued_events_.clear();
+  if (decoder_.has_value()) moved += decoder_->poll_events(out);
+  return moved;
 }
 
 const speech::StreamingDecoder& StreamingSession::decoder() const {

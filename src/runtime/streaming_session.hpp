@@ -9,6 +9,17 @@
 // the serving layer polls them. It does no model computation itself —
 // the InferenceEngine pulls ready frames from many sessions, batches
 // them into one timestep, and pushes the resulting logit rows back.
+//
+// The session also carries the real-time clock model the deadline
+// scheduler reads: every queued feature frame is stamped with its
+// arrival time (the EngineClock reading when the audio that completed it
+// was pushed), lag_seconds() reports how long the oldest queued frame
+// has been waiting — how far the stream has fallen behind the audio
+// clock — and a StreamDeadline budget bounds the wait the stream
+// tolerates. When the engine's overload policy acts, the session either
+// sheds its overdue frames (shed_overdue, emitting a kDegraded control
+// event) or is terminated outright (reject, emitting kRejected); control
+// events queue here alongside the decoder's hypothesis events.
 #pragma once
 
 #include <cstddef>
@@ -18,6 +29,8 @@
 #include <vector>
 
 #include "compiler/gru_executor.hpp"
+#include "runtime/clock.hpp"
+#include "runtime/scheduler.hpp"
 #include "speech/streaming_decoder.hpp"
 #include "speech/streaming_mfcc.hpp"
 #include "tensor/matrix.hpp"
@@ -47,19 +60,24 @@ class StreamingSession {
   void rebind(const CompiledSpeechModel& model);
 
   /// Feeds an audio chunk (any size); newly completed feature frames are
-  /// queued for the engine.
+  /// queued for the engine, stamped with the clock's current time.
+  /// Audio pushed after a reject is dropped.
   void push_audio(std::span<const float> samples);
 
   /// Marks end of audio: the tail frames held back for Δ lookahead are
   /// released.
   void finish();
 
-  /// Audio ended (finish() called).
-  [[nodiscard]] bool finished() const { return mfcc_.finished(); }
+  /// Audio ended (finish() called, or the stream was rejected).
+  [[nodiscard]] bool finished() const {
+    return rejected_ || mfcc_.finished();
+  }
 
-  /// Audio ended and every queued frame has been processed.
+  /// Audio ended and every queued frame has been processed (or the
+  /// stream was rejected).
   [[nodiscard]] bool done() const {
-    return finished() && pending_.empty() && mfcc_.ready_frames() == 0;
+    return rejected_ || (mfcc_.finished() && pending_.empty() &&
+                         mfcc_.ready_frames() == 0);
   }
 
   // ---- engine-facing frame queue ----
@@ -73,14 +91,60 @@ class StreamingSession {
   /// Appends one logits row produced for this stream's oldest frame.
   void append_logits(std::span<const float> row);
 
+  // ---- real-time clock model ----
+  /// Wires the time source arrival stamps are taken from. The engine
+  /// sets this at admission and again on adoption (shard migration);
+  /// without a clock, stamps are 0 and lag reads 0.
+  void set_clock(EngineClock* clock) { clock_ = clock; }
+  /// How long the oldest queued frame has been waiting, in seconds —
+  /// how far the stream has fallen behind the audio clock. 0 when no
+  /// frame is queued (the stream is caught up).
+  [[nodiscard]] double lag_seconds();
+  /// Oldest queued frame's wait in microseconds against a caller-read
+  /// "now" (the engine reads the clock once per scheduling round).
+  /// Requires frame_ready().
+  [[nodiscard]] double frame_wait_us(double now_us) const;
+  /// Arrival stamp of the oldest queued frame. Requires frame_ready().
+  [[nodiscard]] double oldest_arrival_us() const;
+
+  void set_deadline(const StreamDeadline& deadline) { deadline_ = deadline; }
+  [[nodiscard]] const StreamDeadline& deadline() const { return deadline_; }
+
+  // ---- overload actions (engine-driven) ----
+  /// Drops every queued frame that has waited longer than the deadline
+  /// budget, snapping the stream back under it. Emits one kDegraded
+  /// control event when anything was dropped; returns the drop count.
+  std::size_t shed_overdue(double now_us);
+  /// Terminates the stream: every queued frame is dropped, further audio
+  /// is refused, the decoder (if any) finalizes over the frames already
+  /// served, and a terminal kRejected control event is emitted. Returns
+  /// the frames dropped. Idempotent.
+  std::size_t reject();
+  [[nodiscard]] bool rejected() const { return rejected_; }
+
+  // ---- per-stream deadline accounting ----
+  /// Frames dropped by shed_overdue()/reject() over the stream's life.
+  [[nodiscard]] std::size_t shed_frames() const { return shed_frames_; }
+  /// Frames served after waiting past the deadline budget.
+  [[nodiscard]] std::size_t deadline_misses() const {
+    return deadline_misses_;
+  }
+  /// Engine-side accounting hook: the frame being served this round
+  /// waited past the budget.
+  void note_deadline_miss() { ++deadline_misses_; }
+
   // ---- streaming decode ----
   /// True when the session decodes in-loop (mode != kNone).
   [[nodiscard]] bool decoding() const { return decoder_.has_value(); }
-  /// Hypothesis events not yet polled (0 for non-decoding sessions).
+  /// Events not yet polled: decoder hypotheses plus control events
+  /// (0 for non-decoding sessions that were never shed or rejected).
   [[nodiscard]] std::size_t pending_events() const {
-    return decoder_.has_value() ? decoder_->pending_events() : 0;
+    return queued_events_.size() +
+           (decoder_.has_value() ? decoder_->pending_events() : 0);
   }
-  /// Appends pending events to `out` (oldest first); returns the count.
+  /// Appends pending events to `out` in emission order (hypothesis and
+  /// control events interleaved as they happened, so each stream's
+  /// `frames` stamps are monotonic); returns the count.
   std::size_t poll_events(std::vector<speech::StreamEvent>& out);
   /// The live decoder (requires decoding()).
   [[nodiscard]] const speech::StreamingDecoder& decoder() const;
@@ -101,17 +165,33 @@ class StreamingSession {
   /// Finishes the decoder once the last logit row has been produced (the
   /// decoder's tail can only be finalized when no more rows can come).
   void maybe_finish_decoder();
+  void push_control_event(speech::StreamEventKind kind,
+                          std::size_t dropped, bool is_final);
 
   std::size_t id_;
   const CompiledSpeechModel* model_;  // rebindable on shard migration
   speech::StreamingMfcc mfcc_;
   std::deque<std::vector<float>> pending_;  // feature frames awaiting a step
+  /// Arrival stamp per queued frame (parallel to pending_).
+  std::deque<double> arrival_us_;
   StreamState state_;
   std::vector<float> logits_;  // row-major [frames_done_ x num_classes]
   std::size_t frames_done_ = 0;
   /// In-loop decoder; migrates with the session (its stable prefix, DP
   /// state, and unpolled events all live here).
   std::optional<speech::StreamingDecoder> decoder_;
+
+  // Real-time clock model + deadline accounting.
+  EngineClock* clock_ = nullptr;  // non-owning; engine-wired
+  StreamDeadline deadline_;
+  bool rejected_ = false;
+  std::size_t shed_frames_ = 0;
+  std::size_t deadline_misses_ = 0;
+  /// Session-level event queue: scheduler control events, plus decoder
+  /// events folded in ahead of each control push so emission order
+  /// survives (the decoder's own queue holds only what it emitted since
+  /// the last control event). Migrates with the session.
+  std::vector<speech::StreamEvent> queued_events_;
 };
 
 }  // namespace rtmobile::runtime

@@ -21,6 +21,7 @@ StreamHandle LocalRecognizer::open_stream(const StreamConfig& config) {
   // One engine: config.session_key has no routing to influence.
   runtime::StreamingSession& session =
       engine_.create_session(engine_.config().mfcc, config.decode);
+  session.set_deadline(config.deadline);
   const StreamHandle handle{next_id_++};
   streams_.emplace(handle.id, &session);
   return handle;
@@ -55,20 +56,33 @@ std::size_t LocalRecognizer::poll_events(
 
 std::size_t LocalRecognizer::poll_events(std::vector<RecognizerEvent>& out) {
   std::size_t total = 0;
+  // streams_ is ordered: the drain-all poll emits streams in ascending
+  // handle-id order, matching ShardedEngine's sorted flush.
   for (const auto& [id, session] : streams_) {
     if (session->pending_events() == 0) continue;
-    std::vector<speech::StreamEvent> events;
-    session->poll_events(events);
-    for (speech::StreamEvent& event : events) {
+    poll_scratch_.clear();
+    session->poll_events(poll_scratch_);
+    for (speech::StreamEvent& event : poll_scratch_) {
       out.push_back(RecognizerEvent{StreamHandle{id}, std::move(event)});
     }
-    total += events.size();
+    total += poll_scratch_.size();
   }
   return total;
 }
 
 bool LocalRecognizer::stream_done(StreamHandle h) const {
   return session(h).done();
+}
+
+StreamDeadlineStats LocalRecognizer::stream_deadline_stats(
+    StreamHandle h) const {
+  runtime::StreamingSession& s = session(h);
+  StreamDeadlineStats stats;
+  stats.lag_seconds = s.lag_seconds();
+  stats.shed_frames = s.shed_frames();
+  stats.deadline_misses = s.deadline_misses();
+  stats.rejected = s.rejected();
+  return stats;
 }
 
 Matrix LocalRecognizer::stream_logits(StreamHandle h) const {

@@ -40,6 +40,8 @@ class LocalRecognizer final : public Recognizer {
   std::size_t poll_events(std::vector<RecognizerEvent>& out) override;
 
   [[nodiscard]] bool stream_done(StreamHandle h) const override;
+  [[nodiscard]] StreamDeadlineStats stream_deadline_stats(
+      StreamHandle h) const override;
   [[nodiscard]] Matrix stream_logits(StreamHandle h) const override;
 
   std::size_t drain() override;
@@ -59,10 +61,14 @@ class LocalRecognizer final : public Recognizer {
   [[nodiscard]] runtime::StreamingSession& session(StreamHandle h) const;
 
   runtime::InferenceEngine engine_;
-  /// Ordered so the drain-all poll visits streams deterministically.
+  /// Ordered so the drain-all poll emits streams in ascending handle-id
+  /// order — the deterministic cross-implementation contract.
   std::map<std::uint64_t, runtime::StreamingSession*> streams_;
   std::uint64_t next_id_ = 1;
   WallTimer window_;  // spans construction / reset_stats() .. now
+  /// Drain-all poll scratch, reused so the hot event path stays
+  /// allocation-free once warmed (like the engine's batch buffers).
+  std::vector<speech::StreamEvent> poll_scratch_;
 };
 
 }  // namespace rtmobile::serve

@@ -24,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "runtime/scheduler.hpp"
 #include "serve/stats_aggregator.hpp"
 #include "speech/streaming_decoder.hpp"
 #include "tensor/matrix.hpp"
@@ -42,9 +43,25 @@ struct StreamConfig {
   /// kViterbi upgrades to the duration-penalty DP; kNone collects logits
   /// only (no events).
   speech::StreamingDecoderConfig decode;
+  /// Real-time budget: how long the stream's oldest queued audio may
+  /// wait before the engine's overload policy may shed its overdue
+  /// frames or reject the stream (0 = no deadline; the default).
+  runtime::StreamDeadline deadline;
   /// Client affinity key for the session-hash routing policy (sharded
   /// implementations; a single engine ignores it).
   std::uint64_t session_key = 0;
+};
+
+/// Per-stream deadline accounting snapshot (see StreamingSession's
+/// real-time clock model).
+struct StreamDeadlineStats {
+  /// How long the stream's oldest queued frame has been waiting, in
+  /// seconds (0 when caught up). Sharded implementations report the
+  /// value last published by the stream's pump.
+  double lag_seconds = 0.0;
+  std::size_t shed_frames = 0;      // frames dropped by shed/reject
+  std::size_t deadline_misses = 0;  // frames served past the budget
+  bool rejected = false;            // terminated by OverloadPolicy::kReject
 };
 
 /// A hypothesis update tagged with the stream it belongs to (the
@@ -84,13 +101,19 @@ class Recognizer {
   virtual std::size_t poll_events(StreamHandle h,
                                   std::vector<speech::StreamEvent>& out) = 0;
   /// Drain-all: appends every stream's pending events, each tagged with
-  /// its handle; returns how many were appended.
+  /// its handle; returns how many were appended. Deterministic order:
+  /// streams appear in ascending handle id (per-stream event order
+  /// preserved), identical across implementations and runs.
   virtual std::size_t poll_events(std::vector<RecognizerEvent>& out) = 0;
 
   // ---- completion & results ----
   /// True once the stream's audio is finished and every frame served
   /// (its final event has been emitted).
   [[nodiscard]] virtual bool stream_done(StreamHandle h) const = 0;
+  /// The stream's deadline accounting: current lag, frames shed by the
+  /// overload policy, deadline misses, and whether it was rejected.
+  [[nodiscard]] virtual StreamDeadlineStats stream_deadline_stats(
+      StreamHandle h) const = 0;
   /// The stream's raw logit rows so far (whole matrix once done) — the
   /// escape hatch for clients that decode externally.
   [[nodiscard]] virtual Matrix stream_logits(StreamHandle h) const = 0;

@@ -23,6 +23,7 @@ const char* to_string(RoutePolicy policy) {
     case RoutePolicy::kRoundRobin: return "round-robin";
     case RoutePolicy::kLeastLoaded: return "least-loaded";
     case RoutePolicy::kSessionHash: return "session-hash";
+    case RoutePolicy::kLeastLag: return "least-lag";
   }
   return "?";
 }
@@ -31,6 +32,7 @@ RoutePolicy parse_route_policy(const std::string& name) {
   if (name == "round-robin") return RoutePolicy::kRoundRobin;
   if (name == "least-loaded") return RoutePolicy::kLeastLoaded;
   if (name == "session-hash") return RoutePolicy::kSessionHash;
+  if (name == "least-lag") return RoutePolicy::kLeastLag;
   throw std::invalid_argument("unknown route policy: " + name);
 }
 
@@ -57,8 +59,16 @@ std::size_t ShardRouter::admissible_count() const {
 
 std::size_t ShardRouter::pick(std::span<const std::size_t> loads,
                               std::uint64_t session_key) {
+  return pick(loads, {}, session_key);
+}
+
+std::size_t ShardRouter::pick(std::span<const std::size_t> loads,
+                              std::span<const double> lags_us,
+                              std::uint64_t session_key) {
   const std::size_t shards = admissible_.size();
   RT_REQUIRE(loads.size() == shards, "router: one load per shard");
+  RT_REQUIRE(lags_us.empty() || lags_us.size() == shards,
+             "router: one lag per shard (or none)");
   RT_REQUIRE(admissible_count() > 0, "router: no admissible shard");
 
   switch (policy_) {
@@ -77,6 +87,26 @@ std::size_t ShardRouter::pick(std::span<const std::size_t> loads,
       for (std::size_t shard = 0; shard < shards; ++shard) {
         if (!admissible_[shard]) continue;
         if (best == shards || loads[shard] < loads[best]) best = shard;
+      }
+      return best;
+    }
+    case RoutePolicy::kLeastLag: {
+      // Without a lag signal (single-engine callers, old call sites)
+      // this is least-loaded; with one, prefer the shard whose worst
+      // stream is least behind, breaking ties toward the lower load.
+      std::size_t best = shards;
+      for (std::size_t shard = 0; shard < shards; ++shard) {
+        if (!admissible_[shard]) continue;
+        if (best == shards) {
+          best = shard;
+          continue;
+        }
+        const double lag = lags_us.empty() ? 0.0 : lags_us[shard];
+        const double best_lag = lags_us.empty() ? 0.0 : lags_us[best];
+        if (lag < best_lag ||
+            (lag == best_lag && loads[shard] < loads[best])) {
+          best = shard;
+        }
       }
       return best;
     }

@@ -1,12 +1,14 @@
 // Stream admission policy: which shard a new stream lands on.
 //
 // The router sees only per-shard load numbers (submission-queue depth
-// plus pending engine work) and an admissibility mask (shards being
-// drained stop taking new streams). Three policies cover the serving
-// spectrum: round-robin (uniform traffic), least-loaded (queue-depth
-// balancing under skewed utterance lengths), and session-hash (sticky
-// placement so one client's repeated utterances hit the same replica's
-// warm caches).
+// plus pending engine work), per-shard worst-stream lag, and an
+// admissibility mask (shards being drained stop taking new streams).
+// Four policies cover the serving spectrum: round-robin (uniform
+// traffic), least-loaded (queue-depth balancing under skewed utterance
+// lengths), session-hash (sticky placement so one client's repeated
+// utterances hit the same replica's warm caches), and least-lag (prefer
+// the shard whose worst stream is least behind real time, so a new
+// stream lands where it is least likely to miss its deadline).
 #pragma once
 
 #include <cstddef>
@@ -21,11 +23,12 @@ enum class RoutePolicy : std::uint8_t {
   kRoundRobin,   // cycle shards in order, skipping inadmissible ones
   kLeastLoaded,  // lowest current load; ties break to the lowest index
   kSessionHash,  // stable hash of a client key, probing past drained shards
+  kLeastLag,     // lowest worst-stream lag; ties break to lowest load
 };
 
 [[nodiscard]] const char* to_string(RoutePolicy policy);
-/// Parses "round-robin" / "least-loaded" / "session-hash"; throws
-/// std::invalid_argument otherwise.
+/// Parses "round-robin" / "least-loaded" / "session-hash" / "least-lag";
+/// throws std::invalid_argument otherwise.
 [[nodiscard]] RoutePolicy parse_route_policy(const std::string& name);
 
 class ShardRouter {
@@ -45,9 +48,17 @@ class ShardRouter {
 
   /// Picks the shard for a new stream. `loads[s]` is shard s's current
   /// queue depth; `session_key` feeds the hash policy (ignored by the
-  /// others). Throws when no shard is admissible.
+  /// others). The least-lag policy degrades to least-loaded through this
+  /// overload (no lag signal supplied). Throws when no shard is
+  /// admissible.
   [[nodiscard]] std::size_t pick(std::span<const std::size_t> loads,
                                  std::uint64_t session_key = 0);
+  /// Same, with `lags_us[s]` = shard s's published worst-stream lag —
+  /// the signal the least-lag policy minimizes (ties break to the lower
+  /// load, then the lower index).
+  [[nodiscard]] std::size_t pick(std::span<const std::size_t> loads,
+                                 std::span<const double> lags_us,
+                                 std::uint64_t session_key);
 
  private:
   RoutePolicy policy_;

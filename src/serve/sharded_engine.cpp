@@ -90,6 +90,14 @@ std::vector<std::size_t> ShardedEngine::snapshot_loads() const {
   return loads;
 }
 
+std::vector<double> ShardedEngine::snapshot_lags_us() const {
+  std::vector<double> lags(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    lags[s] = shards_[s]->max_lag_us.load(std::memory_order_acquire);
+  }
+  return lags;
+}
+
 StreamHandle ShardedEngine::open_stream(std::uint64_t session_key) {
   StreamConfig config;
   config.decode = speech::StreamingDecoderConfig::none();
@@ -102,7 +110,9 @@ StreamHandle ShardedEngine::open_stream(const StreamConfig& config) {
   StreamHandle handle;
   {
     const std::lock_guard<std::mutex> lock(admit_mutex_);
-    target = router_.pick(snapshot_loads(), config.session_key);
+    const std::vector<std::size_t> loads = snapshot_loads();
+    const std::vector<double> lags = snapshot_lags_us();
+    target = router_.pick(loads, lags, config.session_key);
 
     // Prefer a slot freed by a closed stream; grow the table otherwise.
     std::uint64_t slot = 0;
@@ -129,6 +139,10 @@ StreamHandle ShardedEngine::open_stream(const StreamConfig& config) {
     e.shard.store(target, std::memory_order_relaxed);
     e.session.store(nullptr, std::memory_order_relaxed);
     e.done.store(false, std::memory_order_relaxed);
+    e.lag_us.store(0.0, std::memory_order_relaxed);
+    e.shed_frames.store(0, std::memory_order_relaxed);
+    e.deadline_misses.store(0, std::memory_order_relaxed);
+    e.rejected.store(false, std::memory_order_relaxed);
     e.session_key = config.session_key;
     {
       // Events the previous occupant never polled die with its handle.
@@ -151,6 +165,7 @@ StreamHandle ShardedEngine::open_stream(const StreamConfig& config) {
   open.kind = StreamCommand::Kind::kOpen;
   open.stream = handle.id;
   open.decode = config.decode;
+  open.deadline = config.deadline;
   try {
     if (running()) {
       // The pump is draining this ring; spin-yield until the open fits
@@ -222,6 +237,18 @@ bool ShardedEngine::close_stream(StreamHandle h) {
   return true;
 }
 
+StreamDeadlineStats ShardedEngine::stream_deadline_stats(
+    StreamHandle h) const {
+  const StreamEntry& e = entry(h);
+  StreamDeadlineStats stats;
+  stats.lag_seconds = e.lag_us.load(std::memory_order_acquire) * 1e-6;
+  stats.shed_frames = e.shed_frames.load(std::memory_order_acquire);
+  stats.deadline_misses =
+      e.deadline_misses.load(std::memory_order_acquire);
+  stats.rejected = e.rejected.load(std::memory_order_acquire);
+  return stats;
+}
+
 bool ShardedEngine::stream_done(StreamHandle h) const {
   StreamEntry& e = entry(h);
   if (e.done.load(std::memory_order_acquire)) return true;
@@ -261,6 +288,7 @@ std::size_t ShardedEngine::poll_events(StreamHandle h,
 }
 
 std::size_t ShardedEngine::poll_events(std::vector<RecognizerEvent>& out) {
+  const std::size_t start = out.size();
   std::size_t total = 0;
   const std::uint64_t slots = slot_count_.load(std::memory_order_acquire);
   for (std::uint64_t slot = 0; slot < slots; ++slot) {
@@ -279,6 +307,15 @@ std::size_t ShardedEngine::poll_events(std::vector<RecognizerEvent>& out) {
     total += e.events.size();
     e.events.clear();
   }
+  // Slot order is not handle order once closed slots are reissued (a
+  // reissued low slot carries a newer, higher id). Sort into ascending
+  // handle-id order — the deterministic drain-all contract shared with
+  // LocalRecognizer; stable, so each stream's own events stay ordered.
+  std::stable_sort(out.begin() + static_cast<std::ptrdiff_t>(start),
+                   out.end(),
+                   [](const RecognizerEvent& a, const RecognizerEvent& b) {
+                     return a.stream.id < b.stream.id;
+                   });
   return total;
 }
 
@@ -289,6 +326,7 @@ void ShardedEngine::apply(Shard& shard, StreamCommand&& command) {
     case StreamCommand::Kind::kOpen: {
       runtime::StreamingSession& session = shard.engine->create_session(
           config_.engine.mfcc, command.decode);
+      session.set_deadline(command.deadline);
       shard.local.emplace(command.stream, &session);
       entry(StreamHandle{command.stream})
           .session.store(&session, std::memory_order_release);
@@ -380,9 +418,25 @@ void ShardedEngine::mark_done(Shard& shard) {
   }
 }
 
+void ShardedEngine::publish_deadline(Shard& shard) {
+  for (const auto& [id, session] : shard.local) {
+    StreamEntry* e = try_entry(id);
+    if (e == nullptr) continue;  // slot reissued mid-flight: drop
+    e->lag_us.store(session->lag_seconds() * 1e6,
+                    std::memory_order_release);
+    e->shed_frames.store(session->shed_frames(),
+                         std::memory_order_release);
+    e->deadline_misses.store(session->deadline_misses(),
+                             std::memory_order_release);
+    e->rejected.store(session->rejected(), std::memory_order_release);
+  }
+}
+
 void ShardedEngine::publish_backlog(Shard& shard) {
   shard.backlog.store(shard.engine->pending_frames(),
                       std::memory_order_release);
+  shard.max_lag_us.store(shard.engine->max_lag_seconds() * 1e6,
+                         std::memory_order_release);
 }
 
 // ---------------------------------------------------------- threaded mode
@@ -398,6 +452,7 @@ void ShardedEngine::pump_loop(std::size_t s) {
       std::size_t worked = apply_commands(shard);
       worked += shard.engine->step();
       collect_events(shard);
+      publish_deadline(shard);
       mark_done(shard);
       publish_backlog(shard);
       if (worked > 0) {
@@ -461,6 +516,7 @@ void ShardedEngine::stop() {
         worked += apply_commands(*shard);
         worked += shard->engine->drain();
         collect_events(*shard);
+        publish_deadline(*shard);
         mark_done(*shard);
         publish_backlog(*shard);
       }
@@ -493,6 +549,7 @@ std::size_t ShardedEngine::pump_shard(std::size_t s) {
   std::size_t worked = apply_commands(shard);
   worked += shard.engine->step();
   collect_events(shard);
+  publish_deadline(shard);
   mark_done(shard);
   publish_backlog(shard);
   return worked;
@@ -510,6 +567,7 @@ std::size_t ShardedEngine::drain() {
       worked += frames;
       total_frames += frames;
       collect_events(shard);
+      publish_deadline(shard);
       mark_done(shard);
       publish_backlog(shard);
     }
@@ -546,8 +604,12 @@ std::size_t ShardedEngine::drain_shard(std::size_t s) {
     {
       const std::lock_guard<std::mutex> lock(admit_mutex_);
       // Re-route with the client's original key so session-hash
-      // placement stays consistent with future streams of that client.
-      target_index = router_.pick(snapshot_loads(), e.session_key);
+      // placement stays consistent with future streams of that client
+      // (and with the lag signal, so least-lag keeps holding during
+      // migration).
+      const std::vector<std::size_t> loads = snapshot_loads();
+      const std::vector<double> lags = snapshot_lags_us();
+      target_index = router_.pick(loads, lags, e.session_key);
     }
     Shard& target = *shards_[target_index];
     target.engine->adopt_session(source.engine->release_session(session));
@@ -580,6 +642,11 @@ std::size_t ShardedEngine::load(std::size_t s) const {
 std::size_t ShardedEngine::queue_depth(std::size_t s) const {
   RT_REQUIRE(s < shards_.size(), "shard index out of range");
   return shards_[s]->queue->depth();
+}
+
+double ShardedEngine::shard_lag_seconds(std::size_t s) const {
+  RT_REQUIRE(s < shards_.size(), "shard index out of range");
+  return shards_[s]->max_lag_us.load(std::memory_order_acquire) * 1e-6;
 }
 
 const runtime::RuntimeStats& ShardedEngine::shard_stats(

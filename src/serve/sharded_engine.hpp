@@ -126,6 +126,11 @@ class ShardedEngine final : public Recognizer {
   /// as long as the handle is not closed). Throws if the stream's shard
   /// died before completing it — it would otherwise never flip.
   [[nodiscard]] bool stream_done(StreamHandle h) const override;
+  /// The stream's deadline accounting as last published by its shard's
+  /// pump (after every scheduling round) — readable from any thread
+  /// without touching the engine.
+  [[nodiscard]] StreamDeadlineStats stream_deadline_stats(
+      StreamHandle h) const override;
   /// The stream's logits so far. Requires the stream to be done, or the
   /// engine to be out of threaded mode (no pump running).
   [[nodiscard]] Matrix stream_logits(StreamHandle h) const override;
@@ -169,6 +174,9 @@ class ShardedEngine final : public Recognizer {
   /// the engine-internal frame backlog the shard last published.
   [[nodiscard]] std::size_t load(std::size_t s) const;
   [[nodiscard]] std::size_t queue_depth(std::size_t s) const;
+  /// Worst-stream lag (seconds) the shard last published — the signal
+  /// the least-lag routing policy minimizes.
+  [[nodiscard]] double shard_lag_seconds(std::size_t s) const;
   /// Per-shard engine stats (requires no pump running).
   [[nodiscard]] const runtime::RuntimeStats& shard_stats(std::size_t s) const;
   /// Sessions currently held by a shard's engine — live plus
@@ -193,6 +201,13 @@ class ShardedEngine final : public Recognizer {
     /// migration.
     std::mutex events_mutex;
     std::vector<speech::StreamEvent> events;
+    /// Deadline accounting published by the stream's pump after every
+    /// scheduling round (see publish_deadline), so clients can read lag
+    /// and overload counters without touching an engine.
+    std::atomic<double> lag_us{0.0};
+    std::atomic<std::size_t> shed_frames{0};
+    std::atomic<std::size_t> deadline_misses{0};
+    std::atomic<bool> rejected{false};
     /// Bumped every time the slot is reissued to a new stream; a handle
     /// whose generation no longer matches is stale (its stream was
     /// closed and the slot reused) and is rejected instead of silently
@@ -218,6 +233,9 @@ class ShardedEngine final : public Recognizer {
     /// Engine-internal frame backlog, republished after every pump
     /// round so the router can read it without touching the engine.
     std::atomic<std::size_t> backlog{0};
+    /// Worst-stream lag (us), republished alongside the backlog — what
+    /// the least-lag routing policy reads.
+    std::atomic<double> max_lag_us{0.0};
     /// First internal error that killed the pump (written by the pump
     /// before exiting, read after join); rethrown by stop().
     std::exception_ptr failure;
@@ -255,9 +273,14 @@ class ShardedEngine final : public Recognizer {
   /// leaves `local`.
   void collect_events(Shard& shard);
   void mark_done(Shard& shard);
+  /// Publishes every local stream's deadline accounting into its handle
+  /// entry. Runs before mark_done so a completing stream's final
+  /// counters are published while it is still local.
+  void publish_deadline(Shard& shard);
   void publish_backlog(Shard& shard);
   void pump_loop(std::size_t s);
   std::vector<std::size_t> snapshot_loads() const;
+  std::vector<double> snapshot_lags_us() const;
 
   ShardConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;

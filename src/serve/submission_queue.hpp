@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "runtime/scheduler.hpp"
 #include "speech/streaming_decoder.hpp"
 
 namespace rtmobile::serve {
@@ -36,6 +37,9 @@ struct StreamCommand {
   /// (kOpen only).
   speech::StreamingDecoderConfig decode =
       speech::StreamingDecoderConfig::none();
+  /// The stream's real-time budget, carried with the open the same way
+  /// (kOpen only).
+  runtime::StreamDeadline deadline;
 };
 
 class SubmissionQueue {

@@ -17,8 +17,18 @@ const char* to_string(DecodeMode mode) {
   return "?";
 }
 
+const char* to_string(StreamEventKind kind) {
+  switch (kind) {
+    case StreamEventKind::kHypothesis: return "hypothesis";
+    case StreamEventKind::kDegraded: return "degraded";
+    case StreamEventKind::kRejected: return "rejected";
+  }
+  return "?";
+}
+
 bool operator==(const StreamEvent& a, const StreamEvent& b) {
-  return a.frames == b.frames && a.stable == b.stable &&
+  return a.kind == b.kind && a.frames == b.frames &&
+         a.dropped_frames == b.dropped_frames && a.stable == b.stable &&
          a.partial == b.partial && a.is_final == b.is_final;
 }
 

@@ -54,13 +54,32 @@ struct StreamingDecoderConfig {
   }
 };
 
+/// What a StreamEvent reports. The decoder emits only kHypothesis; the
+/// serving runtime injects the control kinds when its overload policy
+/// acts on a stream that fell behind real time.
+enum class StreamEventKind : std::uint8_t {
+  kHypothesis,  // stable/partial hypothesis update (the decoder's output)
+  kDegraded,    // scheduler shed overdue queued frames; stream continues
+  kRejected,    // scheduler terminated the stream (budget exceeded)
+};
+
+[[nodiscard]] const char* to_string(StreamEventKind kind);
+
 /// One incremental hypothesis update. `stable` carries only the phones
 /// finalized since the previous event (clients append them), `partial`
 /// the full current unstable tail (clients replace it). The final event
 /// of a stream has `is_final == true` and an empty partial: the
 /// concatenation of every `stable` delta is then the whole hypothesis.
+///
+/// Control events (kDegraded/kRejected) carry `dropped_frames` — the
+/// feature frames the scheduler discarded — and empty stable/partial, so
+/// hypothesis reassembly over all events stays correct. A kRejected
+/// event is terminal (`is_final == true`, emitted after the decoder's
+/// own final hypothesis event).
 struct StreamEvent {
+  StreamEventKind kind = StreamEventKind::kHypothesis;
   std::size_t frames = 0;  // logit rows consumed when this was emitted
+  std::size_t dropped_frames = 0;      // control kinds: frames shed
   std::vector<std::uint16_t> stable;   // newly finalized phones (delta)
   std::vector<std::uint16_t> partial;  // current unstable tail (whole)
   bool is_final = false;

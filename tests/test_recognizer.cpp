@@ -426,6 +426,12 @@ TEST_P(RecognizerConformance, DrainAllPollMatchesPerHandlePoll) {
   recognizer.drain();
   std::vector<RecognizerEvent> tagged;
   recognizer.poll_events(tagged);
+  // The drain-all contract: streams emit in ascending handle-id order,
+  // each stream's own events contiguous and in order.
+  for (std::size_t i = 1; i < tagged.size(); ++i) {
+    EXPECT_LE(tagged[i - 1].stream.id, tagged[i].stream.id)
+        << "drain-all poll out of handle order at event " << i;
+  }
   std::map<std::uint64_t, std::vector<StreamEvent>> by_stream;
   for (RecognizerEvent& event : tagged) {
     by_stream[event.stream.id].push_back(std::move(event.event));
@@ -435,6 +441,87 @@ TEST_P(RecognizerConformance, DrainAllPollMatchesPerHandlePoll) {
     EXPECT_EQ(by_stream.at(handles[s].id), reference.events[s])
         << "stream " << s;
   }
+}
+
+TEST_P(RecognizerConformance, RepeatedDrainAllPollsNeverDuplicateEvents) {
+  // The drain-all poll reuses internal scratch between calls; events
+  // polled once must never reappear, and an empty poll appends nothing.
+  const ServeFixture f = make_fixture(16, 92);
+  Deployment d = make_param_deployment(f, GetParam());
+  Recognizer& recognizer = *d.recognizer;
+  const StreamConfig config;
+  const StreamHandle h = recognizer.open_stream(config);
+  const std::vector<float> wave = random_waveform(6000, 5);
+
+  ASSERT_TRUE(recognizer.submit_audio(
+      h, std::span<const float>(wave).subspan(0, 3000)));
+  recognizer.drain();
+  std::vector<RecognizerEvent> tagged;
+  const std::size_t first = recognizer.poll_events(tagged);
+  EXPECT_EQ(tagged.size(), first);
+  EXPECT_EQ(recognizer.poll_events(tagged), 0U);  // drained: no repeats
+  EXPECT_EQ(tagged.size(), first);
+
+  ASSERT_TRUE(recognizer.submit_audio(
+      h, std::span<const float>(wave).subspan(3000, 3000)));
+  ASSERT_TRUE(recognizer.finish_stream(h));
+  recognizer.drain();
+  std::vector<RecognizerEvent> second;
+  ASSERT_GT(recognizer.poll_events(second), 0U);
+
+  // First-phase events + second-phase events == one uninterrupted run.
+  Deployment reference = make_param_deployment(f, GetParam());
+  const ClientResult whole =
+      run_client(*reference.recognizer, {wave}, config, 6000);
+  std::vector<StreamEvent> combined;
+  for (RecognizerEvent& event : tagged) {
+    combined.push_back(std::move(event.event));
+  }
+  for (RecognizerEvent& event : second) {
+    combined.push_back(std::move(event.event));
+  }
+  EXPECT_EQ(combined, whole.events[0]);
+}
+
+TEST_P(RecognizerConformance, DrainAllPollOrderedByHandleAfterSlotReuse) {
+  // Closing a stream and opening another reuses internal slots in the
+  // sharded implementation; the drain-all poll must still emit streams
+  // in ascending handle-id order (not storage order), identically to
+  // LocalRecognizer.
+  const ServeFixture f = make_fixture(16, 91);
+  Deployment d = make_param_deployment(f, GetParam());
+  Recognizer& recognizer = *d.recognizer;
+  const StreamConfig config;
+
+  const StreamHandle first = recognizer.open_stream(config);
+  const StreamHandle second = recognizer.open_stream(config);
+  EXPECT_TRUE(recognizer.submit_audio(first, random_waveform(2000, 1)));
+  EXPECT_TRUE(recognizer.finish_stream(first));
+  recognizer.drain();
+  std::vector<StreamEvent> sink;
+  recognizer.poll_events(first, sink);
+  EXPECT_TRUE(recognizer.close_stream(first));
+
+  // `reused` takes the closed stream's slot in the sharded table, with a
+  // handle id above `second`'s.
+  const StreamHandle reused = recognizer.open_stream(config);
+  EXPECT_GT(reused.id, second.id);
+  for (const StreamHandle h : {second, reused}) {
+    EXPECT_TRUE(recognizer.submit_audio(h, random_waveform(3000, 2)));
+    EXPECT_TRUE(recognizer.finish_stream(h));
+  }
+  recognizer.drain();
+
+  std::vector<RecognizerEvent> tagged;
+  ASSERT_GT(recognizer.poll_events(tagged), 0U);
+  ASSERT_FALSE(tagged.empty());
+  for (std::size_t i = 1; i < tagged.size(); ++i) {
+    EXPECT_LE(tagged[i - 1].stream.id, tagged[i].stream.id)
+        << "drain-all poll out of handle order at event " << i;
+  }
+  // Both live streams are present, `second` first.
+  EXPECT_EQ(tagged.front().stream.id, second.id);
+  EXPECT_EQ(tagged.back().stream.id, reused.id);
 }
 
 INSTANTIATE_TEST_SUITE_P(LocalAndSharded, RecognizerConformance,

@@ -397,6 +397,143 @@ TEST(RuntimeStats, PercentileEdgeCases) {
   EXPECT_DOUBLE_EQ(three.quantile_us(0.9), 3.0);
 }
 
+TEST(LatencyRecorder, CappedModeIsExactBelowCapAndBoundedAbove) {
+  // Below the cap a capped recorder is bit-identical to the exact one.
+  runtime::LatencyRecorder exact;
+  runtime::LatencyRecorder capped(64);
+  for (int i = 1; i <= 50; ++i) {
+    exact.record(static_cast<double>(i));
+    capped.record(static_cast<double>(i));
+  }
+  EXPECT_EQ(capped.count(), 50U);
+  EXPECT_EQ(capped.retained(), 50U);
+  for (const double q : {0.0, 0.25, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(capped.quantile_us(q), exact.quantile_us(q)) << q;
+  }
+  EXPECT_DOUBLE_EQ(capped.mean_us(), exact.mean_us());
+
+  // Past the cap, retention stays bounded while count() keeps the true
+  // total; quantile estimates stay near the exact values of a uniform
+  // ramp (systematic 1-in-stride subsample).
+  runtime::LatencyRecorder soak(64);
+  for (int i = 1; i <= 100'000; ++i) soak.record(static_cast<double>(i));
+  EXPECT_EQ(soak.count(), 100'000U);
+  EXPECT_LE(soak.retained(), 64U);
+  EXPECT_GE(soak.retained(), 32U);
+  EXPECT_NEAR(soak.p50_us(), 50'000.0, 100'000.0 / 32.0);
+  EXPECT_NEAR(soak.quantile_us(1.0), 100'000.0, 100'000.0 / 32.0);
+  EXPECT_DOUBLE_EQ(soak.quantile_us(0.0), 1.0);  // first sample is kept
+
+  // Decimation is deterministic: an identical run retains identically.
+  runtime::LatencyRecorder repeat(64);
+  for (int i = 1; i <= 100'000; ++i) repeat.record(static_cast<double>(i));
+  EXPECT_EQ(repeat.retained(), soak.retained());
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(repeat.quantile_us(q), soak.quantile_us(q)) << q;
+  }
+
+  // Cap validation: 1 would thin forever.
+  runtime::LatencyRecorder invalid;
+  EXPECT_THROW(invalid.set_cap(1), std::invalid_argument);
+}
+
+TEST(LatencyRecorder, CapAppliedAfterRecordingKeepsAcceptingSamples) {
+  // Capping a recorder that already holds samples must resync its
+  // sampling grid — a stale grid silently dropped every later sample.
+  runtime::LatencyRecorder recorder;
+  for (int i = 1; i <= 10; ++i) recorder.record(static_cast<double>(i));
+  recorder.set_cap(256);
+  for (int i = 11; i <= 100; ++i) recorder.record(static_cast<double>(i));
+  EXPECT_EQ(recorder.count(), 100U);
+  EXPECT_EQ(recorder.retained(), 100U);  // still below the cap: exact
+  EXPECT_DOUBLE_EQ(recorder.quantile_us(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(recorder.p50_us(), 50.0);
+
+  // And the same resync when the cap immediately forces decimation.
+  runtime::LatencyRecorder tight;
+  for (int i = 1; i <= 100; ++i) tight.record(static_cast<double>(i));
+  tight.set_cap(64);  // thins to 50 retained, stride 2
+  for (int i = 101; i <= 110; ++i) tight.record(static_cast<double>(i));
+  EXPECT_EQ(tight.count(), 110U);
+  EXPECT_GT(tight.quantile_us(1.0), 100.0);  // new samples land
+}
+
+TEST(LatencyRecorder, CappedRecorderKeepsSamplingAfterMergesAndThins) {
+  // A capped recorder that absorbed merges must keep accepting samples
+  // through later record()-triggered thins — the retained set no longer
+  // sits on any from-observation-1 grid, so the resync must anchor on
+  // what was actually observed.
+  runtime::LatencyRecorder sink(64);
+  for (int m = 0; m < 8; ++m) {
+    runtime::LatencyRecorder shard(64);
+    for (int i = 1; i <= 1000; ++i) {
+      shard.record(static_cast<double>(i));
+    }
+    sink.merge_from(shard);
+  }
+  const std::size_t observed_so_far = sink.count();
+  EXPECT_EQ(observed_so_far, 8000U);
+  for (int i = 1; i <= 4000; ++i) {
+    sink.record(5000.0 + static_cast<double>(i));
+  }
+  EXPECT_EQ(sink.count(), observed_so_far + 4000U);
+  EXPECT_LE(sink.retained(), 64U);
+  // The post-merge stream is represented: its samples (all > 5000)
+  // appear at the top of the distribution instead of being dropped.
+  EXPECT_GT(sink.quantile_us(1.0), 5000.0);
+}
+
+TEST(LatencyRecorder, CappedMergeIsExactBelowCap) {
+  runtime::LatencyRecorder whole;
+  runtime::LatencyRecorder left(64);
+  runtime::LatencyRecorder right(64);
+  for (int i = 1; i <= 40; ++i) {
+    whole.record(static_cast<double>(i));
+    (i <= 15 ? left : right).record(static_cast<double>(i));
+  }
+  runtime::LatencyRecorder merged(64);
+  merged.merge_from(left);
+  merged.merge_from(right);
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_EQ(merged.retained(), 40U);
+  for (const double q : {0.0, 0.5, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(merged.quantile_us(q), whole.quantile_us(q)) << q;
+  }
+  // Merging keeps accepting samples afterwards (still exact below cap).
+  merged.record(41.0);
+  whole.record(41.0);
+  EXPECT_DOUBLE_EQ(merged.quantile_us(1.0), whole.quantile_us(1.0));
+}
+
+TEST(RuntimeStats, DeadlineCountersMergeAndReset) {
+  runtime::RuntimeStats a;
+  a.lag.record(10.0);
+  a.deadline_misses = 3;
+  a.shed_frames = 7;
+  a.rejected_streams = 1;
+  a.frames_processed = 10;
+  runtime::RuntimeStats b;
+  b.lag.record(30.0);
+  b.deadline_misses = 2;
+  b.shed_frames = 5;
+  b.rejected_streams = 0;
+  b.frames_processed = 10;
+  runtime::RuntimeStats merged;
+  merged.merge_from(a);
+  merged.merge_from(b);
+  EXPECT_EQ(merged.deadline_misses, 5U);
+  EXPECT_EQ(merged.shed_frames, 12U);
+  EXPECT_EQ(merged.rejected_streams, 1U);
+  EXPECT_EQ(merged.lag.count(), 2U);
+  EXPECT_DOUBLE_EQ(merged.lag.quantile_us(1.0), 30.0);
+  EXPECT_DOUBLE_EQ(merged.miss_rate(), 0.25);
+  merged.reset();
+  EXPECT_EQ(merged.deadline_misses, 0U);
+  EXPECT_EQ(merged.shed_frames, 0U);
+  EXPECT_EQ(merged.rejected_streams, 0U);
+  EXPECT_EQ(merged.lag.count(), 0U);
+}
+
 TEST(RuntimeStats, MergeFromIsExactOverSplits) {
   // merge(empty, x) == x, and splitting a sample set in any proportion
   // then merging reproduces the whole — the identity the cross-shard
