@@ -1,0 +1,217 @@
+// Open-loop load generator for the TCP recognition front.
+//
+//   tcp_server --port 7070 &
+//   load_client --port 7070 --connections 16 --seconds 2
+//
+// Each connection is one stream: open, ship audio in chunks, finish,
+// read events until the final hypothesis. A dedicated reader thread per
+// connection timestamps the first partial as it arrives, so the reported
+// wire-to-first-partial latency includes server compute and both socket
+// hops — not just the send side. With --realtime chunks are paced at the
+// audio rate (one chunk per chunk-ms of wall clock); the default pushes
+// audio as fast as TCP accepts it, which is how the server's ingress
+// backpressure gets exercised.
+//
+// Exit status is nonzero when any stream fails in an untyped way, so CI
+// can smoke-test the whole transport with one pipeline.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/wire_client.hpp"
+#include "net/wire_protocol.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace rtmobile {
+namespace {
+
+constexpr double kSampleRateHz = 16000.0;  // MfccConfig default
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+struct ConnResult {
+  bool connected = false;
+  bool rejected = false;       // typed OPEN-time refusal
+  bool failed = false;         // anything untyped (protocol/socket)
+  bool got_final = false;
+  double first_partial_ms = -1.0;
+  std::size_t events = 0;
+  net::WireError error = net::WireError::kProtocol;
+};
+
+struct LoadConfig {
+  std::string host;
+  std::uint16_t port = 0;
+  std::size_t seconds = 2;
+  std::size_t chunk_ms = 100;
+  double budget = 0.0;
+  bool realtime = false;
+};
+
+/// Drives one full stream over one connection.
+ConnResult run_connection(const LoadConfig& config, std::size_t index) {
+  ConnResult result;
+  const auto chunk_samples = static_cast<std::size_t>(
+      kSampleRateHz * static_cast<double>(config.chunk_ms) / 1000.0);
+  const auto total_samples =
+      static_cast<std::size_t>(kSampleRateHz) * config.seconds;
+
+  // Synthetic program material; content is irrelevant to transport load.
+  Rng rng(7000 + index);
+  std::vector<float> wave(total_samples);
+  for (float& s : wave) s = 0.25F * rng.normal();
+
+  try {
+    net::WireClient client;
+    client.connect(config.host, config.port);
+    result.connected = true;
+
+    net::OpenRequest request;
+    request.deadline_budget_seconds = config.budget;
+    request.session_key = index;
+    net::WireError open_error = net::WireError::kProtocol;
+    if (!client.open(request, &open_error)) {
+      result.rejected = open_error == net::WireError::kRejectedOverBudget ||
+                        open_error == net::WireError::kBackpressureOverflow;
+      result.failed = !result.rejected;
+      result.error = open_error;
+      return result;
+    }
+
+    const Clock::time_point first_audio = Clock::now();
+    std::thread reader([&client, &result, first_audio] {
+      try {
+        for (;;) {
+          const auto message = client.read_message();
+          if (!message) return;  // server closed before the final event
+          if (message->type == net::FrameType::kError) {
+            result.error = message->error;
+            result.failed = true;
+            return;
+          }
+          ++result.events;
+          if (result.first_partial_ms < 0.0) {
+            result.first_partial_ms = ms_since(first_audio);
+          }
+          if (message->event.is_final) {
+            result.got_final = true;
+            return;
+          }
+        }
+      } catch (const std::exception&) {
+        result.failed = true;
+      }
+    });
+
+    for (std::size_t offset = 0; offset < wave.size();
+         offset += chunk_samples) {
+      const std::size_t n = std::min(chunk_samples, wave.size() - offset);
+      client.send_audio({wave.data() + offset, n});
+      if (config.realtime) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(config.chunk_ms));
+      }
+    }
+    client.send_finish();
+    reader.join();
+    if (result.got_final) client.send_close();
+    client.disconnect();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "connection %zu: %s\n", index, e.what());
+    result.failed = true;
+  }
+  return result;
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+}  // namespace rtmobile
+
+int main(int argc, char** argv) {
+  using namespace rtmobile;
+
+  CliParser cli;
+  cli.add_flag("host", "127.0.0.1", "server address");
+  cli.add_flag("port", "0", "server port (required)");
+  cli.add_flag("connections", "8", "concurrent streams to open");
+  cli.add_flag("seconds", "2", "audio per stream (seconds)");
+  cli.add_flag("chunk-ms", "100", "audio chunk size (milliseconds)");
+  cli.add_flag("budget", "0", "per-stream deadline budget in seconds "
+                              "(0 = none; nonzero arms OPEN admission)");
+  cli.add_switch("realtime", "pace chunks at the audio rate instead of "
+                             "pushing as fast as TCP accepts");
+  try {
+    cli.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n%s", e.what(), cli.help("load_client").c_str());
+    return 1;
+  }
+
+  LoadConfig config;
+  config.host = cli.get_string("host");
+  config.port = static_cast<std::uint16_t>(cli.get_int("port"));
+  config.seconds = static_cast<std::size_t>(cli.get_int("seconds"));
+  config.chunk_ms = static_cast<std::size_t>(cli.get_int("chunk-ms"));
+  config.budget = cli.get_double("budget");
+  config.realtime = cli.get_switch("realtime");
+  const auto connections =
+      static_cast<std::size_t>(cli.get_int("connections"));
+  if (config.port == 0) {
+    std::fprintf(stderr, "--port is required\n%s",
+                 cli.help("load_client").c_str());
+    return 1;
+  }
+
+  std::vector<ConnResult> results(connections);
+  std::vector<std::thread> workers;
+  workers.reserve(connections);
+  const Clock::time_point wall_start = Clock::now();
+  for (std::size_t i = 0; i < connections; ++i) {
+    workers.emplace_back(
+        [&config, &results, i] { results[i] = run_connection(config, i); });
+  }
+  for (std::thread& w : workers) w.join();
+  const double wall_ms = ms_since(wall_start);
+
+  std::size_t finals = 0;
+  std::size_t rejected = 0;
+  std::size_t failed = 0;
+  std::vector<double> first_partial;
+  for (const ConnResult& r : results) {
+    finals += r.got_final ? 1 : 0;
+    rejected += r.rejected ? 1 : 0;
+    failed += r.failed ? 1 : 0;
+    if (r.first_partial_ms >= 0.0) first_partial.push_back(r.first_partial_ms);
+  }
+
+  std::printf(
+      "load_client: %zu connections in %.0f ms -> %zu finals, "
+      "%zu rejected (typed), %zu failed\n",
+      connections, wall_ms, finals, rejected, failed);
+  if (!first_partial.empty()) {
+    std::printf("wire-to-first-partial: p50 %.2f ms, p99 %.2f ms (%zu "
+                "streams)\n",
+                percentile(first_partial, 0.50),
+                percentile(first_partial, 0.99), first_partial.size());
+  }
+  // Typed rejections are the admission control working as designed, not
+  // a transport failure; anything untyped fails the run.
+  return failed == 0 && finals + rejected == connections ? 0 : 1;
+}

@@ -1,0 +1,296 @@
+#include "net/connection.hpp"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <exception>
+
+namespace rtmobile::net {
+
+namespace {
+/// One socket-read granule. Edge-triggered epoll requires draining to
+/// EAGAIN, so the size only trades syscalls against stack usage.
+constexpr std::size_t kReadChunk = 64 * 1024;
+}  // namespace
+
+Connection::Connection(int fd, serve::Recognizer& recognizer,
+                       std::size_t max_write_buffer)
+    : fd_(fd), recognizer_(recognizer), max_write_buffer_(max_write_buffer) {}
+
+Connection::~Connection() {
+  // A connection dying with a live stream abandons it. close_stream may
+  // itself backpressure; retry briefly, then leak the stream rather than
+  // block the event loop (the recognizer reclaims it at shutdown).
+  if (has_stream_) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      bool closed = false;
+      try {
+        closed = recognizer_.close_stream(handle_);
+      } catch (const std::exception&) {
+        closed = true;  // already dead server-side; nothing to release
+      }
+      if (closed) break;
+    }
+    has_stream_ = false;
+  }
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Connection::on_readable() {
+  if (dead_ || want_close_) return;
+  if (paused()) {
+    // Ingress backpressure: leave the bytes in the kernel buffer so TCP
+    // pushes back on the client; pump_pending() resumes us.
+    read_ready_while_paused_ = true;
+    return;
+  }
+  std::array<std::uint8_t, kReadChunk> chunk;
+  for (;;) {
+    const ssize_t n = ::recv(fd_, chunk.data(), chunk.size(), 0);
+    if (n > 0) {
+      decoder_.feed({chunk.data(), static_cast<std::size_t>(n)});
+      process_frames();
+      // A frame may have paused us (backpressure) or killed the
+      // connection mid-read; stop pulling more bytes either way.
+      if (paused() || dead_ || want_close_) {
+        read_ready_while_paused_ = paused();
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {  // peer closed its end
+      dead_ = true;
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // drained
+    if (errno == EINTR) continue;
+    dead_ = true;  // ECONNRESET and friends
+    return;
+  }
+}
+
+void Connection::process_frames() {
+  Frame frame;
+  while (!paused() && !dead_ && !want_close_ && decoder_.next(frame)) {
+    dispatch(frame);
+  }
+  if (decoder_.failed() && !want_close_ && !dead_) {
+    fail(WireError::kProtocol, "unrecoverable framing error (bad length)");
+  }
+}
+
+void Connection::dispatch(const Frame& frame) {
+  try {
+    switch (frame.type) {
+      case FrameType::kOpen:
+        handle_open(frame);
+        return;
+      case FrameType::kAudio:
+        handle_audio(frame);
+        return;
+      case FrameType::kFinish:
+        handle_finish();
+        return;
+      case FrameType::kClose:
+        handle_close();
+        return;
+      default:
+        fail(WireError::kProtocol, "unexpected frame type from client");
+        return;
+    }
+  } catch (const std::exception& e) {
+    fail(WireError::kServerError, e.what());
+  }
+}
+
+void Connection::handle_open(const Frame& frame) {
+  if (has_stream_ || saw_final_ || finish_sent_) {
+    fail(WireError::kProtocol, "duplicate open on this connection");
+    return;
+  }
+  OpenRequest request;
+  if (!decode_open(frame.payload, request)) {
+    fail(WireError::kProtocol, "malformed open payload");
+    return;
+  }
+  const serve::OpenResult result =
+      recognizer_.try_open_stream(request.to_stream_config());
+  switch (result.status) {
+    case serve::OpenStatus::kOk:
+      break;
+    case serve::OpenStatus::kRejectedOverBudget:
+      // Open-time admission control: the deployment is already lagging
+      // past this stream's deadline budget — typed refusal, not service.
+      fail(WireError::kRejectedOverBudget,
+           "projected lag exceeds the requested deadline budget");
+      return;
+    case serve::OpenStatus::kBackpressure:
+      fail(WireError::kBackpressureOverflow,
+           "admission path congested; retry the connection");
+      return;
+  }
+  handle_ = result.handle;
+  has_stream_ = true;
+  std::vector<std::uint8_t> reply;
+  append_opened(reply, handle_.id);
+  if (queue_bytes_ok(reply.size())) {
+    write_buf_.insert(write_buf_.end(), reply.begin(), reply.end());
+  }
+}
+
+void Connection::handle_audio(const Frame& frame) {
+  if (!has_stream_) {
+    fail(WireError::kProtocol, "audio before open");
+    return;
+  }
+  if (finish_sent_) {
+    fail(WireError::kProtocol, "audio after finish");
+    return;
+  }
+  audio_scratch_.clear();
+  if (!decode_audio(frame.payload, audio_scratch_)) {
+    fail(WireError::kProtocol, "audio payload not a whole sample count");
+    return;
+  }
+  if (audio_scratch_.empty()) return;
+  if (!recognizer_.submit_audio(handle_, audio_scratch_)) {
+    // Ingress backpressure: park the chunk and pause reads (TCP now
+    // backpressures the client); pump_pending() retries.
+    pending_audio_ = audio_scratch_;
+  }
+}
+
+void Connection::handle_finish() {
+  if (!has_stream_ || finish_sent_) {
+    fail(WireError::kProtocol, finish_sent_ ? "duplicate finish"
+                                            : "finish before open");
+    return;
+  }
+  finish_sent_ = true;
+  if (!recognizer_.finish_stream(handle_)) pending_finish_ = true;
+}
+
+void Connection::handle_close() {
+  release_stream();
+  want_close_ = true;
+}
+
+void Connection::pump_pending() {
+  if (dead_) return;
+  bool progressed = false;
+  try {
+    if (!pending_audio_.empty() && has_stream_) {
+      if (recognizer_.submit_audio(handle_, pending_audio_)) {
+        pending_audio_.clear();
+        progressed = true;
+      }
+    }
+    if (pending_audio_.empty() && pending_finish_ && has_stream_) {
+      if (recognizer_.finish_stream(handle_)) {
+        pending_finish_ = false;
+        progressed = true;
+      }
+    }
+    if (pending_close_ && has_stream_) {
+      if (recognizer_.close_stream(handle_)) {
+        pending_close_ = false;
+        has_stream_ = false;
+        progressed = true;
+      }
+    }
+  } catch (const std::exception& e) {
+    pending_audio_.clear();
+    pending_finish_ = false;
+    pending_close_ = false;
+    has_stream_ = false;
+    fail(WireError::kServerError, e.what());
+    return;
+  }
+  if (progressed) {
+    // Frames buffered behind the backpressure point come first; they may
+    // immediately re-park us, in which case read_ready_while_paused_
+    // stays set and the next retry resumes again — clearing it before
+    // this drain completes would strand buffered bytes forever.
+    process_frames();
+    if (!paused() && !dead_ && !want_close_ && read_ready_while_paused_) {
+      read_ready_while_paused_ = false;
+      on_readable();
+    }
+  }
+}
+
+void Connection::deliver_event(const speech::StreamEvent& event) {
+  if (dead_) return;
+  std::vector<std::uint8_t> encoded;
+  append_event(encoded, event);
+  if (!queue_bytes_ok(encoded.size())) return;
+  write_buf_.insert(write_buf_.end(), encoded.begin(), encoded.end());
+  if (event.is_final) {
+    saw_final_ = true;
+    // The stream is complete: release recognizer resources now instead
+    // of holding them until the client gets around to kClose.
+    release_stream();
+  }
+}
+
+void Connection::release_stream() {
+  if (!has_stream_) return;
+  pending_audio_.clear();
+  pending_finish_ = false;
+  try {
+    if (recognizer_.close_stream(handle_)) {
+      has_stream_ = false;
+    } else {
+      pending_close_ = true;  // retried by pump_pending
+    }
+  } catch (const std::exception&) {
+    has_stream_ = false;  // stream already dead server-side
+  }
+}
+
+bool Connection::queue_bytes_ok(std::size_t incoming) {
+  if (write_buf_.size() - write_pos_ + incoming <= max_write_buffer_) {
+    return true;
+  }
+  // Slow consumer: the client is not reading fast enough for the events
+  // its stream produces. Dropping beats unbounded buffering; the cap is
+  // the bounded-memory contract that lets compute threads fire-and-forget.
+  release_stream();
+  dead_ = true;
+  return false;
+}
+
+void Connection::try_flush() {
+  if (dead_) return;
+  while (write_pos_ < write_buf_.size()) {
+    const ssize_t n = ::send(fd_, write_buf_.data() + write_pos_,
+                             write_buf_.size() - write_pos_, MSG_NOSIGNAL);
+    if (n > 0) {
+      write_pos_ += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // EPOLLOUT later
+    if (errno == EINTR) continue;
+    dead_ = true;
+    return;
+  }
+  // Fully flushed: reclaim the buffer so long streams don't accrete.
+  write_buf_.clear();
+  write_pos_ = 0;
+}
+
+void Connection::on_writable() { try_flush(); }
+
+void Connection::fail(WireError error, std::string_view message) {
+  release_stream();
+  std::vector<std::uint8_t> encoded;
+  append_error(encoded, error, message);
+  if (write_buf_.size() - write_pos_ + encoded.size() <= max_write_buffer_) {
+    write_buf_.insert(write_buf_.end(), encoded.begin(), encoded.end());
+  }
+  want_close_ = true;
+}
+
+}  // namespace rtmobile::net

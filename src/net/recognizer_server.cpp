@@ -1,0 +1,234 @@
+#include "net/recognizer_server.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace rtmobile::net {
+
+namespace {
+constexpr int kMaxEpollEvents = 64;
+}  // namespace
+
+RecognizerServer::RecognizerServer(serve::Recognizer& recognizer,
+                                   ServerConfig config)
+    : recognizer_(recognizer), config_(std::move(config)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  RT_CHECK(listen_fd_ >= 0, "socket creation failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  RT_CHECK(::inet_pton(AF_INET, config_.bind_address.c_str(),
+                       &addr.sin_addr) == 1,
+           "invalid bind address (dotted-quad IPv4 expected)");
+  RT_CHECK(::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0,
+           "bind failed (address in use?)");
+  RT_CHECK(::listen(listen_fd_, config_.backlog) == 0, "listen failed");
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  RT_CHECK(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                         &len) == 0,
+           "getsockname failed");
+  port_ = ntohs(bound.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  RT_CHECK(epoll_fd_ >= 0, "epoll_create1 failed");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  RT_CHECK(wake_fd_ >= 0, "eventfd failed");
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;  // level-triggered: accept backlog must persist
+  ev.data.fd = listen_fd_;
+  RT_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0,
+           "epoll_ctl(listen) failed");
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  RT_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0,
+           "epoll_ctl(eventfd) failed");
+}
+
+RecognizerServer::~RecognizerServer() {
+  stop();
+  connections_.clear();  // closes sockets, releases live streams
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void RecognizerServer::wake() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void RecognizerServer::start() {
+  if (running_.exchange(true)) return;
+  loop_thread_ = std::thread([this] {
+    while (running_.load(std::memory_order_relaxed)) {
+      run_once(std::chrono::milliseconds(50));
+    }
+  });
+  if (!config_.drive_recognizer) {
+    // The pumps publish events on their own threads; this thread turns
+    // "events pending" into an epoll wakeup so the loop sleeps properly.
+    notifier_thread_ = std::thread([this] {
+      while (running_.load(std::memory_order_relaxed)) {
+        if (recognizer_.wait_for_events(std::chrono::microseconds(100000))) {
+          wake();
+        }
+      }
+    });
+  }
+}
+
+void RecognizerServer::stop() {
+  if (!running_.exchange(false)) {
+    if (loop_thread_.joinable()) loop_thread_.join();
+    if (notifier_thread_.joinable()) notifier_thread_.join();
+    return;
+  }
+  wake();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  if (notifier_thread_.joinable()) notifier_thread_.join();
+}
+
+void RecognizerServer::accept_ready() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept failure; backlog retried next loop
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    Entry entry;
+    entry.conn = std::make_unique<Connection>(fd, recognizer_,
+                                              config_.max_write_buffer);
+    epoll_event ev{};
+    // Edge-triggered for clients: each readiness transition is serviced
+    // exactly once by draining to EAGAIN; a connection paused for
+    // backpressure simply declines to drain, and the kernel buffer
+    // filling is what backpressures the peer.
+    ev.events = EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      continue;  // Entry destruction closes fd and any stream
+    }
+    connections_.emplace(fd, std::move(entry));
+    live_connections_.store(connections_.size(), std::memory_order_relaxed);
+    accepted_total_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void RecognizerServer::service(int fd, std::uint32_t events) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& conn = *it->second.conn;
+  if ((events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) != 0) {
+    conn.on_readable();
+  }
+  if ((events & EPOLLOUT) != 0) conn.on_writable();
+}
+
+std::size_t RecognizerServer::run_once(std::chrono::milliseconds timeout) {
+  // Parked operations and drive-mode serving both want another turn
+  // promptly; otherwise sleep until socket or notifier activity.
+  bool busy = false;
+  for (const auto& [fd, entry] : connections_) {
+    if (entry.conn->paused() || entry.conn->wants_write()) {
+      busy = true;
+      break;
+    }
+    if (config_.drive_recognizer && entry.conn->has_stream()) {
+      busy = true;
+      break;
+    }
+  }
+  const int wait_ms = busy ? 0 : static_cast<int>(timeout.count());
+
+  std::array<epoll_event, kMaxEpollEvents> events;
+  int n = ::epoll_wait(epoll_fd_, events.data(),
+                       static_cast<int>(events.size()), wait_ms);
+  if (n < 0) n = 0;  // EINTR: treat as timeout
+
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[static_cast<std::size_t>(i)].data.fd;
+    const std::uint32_t mask = events[static_cast<std::size_t>(i)].events;
+    if (fd == listen_fd_) {
+      accept_ready();
+    } else if (fd == wake_fd_) {
+      std::uint64_t drained = 0;
+      [[maybe_unused]] const ssize_t r =
+          ::read(wake_fd_, &drained, sizeof(drained));
+    } else {
+      service(fd, mask);
+    }
+  }
+
+  pump();
+  return static_cast<std::size_t>(n);
+}
+
+void RecognizerServer::pump() {
+  if (config_.drive_recognizer) recognizer_.drain();
+
+  // Map freshly opened streams so the event fan-out below can route.
+  for (auto& [fd, entry] : connections_) {
+    if (!entry.mapped && entry.conn->has_stream()) {
+      entry.mapped_handle = entry.conn->handle_id();
+      by_handle_.emplace(entry.mapped_handle, entry.conn.get());
+      entry.mapped = true;
+    }
+  }
+
+  event_scratch_.clear();
+  recognizer_.poll_events(event_scratch_);
+  for (serve::RecognizerEvent& tagged : event_scratch_) {
+    const auto it = by_handle_.find(tagged.stream.id);
+    // Events of a stream whose connection died are dropped on the
+    // floor — there is no client left to care.
+    if (it != by_handle_.end()) it->second->deliver_event(tagged.event);
+  }
+
+  for (auto& [fd, entry] : connections_) {
+    entry.conn->pump_pending();
+    entry.conn->try_flush();
+  }
+  reap();
+}
+
+void RecognizerServer::reap() {
+  reap_scratch_.clear();
+  for (auto& [fd, entry] : connections_) {
+    if (entry.conn->should_drop()) reap_scratch_.push_back(fd);
+  }
+  for (const int fd : reap_scratch_) {
+    const auto it = connections_.find(fd);
+    if (it->second.mapped) by_handle_.erase(it->second.mapped_handle);
+    // Connection's destructor closes the socket, which also removes it
+    // from the epoll interest list.
+    connections_.erase(it);
+  }
+  if (!reap_scratch_.empty()) {
+    live_connections_.store(connections_.size(), std::memory_order_relaxed);
+  }
+}
+
+}  // namespace rtmobile::net

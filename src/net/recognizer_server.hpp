@@ -1,0 +1,116 @@
+// Async epoll TCP front for any serve::Recognizer.
+//
+// One event-loop thread multiplexes every connection over edge-triggered
+// epoll: non-blocking accept, reads deframed into recognizer calls,
+// hypothesis events fanned back out through per-connection write buffers
+// (see connection.hpp for both backpressure directions). The recognizer
+// below is interchangeable — a LocalRecognizer served inline by the loop
+// (drive_recognizer = true, the loop calls drain() between socket work)
+// or a started ShardedEngine whose pump threads serve concurrently
+// (drive_recognizer = false; a notifier thread parked in
+// Recognizer::wait_for_events tickles the loop's eventfd when pumps
+// publish events, so the loop never spin-polls).
+//
+// Two driving modes:
+//  - start()/stop(): a background thread owns the loop (production).
+//  - run_once(timeout): the caller is the loop (deterministic tests —
+//    no hidden thread, every iteration observable).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/connection.hpp"
+#include "serve/recognizer.hpp"
+
+namespace rtmobile::net {
+
+struct ServerConfig {
+  /// Dotted-quad address to bind. Loopback by default: exposing a
+  /// recognizer beyond the host is a deliberate act.
+  std::string bind_address = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back with port().
+  std::uint16_t port = 0;
+  int backlog = 128;
+  /// Per-connection outbound cap — the slow-consumer drop threshold.
+  std::size_t max_write_buffer = 4U << 20;
+  /// True: the loop calls Recognizer::drain() every iteration (the
+  /// caller-driven implementations — LocalRecognizer). False: serving
+  /// threads already pump (a started ShardedEngine); the loop only
+  /// waits on wait_for_events via the notifier thread.
+  bool drive_recognizer = true;
+};
+
+class RecognizerServer {
+ public:
+  /// Binds and listens immediately (throws std::runtime_error on any
+  /// socket failure) but serves nothing until start() or run_once().
+  RecognizerServer(serve::Recognizer& recognizer, ServerConfig config = {});
+  ~RecognizerServer();
+
+  RecognizerServer(const RecognizerServer&) = delete;
+  RecognizerServer& operator=(const RecognizerServer&) = delete;
+
+  /// The bound port (resolves port 0 to the kernel's pick).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Spawns the event-loop thread (and the event notifier thread when
+  /// drive_recognizer is false). Idempotent.
+  void start();
+  /// Stops and joins the threads; open connections stay registered and
+  /// are served again if start() is called anew. Idempotent.
+  void stop();
+
+  /// One event-loop iteration: wait up to `timeout` for socket/eventfd
+  /// activity, service it, drive the recognizer (drive mode), fan events
+  /// out, retry parked operations, reap dead connections. Returns the
+  /// number of epoll events serviced. Only valid while no background
+  /// thread runs.
+  std::size_t run_once(std::chrono::milliseconds timeout);
+
+  [[nodiscard]] std::size_t connection_count() const {
+    return live_connections_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t accepted_total() const {
+    return accepted_total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_ready();
+  void service(int fd, std::uint32_t events);
+  /// Post-socket-work phase: drive, fan out events, retry, flush, reap.
+  void pump();
+  void reap();
+  void wake();
+
+  serve::Recognizer& recognizer_;
+  ServerConfig config_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: stop requests + event-notifier ticks
+  std::uint16_t port_ = 0;
+
+  struct Entry {
+    std::unique_ptr<Connection> conn;
+    bool mapped = false;              // handle registered in by_handle_
+    std::uint64_t mapped_handle = 0;  // key into by_handle_ when mapped
+  };
+  std::unordered_map<int, Entry> connections_;           // by fd
+  std::unordered_map<std::uint64_t, Connection*> by_handle_;
+  std::vector<serve::RecognizerEvent> event_scratch_;
+  std::vector<int> reap_scratch_;
+
+  std::atomic<bool> running_{false};
+  std::thread loop_thread_;
+  std::thread notifier_thread_;
+  std::atomic<std::size_t> live_connections_{0};
+  std::atomic<std::uint64_t> accepted_total_{0};
+};
+
+}  // namespace rtmobile::net

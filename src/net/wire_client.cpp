@@ -1,0 +1,167 @@
+#include "net/wire_client.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstring>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace rtmobile::net {
+
+WireClient::~WireClient() { disconnect(); }
+
+WireClient::WireClient(WireClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      decoder_(std::move(other.decoder_)),
+      send_buf_(std::move(other.send_buf_)) {}
+
+WireClient& WireClient::operator=(WireClient&& other) noexcept {
+  if (this != &other) {
+    disconnect();
+    fd_ = std::exchange(other.fd_, -1);
+    decoder_ = std::move(other.decoder_);
+    send_buf_ = std::move(other.send_buf_);
+  }
+  return *this;
+}
+
+void WireClient::connect(const std::string& address, std::uint16_t port) {
+  RT_CHECK(fd_ < 0, "WireClient is already connected");
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  RT_CHECK(fd_ >= 0, "client socket creation failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  RT_CHECK(::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) == 1,
+           "invalid server address");
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    RT_CHECK(false, "connect failed (server not listening?)");
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void WireClient::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void WireClient::send_bytes(const std::vector<std::uint8_t>& bytes) {
+  RT_CHECK(fd_ >= 0, "WireClient is not connected");
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    RT_CHECK(false, "send failed (server closed the connection?)");
+  }
+}
+
+void WireClient::send_open(const OpenRequest& request) {
+  send_buf_.clear();
+  append_open(send_buf_, request);
+  send_bytes(send_buf_);
+}
+
+void WireClient::send_audio(std::span<const float> samples) {
+  send_buf_.clear();
+  append_audio(send_buf_, samples);
+  send_bytes(send_buf_);
+}
+
+void WireClient::send_finish() {
+  send_buf_.clear();
+  append_finish(send_buf_);
+  send_bytes(send_buf_);
+}
+
+void WireClient::send_close() {
+  send_buf_.clear();
+  append_close(send_buf_);
+  send_bytes(send_buf_);
+}
+
+std::optional<ServerMessage> WireClient::read_message() {
+  RT_CHECK(fd_ >= 0, "WireClient is not connected");
+  Frame frame;
+  std::array<std::uint8_t, 16384> chunk;
+  while (!decoder_.next(frame)) {
+    RT_CHECK(!decoder_.failed(), "garbled frame from server");
+    const ssize_t n = ::recv(fd_, chunk.data(), chunk.size(), 0);
+    if (n == 0) return std::nullopt;  // orderly close
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      RT_CHECK(false, "recv failed");
+    }
+    decoder_.feed({chunk.data(), static_cast<std::size_t>(n)});
+  }
+
+  ServerMessage message;
+  message.type = frame.type;
+  switch (frame.type) {
+    case FrameType::kOpened:
+      RT_CHECK(decode_opened(frame.payload, message.handle_id),
+               "malformed opened payload");
+      return message;
+    case FrameType::kPartial:
+    case FrameType::kFinal:
+    case FrameType::kDegraded:
+    case FrameType::kRejected:
+      RT_CHECK(decode_event(frame.payload, message.event),
+               "malformed event payload");
+      return message;
+    case FrameType::kError:
+      RT_CHECK(
+          decode_error(frame.payload, message.error, message.error_message),
+          "malformed error payload");
+      return message;
+    default:
+      RT_CHECK(false, "unexpected frame type from server");
+  }
+  return message;  // unreachable
+}
+
+std::optional<std::uint64_t> WireClient::open(const OpenRequest& request,
+                                              WireError* error) {
+  send_open(request);
+  for (;;) {
+    const std::optional<ServerMessage> message = read_message();
+    RT_CHECK(message.has_value(), "server closed during open handshake");
+    if (message->type == FrameType::kOpened) return message->handle_id;
+    if (message->type == FrameType::kError) {
+      if (error != nullptr) *error = message->error;
+      return std::nullopt;
+    }
+    // Any other frame before kOpened is a server bug.
+    RT_CHECK(false, "unexpected reply to open");
+  }
+}
+
+std::optional<WireError> WireClient::collect_until_final(
+    std::vector<speech::StreamEvent>& events) {
+  for (;;) {
+    const std::optional<ServerMessage> message = read_message();
+    RT_CHECK(message.has_value(), "server closed before the final event");
+    if (message->type == FrameType::kError) return message->error;
+    events.push_back(message->event);
+    if (message->event.is_final) return std::nullopt;
+  }
+}
+
+}  // namespace rtmobile::net

@@ -1,0 +1,73 @@
+// Blocking wire-protocol client: the reference implementation the
+// loopback tests, the example load generator, and bench_net share.
+//
+// One WireClient = one TCP connection = one stream. Sends are blocking
+// writes (the OS buffers or the caller waits — exactly the client-side
+// backpressure the server's paused-read design produces); receives
+// deframe blocking reads into typed replies.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/wire_protocol.hpp"
+#include "speech/streaming_decoder.hpp"
+
+namespace rtmobile::net {
+
+/// One deframed server reply, decoded.
+struct ServerMessage {
+  FrameType type = FrameType::kError;
+  std::uint64_t handle_id = 0;        // kOpened
+  speech::StreamEvent event;          // kPartial/kFinal/kDegraded/kRejected
+  WireError error = WireError::kProtocol;  // kError
+  std::string error_message;               // kError
+};
+
+class WireClient {
+ public:
+  WireClient() = default;
+  ~WireClient();
+
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+  WireClient(WireClient&& other) noexcept;
+  WireClient& operator=(WireClient&& other) noexcept;
+
+  /// Connects to `address:port`; throws std::runtime_error on failure.
+  void connect(const std::string& address, std::uint16_t port);
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  /// Half-closes the outbound direction / closes the socket entirely.
+  void disconnect();
+
+  // ---- sends (blocking; throw std::runtime_error on a dead socket) ----
+  void send_open(const OpenRequest& request);
+  void send_audio(std::span<const float> samples);
+  void send_finish();
+  void send_close();
+
+  // ---- receives ----
+  /// Blocks for the next server frame. nullopt = orderly server close.
+  /// Throws std::runtime_error on socket errors or garbled frames.
+  [[nodiscard]] std::optional<ServerMessage> read_message();
+  /// Convenience open handshake: send_open + read until kOpened or
+  /// kError. Returns nullopt (and fills `error`) on a typed refusal.
+  [[nodiscard]] std::optional<std::uint64_t> open(const OpenRequest& request,
+                                                 WireError* error = nullptr);
+  /// Reads events until the final one (is_final) arrives, appending each
+  /// to `events`. Returns the wire error if the server failed the stream
+  /// instead, nullopt on success.
+  [[nodiscard]] std::optional<WireError> collect_until_final(
+      std::vector<speech::StreamEvent>& events);
+
+ private:
+  void send_bytes(const std::vector<std::uint8_t>& bytes);
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+  std::vector<std::uint8_t> send_buf_;
+};
+
+}  // namespace rtmobile::net

@@ -1,0 +1,346 @@
+#include "net/wire_protocol.hpp"
+
+#include <algorithm>
+
+namespace rtmobile::net {
+namespace {
+
+// Little-endian scalar writers/readers. memcpy keeps them defined on any
+// alignment; the byte swizzle makes the wire format host-independent.
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFFU));
+  out.push_back(static_cast<std::uint8_t>(v >> 8U));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_f32(std::vector<std::uint8_t>& out, float v) {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u32(out, bits);
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+/// Sequential little-endian reader over a payload span; any under-run
+/// sets ok=false and every later read keeps it false, so parsers check
+/// once at the end.
+struct Reader {
+  std::span<const std::uint8_t> data;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  [[nodiscard]] bool take(std::size_t n, const std::uint8_t** p) {
+    if (!ok || data.size() - pos < n) {
+      ok = false;
+      return false;
+    }
+    *p = data.data() + pos;
+    pos += n;
+    return true;
+  }
+  [[nodiscard]] std::uint8_t u8() {
+    const std::uint8_t* p = nullptr;
+    return take(1, &p) ? *p : 0;
+  }
+  [[nodiscard]] std::uint16_t u16() {
+    const std::uint8_t* p = nullptr;
+    if (!take(2, &p)) return 0;
+    return static_cast<std::uint16_t>(p[0] | (p[1] << 8U));
+  }
+  [[nodiscard]] std::uint32_t u32() {
+    const std::uint8_t* p = nullptr;
+    if (!take(4, &p)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8U) | p[i];
+    return v;
+  }
+  [[nodiscard]] std::uint64_t u64() {
+    const std::uint8_t* p = nullptr;
+    if (!take(8, &p)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8U) | p[i];
+    return v;
+  }
+  [[nodiscard]] float f32() {
+    const std::uint32_t bits = u32();
+    float v = 0.0F;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  [[nodiscard]] double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  /// Whole payload consumed, no trailing garbage.
+  [[nodiscard]] bool done() const { return ok && pos == data.size(); }
+};
+
+/// Reserves the 4-byte length slot and writes the type byte; returns the
+/// slot's offset for patch_header.
+std::size_t begin_frame(std::vector<std::uint8_t>& out, FrameType type) {
+  const std::size_t header = out.size();
+  put_u32(out, 0);  // patched once the payload size is known
+  out.push_back(static_cast<std::uint8_t>(type));
+  return header;
+}
+
+void end_frame(std::vector<std::uint8_t>& out, std::size_t header) {
+  const std::uint32_t frame_len =
+      static_cast<std::uint32_t>(out.size() - header - 4);
+  for (int i = 0; i < 4; ++i) {
+    out[header + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(frame_len >> (8 * i));
+  }
+}
+
+void put_u16_array(std::vector<std::uint8_t>& out,
+                   std::span<const std::uint16_t> values) {
+  put_u32(out, static_cast<std::uint32_t>(values.size()));
+  for (const std::uint16_t v : values) put_u16(out, v);
+}
+
+[[nodiscard]] bool read_u16_array(Reader& r,
+                                  std::vector<std::uint16_t>& out) {
+  const std::uint32_t count = r.u32();
+  if (!r.ok || r.data.size() - r.pos < std::size_t{count} * 2) {
+    r.ok = false;
+    return false;
+  }
+  out.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) out[i] = r.u16();
+  return r.ok;
+}
+
+}  // namespace
+
+const char* to_string(FrameType type) {
+  switch (type) {
+    case FrameType::kOpen: return "open";
+    case FrameType::kAudio: return "audio";
+    case FrameType::kFinish: return "finish";
+    case FrameType::kClose: return "close";
+    case FrameType::kOpened: return "opened";
+    case FrameType::kPartial: return "partial";
+    case FrameType::kFinal: return "final";
+    case FrameType::kDegraded: return "degraded";
+    case FrameType::kRejected: return "rejected";
+    case FrameType::kError: return "error";
+  }
+  return "unknown";
+}
+
+const char* to_string(WireError error) {
+  switch (error) {
+    case WireError::kProtocol: return "protocol";
+    case WireError::kRejectedOverBudget: return "rejected-over-budget";
+    case WireError::kBackpressureOverflow: return "backpressure-overflow";
+    case WireError::kServerError: return "server-error";
+    case WireError::kSlowConsumer: return "slow-consumer";
+  }
+  return "unknown";
+}
+
+serve::StreamConfig OpenRequest::to_stream_config() const {
+  serve::StreamConfig config;
+  config.decode.mode = static_cast<speech::DecodeMode>(decode_mode);
+  config.decode.greedy.smooth_window = smooth_window;
+  config.decode.greedy.min_run = min_run;
+  config.decode.switch_penalty = switch_penalty;
+  config.deadline.budget_seconds = deadline_budget_seconds;
+  config.session_key = session_key;
+  return config;
+}
+
+OpenRequest OpenRequest::from_stream_config(
+    const serve::StreamConfig& config) {
+  OpenRequest request;
+  request.decode_mode = static_cast<std::uint8_t>(config.decode.mode);
+  request.smooth_window =
+      static_cast<std::uint32_t>(config.decode.greedy.smooth_window);
+  request.min_run = static_cast<std::uint32_t>(config.decode.greedy.min_run);
+  request.switch_penalty = config.decode.switch_penalty;
+  request.deadline_budget_seconds = config.deadline.budget_seconds;
+  request.session_key = config.session_key;
+  return request;
+}
+
+void append_open(std::vector<std::uint8_t>& out, const OpenRequest& request) {
+  const std::size_t header = begin_frame(out, FrameType::kOpen);
+  out.push_back(request.decode_mode);
+  put_u32(out, request.smooth_window);
+  put_u32(out, request.min_run);
+  put_f64(out, request.switch_penalty);
+  put_f64(out, request.deadline_budget_seconds);
+  put_u64(out, request.session_key);
+  end_frame(out, header);
+}
+
+void append_audio(std::vector<std::uint8_t>& out,
+                  std::span<const float> samples) {
+  const std::size_t header = begin_frame(out, FrameType::kAudio);
+  out.reserve(out.size() + samples.size() * 4);
+  for (const float s : samples) put_f32(out, s);
+  end_frame(out, header);
+}
+
+void append_finish(std::vector<std::uint8_t>& out) {
+  end_frame(out, begin_frame(out, FrameType::kFinish));
+}
+
+void append_close(std::vector<std::uint8_t>& out) {
+  end_frame(out, begin_frame(out, FrameType::kClose));
+}
+
+void append_opened(std::vector<std::uint8_t>& out, std::uint64_t handle_id) {
+  const std::size_t header = begin_frame(out, FrameType::kOpened);
+  put_u64(out, handle_id);
+  end_frame(out, header);
+}
+
+void append_event(std::vector<std::uint8_t>& out,
+                  const speech::StreamEvent& event) {
+  FrameType type = FrameType::kPartial;
+  switch (event.kind) {
+    case speech::StreamEventKind::kHypothesis:
+      type = event.is_final ? FrameType::kFinal : FrameType::kPartial;
+      break;
+    case speech::StreamEventKind::kDegraded:
+      type = FrameType::kDegraded;
+      break;
+    case speech::StreamEventKind::kRejected:
+      type = FrameType::kRejected;
+      break;
+  }
+  const std::size_t header = begin_frame(out, type);
+  // The payload re-states kind/is_final so decode_event reconstructs the
+  // event from the payload alone — the frame type is a routing hint.
+  out.push_back(static_cast<std::uint8_t>(event.kind));
+  out.push_back(event.is_final ? 1 : 0);
+  put_u64(out, event.frames);
+  put_u64(out, event.dropped_frames);
+  put_u16_array(out, event.stable);
+  put_u16_array(out, event.partial);
+  end_frame(out, header);
+}
+
+void append_error(std::vector<std::uint8_t>& out, WireError error,
+                  std::string_view message) {
+  const std::size_t header = begin_frame(out, FrameType::kError);
+  put_u16(out, static_cast<std::uint16_t>(error));
+  out.insert(out.end(), message.begin(), message.end());
+  end_frame(out, header);
+}
+
+bool decode_open(std::span<const std::uint8_t> payload, OpenRequest& out) {
+  Reader r{payload};
+  out.decode_mode = r.u8();
+  out.smooth_window = r.u32();
+  out.min_run = r.u32();
+  out.switch_penalty = r.f64();
+  out.deadline_budget_seconds = r.f64();
+  out.session_key = r.u64();
+  if (!r.done()) return false;
+  // The mode byte must name a real DecodeMode — a garbled open must not
+  // reach the decoder as an out-of-range enum.
+  return out.decode_mode <=
+         static_cast<std::uint8_t>(speech::DecodeMode::kViterbi);
+}
+
+bool decode_audio(std::span<const std::uint8_t> payload,
+                  std::vector<float>& out) {
+  if (payload.size() % 4 != 0) return false;
+  Reader r{payload};
+  const std::size_t count = payload.size() / 4;
+  out.reserve(out.size() + count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(r.f32());
+  return r.done();
+}
+
+bool decode_opened(std::span<const std::uint8_t> payload,
+                   std::uint64_t& handle_id) {
+  Reader r{payload};
+  handle_id = r.u64();
+  return r.done();
+}
+
+bool decode_event(std::span<const std::uint8_t> payload,
+                  speech::StreamEvent& out) {
+  Reader r{payload};
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(speech::StreamEventKind::kRejected)) {
+    return false;
+  }
+  out.kind = static_cast<speech::StreamEventKind>(kind);
+  const std::uint8_t is_final = r.u8();
+  if (is_final > 1) return false;
+  out.is_final = is_final == 1;
+  out.frames = static_cast<std::size_t>(r.u64());
+  out.dropped_frames = static_cast<std::size_t>(r.u64());
+  if (!read_u16_array(r, out.stable)) return false;
+  if (!read_u16_array(r, out.partial)) return false;
+  return r.done();
+}
+
+bool decode_error(std::span<const std::uint8_t> payload, WireError& error,
+                  std::string& message) {
+  Reader r{payload};
+  error = static_cast<WireError>(r.u16());
+  if (!r.ok) return false;
+  message.assign(payload.begin() + static_cast<std::ptrdiff_t>(r.pos),
+                 payload.end());
+  return true;
+}
+
+void FrameDecoder::feed(std::span<const std::uint8_t> bytes) {
+  if (failed_) return;
+  // Drop the consumed prefix before growing, so a long-lived connection
+  // doesn't accrete every byte it ever received.
+  if (consumed_ > 0 && consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ >= 4096) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+bool FrameDecoder::next(Frame& frame) {
+  if (failed_) return false;
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < 4) return false;
+  const std::uint8_t* p = buffer_.data() + consumed_;
+  std::uint32_t frame_len = 0;
+  for (int i = 3; i >= 0; --i) frame_len = (frame_len << 8U) | p[i];
+  if (frame_len == 0 || frame_len > kMaxFrameBytes) {
+    // Lost sync: there is no way to find the next frame boundary.
+    failed_ = true;
+    return false;
+  }
+  if (available < 4 + std::size_t{frame_len}) return false;
+  frame.type = static_cast<FrameType>(p[4]);
+  frame.payload.assign(p + 5, p + 4 + frame_len);
+  consumed_ += 4 + std::size_t{frame_len};
+  return true;
+}
+
+}  // namespace rtmobile::net

@@ -17,14 +17,21 @@ runtime::StreamingSession& LocalRecognizer::session(StreamHandle h) const {
   return *it->second;
 }
 
-StreamHandle LocalRecognizer::open_stream(const StreamConfig& config) {
+OpenResult LocalRecognizer::try_open_stream(const StreamConfig& config) {
+  // Open-time admission control: a deadline-carrying stream opened while
+  // the engine is already further behind than its budget would only have
+  // its frames shed — refuse before compute is wasted.
+  if (config.deadline.enabled() &&
+      engine_.max_lag_seconds() > config.deadline.budget_seconds) {
+    return OpenResult{StreamHandle{}, OpenStatus::kRejectedOverBudget};
+  }
   // One engine: config.session_key has no routing to influence.
   runtime::StreamingSession& session =
       engine_.create_session(engine_.config().mfcc, config.decode);
   session.set_deadline(config.deadline);
   const StreamHandle handle{next_id_++};
   streams_.emplace(handle.id, &session);
-  return handle;
+  return OpenResult{handle, OpenStatus::kOk};
 }
 
 bool LocalRecognizer::submit_audio(StreamHandle h,
@@ -89,7 +96,42 @@ Matrix LocalRecognizer::stream_logits(StreamHandle h) const {
   return session(h).logits();
 }
 
-std::size_t LocalRecognizer::drain() { return engine_.drain(); }
+bool LocalRecognizer::any_pending_events() const {
+  for (const auto& [id, session] : streams_) {
+    if (session->pending_events() > 0) return true;
+  }
+  return false;
+}
+
+void LocalRecognizer::notify_events() {
+  if (!any_pending_events()) return;
+  // Pair with wait_for_events' predicate check under the same mutex so a
+  // waiter never sleeps through a publish (classic lost-wakeup guard).
+  { const std::lock_guard<std::mutex> lock(events_cv_mutex_); }
+  events_cv_.notify_all();
+}
+
+bool LocalRecognizer::wait_for_events(std::chrono::microseconds timeout) {
+  if (any_pending_events()) return true;
+  std::unique_lock<std::mutex> lock(events_cv_mutex_);
+  return events_cv_.wait_for(lock, timeout,
+                             [this] { return any_pending_events(); });
+}
+
+std::size_t LocalRecognizer::drain() {
+  const std::size_t frames = engine_.drain();
+  // A round can publish events even when no frame advanced (overload
+  // shed/reject control events), so notify on pending events, not on
+  // frames; notify_events is a no-op when nothing is pending.
+  notify_events();
+  return frames;
+}
+
+std::size_t LocalRecognizer::step() {
+  const std::size_t advanced = engine_.step();
+  notify_events();
+  return advanced;
+}
 
 GlobalStats LocalRecognizer::stats() const {
   StatsAggregator aggregator;

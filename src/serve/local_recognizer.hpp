@@ -9,8 +9,11 @@
 // ShardedEngine (even with shards = 1).
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -28,8 +31,12 @@ class LocalRecognizer final : public Recognizer {
   explicit LocalRecognizer(const CompiledSpeechModel& model,
                            runtime::EngineConfig config = {});
 
-  using Recognizer::open_stream;
-  [[nodiscard]] StreamHandle open_stream(const StreamConfig& config) override;
+  /// Open-time admission: when the stream asks for a deadline, the
+  /// engine's current worst head-frame wait is the projected lag — a
+  /// stream opened while the engine is already further behind than the
+  /// requested budget is refused with kRejectedOverBudget. An in-memory
+  /// engine never reports kBackpressure.
+  [[nodiscard]] OpenResult try_open_stream(const StreamConfig& config) override;
   [[nodiscard]] bool submit_audio(StreamHandle h,
                                   std::span<const float> samples) override;
   [[nodiscard]] bool finish_stream(StreamHandle h) override;
@@ -38,6 +45,7 @@ class LocalRecognizer final : public Recognizer {
   std::size_t poll_events(StreamHandle h,
                           std::vector<speech::StreamEvent>& out) override;
   std::size_t poll_events(std::vector<RecognizerEvent>& out) override;
+  bool wait_for_events(std::chrono::microseconds timeout) override;
 
   [[nodiscard]] bool stream_done(StreamHandle h) const override;
   [[nodiscard]] StreamDeadlineStats stream_deadline_stats(
@@ -47,7 +55,7 @@ class LocalRecognizer final : public Recognizer {
   std::size_t drain() override;
   /// One scheduling round (up to max_batch streams advance one frame);
   /// finer-grained than drain() for callers interleaving with arrival.
-  std::size_t step() { return engine_.step(); }
+  std::size_t step();
 
   [[nodiscard]] GlobalStats stats() const override;
   void reset_stats() override;
@@ -59,6 +67,9 @@ class LocalRecognizer final : public Recognizer {
 
  private:
   [[nodiscard]] runtime::StreamingSession& session(StreamHandle h) const;
+  [[nodiscard]] bool any_pending_events() const;
+  /// Wakes wait_for_events after serving work that produced events.
+  void notify_events();
 
   runtime::InferenceEngine engine_;
   /// Ordered so the drain-all poll emits streams in ascending handle-id
@@ -69,6 +80,10 @@ class LocalRecognizer final : public Recognizer {
   /// Drain-all poll scratch, reused so the hot event path stays
   /// allocation-free once warmed (like the engine's batch buffers).
   std::vector<speech::StreamEvent> poll_scratch_;
+  /// wait_for_events backing: drain()/step() notify after producing
+  /// events (see the wakeup contract in recognizer.hpp).
+  mutable std::mutex events_cv_mutex_;
+  std::condition_variable events_cv_;
 };
 
 }  // namespace rtmobile::serve

@@ -20,6 +20,7 @@
 // implementations, chunk sizes, shard placements, and live migrations.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -35,6 +36,32 @@ namespace rtmobile::serve {
 /// issued it.
 struct StreamHandle {
   std::uint64_t id = 0;
+};
+
+/// Why try_open_stream did (or did not) admit a stream. A transport maps
+/// each failure to a distinct wire error instead of inferring the cause
+/// from a bool or an invalid handle.
+enum class OpenStatus : std::uint8_t {
+  kOk,
+  /// Open-time admission control refused the stream: the deployment's
+  /// projected lag already exceeds the stream's deadline budget, so
+  /// serving it would only waste compute on frames it is bound to shed.
+  /// Only streams that ask for a deadline (config.deadline.enabled())
+  /// are ever refused this way.
+  kRejectedOverBudget,
+  /// The admission path itself is congested (e.g. a shard's ingress ring
+  /// is full). Transient: the caller retries or surfaces backpressure.
+  kBackpressure,
+};
+
+[[nodiscard]] const char* to_string(OpenStatus status);
+
+/// try_open_stream's result: `handle` is valid only when `status == kOk`.
+struct OpenResult {
+  StreamHandle handle;
+  OpenStatus status = OpenStatus::kOk;
+
+  [[nodiscard]] bool ok() const { return status == OpenStatus::kOk; }
 };
 
 /// Per-stream options a client passes at open time.
@@ -76,9 +103,23 @@ class Recognizer {
   virtual ~Recognizer() = default;
 
   // ---- stream lifecycle ----
-  /// Admits a new stream and returns its ticket.
-  [[nodiscard]] virtual StreamHandle open_stream(
+  /// Attempts to admit a new stream, reporting the outcome as a typed
+  /// status instead of throwing or spinning. When the stream carries a
+  /// deadline budget (config.deadline.enabled()), implementations apply
+  /// open-time admission control: if the deployment's projected lag (the
+  /// worst head-frame wait the serving target last reported) already
+  /// exceeds that budget, the stream is refused with
+  /// kRejectedOverBudget — degrading gracefully before compute is spent
+  /// on frames the overload policy would immediately shed. kBackpressure
+  /// reports transient admission congestion (retry).
+  [[nodiscard]] virtual OpenResult try_open_stream(
       const StreamConfig& config) = 0;
+  /// Admits a new stream and returns its ticket: a thin wrapper over
+  /// try_open_stream that retries kBackpressure (yielding between
+  /// attempts) and throws std::runtime_error on kRejectedOverBudget —
+  /// transports that need to degrade instead of throw call
+  /// try_open_stream directly.
+  [[nodiscard]] StreamHandle open_stream(const StreamConfig& config);
   [[nodiscard]] StreamHandle open_stream() {
     return open_stream(StreamConfig{});
   }
@@ -105,6 +146,21 @@ class Recognizer {
   /// streams appear in ascending handle id (per-stream event order
   /// preserved), identical across implementations and runs.
   virtual std::size_t poll_events(std::vector<RecognizerEvent>& out) = 0;
+  /// Blocks until at least one stream has a pending event or `timeout`
+  /// elapses; returns true when events are (or may be) pending, false on
+  /// timeout. The event-loop hook: a transport's poll thread sleeps here
+  /// instead of spin-polling poll_events.
+  ///
+  /// Wakeup contract: implementations are condition-variable backed and
+  /// signal whenever serving publishes new events — ShardedEngine's
+  /// pumps notify after every scheduling round that flushed events;
+  /// LocalRecognizer notifies from the drain()/step() that produced
+  /// them (so in the single-threaded deployment, where the caller of
+  /// drain() is the only thread, a true return simply means "poll now").
+  /// Spurious wakeups are allowed, and a true return does not reserve
+  /// the events — a concurrent poller may drain them first. False
+  /// guarantees only that no event was pending for one full timeout.
+  virtual bool wait_for_events(std::chrono::microseconds timeout) = 0;
 
   // ---- completion & results ----
   /// True once the stream's audio is finished and every frame served

@@ -105,7 +105,7 @@ StreamHandle ShardedEngine::open_stream(std::uint64_t session_key) {
   return open_stream(config);
 }
 
-StreamHandle ShardedEngine::open_stream(const StreamConfig& config) {
+OpenResult ShardedEngine::try_open_stream(const StreamConfig& config) {
   std::size_t target = 0;
   StreamHandle handle;
   {
@@ -113,6 +113,15 @@ StreamHandle ShardedEngine::open_stream(const StreamConfig& config) {
     const std::vector<std::size_t> loads = snapshot_loads();
     const std::vector<double> lags = snapshot_lags_us();
     target = router_.pick(loads, lags, config.session_key);
+    // Open-time admission control: the router already picked the
+    // least-loaded/least-lagged admissible shard, so if even that
+    // shard's last published worst-stream lag exceeds the requested
+    // budget, the whole fleet is too far behind to serve this stream
+    // inside its deadline — refuse before wasting a slot and compute.
+    if (config.deadline.enabled() &&
+        lags[target] * 1e-6 > config.deadline.budget_seconds) {
+      return OpenResult{StreamHandle{}, OpenStatus::kRejectedOverBudget};
+    }
 
     // Prefer a slot freed by a closed stream; grow the table otherwise.
     std::uint64_t slot = 0;
@@ -147,6 +156,8 @@ StreamHandle ShardedEngine::open_stream(const StreamConfig& config) {
     {
       // Events the previous occupant never polled die with its handle.
       const std::lock_guard<std::mutex> events_lock(e.events_mutex);
+      pending_events_.fetch_sub(e.events.size(),
+                                std::memory_order_acq_rel);
       e.events.clear();
     }
     // Publish: a stale handle's generation stops matching here, and for
@@ -166,27 +177,32 @@ StreamHandle ShardedEngine::open_stream(const StreamConfig& config) {
   open.stream = handle.id;
   open.decode = config.decode;
   open.deadline = config.deadline;
+  // Undoes a failed admission: the stream never existed. The load signal
+  // reverts and the slot is recycled (its next occupant bumps the
+  // generation, so the handle we never returned can't alias it).
+  const auto rollback = [this, &shard, &handle] {
+    shard.live_streams.fetch_sub(1, std::memory_order_acq_rel);
+    const std::lock_guard<std::mutex> free_lock(free_mutex_);
+    free_slots_.push_back(static_cast<std::uint32_t>(handle.id & kSlotMask));
+  };
   try {
     if (running()) {
-      // The pump is draining this ring; spin-yield until the open fits
-      // so a handle is never silently lost.
-      while (!enqueue(target, std::move(open))) {
-        std::this_thread::yield();
+      if (!enqueue(target, std::move(open))) {
+        // Ingress ring full: typed backpressure instead of spinning —
+        // the base-class open_stream wrapper retries, a transport maps
+        // it to a wire-level "try again" before any state leaks.
+        rollback();
+        return OpenResult{StreamHandle{}, OpenStatus::kBackpressure};
       }
     } else {
       // Synchronous mode: the caller is the only actor, apply in place.
       apply(shard, std::move(open));
     }
   } catch (...) {
-    // Dead shard: the stream never existed. Undo the load signal and
-    // recycle the slot (its next occupant bumps the generation, so the
-    // handle we never returned can't alias it).
-    shard.live_streams.fetch_sub(1, std::memory_order_acq_rel);
-    const std::lock_guard<std::mutex> free_lock(free_mutex_);
-    free_slots_.push_back(static_cast<std::uint32_t>(handle.id & kSlotMask));
+    rollback();  // dead shard: fail the open, not the engine
     throw;
   }
-  return handle;
+  return OpenResult{handle, OpenStatus::kOk};
 }
 
 bool ShardedEngine::enqueue(std::size_t shard, StreamCommand&& command) {
@@ -284,6 +300,7 @@ std::size_t ShardedEngine::poll_events(StreamHandle h,
   out.insert(out.end(), std::make_move_iterator(e.events.begin()),
              std::make_move_iterator(e.events.end()));
   e.events.clear();
+  pending_events_.fetch_sub(moved, std::memory_order_acq_rel);
   return moved;
 }
 
@@ -301,11 +318,13 @@ std::size_t ShardedEngine::poll_events(std::vector<RecognizerEvent>& out) {
     const std::uint64_t generation =
         e.generation.load(std::memory_order_acquire);
     const StreamHandle handle{generation << kSlotBits | slot};
+    const std::size_t moved = e.events.size();
     for (speech::StreamEvent& event : e.events) {
       out.push_back(RecognizerEvent{handle, std::move(event)});
     }
-    total += e.events.size();
+    total += moved;
     e.events.clear();
+    pending_events_.fetch_sub(moved, std::memory_order_acq_rel);
   }
   // Slot order is not handle order once closed slots are reissued (a
   // reissued low slot carries a newer, higher id). Sort into ascending
@@ -317,6 +336,14 @@ std::size_t ShardedEngine::poll_events(std::vector<RecognizerEvent>& out) {
                      return a.stream.id < b.stream.id;
                    });
   return total;
+}
+
+bool ShardedEngine::wait_for_events(std::chrono::microseconds timeout) {
+  if (pending_events_.load(std::memory_order_acquire) > 0) return true;
+  std::unique_lock<std::mutex> lock(events_cv_mutex_);
+  return events_cv_.wait_for(lock, timeout, [this] {
+    return pending_events_.load(std::memory_order_acquire) > 0;
+  });
 }
 
 // ---------------------------------------------------------- command flow
@@ -369,6 +396,8 @@ void ShardedEngine::apply(Shard& shard, StreamCommand&& command) {
       {
         // Unpolled hypotheses die with the stream the client abandoned.
         const std::lock_guard<std::mutex> events_lock(e.events_mutex);
+        pending_events_.fetch_sub(e.events.size(),
+                                  std::memory_order_acq_rel);
         e.events.clear();
       }
       // Ownership returns to us and dies here: the session is freed.
@@ -396,12 +425,21 @@ std::size_t ShardedEngine::apply_commands(Shard& shard) {
 }
 
 void ShardedEngine::collect_events(Shard& shard) {
+  std::size_t published = 0;
   for (const auto& [id, session] : shard.local) {
     if (session->pending_events() == 0) continue;
     StreamEntry* e = try_entry(id);
     if (e == nullptr) continue;  // slot reissued mid-flight: drop
     const std::lock_guard<std::mutex> lock(e->events_mutex);
-    session->poll_events(e->events);
+    published += session->poll_events(e->events);
+  }
+  if (published > 0) {
+    pending_events_.fetch_add(published, std::memory_order_acq_rel);
+    // Empty critical section: a wait_for_events caller that checked the
+    // counter before this add is guaranteed to be inside wait_for by the
+    // time notify fires (the lost-wakeup guard).
+    { const std::lock_guard<std::mutex> lock(events_cv_mutex_); }
+    events_cv_.notify_all();
   }
 }
 

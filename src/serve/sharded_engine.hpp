@@ -24,6 +24,8 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
@@ -84,7 +86,13 @@ class ShardedEngine final : public Recognizer {
   /// shard; other policies ignore it). The stream's decoder config rides
   /// the open command to its shard.
   using Recognizer::open_stream;
-  [[nodiscard]] StreamHandle open_stream(const StreamConfig& config) override;
+  /// Typed admission. kRejectedOverBudget: the stream carries a deadline
+  /// budget and even the shard the router would pick last published a
+  /// worst-stream lag beyond it (every shard is at least that far
+  /// behind, so the stream's frames would be shed on arrival).
+  /// kBackpressure: the target shard's ingress ring had no room for the
+  /// open command (transient; the slot is recycled, nothing leaks).
+  [[nodiscard]] OpenResult try_open_stream(const StreamConfig& config) override;
   /// Pre-Recognizer compatibility surface: a keyed stream with NO
   /// in-loop decoding, exactly the pre-redesign behavior — existing
   /// logits-only callers (and their benchmark baselines) keep their
@@ -120,6 +128,9 @@ class ShardedEngine final : public Recognizer {
                           std::vector<speech::StreamEvent>& out) override;
   /// Drain-all: every stream's pending events, tagged with their handles.
   std::size_t poll_events(std::vector<RecognizerEvent>& out) override;
+  /// Sleeps until a pump publishes events into some mailbox (or timeout).
+  /// See the wakeup contract in recognizer.hpp.
+  bool wait_for_events(std::chrono::microseconds timeout) override;
 
   /// True once the stream's audio is finished and every frame is served.
   /// After it returns true, stream_logits() is safe from any thread (for
@@ -294,6 +305,12 @@ class ShardedEngine final : public Recognizer {
   /// applier (pump or sync caller), popped at admission.
   std::mutex free_mutex_;
   std::vector<std::uint32_t> free_slots_;
+  /// Unpolled events across every mailbox, maintained at each mailbox
+  /// mutation — wait_for_events' predicate, so a waiter never scans the
+  /// handle table.
+  std::atomic<std::size_t> pending_events_{0};
+  std::mutex events_cv_mutex_;
+  std::condition_variable events_cv_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
   WallTimer window_timer_;  // spans start() .. stop()

@@ -115,14 +115,6 @@ void circular_convolve_naive(std::span<const float> a,
   }
 }
 
-std::vector<float> power_spectrum(std::span<const float> frame,
-                                  std::size_t fft_size) {
-  std::vector<float> power(fft_size / 2 + 1);
-  std::vector<Complex> scratch(fft_size);
-  power_spectrum(frame, fft_size, power, scratch);
-  return power;
-}
-
 void power_spectrum(std::span<const float> frame, std::size_t fft_size,
                     std::span<float> power,
                     std::span<Complex> fft_scratch) {

@@ -43,11 +43,8 @@ void circular_convolve(std::span<const float> a, std::span<const float> b,
 void circular_convolve_naive(std::span<const float> a,
                              std::span<const float> b, std::span<float> out);
 
-/// Power spectrum |FFT(x)|^2 of a real frame, returning fft_size/2+1 bins.
-[[nodiscard]] std::vector<float> power_spectrum(std::span<const float> frame,
-                                                std::size_t fft_size);
-
-/// Allocation-free power spectrum: writes fft_size/2+1 bins into `power`
+/// Power spectrum |FFT(x)|^2 of a real frame, allocation-free:
+/// writes fft_size/2+1 bins into `power`
 /// using `fft_scratch` (fft_size entries) as the transform workspace.
 /// The 10 ms streaming front end calls this once per frame, so per-frame
 /// heap traffic would land directly on the serving hot path.

@@ -54,13 +54,6 @@ MelFilterBank::MelFilterBank(const MfccConfig& config)
   }
 }
 
-std::vector<float> MelFilterBank::apply(
-    std::span<const float> power_spectrum) const {
-  std::vector<float> energies(filters_.size());
-  apply(power_spectrum, energies);
-  return energies;
-}
-
 void MelFilterBank::apply(std::span<const float> power_spectrum,
                           std::span<float> energies) const {
   RT_REQUIRE(power_spectrum.size() == num_bins_,
@@ -123,24 +116,6 @@ std::size_t MfccExtractor::feature_dim() const {
 std::size_t MfccExtractor::frame_count(std::size_t num_samples) const {
   if (num_samples < config_.frame_length) return 0;
   return 1 + (num_samples - config_.frame_length) / config_.frame_shift;
-}
-
-void MfccExtractor::extract_frame(std::span<const float> samples,
-                                  float prev_sample,
-                                  std::span<float> cepstra) const {
-  FrameScratch scratch(config_);
-  extract_frame(samples, prev_sample, cepstra, scratch);
-}
-
-void MfccExtractor::extract_frame(std::span<const float> samples,
-                                  float prev_sample,
-                                  std::span<float> cepstra,
-                                  std::span<float> scratch) const {
-  std::vector<Complex> fft(config_.fft_size);
-  std::vector<float> power(config_.fft_size / 2 + 1);
-  std::vector<float> mel(config_.num_mel_filters);
-  extract_frame_impl(samples, prev_sample, cepstra, scratch, fft, power,
-                     mel);
 }
 
 void MfccExtractor::extract_frame(std::span<const float> samples,

@@ -42,13 +42,9 @@ class MelFilterBank {
 
   [[nodiscard]] std::size_t num_filters() const { return filters_.size(); }
 
-  /// Applies the bank to a power spectrum (fft_size/2+1 bins), returning
-  /// one energy per filter.
-  [[nodiscard]] std::vector<float> apply(
-      std::span<const float> power_spectrum) const;
-
-  /// Allocation-free variant: writes num_filters() energies into
-  /// `energies`. The per-frame path of the streaming front end.
+  /// Applies the bank to a power spectrum (fft_size/2+1 bins), writing
+  /// num_filters() energies into `energies`. Allocation-free — the
+  /// per-frame path of the streaming front end.
   void apply(std::span<const float> power_spectrum,
              std::span<float> energies) const;
 
@@ -96,26 +92,15 @@ class MfccExtractor {
   /// Cepstra of a single frame: `samples` is the frame_length-sample
   /// window and `prev_sample` the sample preceding it (0 at stream
   /// start), which pre-emphasis of the first sample needs. Writes
-  /// num_cepstra values. extract() and the streaming front end both call
-  /// this, so chunked extraction is bit-identical to batch extraction.
-  void extract_frame(std::span<const float> samples, float prev_sample,
-                     std::span<float> cepstra) const;
-
-  /// As above, with caller-provided scratch: no heap allocation at all.
+  /// num_cepstra values into `cepstra` using caller-provided scratch:
+  /// no heap allocation at all. extract() and the streaming front end
+  /// both call this, so chunked extraction is bit-identical to batch
+  /// extraction.
   void extract_frame(std::span<const float> samples, float prev_sample,
                      std::span<float> cepstra, FrameScratch& scratch) const;
 
-  /// Transitional wrapper kept for callers holding only a windowing
-  /// buffer: `scratch` is used for the window; the FFT/power/mel
-  /// buffers are still allocated per frame. Prefer the FrameScratch
-  /// overload on hot paths.
-  void extract_frame(std::span<const float> samples, float prev_sample,
-                     std::span<float> cepstra,
-                     std::span<float> scratch) const;
-
  private:
-  /// The whole per-frame pipeline over caller-provided buffers; every
-  /// public extract_frame overload lands here.
+  /// The whole per-frame pipeline over caller-provided buffers.
   void extract_frame_impl(std::span<const float> samples, float prev_sample,
                           std::span<float> cepstra, std::span<float> frame,
                           std::span<Complex> fft, std::span<float> power,

@@ -524,6 +524,60 @@ TEST_P(RecognizerConformance, DrainAllPollOrderedByHandleAfterSlotReuse) {
   EXPECT_EQ(tagged.back().stream.id, reused.id);
 }
 
+TEST_P(RecognizerConformance, TryOpenStreamAgreesWithOpenStreamWrapper) {
+  // The typed open and the throwing wrapper must admit the same streams
+  // and serve them identically: open one stream each way, run the same
+  // audio through both, compare event sequences.
+  const ServeFixture f = make_fixture(16, 88);
+  Deployment d = make_param_deployment(f, GetParam());
+  Recognizer& recognizer = *d.recognizer;
+  const StreamConfig config;
+  const std::vector<float> wave = random_waveform(4000, 21);
+
+  const serve::OpenResult typed = recognizer.try_open_stream(config);
+  ASSERT_TRUE(typed.ok());
+  ASSERT_EQ(typed.status, serve::OpenStatus::kOk);
+  // Note: 0 is a valid handle id (ShardedEngine's first slot), so the
+  // only validity signal is the status.
+  const StreamHandle wrapped = recognizer.open_stream(config);
+  ASSERT_NE(wrapped.id, typed.handle.id);
+
+  std::vector<StreamEvent> typed_events;
+  std::vector<StreamEvent> wrapped_events;
+  for (const StreamHandle h : {typed.handle, wrapped}) {
+    EXPECT_TRUE(recognizer.submit_audio(h, wave));
+    EXPECT_TRUE(recognizer.finish_stream(h));
+  }
+  recognizer.drain();
+  recognizer.poll_events(typed.handle, typed_events);
+  recognizer.poll_events(wrapped, wrapped_events);
+  EXPECT_EQ(typed_events, wrapped_events);
+  EXPECT_TRUE(recognizer.close_stream(typed.handle));
+  EXPECT_TRUE(recognizer.close_stream(wrapped));
+}
+
+TEST_P(RecognizerConformance, WaitForEventsReflectsPendingEvents) {
+  const ServeFixture f = make_fixture(16, 89);
+  Deployment d = make_param_deployment(f, GetParam());
+  Recognizer& recognizer = *d.recognizer;
+  const StreamHandle h = recognizer.open_stream(StreamConfig{});
+
+  // Nothing pending: a bounded wait must time out (false).
+  EXPECT_FALSE(recognizer.wait_for_events(std::chrono::microseconds(1000)));
+
+  ASSERT_TRUE(recognizer.submit_audio(h, random_waveform(4000, 31)));
+  ASSERT_TRUE(recognizer.finish_stream(h));
+  recognizer.drain();
+  // Events pending: the fast path returns true without blocking.
+  EXPECT_TRUE(recognizer.wait_for_events(std::chrono::microseconds(0)));
+
+  std::vector<StreamEvent> events;
+  ASSERT_GT(recognizer.poll_events(h, events), 0U);
+  // Drained again: back to timing out.
+  EXPECT_FALSE(recognizer.wait_for_events(std::chrono::microseconds(1000)));
+  EXPECT_TRUE(recognizer.close_stream(h));
+}
+
 INSTANTIATE_TEST_SUITE_P(LocalAndSharded, RecognizerConformance,
                          ::testing::Values(0U, 1U, 3U),
                          [](const auto& info) {
@@ -532,6 +586,29 @@ INSTANTIATE_TEST_SUITE_P(LocalAndSharded, RecognizerConformance,
                                       : "Sharded" +
                                             std::to_string(info.param);
                          });
+
+TEST(RecognizerWaitForEvents, WakesWhenPumpThreadsPublish) {
+  // The event-loop hook across threads: with a started ShardedEngine the
+  // pumps publish on their own threads, and a waiter parked in
+  // wait_for_events must wake without anyone calling drain().
+  const ServeFixture f = make_fixture(16, 93);
+  ShardConfig config;
+  config.shards = 2;
+  ShardedEngine engine(*f.model, f.masks, f.options, config);
+  engine.start();
+  const StreamHandle h = engine.open_stream(StreamConfig{});
+  ASSERT_TRUE(engine.submit_audio(h, random_waveform(4000, 41)));
+  ASSERT_TRUE(engine.finish_stream(h));
+  // Generous bound; the pumps publish within microseconds of serving.
+  EXPECT_TRUE(engine.wait_for_events(std::chrono::microseconds(2000000)));
+  std::vector<StreamEvent> events;
+  // The wakeup does not reserve events, but no one else polls here.
+  while (events.empty() || !events.back().is_final) {
+    engine.poll_events(h, events);
+  }
+  EXPECT_TRUE(engine.close_stream(h));
+  engine.stop();
+}
 
 TEST(RecognizerConformance, EventStreamIndependentOfShardPlacement) {
   // The same audio served by shard 0, by shard 1, or by a lone local
