@@ -20,6 +20,7 @@
 #include "compiler/gru_executor.hpp"
 #include "hw/thread_pool.hpp"
 #include "net/recognizer_server.hpp"
+#include "obs/telemetry.hpp"
 #include "rnn/model.hpp"
 #include "rnn/param_set.hpp"
 #include "serve/local_recognizer.hpp"
@@ -42,7 +43,7 @@ struct Backend {
 /// An untrained BSP-pruned model: this example demonstrates transport,
 /// not accuracy (same policy as streaming_server.cpp).
 Backend build_backend(const std::string& kind, std::size_t hidden,
-                      std::size_t shards) {
+                      std::size_t shards, obs::Telemetry* telemetry) {
   Backend backend;
   Rng rng(2024);
   backend.model = std::make_unique<SpeechModel>(ModelConfig::scaled(hidden));
@@ -62,6 +63,7 @@ Backend build_backend(const std::string& kind, std::size_t hidden,
   if (kind == "sharded") {
     serve::ShardConfig config;
     config.shards = shards;
+    config.engine.telemetry = telemetry;
     auto engine = std::make_unique<serve::ShardedEngine>(
         *backend.model, masks, options, config);
     engine->start();  // pump threads serve; the epoll loop only waits
@@ -70,8 +72,10 @@ Backend build_backend(const std::string& kind, std::size_t hidden,
   } else {
     backend.compiled = std::make_unique<CompiledSpeechModel>(
         *backend.model, masks, options, nullptr);
-    backend.recognizer =
-        std::make_unique<serve::LocalRecognizer>(*backend.compiled);
+    runtime::EngineConfig engine_config;
+    engine_config.telemetry = telemetry;
+    backend.recognizer = std::make_unique<serve::LocalRecognizer>(
+        *backend.compiled, engine_config);
   }
   return backend;
 }
@@ -91,6 +95,9 @@ int main(int argc, char** argv) {
   cli.add_flag("max-connections", "0",
                "exit once this many connections were accepted and "
                "drained (0 = serve forever)");
+  cli.add_flag("metrics-port", "-1",
+               "HTTP port serving GET /metrics and /metrics.json "
+               "(0 = ephemeral, printed; -1 = observability off)");
   try {
     cli.parse(argc, argv);
   } catch (const std::exception& e) {
@@ -103,14 +110,29 @@ int main(int argc, char** argv) {
   const std::uint64_t max_connections =
       static_cast<std::uint64_t>(cli.get_int("max-connections"));
 
-  Backend backend = build_backend(backend_kind, hidden, shards);
+  const std::int64_t metrics_port = cli.get_int("metrics-port");
+
+  // Must outlive the backend AND the server (both hold pointers into it).
+  std::unique_ptr<obs::Telemetry> telemetry;
+  if (metrics_port >= 0) telemetry = std::make_unique<obs::Telemetry>();
+
+  Backend backend =
+      build_backend(backend_kind, hidden, shards, telemetry.get());
   net::ServerConfig config;
   config.port = static_cast<std::uint16_t>(cli.get_int("port"));
   config.drive_recognizer = backend.sharded == nullptr;
+  config.telemetry = telemetry.get();
+  if (metrics_port >= 0) {
+    config.metrics_port = static_cast<std::uint16_t>(metrics_port);
+  }
   net::RecognizerServer server(*backend.recognizer, config);
   server.start();
   std::printf("tcp_server: backend=%s hidden=%zu listening on 127.0.0.1:%u\n",
               backend_kind.c_str(), hidden, server.port());
+  if (telemetry != nullptr) {
+    std::printf("tcp_server: metrics on http://127.0.0.1:%u/metrics\n",
+                server.metrics_port());
+  }
   std::fflush(stdout);
 
   for (;;) {

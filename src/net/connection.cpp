@@ -7,6 +7,9 @@
 #include <array>
 #include <exception>
 
+#include "obs/telemetry.hpp"
+#include "util/logging.hpp"
+
 namespace rtmobile::net {
 
 namespace {
@@ -16,8 +19,12 @@ constexpr std::size_t kReadChunk = 64 * 1024;
 }  // namespace
 
 Connection::Connection(int fd, serve::Recognizer& recognizer,
-                       std::size_t max_write_buffer)
-    : fd_(fd), recognizer_(recognizer), max_write_buffer_(max_write_buffer) {}
+                       std::size_t max_write_buffer,
+                       obs::Telemetry* telemetry)
+    : fd_(fd),
+      recognizer_(recognizer),
+      max_write_buffer_(max_write_buffer),
+      telemetry_(telemetry) {}
 
 Connection::~Connection() {
   // A connection dying with a live stream abandons it. close_stream may
@@ -50,6 +57,9 @@ void Connection::on_readable() {
   for (;;) {
     const ssize_t n = ::recv(fd_, chunk.data(), chunk.size(), 0);
     if (n > 0) {
+      if (telemetry_ != nullptr) {
+        telemetry_->net().bytes_in->add(static_cast<std::uint64_t>(n));
+      }
       decoder_.feed({chunk.data(), static_cast<std::size_t>(n)});
       process_frames();
       // A frame may have paused us (backpressure) or killed the
@@ -159,6 +169,7 @@ void Connection::handle_audio(const Frame& frame) {
     // Ingress backpressure: park the chunk and pause reads (TCP now
     // backpressures the client); pump_pending() retries.
     pending_audio_ = audio_scratch_;
+    note_ingress_pause();
   }
 }
 
@@ -169,7 +180,10 @@ void Connection::handle_finish() {
     return;
   }
   finish_sent_ = true;
-  if (!recognizer_.finish_stream(handle_)) pending_finish_ = true;
+  if (!recognizer_.finish_stream(handle_)) {
+    pending_finish_ = true;
+    note_ingress_pause();
+  }
 }
 
 void Connection::handle_close() {
@@ -244,6 +258,7 @@ void Connection::release_stream() {
       has_stream_ = false;
     } else {
       pending_close_ = true;  // retried by pump_pending
+      note_ingress_pause();
     }
   } catch (const std::exception&) {
     has_stream_ = false;  // stream already dead server-side
@@ -257,17 +272,30 @@ bool Connection::queue_bytes_ok(std::size_t incoming) {
   // Slow consumer: the client is not reading fast enough for the events
   // its stream produces. Dropping beats unbounded buffering; the cap is
   // the bounded-memory contract that lets compute threads fire-and-forget.
+  RT_LOG(Info, "net") << "stream=" << (has_stream_ ? handle_.id : 0)
+                      << " dropping slow consumer (write buffer over "
+                      << max_write_buffer_ << " bytes)";
+  if (telemetry_ != nullptr) telemetry_->net().slow_consumer_drops->add(1);
   release_stream();
   dead_ = true;
   return false;
 }
 
+void Connection::note_ingress_pause() {
+  if (telemetry_ != nullptr) telemetry_->net().ingress_pauses->add(1);
+}
+
 void Connection::try_flush() {
-  if (dead_) return;
+  if (dead_ || write_pos_ >= write_buf_.size()) return;
+  RT_SPAN(telemetry_ != nullptr ? &telemetry_->trace() : nullptr,
+          kSocketWrite, has_stream_ ? handle_.id : obs::kNoStream);
   while (write_pos_ < write_buf_.size()) {
     const ssize_t n = ::send(fd_, write_buf_.data() + write_pos_,
                              write_buf_.size() - write_pos_, MSG_NOSIGNAL);
     if (n > 0) {
+      if (telemetry_ != nullptr) {
+        telemetry_->net().bytes_out->add(static_cast<std::uint64_t>(n));
+      }
       write_pos_ += static_cast<std::size_t>(n);
       continue;
     }
@@ -284,6 +312,11 @@ void Connection::try_flush() {
 void Connection::on_writable() { try_flush(); }
 
 void Connection::fail(WireError error, std::string_view message) {
+  RT_LOG(Debug, "net") << "stream=" << (has_stream_ ? handle_.id : 0)
+                       << " failing connection: " << message;
+  if (error == WireError::kProtocol && telemetry_ != nullptr) {
+    telemetry_->net().protocol_errors->add(1);
+  }
   release_stream();
   std::vector<std::uint8_t> encoded;
   append_error(encoded, error, message);

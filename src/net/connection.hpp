@@ -26,15 +26,22 @@
 #include "net/wire_protocol.hpp"
 #include "serve/recognizer.hpp"
 
+namespace rtmobile::obs {
+class Telemetry;
+}
+
 namespace rtmobile::net {
 
 class Connection {
  public:
   /// Takes ownership of the (non-blocking) socket `fd`.
   /// `max_write_buffer` caps queued outbound bytes (slow-consumer
-  /// limit). `max_audio_buffer_samples` caps parked ingress audio.
+  /// limit). `telemetry` (nullable) receives wire byte counters,
+  /// protocol-error / slow-consumer / ingress-pause counts, and
+  /// socket-write spans.
   Connection(int fd, serve::Recognizer& recognizer,
-             std::size_t max_write_buffer);
+             std::size_t max_write_buffer,
+             obs::Telemetry* telemetry = nullptr);
   ~Connection();
 
   Connection(const Connection&) = delete;
@@ -89,10 +96,13 @@ class Connection {
   /// Releases the recognizer stream (parking the close on backpressure).
   void release_stream();
   [[nodiscard]] bool queue_bytes_ok(std::size_t incoming);
+  /// Counts one transition into the ingress-paused state.
+  void note_ingress_pause();
 
   int fd_;
   serve::Recognizer& recognizer_;
   const std::size_t max_write_buffer_;
+  obs::Telemetry* telemetry_;  // non-owning; null = observability off
 
   FrameDecoder decoder_;
   std::vector<std::uint8_t> write_buf_;

@@ -12,40 +12,55 @@
 #include <array>
 #include <cstring>
 
+#include "obs/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace rtmobile::net {
 
 namespace {
 constexpr int kMaxEpollEvents = 64;
+/// A scrape request larger than this is garbage, not HTTP.
+constexpr std::size_t kMaxHttpRequest = 16 * 1024;
+
+/// Binds a non-blocking listener and reports the resolved port.
+int make_listener(const std::string& address, std::uint16_t port,
+                  int backlog, std::uint16_t& bound_port) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  RT_CHECK(fd >= 0, "socket creation failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  RT_CHECK(::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) == 1,
+           "invalid bind address (dotted-quad IPv4 expected)");
+  RT_CHECK(::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0,
+           "bind failed (address in use?)");
+  RT_CHECK(::listen(fd, backlog) == 0, "listen failed");
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  RT_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) ==
+               0,
+           "getsockname failed");
+  bound_port = ntohs(bound.sin_port);
+  return fd;
+}
 }  // namespace
 
 RecognizerServer::RecognizerServer(serve::Recognizer& recognizer,
                                    ServerConfig config)
     : recognizer_(recognizer), config_(std::move(config)) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
-                        0);
-  RT_CHECK(listen_fd_ >= 0, "socket creation failed");
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(config_.port);
-  RT_CHECK(::inet_pton(AF_INET, config_.bind_address.c_str(),
-                       &addr.sin_addr) == 1,
-           "invalid bind address (dotted-quad IPv4 expected)");
-  RT_CHECK(::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof(addr)) == 0,
-           "bind failed (address in use?)");
-  RT_CHECK(::listen(listen_fd_, config_.backlog) == 0, "listen failed");
-
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  RT_CHECK(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                         &len) == 0,
-           "getsockname failed");
-  port_ = ntohs(bound.sin_port);
+  listen_fd_ = make_listener(config_.bind_address, config_.port,
+                             config_.backlog, port_);
+  if (config_.telemetry != nullptr) {
+    metrics_listen_fd_ = make_listener(
+        config_.bind_address, config_.metrics_port, config_.backlog,
+        metrics_port_);
+  }
 
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
   RT_CHECK(epoll_fd_ >= 0, "epoll_create1 failed");
@@ -57,6 +72,13 @@ RecognizerServer::RecognizerServer(serve::Recognizer& recognizer,
   ev.data.fd = listen_fd_;
   RT_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0,
            "epoll_ctl(listen) failed");
+  if (metrics_listen_fd_ >= 0) {
+    ev.events = EPOLLIN;
+    ev.data.fd = metrics_listen_fd_;
+    RT_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, metrics_listen_fd_,
+                         &ev) == 0,
+             "epoll_ctl(metrics listen) failed");
+  }
   ev.events = EPOLLIN;
   ev.data.fd = wake_fd_;
   RT_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0,
@@ -66,8 +88,10 @@ RecognizerServer::RecognizerServer(serve::Recognizer& recognizer,
 RecognizerServer::~RecognizerServer() {
   stop();
   connections_.clear();  // closes sockets, releases live streams
+  for (const auto& [fd, client] : http_clients_) ::close(fd);
   if (wake_fd_ >= 0) ::close(wake_fd_);
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (metrics_listen_fd_ >= 0) ::close(metrics_listen_fd_);
   if (listen_fd_ >= 0) ::close(listen_fd_);
 }
 
@@ -119,8 +143,8 @@ void RecognizerServer::accept_ready() {
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     Entry entry;
-    entry.conn = std::make_unique<Connection>(fd, recognizer_,
-                                              config_.max_write_buffer);
+    entry.conn = std::make_unique<Connection>(
+        fd, recognizer_, config_.max_write_buffer, config_.telemetry);
     epoll_event ev{};
     // Edge-triggered for clients: each readiness transition is serviced
     // exactly once by draining to EAGAIN; a connection paused for
@@ -132,8 +156,17 @@ void RecognizerServer::accept_ready() {
       continue;  // Entry destruction closes fd and any stream
     }
     connections_.emplace(fd, std::move(entry));
-    live_connections_.store(connections_.size(), std::memory_order_relaxed);
     accepted_total_.fetch_add(1, std::memory_order_relaxed);
+    if (config_.telemetry != nullptr) config_.telemetry->net().accepted->add(1);
+    publish_connection_count();
+  }
+}
+
+void RecognizerServer::publish_connection_count() {
+  live_connections_.store(connections_.size(), std::memory_order_relaxed);
+  if (config_.telemetry != nullptr) {
+    config_.telemetry->net().connections->set(
+        static_cast<double>(connections_.size()));
   }
 }
 
@@ -173,10 +206,14 @@ std::size_t RecognizerServer::run_once(std::chrono::milliseconds timeout) {
     const std::uint32_t mask = events[static_cast<std::size_t>(i)].events;
     if (fd == listen_fd_) {
       accept_ready();
+    } else if (fd == metrics_listen_fd_) {
+      accept_metrics_ready();
     } else if (fd == wake_fd_) {
       std::uint64_t drained = 0;
       [[maybe_unused]] const ssize_t r =
           ::read(wake_fd_, &drained, sizeof(drained));
+    } else if (http_clients_.count(fd) != 0) {
+      service_http(fd, mask);
     } else {
       service(fd, mask);
     }
@@ -227,7 +264,138 @@ void RecognizerServer::reap() {
     connections_.erase(it);
   }
   if (!reap_scratch_.empty()) {
-    live_connections_.store(connections_.size(), std::memory_order_relaxed);
+    if (config_.telemetry != nullptr) {
+      config_.telemetry->net().closed->add(reap_scratch_.size());
+    }
+    publish_connection_count();
+  }
+}
+
+// ------------------------------------------------------ metrics endpoint
+
+void RecognizerServer::accept_metrics_ready() {
+  for (;;) {
+    const int fd = ::accept4(metrics_listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    epoll_event ev{};
+    // Edge-triggered like the data plane; adding an already-readable fd
+    // still delivers its first edge, so a request that raced the accept
+    // is not lost.
+    ev.events = EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    http_clients_.emplace(fd, HttpClient{});
+  }
+}
+
+void RecognizerServer::service_http(int fd, std::uint32_t events) {
+  const auto it = http_clients_.find(fd);
+  if (it == http_clients_.end()) return;
+  HttpClient& client = it->second;
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0) client.dead = true;
+  if (!client.dead && (events & (EPOLLIN | EPOLLRDHUP)) != 0) {
+    bool saw_eof = false;
+    std::array<char, 4096> chunk;
+    for (;;) {
+      const ssize_t n = ::recv(fd, chunk.data(), chunk.size(), 0);
+      if (n > 0) {
+        client.in.append(chunk.data(), static_cast<std::size_t>(n));
+        if (client.in.size() > kMaxHttpRequest) {
+          client.dead = true;
+          break;
+        }
+        continue;
+      }
+      if (n == 0) {  // peer finished sending (half-close) or closed
+        saw_eof = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      client.dead = true;
+      break;
+    }
+    if (!client.dead && !client.responded &&
+        (client.in.find("\r\n\r\n") != std::string::npos ||
+         client.in.find("\n\n") != std::string::npos)) {
+      respond_http(client);
+    }
+    // EOF with no (complete) request: nothing will ever arrive to
+    // answer — drop instead of holding the fd forever.
+    if (saw_eof && !client.responded) client.dead = true;
+  }
+  flush_http(fd, client);
+  if (client.dead ||
+      (client.responded && client.out_pos >= client.out.size())) {
+    ::close(fd);  // also deregisters from epoll
+    http_clients_.erase(fd);
+  }
+}
+
+void RecognizerServer::respond_http(HttpClient& client) {
+  // Request line: METHOD SP PATH SP VERSION. Everything else (headers)
+  // is ignored — a scrape has no body and needs no negotiation.
+  const std::string line =
+      client.in.substr(0, client.in.find_first_of("\r\n"));
+  const std::size_t method_end = line.find(' ');
+  const std::size_t path_end =
+      method_end == std::string::npos ? std::string::npos
+                                      : line.find(' ', method_end + 1);
+  const std::string method =
+      method_end == std::string::npos ? "" : line.substr(0, method_end);
+  const std::string path =
+      path_end == std::string::npos
+          ? ""
+          : line.substr(method_end + 1, path_end - method_end - 1);
+
+  std::string status = "200 OK";
+  std::string type = "text/plain; charset=utf-8";
+  std::string body;
+  if (method != "GET") {
+    status = "405 Method Not Allowed";
+    body = "only GET is served here\n";
+  } else if (path == "/metrics") {
+    type = "text/plain; version=0.0.4; charset=utf-8";
+    body = config_.telemetry->render_prometheus();
+  } else if (path == "/metrics.json") {
+    type = "application/json";
+    body = config_.telemetry->render_json();
+  } else {
+    status = "404 Not Found";
+    body = "try /metrics or /metrics.json\n";
+  }
+  if (status[0] == '2') config_.telemetry->net().scrapes->add(1);
+
+  client.out = "HTTP/1.0 " + status + "\r\nContent-Type: " + type +
+               "\r\nContent-Length: " + std::to_string(body.size()) +
+               "\r\nConnection: close\r\n\r\n" + body;
+  client.responded = true;
+}
+
+void RecognizerServer::flush_http(int fd, HttpClient& client) {
+  if (client.dead) return;
+  while (client.out_pos < client.out.size()) {
+    const ssize_t n =
+        ::send(fd, client.out.data() + client.out_pos,
+               client.out.size() - client.out_pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      client.out_pos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // EPOLLOUT later
+    if (errno == EINTR) continue;
+    client.dead = true;
+    return;
   }
 }
 

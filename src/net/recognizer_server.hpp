@@ -45,6 +45,15 @@ struct ServerConfig {
   /// threads already pump (a started ShardedEngine); the loop only
   /// waits on wait_for_events via the notifier thread.
   bool drive_recognizer = true;
+  /// Observability sink (nullable). When set, the server counts
+  /// accepts/closes/bytes/drops into it AND opens a second listen port
+  /// serving `GET /metrics` (Prometheus text) and `GET /metrics.json`
+  /// over HTTP/1.0 on the same epoll loop — `curl :metrics_port/metrics`
+  /// against a live server. Must outlive the server.
+  obs::Telemetry* telemetry = nullptr;
+  /// Port for the metrics listener (0 = ephemeral; read back with
+  /// metrics_port()). Only bound when telemetry is set.
+  std::uint16_t metrics_port = 0;
 };
 
 class RecognizerServer {
@@ -59,6 +68,8 @@ class RecognizerServer {
 
   /// The bound port (resolves port 0 to the kernel's pick).
   [[nodiscard]] std::uint16_t port() const { return port_; }
+  /// The metrics listener's bound port (0 when no telemetry was wired).
+  [[nodiscard]] std::uint16_t metrics_port() const { return metrics_port_; }
 
   /// Spawns the event-loop thread (and the event notifier thread when
   /// drive_recognizer is false). Idempotent.
@@ -88,13 +99,32 @@ class RecognizerServer {
   void pump();
   void reap();
   void wake();
+  void publish_connection_count();
+
+  // ---- metrics endpoint (second listen port, same epoll loop) ----
+  /// A scrape connection: tiny HTTP/1.0 request in, one rendered
+  /// response out, close. Kept separate from Connection — it speaks
+  /// HTTP, owns no recognizer stream, and never backpressures anything.
+  struct HttpClient {
+    std::string in;
+    std::string out;
+    std::size_t out_pos = 0;
+    bool responded = false;
+    bool dead = false;
+  };
+  void accept_metrics_ready();
+  void service_http(int fd, std::uint32_t events);
+  void respond_http(HttpClient& client);
+  void flush_http(int fd, HttpClient& client);
 
   serve::Recognizer& recognizer_;
   ServerConfig config_;
   int listen_fd_ = -1;
+  int metrics_listen_fd_ = -1;  // -1 when no telemetry was wired
   int epoll_fd_ = -1;
   int wake_fd_ = -1;  // eventfd: stop requests + event-notifier ticks
   std::uint16_t port_ = 0;
+  std::uint16_t metrics_port_ = 0;
 
   struct Entry {
     std::unique_ptr<Connection> conn;
@@ -102,6 +132,7 @@ class RecognizerServer {
     std::uint64_t mapped_handle = 0;  // key into by_handle_ when mapped
   };
   std::unordered_map<int, Entry> connections_;           // by fd
+  std::unordered_map<int, HttpClient> http_clients_;     // by fd
   std::unordered_map<std::uint64_t, Connection*> by_handle_;
   std::vector<serve::RecognizerEvent> event_scratch_;
   std::vector<int> reap_scratch_;

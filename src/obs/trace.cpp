@@ -1,0 +1,175 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rtmobile::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_collector_id{1};
+
+/// Thread-local cache mapping collector id -> that thread's ring. Keyed
+/// by id (not address) so a collector destroyed and another allocated at
+/// the same address can never resolve to a dangling ring.
+struct RingCache {
+  std::vector<std::pair<std::uint64_t, void*>> entries;
+};
+
+thread_local RingCache t_ring_cache;
+
+}  // namespace
+
+std::string_view stage_name(Stage stage) {
+  switch (stage) {
+    case Stage::kMfcc: return "mfcc";
+    case Stage::kGather: return "gather";
+    case Stage::kLayerStep: return "layer_step";
+    case Stage::kDecode: return "decode";
+    case Stage::kEventFlush: return "event_flush";
+    case Stage::kSocketWrite: return "socket_write";
+  }
+  return "?";
+}
+
+TraceCollector::TraceCollector(std::size_t ring_capacity)
+    : ring_capacity_(ring_capacity),
+      collector_id_(g_next_collector_id.fetch_add(1)),
+      epoch_(std::chrono::steady_clock::now()) {
+  RT_REQUIRE(ring_capacity_ >= 1, "trace: ring capacity must be >= 1");
+}
+
+TraceCollector::~TraceCollector() = default;
+
+double TraceCollector::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+TraceCollector::ThreadRing& TraceCollector::local_ring() {
+  for (const auto& [id, ring] : t_ring_cache.entries) {
+    if (id == collector_id_) return *static_cast<ThreadRing*>(ring);
+  }
+  // First span from this thread: allocate and register its ring (the
+  // one slow path; every later push is the cached pointer).
+  auto owned = std::make_unique<ThreadRing>();
+  owned->slots.resize(ring_capacity_);
+  ThreadRing* ring = owned.get();
+  {
+    const std::lock_guard<std::mutex> lock(rings_mutex_);
+    rings_.push_back(std::move(owned));
+  }
+  t_ring_cache.entries.emplace_back(collector_id_, ring);
+  return *ring;
+}
+
+void TraceCollector::record(Stage stage, std::uint64_t stream_id,
+                            double start_us, double duration_us) {
+  ThreadRing& ring = local_ring();
+  const std::lock_guard<std::mutex> lock(ring.mutex);  // uncontended
+  ring.slots[ring.next] = SpanRecord{stage, stream_id, start_us,
+                                     duration_us};
+  ring.next = (ring.next + 1) % ring.slots.size();
+  ring.pushed += 1;
+  StageStats& stats = ring.per_stage[static_cast<std::size_t>(stage)];
+  stats.count += 1;
+  stats.total_us += duration_us;
+  stats.max_us = std::max(stats.max_us, duration_us);
+}
+
+std::array<StageStats, kStageCount> TraceCollector::stage_stats() const {
+  std::array<StageStats, kStageCount> merged{};
+  const std::lock_guard<std::mutex> lock(rings_mutex_);
+  for (const auto& ring : rings_) {
+    const std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+      merged[s].count += ring->per_stage[s].count;
+      merged[s].total_us += ring->per_stage[s].total_us;
+      merged[s].max_us = std::max(merged[s].max_us,
+                                  ring->per_stage[s].max_us);
+    }
+  }
+  return merged;
+}
+
+std::vector<SpanRecord> TraceCollector::recent_spans() const {
+  std::vector<SpanRecord> out;
+  {
+    const std::lock_guard<std::mutex> lock(rings_mutex_);
+    for (const auto& ring : rings_) {
+      const std::lock_guard<std::mutex> ring_lock(ring->mutex);
+      const std::size_t kept =
+          std::min<std::uint64_t>(ring->pushed, ring->slots.size());
+      for (std::size_t i = 0; i < kept; ++i) out.push_back(ring->slots[i]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_us < b.start_us;
+            });
+  return out;
+}
+
+std::uint64_t TraceCollector::dropped_spans() const {
+  std::uint64_t dropped = 0;
+  const std::lock_guard<std::mutex> lock(rings_mutex_);
+  for (const auto& ring : rings_) {
+    const std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    if (ring->pushed > ring->slots.size()) {
+      dropped += ring->pushed - ring->slots.size();
+    }
+  }
+  return dropped;
+}
+
+std::size_t TraceCollector::ring_count() const {
+  const std::lock_guard<std::mutex> lock(rings_mutex_);
+  return rings_.size();
+}
+
+void TraceCollector::capture_exemplar(std::uint64_t stream_id,
+                                      double lag_us) {
+  Exemplar exemplar;
+  exemplar.stream_id = stream_id;
+  exemplar.lag_us = lag_us;
+  exemplar.captured_at_us = now_us();
+  {
+    const std::lock_guard<std::mutex> lock(rings_mutex_);
+    for (const auto& ring : rings_) {
+      const std::lock_guard<std::mutex> ring_lock(ring->mutex);
+      const std::size_t kept =
+          std::min<std::uint64_t>(ring->pushed, ring->slots.size());
+      for (std::size_t i = 0; i < kept; ++i) {
+        const SpanRecord& span = ring->slots[i];
+        // The stream's own spans, plus batch-level spans (gather /
+        // layer step) the stream rode through — together the full
+        // pipeline picture of why it went slow.
+        if (span.stream_id == stream_id || span.stream_id == kNoStream) {
+          exemplar.spans.push_back(span);
+        }
+      }
+    }
+  }
+  std::sort(exemplar.spans.begin(), exemplar.spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_us < b.start_us;
+            });
+  const std::lock_guard<std::mutex> lock(exemplar_mutex_);
+  for (Exemplar& existing : exemplars_) {
+    if (existing.stream_id == stream_id) {  // latest capture wins
+      existing = std::move(exemplar);
+      return;
+    }
+  }
+  exemplars_.push_back(std::move(exemplar));
+  while (exemplars_.size() > kMaxExemplars) exemplars_.pop_front();
+}
+
+std::vector<TraceCollector::Exemplar> TraceCollector::exemplars() const {
+  const std::lock_guard<std::mutex> lock(exemplar_mutex_);
+  return {exemplars_.begin(), exemplars_.end()};
+}
+
+}  // namespace rtmobile::obs

@@ -1,0 +1,166 @@
+// Per-stage span tracing for the serving hot path.
+//
+// RT_SPAN(collector, stage, stream) opens a scoped timer whose record —
+// stage, stream attribution, start, duration — lands in the calling
+// thread's fixed-capacity ring buffer when the scope closes. Each ring
+// belongs to exactly one thread (engine pump, net loop, submitter), so a
+// push is one uncontended lock acquire plus a slot write: no allocation,
+// no cross-thread contention on the frame path. Rings overwrite their
+// oldest record on overflow (and count what they dropped); alongside the
+// raw ring every thread keeps exact per-stage accumulators (count /
+// total / max), so aggregate stage timings survive even when the raw
+// spans have been overwritten.
+//
+// Slow-stream exemplars: when the engine sees a stream blow its deadline
+// budget it calls capture_exemplar(stream_id), which snapshots that
+// stream's spans (plus the calling thread's recent batch-level spans)
+// out of the rings into a small bounded store — so the full span trace
+// of the stream that went slow is still inspectable after the rings have
+// moved on. One exemplar per stream is kept (latest wins), at most
+// kMaxExemplars streams.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace rtmobile::obs {
+
+/// The serving pipeline's stages, end to end: feature extraction,
+/// batch gather, the RNN layer step, incremental decode, event fan-out,
+/// and the socket write that ships results to the client.
+enum class Stage : std::uint8_t {
+  kMfcc = 0,
+  kGather,
+  kLayerStep,
+  kDecode,
+  kEventFlush,
+  kSocketWrite,
+};
+inline constexpr std::size_t kStageCount = 6;
+
+[[nodiscard]] std::string_view stage_name(Stage stage);
+
+/// Spans not attributable to one stream (batch-level work) carry this.
+inline constexpr std::uint64_t kNoStream = ~0ULL;
+
+struct SpanRecord {
+  Stage stage = Stage::kMfcc;
+  std::uint64_t stream_id = kNoStream;
+  double start_us = 0.0;     // against the collector's epoch
+  double duration_us = 0.0;
+};
+
+struct StageStats {
+  std::uint64_t count = 0;
+  double total_us = 0.0;
+  double max_us = 0.0;
+};
+
+class TraceCollector {
+ public:
+  /// `ring_capacity` is per thread; must be >= 1.
+  explicit TraceCollector(std::size_t ring_capacity = 1024);
+  ~TraceCollector();
+
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// Records one completed span into the calling thread's ring.
+  void record(Stage stage, std::uint64_t stream_id, double start_us,
+              double duration_us);
+
+  /// Microseconds since the collector's construction (span timestamps).
+  [[nodiscard]] double now_us() const;
+
+  /// Exact per-stage accumulators merged across every thread ring.
+  [[nodiscard]] std::array<StageStats, kStageCount> stage_stats() const;
+
+  /// Copy of every ring's surviving spans, merged and sorted by start
+  /// time (the "recent spans" view; overwritten spans are gone).
+  [[nodiscard]] std::vector<SpanRecord> recent_spans() const;
+
+  /// Spans overwritten before they were ever read, across all rings.
+  [[nodiscard]] std::uint64_t dropped_spans() const;
+
+  /// Threads that have recorded at least one span.
+  [[nodiscard]] std::size_t ring_count() const;
+
+  // ---- slow-stream exemplars ----
+  struct Exemplar {
+    std::uint64_t stream_id = kNoStream;
+    double lag_us = 0.0;         // the lag that triggered the capture
+    double captured_at_us = 0.0; // collector clock
+    std::vector<SpanRecord> spans;
+  };
+  static constexpr std::size_t kMaxExemplars = 8;
+
+  /// Snapshots `stream_id`'s spans (and the calling thread's recent
+  /// batch-level spans) out of every ring. Latest capture per stream
+  /// wins; at most kMaxExemplars streams are retained (oldest evicted).
+  void capture_exemplar(std::uint64_t stream_id, double lag_us);
+  [[nodiscard]] std::vector<Exemplar> exemplars() const;
+
+ private:
+  struct ThreadRing {
+    mutable std::mutex mutex;  // writer is one thread; readers snapshot
+    std::vector<SpanRecord> slots;
+    std::size_t next = 0;       // ring write cursor
+    std::uint64_t pushed = 0;   // lifetime spans recorded
+    std::array<StageStats, kStageCount> per_stage{};
+  };
+
+  ThreadRing& local_ring();
+
+  const std::size_t ring_capacity_;
+  const std::uint64_t collector_id_;  // thread-local cache key
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex rings_mutex_;  // guards the ring list, not pushes
+  std::vector<std::unique_ptr<ThreadRing>> rings_;
+  mutable std::mutex exemplar_mutex_;
+  std::deque<Exemplar> exemplars_;
+};
+
+/// Scoped span timer. A null collector makes it a no-op, so call sites
+/// stay unconditional.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceCollector* collector, Stage stage,
+             std::uint64_t stream_id = kNoStream)
+      : collector_(collector), stage_(stage), stream_id_(stream_id),
+        start_us_(collector != nullptr ? collector->now_us() : 0.0) {}
+  ~ScopedSpan() {
+    if (collector_ != nullptr) {
+      collector_->record(stage_, stream_id_, start_us_,
+                         collector_->now_us() - start_us_);
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceCollector* collector_;
+  Stage stage_;
+  std::uint64_t stream_id_;
+  double start_us_;
+};
+
+}  // namespace rtmobile::obs
+
+#define RT_SPAN_CONCAT_INNER(a, b) a##b
+#define RT_SPAN_CONCAT(a, b) RT_SPAN_CONCAT_INNER(a, b)
+/// Opens a scoped span on `collector` (TraceCollector*, may be null) for
+/// the rest of the enclosing block:
+///   RT_SPAN(trace, kLayerStep, ::rtmobile::obs::kNoStream);
+#define RT_SPAN(collector, stage, stream_id)                          \
+  const ::rtmobile::obs::ScopedSpan RT_SPAN_CONCAT(rt_span_,          \
+                                                   __LINE__)(         \
+      (collector), ::rtmobile::obs::Stage::stage, (stream_id))

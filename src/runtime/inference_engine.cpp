@@ -5,7 +5,9 @@
 #include <utility>
 
 #include "hw/timer.hpp"
+#include "obs/telemetry.hpp"
 #include "util/check.hpp"
+#include "util/logging.hpp"
 
 namespace rtmobile::runtime {
 
@@ -33,6 +35,7 @@ StreamingSession& InferenceEngine::create_session(
   sessions_.push_back(
       std::make_unique<StreamingSession>(next_id_++, model_, mfcc, decode));
   sessions_.back()->set_clock(&clock());
+  sessions_.back()->set_telemetry(config_.telemetry);
   return *sessions_.back();
 }
 
@@ -50,10 +53,24 @@ void InferenceEngine::apply_overload(double now_us) {
       continue;
     }
     if (config_.overload == OverloadPolicy::kShed) {
-      stats_.shed_frames += session->shed_overdue(now_us);
+      const std::size_t shed = session->shed_overdue(now_us);
+      stats_.shed_frames += shed;
+      if (config_.telemetry != nullptr) {
+        config_.telemetry->engine().shed_frames->add(shed);
+      }
+      RT_LOG(Debug, "engine") << "stream=" << session->id() << " shed "
+                              << shed << " overdue frames";
     } else {
-      stats_.shed_frames += session->reject();
+      const std::size_t shed = session->reject();
+      stats_.shed_frames += shed;
       stats_.rejected_streams += 1;
+      if (config_.telemetry != nullptr) {
+        config_.telemetry->engine().shed_frames->add(shed);
+        config_.telemetry->engine().rejected_streams->add(1);
+      }
+      RT_LOG(Info, "engine") << "stream=" << session->id()
+                             << " rejected past deadline budget, dropped "
+                             << shed << " frames";
     }
   }
 }
@@ -107,12 +124,26 @@ void InferenceEngine::account_lag(double now_us) {
     any_ready = true;
     max_wait_us = std::max(max_wait_us, session->frame_wait_us(now_us));
   }
-  if (any_ready) stats_.lag.record(max_wait_us);
+  obs::Telemetry* telemetry = config_.telemetry;
+  if (any_ready) {
+    stats_.lag.record(max_wait_us);
+    if (telemetry != nullptr) {
+      telemetry->engine().lag_us->observe(max_wait_us);
+    }
+  }
   for (StreamingSession* session : active_) {
     if (session->deadline().enabled() &&
         session->frame_wait_us(now_us) > session->deadline().budget_us()) {
       stats_.deadline_misses += 1;
       session->note_deadline_miss();
+      if (telemetry != nullptr) {
+        telemetry->engine().deadline_misses->add(1);
+        // A blown budget is the trigger for slow-stream exemplar
+        // capture: freeze this stream's span trace before the rings
+        // overwrite it.
+        telemetry->trace().capture_exemplar(session->id(),
+                                            session->frame_wait_us(now_us));
+      }
     }
   }
 }
@@ -155,17 +186,28 @@ std::size_t InferenceEngine::step() {
     batch_logits_ = Matrix(batch, model_.config().num_classes);
   }
 
+  obs::Telemetry* telemetry = config_.telemetry;
+  obs::TraceCollector* trace =
+      telemetry != nullptr ? &telemetry->trace() : nullptr;
+
   states_.resize(batch);
-  for (std::size_t b = 0; b < batch; ++b) {
-    const std::span<const float> frame = active_[b]->front_frame();
-    std::copy(frame.begin(), frame.end(), batch_features_.row(b).begin());
-    states_[b] = &active_[b]->state();
+  {
+    RT_SPAN(trace, kGather, obs::kNoStream);
+    for (std::size_t b = 0; b < batch; ++b) {
+      const std::span<const float> frame = active_[b]->front_frame();
+      std::copy(frame.begin(), frame.end(), batch_features_.row(b).begin());
+      states_[b] = &active_[b]->state();
+    }
   }
 
-  model_.step_batch(batch_features_, states_, batch_logits_);
+  {
+    RT_SPAN(trace, kLayerStep, obs::kNoStream);
+    model_.step_batch(batch_features_, states_, batch_logits_);
+  }
 
   double audio_seconds = 0.0;
   for (std::size_t b = 0; b < batch; ++b) {
+    RT_SPAN(trace, kDecode, active_[b]->id());
     active_[b]->append_logits(batch_logits_.row(b));
     active_[b]->pop_frame();
     audio_seconds += active_[b]->seconds_per_frame();
@@ -177,6 +219,16 @@ std::size_t InferenceEngine::step() {
   stats_.frames_processed += batch;
   stats_.steps += 1;
   stats_.audio_seconds += audio_seconds;
+  if (telemetry != nullptr) {
+    // Mirrors of the stats_ updates just above, one for one, so a
+    // /metrics scrape equals the StatsAggregator totals exactly.
+    obs::EngineMetrics& m = telemetry->engine();
+    m.step_latency_us->observe(elapsed_us);
+    m.busy_us->add(elapsed_us);
+    m.frames->add(batch);
+    m.steps->add(1);
+    m.audio_seconds->add(audio_seconds);
+  }
   return batch;
 }
 
@@ -219,6 +271,7 @@ StreamingSession& InferenceEngine::adopt_session(
   RT_REQUIRE(session != nullptr, "adopt_session: null session");
   session->rebind(model_);
   session->set_clock(&clock());
+  session->set_telemetry(config_.telemetry);
   sessions_.push_back(std::move(session));
   return *sessions_.back();
 }

@@ -37,6 +37,10 @@
 #include "runtime/streaming_session.hpp"
 #include "speech/streaming_mfcc.hpp"
 
+namespace rtmobile::obs {
+class Telemetry;
+}
+
 namespace rtmobile::runtime {
 
 struct EngineConfig {
@@ -54,6 +58,13 @@ struct EngineConfig {
   /// Retained-sample cap for the stats recorders (0 = keep every sample,
   /// the exact-quantile default; see LatencyRecorder::set_cap).
   std::size_t stats_sample_cap = 0;
+  /// Observability sink (metrics counters + span traces); null keeps the
+  /// engine observability-free (the historical default — cost is one
+  /// branch). Shared across engines: counters are incremented in the
+  /// same statements as the RuntimeStats fields they mirror, so shards
+  /// pointed at one Telemetry sum into families whose totals equal the
+  /// StatsAggregator's. Must outlive the engine.
+  obs::Telemetry* telemetry = nullptr;
   /// Front-end defaults for sessions created without an explicit config
   /// (CMN disabled — it is whole-utterance and cannot stream).
   speech::MfccConfig mfcc = [] {

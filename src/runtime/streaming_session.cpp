@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace rtmobile::runtime {
@@ -37,12 +38,16 @@ void StreamingSession::rebind(const CompiledSpeechModel& model) {
 
 void StreamingSession::push_audio(std::span<const float> samples) {
   if (rejected_) return;  // terminated stream: audio is dropped
+  RT_SPAN(telemetry_ != nullptr ? &telemetry_->trace() : nullptr, kMfcc,
+          id_);
   mfcc_.push(samples);
   drain_front_end();
 }
 
 void StreamingSession::finish() {
   if (rejected_) return;
+  RT_SPAN(telemetry_ != nullptr ? &telemetry_->trace() : nullptr, kMfcc,
+          id_);
   mfcc_.finish();
   drain_front_end();
   // An utterance whose frames were all served before finish() (or that

@@ -35,6 +35,10 @@
 #include "speech/streaming_mfcc.hpp"
 #include "tensor/matrix.hpp"
 
+namespace rtmobile::obs {
+class Telemetry;
+}
+
 namespace rtmobile::runtime {
 
 class StreamingSession {
@@ -96,6 +100,11 @@ class StreamingSession {
   /// sets this at admission and again on adoption (shard migration);
   /// without a clock, stamps are 0 and lag reads 0.
   void set_clock(EngineClock* clock) { clock_ = clock; }
+  /// Wires the observability sink (the engine sets this alongside the
+  /// clock); null = no spans. The front-end (mfcc) stage is timed here
+  /// because feature extraction happens inside push_audio, not in the
+  /// engine's step.
+  void set_telemetry(obs::Telemetry* telemetry) { telemetry_ = telemetry; }
   /// How long the oldest queued frame has been waiting, in seconds —
   /// how far the stream has fallen behind the audio clock. 0 when no
   /// frame is queued (the stream is caught up).
@@ -183,6 +192,7 @@ class StreamingSession {
 
   // Real-time clock model + deadline accounting.
   EngineClock* clock_ = nullptr;  // non-owning; engine-wired
+  obs::Telemetry* telemetry_ = nullptr;  // non-owning; engine-wired
   StreamDeadline deadline_;
   bool rejected_ = false;
   std::size_t shed_frames_ = 0;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "hw/timer.hpp"
+#include "obs/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace rtmobile::serve {
@@ -37,6 +38,19 @@ ShardedEngine::ShardedEngine(const SpeechModel& model,
     shard->engine = std::make_unique<runtime::InferenceEngine>(
         *shard->model, config_.engine);
     shard->queue = std::make_unique<SubmissionQueue>(config_.queue_capacity);
+    if (config_.engine.telemetry != nullptr) {
+      obs::Telemetry& telemetry = *config_.engine.telemetry;
+      shard->queue_depth_gauge = &telemetry.shard_gauge(
+          "rt_shard_queue_depth", "Ingress commands queued per shard", s);
+      shard->backlog_gauge = &telemetry.shard_gauge(
+          "rt_shard_backlog_frames",
+          "Engine-internal feature-frame backlog per shard", s);
+      shard->lag_gauge = &telemetry.shard_gauge(
+          "rt_shard_max_lag_us",
+          "Worst-stream lag last published per shard", s);
+      shard->streams_gauge = &telemetry.shard_gauge(
+          "rt_shard_live_streams", "Live streams per shard", s);
+    }
     shards_.push_back(std::move(shard));
   }
   blocks_ = std::make_unique<std::unique_ptr<EntryBlock>[]>(kMaxBlocks);
@@ -425,6 +439,9 @@ std::size_t ShardedEngine::apply_commands(Shard& shard) {
 }
 
 void ShardedEngine::collect_events(Shard& shard) {
+  obs::Telemetry* telemetry = config_.engine.telemetry;
+  RT_SPAN(telemetry != nullptr ? &telemetry->trace() : nullptr,
+          kEventFlush, obs::kNoStream);
   std::size_t published = 0;
   for (const auto& [id, session] : shard.local) {
     if (session->pending_events() == 0) continue;
@@ -471,10 +488,18 @@ void ShardedEngine::publish_deadline(Shard& shard) {
 }
 
 void ShardedEngine::publish_backlog(Shard& shard) {
-  shard.backlog.store(shard.engine->pending_frames(),
-                      std::memory_order_release);
-  shard.max_lag_us.store(shard.engine->max_lag_seconds() * 1e6,
-                         std::memory_order_release);
+  const std::size_t backlog = shard.engine->pending_frames();
+  const double lag_us = shard.engine->max_lag_seconds() * 1e6;
+  shard.backlog.store(backlog, std::memory_order_release);
+  shard.max_lag_us.store(lag_us, std::memory_order_release);
+  if (shard.backlog_gauge != nullptr) {
+    shard.queue_depth_gauge->set(
+        static_cast<double>(shard.queue->depth()));
+    shard.backlog_gauge->set(static_cast<double>(backlog));
+    shard.lag_gauge->set(lag_us);
+    shard.streams_gauge->set(static_cast<double>(
+        shard.live_streams.load(std::memory_order_acquire)));
+  }
 }
 
 // ---------------------------------------------------------- threaded mode

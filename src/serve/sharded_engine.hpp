@@ -46,6 +46,10 @@
 #include "serve/stats_aggregator.hpp"
 #include "serve/submission_queue.hpp"
 
+namespace rtmobile::obs {
+class Gauge;
+}
+
 namespace rtmobile::serve {
 
 struct ShardConfig {
@@ -253,6 +257,13 @@ class ShardedEngine final : public Recognizer {
     /// Set when the pump dies so producers fail fast (throw) instead of
     /// spinning on a ring nobody drains.
     std::atomic<bool> dead{false};
+    /// Per-shard load gauges (null when ShardConfig::engine.telemetry is
+    /// off); publish_backlog writes them beside the atomics they mirror,
+    /// so a /metrics scrape sees the same load signal the router does.
+    obs::Gauge* queue_depth_gauge = nullptr;
+    obs::Gauge* backlog_gauge = nullptr;
+    obs::Gauge* lag_gauge = nullptr;
+    obs::Gauge* streams_gauge = nullptr;
   };
 
   // Handle table: a fixed array of lazily allocated blocks. Blocks are

@@ -10,6 +10,7 @@ namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 std::mutex g_emit_mutex;
+LogSink g_sink;  // empty = stderr default; guarded by g_emit_mutex
 
 [[nodiscard]] const char* level_name(LogLevel level) {
   switch (level) {
@@ -32,11 +33,20 @@ bool log_enabled(LogLevel level) {
   return static_cast<int>(level) >= g_level.load();
 }
 
+void set_log_sink(LogSink sink) {
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  g_sink = std::move(sink);
+}
+
 namespace detail {
 
 void log_line(LogLevel level, std::string_view tag, std::string_view message) {
   if (!log_enabled(level)) return;
   const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  if (g_sink) {
+    g_sink(level, tag, message);
+    return;
+  }
   std::string line;
   line.reserve(tag.size() + message.size() + 16);
   line += '[';

@@ -5,6 +5,7 @@
 // library code logs at Debug/Info, tools at Info/Warn.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string_view>
 
@@ -20,6 +21,16 @@ void set_log_level(LogLevel level);
 
 /// Returns true when messages at `level` would be emitted.
 [[nodiscard]] bool log_enabled(LogLevel level);
+
+/// Receives every emitted log record (already level-filtered). Called
+/// under the emit lock, so implementations must not log.
+using LogSink = std::function<void(LogLevel level, std::string_view tag,
+                                   std::string_view message)>;
+
+/// Replaces the stderr writer with `sink` — how a serving process ships
+/// its logs somewhere structured (a file, a collector, a test capture).
+/// An empty sink restores the stderr default.
+void set_log_sink(LogSink sink);
 
 namespace detail {
 

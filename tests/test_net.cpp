@@ -17,6 +17,7 @@
 #include "net/recognizer_server.hpp"
 #include "net/wire_client.hpp"
 #include "net/wire_protocol.hpp"
+#include "obs/telemetry.hpp"
 #include "rnn/model.hpp"
 #include "rnn/param_set.hpp"
 #include "runtime/clock.hpp"
@@ -515,7 +516,10 @@ TEST(NetServer, ProtocolViolationsGetTypedErrors) {
   const ServeFixture f = make_fixture(16, 903);
   CompiledSpeechModel model(*f.model, f.masks, f.options, nullptr);
   LocalRecognizer recognizer(model);
-  RecognizerServer server(recognizer, ServerConfig{});
+  obs::Telemetry telemetry;
+  ServerConfig server_config;
+  server_config.telemetry = &telemetry;
+  RecognizerServer server(recognizer, server_config);
   server.start();
 
   {  // audio before open
@@ -560,8 +564,17 @@ TEST(NetServer, ProtocolViolationsGetTypedErrors) {
     EXPECT_EQ(good.collect_until_final(events), std::nullopt);
     ASSERT_FALSE(events.empty());
     EXPECT_TRUE(events.back().is_final);
+    // Read the bad client's typed error too — this also synchronizes:
+    // the server has definitely processed (and counted) the violation.
+    const std::optional<ServerMessage> bad_reply = bad.read_message();
+    ASSERT_TRUE(bad_reply.has_value());
+    EXPECT_EQ(bad_reply->error, WireError::kProtocol);
   }
   server.stop();
+  // Every violation above is visible as a typed-protocol-error count,
+  // and every client (five connects) as an accept.
+  EXPECT_EQ(telemetry.net().protocol_errors->value(), 4U);
+  EXPECT_EQ(telemetry.net().accepted->value(), 5U);
 }
 
 TEST(NetServer, IngressBackpressurePausesReadsAndLosesNothing) {
@@ -581,8 +594,10 @@ TEST(NetServer, IngressBackpressurePausesReadsAndLosesNothing) {
 
   serve::ShardedEngine served(*f.model, f.masks, f.options, shard_config);
   served.start();
+  obs::Telemetry telemetry;
   ServerConfig server_config;
   server_config.drive_recognizer = false;
+  server_config.telemetry = &telemetry;
   RecognizerServer server(served, server_config);
   server.start();
 
@@ -606,6 +621,10 @@ TEST(NetServer, IngressBackpressurePausesReadsAndLosesNothing) {
   client.send_close();
   server.stop();
   served.stop();
+  // The tiny ring must have forced at least one read-pause episode —
+  // the previously invisible backpressure event is now countable.
+  EXPECT_GE(telemetry.net().ingress_pauses->value(), 1U);
+  EXPECT_EQ(telemetry.net().slow_consumer_drops->value(), 0U);
 }
 
 TEST(NetServer, SlowConsumerIsDroppedNotBuffered) {
@@ -614,8 +633,10 @@ TEST(NetServer, SlowConsumerIsDroppedNotBuffered) {
   const ServeFixture f = make_fixture(16, 905);
   CompiledSpeechModel model(*f.model, f.masks, f.options, nullptr);
   LocalRecognizer recognizer(model);
+  obs::Telemetry telemetry;
   ServerConfig server_config;
   server_config.max_write_buffer = 64;  // smaller than any event burst
+  server_config.telemetry = &telemetry;
   RecognizerServer server(recognizer, server_config);
   server.start();
 
@@ -638,6 +659,10 @@ TEST(NetServer, SlowConsumerIsDroppedNotBuffered) {
   SUCCEED();
   server.stop();
   EXPECT_EQ(server.connection_count(), 0U);
+  // The drop is attributed to the egress cap, not a protocol fault.
+  EXPECT_EQ(telemetry.net().slow_consumer_drops->value(), 1U);
+  EXPECT_EQ(telemetry.net().protocol_errors->value(), 0U);
+  EXPECT_EQ(telemetry.net().closed->value(), 1U);
 }
 
 }  // namespace
