@@ -1,0 +1,293 @@
+// Fault-tolerance benchmark: what does losing a shard actually cost?
+//
+// Two numbers summarise the supervision design. Failover latency — the
+// wall time from the instant an injected fault kills a shard pump to the
+// supervisor completing quarantine + migration (every victim stream
+// re-homed on a healthy sibling) — bounds how long clients on the dead
+// shard stall. Recovered throughput — the aggregate real-time factor of
+// a run that loses a shard mid-flight, next to an undisturbed baseline —
+// shows the serving capacity the survivors deliver while the dead
+// shard's streams are replayed from their command logs.
+//
+// The kill is a deterministic FaultInjector schedule (nth pump round on
+// a chosen shard), so trials are replayable; latency is reported over
+// `--trials` independent runs. Results land in fault.json (a CI
+// artifact).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/fault_injector.hpp"
+#include "hw/timer.hpp"
+#include "obs/telemetry.hpp"
+#include "rnn/model.hpp"
+#include "rnn/param_set.hpp"
+#include "serve/sharded_engine.hpp"
+#include "sparse/block_mask.hpp"
+#include "train/projection.hpp"
+#include "util/cli.hpp"
+#include "util/report.hpp"
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace rtmobile {
+namespace {
+
+using fault::FaultInjector;
+using fault::FaultSpec;
+using fault::Site;
+using fault::Trigger;
+using serve::ShardConfig;
+using serve::ShardedEngine;
+using serve::ShardHealth;
+using serve::StreamConfig;
+using serve::StreamHandle;
+
+struct BenchModel {
+  std::unique_ptr<SpeechModel> model;
+  std::map<std::string, BlockMask> masks;
+  CompilerOptions options;
+};
+
+BenchModel build_model(std::size_t hidden, double keep_fraction) {
+  BenchModel m;
+  Rng rng(1234);
+  m.model = std::make_unique<SpeechModel>(ModelConfig::scaled(hidden));
+  m.model->init(rng);
+  ParamSet params;
+  m.model->register_params(params);
+  for (const std::string& name : m.model->weight_names()) {
+    Matrix& w = params.matrix(name);
+    BlockMask mask = block_column_mask(w, 8, 4, keep_fraction);
+    mask.apply(w);
+    m.masks.emplace(name, std::move(mask));
+  }
+  m.options.format = SparseFormat::kBspc;
+  return m;
+}
+
+std::vector<std::vector<float>> make_waves(std::size_t streams,
+                                           double seconds) {
+  std::vector<std::vector<float>> waves;
+  for (std::size_t s = 0; s < streams; ++s) {
+    Rng rng(4000 + s);
+    std::vector<float> wave(static_cast<std::size_t>(seconds * 16000.0));
+    for (float& sample : wave) sample = 0.1F * rng.normal();
+    waves.push_back(std::move(wave));
+  }
+  return waves;
+}
+
+struct RunResult {
+  double wall_seconds = 0.0;
+  double fault_to_failed_ms = -1.0;   // injected fire -> shard kFailed
+  std::size_t replayed_streams = 0;
+  std::size_t migrated_commands = 0;  // telemetry: detected faults
+};
+
+/// One full serve of `waves` on a threaded sharded engine. When `kill`
+/// is set, shard `victim`'s pump dies on its nth round and the run rides
+/// through the failover; a watcher thread timestamps injection and the
+/// supervisor's kFailed transition at 50 us polling granularity.
+RunResult run_workload(const BenchModel& m, std::size_t shards,
+                       const std::vector<std::vector<float>>& waves,
+                       bool kill) {
+  obs::Telemetry telemetry;
+  FaultInjector injector(&telemetry);
+  ShardConfig config;
+  config.shards = shards;
+  config.policy = serve::RoutePolicy::kRoundRobin;
+  config.engine.fault = &injector;
+  config.engine.telemetry = &telemetry;
+  config.supervisor.enabled = true;
+  config.supervisor.check_interval = std::chrono::milliseconds(1);
+  ShardedEngine engine(*m.model, m.masks, m.options, config);
+
+  std::vector<StreamHandle> handles;
+  for (std::size_t s = 0; s < waves.size(); ++s) {
+    handles.push_back(engine.open_stream(StreamConfig{}));
+  }
+  const std::size_t victim = engine.stream_shard(handles[0]);
+  if (kill) {
+    FaultSpec death;
+    death.trigger = Trigger::nth_hit(8);  // mid-utterance, deterministic
+    death.key = victim;
+    injector.arm(Site::kPumpFault, death);
+  }
+
+  WallTimer timer;
+  engine.start();
+
+  std::atomic<double> fire_us{-1.0};
+  std::atomic<double> failed_us{-1.0};
+  std::atomic<bool> stop_watch{false};
+  std::thread watcher([&] {
+    if (!kill) return;
+    while (!stop_watch.load(std::memory_order_acquire)) {
+      if (fire_us.load(std::memory_order_relaxed) < 0.0 &&
+          injector.fires(Site::kPumpFault) > 0) {
+        fire_us.store(timer.elapsed_us(), std::memory_order_relaxed);
+      }
+      if (fire_us.load(std::memory_order_relaxed) >= 0.0 &&
+          engine.shard_health(victim) == ShardHealth::kFailed) {
+        failed_us.store(timer.elapsed_us(), std::memory_order_relaxed);
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (std::size_t s = 0; s < waves.size(); ++s) {
+    producers.emplace_back([&engine, &waves, &handles, s] {
+      const std::vector<float>& wave = waves[s];
+      for (std::size_t pos = 0; pos < wave.size(); pos += 1600) {
+        const std::size_t n =
+            std::min<std::size_t>(1600, wave.size() - pos);
+        while (!engine.submit_audio(
+            handles[s], std::span<const float>(wave).subspan(pos, n))) {
+          std::this_thread::yield();
+        }
+      }
+      while (!engine.finish_stream(handles[s])) std::this_thread::yield();
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  for (const StreamHandle h : handles) {
+    while (!engine.stream_done(h)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+  RunResult result;
+  result.wall_seconds = timer.elapsed_us() * 1e-6;
+  stop_watch.store(true, std::memory_order_release);
+  watcher.join();
+  engine.stop();
+
+  if (kill && fire_us.load() >= 0.0 && failed_us.load() >= 0.0) {
+    result.fault_to_failed_ms =
+        (failed_us.load() - fire_us.load()) * 1e-3;
+  }
+  result.replayed_streams = telemetry.fault().replayed_streams->value();
+  result.migrated_commands = telemetry.fault().detected->value();
+  return result;
+}
+
+double median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  return xs[xs.size() / 2];
+}
+
+}  // namespace
+}  // namespace rtmobile
+
+int main(int argc, char** argv) {
+  using namespace rtmobile;
+
+  CliParser cli;
+  cli.add_flag("hidden", "192", "GRU hidden size of the served model");
+  cli.add_flag("shards", "2", "engine shards (one pump thread each)");
+  cli.add_flag("streams", "8", "concurrent streams");
+  cli.add_flag("seconds", "2", "audio per stream (seconds)");
+  cli.add_flag("trials", "5", "independent failover trials");
+  cli.add_flag("keep", "0.25", "BSP column keep fraction");
+  cli.add_switch("quick", "small model + short audio (CI smoke run; "
+                          "overrides --hidden, --seconds and --trials)");
+  try {
+    cli.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n%s", e.what(), cli.help("bench_fault").c_str());
+    return 1;
+  }
+
+  const bool quick = cli.get_switch("quick");
+  const std::size_t hidden =
+      quick ? 64 : static_cast<std::size_t>(cli.get_int("hidden"));
+  const double seconds = quick ? 0.5 : cli.get_double("seconds");
+  const std::size_t trials =
+      quick ? 2 : static_cast<std::size_t>(cli.get_int("trials"));
+  const std::size_t shards =
+      static_cast<std::size_t>(cli.get_int("shards"));
+  const std::size_t streams =
+      static_cast<std::size_t>(cli.get_int("streams"));
+  const double keep = cli.get_double("keep");
+
+  const BenchModel m = build_model(hidden, keep);
+  const std::vector<std::vector<float>> waves = make_waves(streams, seconds);
+  const double audio_seconds = seconds * static_cast<double>(streams);
+
+  std::printf(
+      "Fault tolerance: hidden=%zu shards=%zu streams=%zu "
+      "audio=%.1fs/stream trials=%zu%s\n\n",
+      hidden, shards, streams, seconds, trials, quick ? " (quick)" : "");
+
+  // Baseline: same workload, nobody dies.
+  const RunResult baseline = run_workload(m, shards, waves, /*kill=*/false);
+  const double baseline_xrt = audio_seconds / baseline.wall_seconds;
+
+  std::vector<double> failover_ms;
+  std::vector<double> recovered_xrt;
+  std::size_t replayed = 0;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const RunResult r = run_workload(m, shards, waves, /*kill=*/true);
+    if (r.fault_to_failed_ms >= 0.0) failover_ms.push_back(r.fault_to_failed_ms);
+    recovered_xrt.push_back(audio_seconds / r.wall_seconds);
+    replayed += r.replayed_streams;
+  }
+  const double med_failover = median(failover_ms);
+  const double med_recovered = median(recovered_xrt);
+
+  Table table({"scenario", "xRT", "vs baseline", "failover ms (median)",
+               "replayed streams"});
+  table.add_row({"undisturbed", format_double(baseline_xrt, 2), "1.00",
+                 "-", "0"});
+  table.add_row(
+      {"shard killed", format_double(med_recovered, 2),
+       format_double(med_recovered / baseline_xrt, 2),
+       format_double(med_failover, 2),
+       std::to_string(replayed / std::max<std::size_t>(1, trials))});
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "failover ms = injected pump death -> supervisor completes "
+      "quarantine + migration (all victim streams re-homed); xRT = "
+      "aggregate audio seconds served per wall second, including the "
+      "replay of migrated streams on the surviving shards.\n");
+
+  JsonReport report;
+  JsonRecord base_record;
+  base_record.set("section", "fault");
+  base_record.set("scenario", "baseline");
+  base_record.set("shards", static_cast<std::int64_t>(shards));
+  base_record.set("streams", static_cast<std::int64_t>(streams));
+  base_record.set("audio_seconds", audio_seconds);
+  base_record.set("wall_seconds", baseline.wall_seconds);
+  base_record.set("throughput_xrt", baseline_xrt);
+  report.add(std::move(base_record));
+
+  JsonRecord kill_record;
+  kill_record.set("section", "fault");
+  kill_record.set("scenario", "shard_killed");
+  kill_record.set("shards", static_cast<std::int64_t>(shards));
+  kill_record.set("streams", static_cast<std::int64_t>(streams));
+  kill_record.set("trials", static_cast<std::int64_t>(trials));
+  kill_record.set("audio_seconds", audio_seconds);
+  kill_record.set("failover_ms_median", med_failover);
+  kill_record.set("throughput_xrt_median", med_recovered);
+  kill_record.set("throughput_vs_baseline", med_recovered / baseline_xrt);
+  kill_record.set("replayed_streams_total",
+                  static_cast<std::int64_t>(replayed));
+  report.add(std::move(kill_record));
+
+  report.write_file("fault.json");
+  std::printf("wrote fault.json (%zu records)\n", report.size());
+  return 0;
+}

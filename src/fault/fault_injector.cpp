@@ -1,0 +1,148 @@
+#include "fault/fault_injector.hpp"
+
+#include <utility>
+
+#include "obs/telemetry.hpp"
+#include "util/check.hpp"
+
+namespace rtmobile::fault {
+
+const char* to_string(Site site) {
+  switch (site) {
+    case Site::kEngineStep: return "engine-step";
+    case Site::kPumpFault: return "pump-fault";
+    case Site::kPumpStall: return "pump-stall";
+    case Site::kQueuePush: return "queue-push";
+    case Site::kConnRead: return "conn-read";
+    case Site::kConnWrite: return "conn-write";
+  }
+  return "unknown";
+}
+
+Trigger Trigger::one_shot() {
+  Trigger t;
+  t.kind = Kind::kOneShot;
+  return t;
+}
+
+Trigger Trigger::nth_hit(std::uint64_t n) {
+  RT_REQUIRE(n >= 1, "nth_hit trigger is 1-based");
+  Trigger t;
+  t.kind = Kind::kNthHit;
+  t.n = n;
+  return t;
+}
+
+Trigger Trigger::every_k(std::uint64_t k) {
+  RT_REQUIRE(k >= 1, "every_k trigger needs k >= 1");
+  Trigger t;
+  t.kind = Kind::kEveryK;
+  t.n = k;
+  return t;
+}
+
+Trigger Trigger::random(double rate, std::uint64_t seed) {
+  RT_REQUIRE(rate >= 0.0 && rate <= 1.0,
+             "random trigger rate must be in [0, 1]");
+  Trigger t;
+  t.kind = Kind::kRandom;
+  t.rate = rate;
+  t.seed = seed;
+  return t;
+}
+
+FaultInjector::FaultInjector(obs::Telemetry* telemetry)
+    : telemetry_(telemetry) {}
+
+void FaultInjector::arm(Site site, FaultSpec spec) {
+  SiteState& state = sites_[static_cast<std::size_t>(site)];
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  state.spec = spec;
+  state.rng = Rng(spec.trigger.seed);
+  state.hit_count = 0;
+  state.fire_count = 0;
+  state.hits_published.store(0, std::memory_order_relaxed);
+  state.fires_published.store(0, std::memory_order_relaxed);
+  state.armed.store(spec.trigger.kind != Trigger::Kind::kNever,
+                    std::memory_order_release);
+}
+
+void FaultInjector::disarm(Site site) {
+  SiteState& state = sites_[static_cast<std::size_t>(site)];
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  state.armed.store(false, std::memory_order_release);
+}
+
+void FaultInjector::reset() {
+  for (std::size_t s = 0; s < kSiteCount; ++s) {
+    SiteState& state = sites_[s];
+    const std::lock_guard<std::mutex> lock(state.mutex);
+    state.armed.store(false, std::memory_order_release);
+    state.spec = FaultSpec{};
+    state.hit_count = 0;
+    state.fire_count = 0;
+    state.hits_published.store(0, std::memory_order_relaxed);
+    state.fires_published.store(0, std::memory_order_relaxed);
+  }
+}
+
+bool FaultInjector::should_fire(Site site, std::uint64_t key) {
+  SiteState& state = sites_[static_cast<std::size_t>(site)];
+  // The no-op branch: unarmed sites answer without the lock.
+  if (!state.armed.load(std::memory_order_acquire)) return false;
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  if (!state.armed.load(std::memory_order_relaxed)) return false;
+  if (state.spec.key != kAnyKey && state.spec.key != key) return false;
+  const std::uint64_t hit = ++state.hit_count;
+  state.hits_published.store(hit, std::memory_order_relaxed);
+  if (state.fire_count >= state.spec.max_fires) return false;
+
+  bool fire = false;
+  switch (state.spec.trigger.kind) {
+    case Trigger::Kind::kNever:
+      break;
+    case Trigger::Kind::kOneShot:
+      fire = state.fire_count == 0;
+      break;
+    case Trigger::Kind::kNthHit:
+      fire = hit == state.spec.trigger.n;
+      break;
+    case Trigger::Kind::kEveryK:
+      fire = hit % state.spec.trigger.n == 0;
+      break;
+    case Trigger::Kind::kRandom:
+      fire = state.rng.bernoulli(state.spec.trigger.rate);
+      break;
+  }
+  if (!fire) return false;
+  ++state.fire_count;
+  state.fires_published.store(state.fire_count, std::memory_order_relaxed);
+  if (telemetry_ != nullptr) telemetry_->fault().injected->add(1);
+  return true;
+}
+
+std::chrono::milliseconds FaultInjector::stall(Site site) const {
+  const SiteState& state = sites_[static_cast<std::size_t>(site)];
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  return state.spec.stall;
+}
+
+std::uint64_t FaultInjector::hits(Site site) const {
+  return sites_[static_cast<std::size_t>(site)].hits_published.load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::fires(Site site) const {
+  return sites_[static_cast<std::size_t>(site)].fires_published.load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::total_fires() const {
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < kSiteCount; ++s) {
+    total += sites_[s].fires_published.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace rtmobile::fault

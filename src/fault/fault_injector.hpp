@@ -1,0 +1,137 @@
+// Deterministic fault injection for the serving stack.
+//
+// A FaultInjector is a passive registry of named injection points
+// ("sites"). Production code threads a nullable FaultInjector* through
+// its existing config structs and asks `should_fire(site, key)` at each
+// hot site; with no injector installed the call is never made, and with
+// an injector installed but the site unarmed it is one relaxed atomic
+// load — the harness costs nothing unless a test arms it.
+//
+// Every trigger is deterministic from its arming parameters: one-shot,
+// nth-hit, every-k, or seeded-random (util::Rng, so a fixed seed replays
+// the exact same fault schedule). Sites are keyed (e.g. by shard index
+// or connection fd) so a spec can target one victim while its siblings
+// run clean. Fired faults are counted per site and, when a Telemetry is
+// attached, into the rt_fault_injected_total counter — the first link of
+// the injected/detected/recovered chain the supervisor completes.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace rtmobile::obs {
+class Telemetry;
+}
+
+namespace rtmobile::fault {
+
+/// Where a fault can be injected. Each value names one call site in the
+/// serving stack (see README "Fault tolerance" for the full table).
+enum class Site : std::uint8_t {
+  kEngineStep = 0,  // InferenceEngine::step throws (poisoned compute)
+  kPumpFault,       // ShardedEngine pump round throws (pump death)
+  kPumpStall,       // ShardedEngine pump round sleeps (wedged pump)
+  kQueuePush,       // SubmissionQueue::try_push reports full (ingress)
+  kConnRead,        // net::Connection read path acts as peer reset
+  kConnWrite,       // net::Connection write path acts as peer reset
+};
+inline constexpr std::size_t kSiteCount = 6;
+
+[[nodiscard]] const char* to_string(Site site);
+
+/// Key filter wildcard: the spec fires regardless of the caller's key.
+inline constexpr std::uint64_t kAnyKey = ~std::uint64_t{0};
+
+/// When an armed site fires.
+struct Trigger {
+  enum class Kind : std::uint8_t {
+    kNever = 0,
+    kOneShot,  // first matching hit only
+    kNthHit,   // exactly the n-th matching hit (1-based)
+    kEveryK,   // every k-th matching hit (hit % k == 0)
+    kRandom,   // each matching hit with probability `rate` (seeded Rng)
+  };
+  Kind kind = Kind::kNever;
+  std::uint64_t n = 1;      // kNthHit's index / kEveryK's period
+  double rate = 0.0;        // kRandom's per-hit fire probability
+  std::uint64_t seed = 1;   // kRandom's Rng seed
+
+  [[nodiscard]] static Trigger one_shot();
+  [[nodiscard]] static Trigger nth_hit(std::uint64_t n);
+  [[nodiscard]] static Trigger every_k(std::uint64_t k);
+  [[nodiscard]] static Trigger random(double rate, std::uint64_t seed);
+};
+
+/// One armed site: the trigger, an optional victim key, an optional
+/// per-fire stall (kPumpStall sleeps this long), and a fire budget.
+struct FaultSpec {
+  Trigger trigger;
+  std::uint64_t key = kAnyKey;
+  std::chrono::milliseconds stall{0};
+  std::uint64_t max_fires = ~std::uint64_t{0};
+};
+
+/// Thrown by throwing sites (engine step, pump round) when they fire, so
+/// chaos tests can tell an injected death from a genuine bug.
+class FaultInjected : public std::runtime_error {
+ public:
+  explicit FaultInjected(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class FaultInjector {
+ public:
+  /// `telemetry` (nullable) receives rt_fault_injected_total increments;
+  /// must outlive the injector when set.
+  explicit FaultInjector(obs::Telemetry* telemetry = nullptr);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Arms (or re-arms, resetting hit/fire state) one site.
+  void arm(Site site, FaultSpec spec);
+  void disarm(Site site);
+  /// Disarms every site and clears all counters.
+  void reset();
+
+  /// The hot-site question: does the fault fire on this hit? Unarmed
+  /// sites answer false on one relaxed load. Hits that fail the key
+  /// filter do not advance the trigger state, so a victim-keyed spec
+  /// stays deterministic no matter how the other keys interleave.
+  [[nodiscard]] bool should_fire(Site site, std::uint64_t key = kAnyKey);
+
+  /// The stall to apply when a kPumpStall-style site fires (the site
+  /// reads it after a true should_fire).
+  [[nodiscard]] std::chrono::milliseconds stall(Site site) const;
+
+  [[nodiscard]] std::uint64_t hits(Site site) const;
+  [[nodiscard]] std::uint64_t fires(Site site) const;
+  [[nodiscard]] std::uint64_t total_fires() const;
+
+ private:
+  struct SiteState {
+    std::atomic<bool> armed{false};
+    /// Serializes trigger evaluation so hit ordinals are exact even with
+    /// concurrent callers (fault sites are not hot enough to care).
+    mutable std::mutex mutex;
+    FaultSpec spec;
+    Rng rng{1};
+    std::uint64_t hit_count = 0;
+    std::uint64_t fire_count = 0;
+    std::atomic<std::uint64_t> hits_published{0};
+    std::atomic<std::uint64_t> fires_published{0};
+  };
+
+  std::array<SiteState, kSiteCount> sites_;
+  obs::Telemetry* telemetry_;
+};
+
+}  // namespace rtmobile::fault

@@ -5,8 +5,10 @@
 #include <unistd.h>
 
 #include <array>
+#include <chrono>
 #include <exception>
 
+#include "fault/fault_injector.hpp"
 #include "obs/telemetry.hpp"
 #include "util/logging.hpp"
 
@@ -16,15 +18,28 @@ namespace {
 /// One socket-read granule. Edge-triggered epoll requires draining to
 /// EAGAIN, so the size only trades syscalls against stack usage.
 constexpr std::size_t kReadChunk = 64 * 1024;
+
+/// Steady-clock microseconds: connection deadlines must not jump when
+/// the wall clock is adjusted.
+std::uint64_t steady_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 }  // namespace
 
 Connection::Connection(int fd, serve::Recognizer& recognizer,
                        std::size_t max_write_buffer,
-                       obs::Telemetry* telemetry)
+                       obs::Telemetry* telemetry,
+                       fault::FaultInjector* fault)
     : fd_(fd),
       recognizer_(recognizer),
       max_write_buffer_(max_write_buffer),
-      telemetry_(telemetry) {}
+      telemetry_(telemetry),
+      fault_(fault),
+      last_activity_us_(steady_now_us()),
+      last_write_progress_us_(last_activity_us_) {}
 
 Connection::~Connection() {
   // A connection dying with a live stream abandons it. close_stream may
@@ -47,6 +62,12 @@ Connection::~Connection() {
 
 void Connection::on_readable() {
   if (dead_ || want_close_) return;
+  if (fault_ != nullptr &&
+      fault_->should_fire(fault::Site::kConnRead,
+                          static_cast<std::uint64_t>(fd_))) {
+    dead_ = true;  // injected peer reset on the read path
+    return;
+  }
   if (paused()) {
     // Ingress backpressure: leave the bytes in the kernel buffer so TCP
     // pushes back on the client; pump_pending() resumes us.
@@ -57,6 +78,7 @@ void Connection::on_readable() {
   for (;;) {
     const ssize_t n = ::recv(fd_, chunk.data(), chunk.size(), 0);
     if (n > 0) {
+      last_activity_us_ = steady_now_us();
       if (telemetry_ != nullptr) {
         telemetry_->net().bytes_in->add(static_cast<std::uint64_t>(n));
       }
@@ -87,7 +109,15 @@ void Connection::process_frames() {
     dispatch(frame);
   }
   if (decoder_.failed() && !want_close_ && !dead_) {
-    fail(WireError::kProtocol, "unrecoverable framing error (bad length)");
+    // The decoder records *why* framing broke; a declared length past
+    // the cap gets its own typed error so clients can tell a resource
+    // refusal from a corrupt stream.
+    if (decoder_.failure() == WireError::kFrameTooLarge) {
+      fail(WireError::kFrameTooLarge,
+           "declared frame length exceeds the server's frame cap");
+    } else {
+      fail(WireError::kProtocol, "unrecoverable framing error (bad length)");
+    }
   }
 }
 
@@ -146,6 +176,7 @@ void Connection::handle_open(const Frame& frame) {
   std::vector<std::uint8_t> reply;
   append_opened(reply, handle_.id);
   if (queue_bytes_ok(reply.size())) {
+    note_queueing();
     write_buf_.insert(write_buf_.end(), reply.begin(), reply.end());
   }
 }
@@ -240,6 +271,7 @@ void Connection::deliver_event(const speech::StreamEvent& event) {
   std::vector<std::uint8_t> encoded;
   append_event(encoded, event);
   if (!queue_bytes_ok(encoded.size())) return;
+  note_queueing();
   write_buf_.insert(write_buf_.end(), encoded.begin(), encoded.end());
   if (event.is_final) {
     saw_final_ = true;
@@ -287,12 +319,20 @@ void Connection::note_ingress_pause() {
 
 void Connection::try_flush() {
   if (dead_ || write_pos_ >= write_buf_.size()) return;
+  if (fault_ != nullptr &&
+      fault_->should_fire(fault::Site::kConnWrite,
+                          static_cast<std::uint64_t>(fd_))) {
+    dead_ = true;  // injected peer reset on the write path
+    return;
+  }
   RT_SPAN(telemetry_ != nullptr ? &telemetry_->trace() : nullptr,
           kSocketWrite, has_stream_ ? handle_.id : obs::kNoStream);
   while (write_pos_ < write_buf_.size()) {
     const ssize_t n = ::send(fd_, write_buf_.data() + write_pos_,
                              write_buf_.size() - write_pos_, MSG_NOSIGNAL);
     if (n > 0) {
+      last_activity_us_ = steady_now_us();
+      last_write_progress_us_ = last_activity_us_;
       if (telemetry_ != nullptr) {
         telemetry_->net().bytes_out->add(static_cast<std::uint64_t>(n));
       }
@@ -321,9 +361,31 @@ void Connection::fail(WireError error, std::string_view message) {
   std::vector<std::uint8_t> encoded;
   append_error(encoded, error, message);
   if (write_buf_.size() - write_pos_ + encoded.size() <= max_write_buffer_) {
+    note_queueing();
     write_buf_.insert(write_buf_.end(), encoded.begin(), encoded.end());
   }
   want_close_ = true;
+}
+
+void Connection::note_queueing() {
+  if (write_pos_ >= write_buf_.size()) {
+    last_write_progress_us_ = steady_now_us();
+  }
+}
+
+void Connection::expire_idle() {
+  if (dead_ || want_close_) return;
+  if (telemetry_ != nullptr) telemetry_->fault().reaped_connections->add(1);
+  fail(WireError::kTimeout, "connection idle past the server's deadline");
+}
+
+void Connection::expire_write_stalled() {
+  if (dead_) return;
+  RT_LOG(Info, "net") << "stream=" << (has_stream_ ? handle_.id : 0)
+                      << " dropping write-stalled connection";
+  if (telemetry_ != nullptr) telemetry_->fault().reaped_connections->add(1);
+  release_stream();
+  dead_ = true;
 }
 
 }  // namespace rtmobile::net

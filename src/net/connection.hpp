@@ -30,6 +30,10 @@ namespace rtmobile::obs {
 class Telemetry;
 }
 
+namespace rtmobile::fault {
+class FaultInjector;
+}
+
 namespace rtmobile::net {
 
 class Connection {
@@ -38,10 +42,13 @@ class Connection {
   /// `max_write_buffer` caps queued outbound bytes (slow-consumer
   /// limit). `telemetry` (nullable) receives wire byte counters,
   /// protocol-error / slow-consumer / ingress-pause counts, and
-  /// socket-write spans.
+  /// socket-write spans. `fault` (nullable) arms the kConnRead /
+  /// kConnWrite injection sites — a fired site behaves exactly like a
+  /// peer reset at that point.
   Connection(int fd, serve::Recognizer& recognizer,
              std::size_t max_write_buffer,
-             obs::Telemetry* telemetry = nullptr);
+             obs::Telemetry* telemetry = nullptr,
+             fault::FaultInjector* fault = nullptr);
   ~Connection();
 
   Connection(const Connection&) = delete;
@@ -84,6 +91,25 @@ class Connection {
   /// True once the stream's final event has been queued to the wire.
   [[nodiscard]] bool finished() const { return saw_final_; }
 
+  // ---- connection deadlines (driven by the server's timer sweep) ----
+  /// Steady-clock stamp (us) of the last socket activity in either
+  /// direction — what the server's idle timer measures against.
+  [[nodiscard]] std::uint64_t last_activity_us() const {
+    return last_activity_us_;
+  }
+  /// Steady-clock stamp (us) of the last outbound progress while bytes
+  /// were queued (re-stamped whenever the buffer goes from empty to
+  /// non-empty) — what the write-stall timer measures against.
+  [[nodiscard]] std::uint64_t last_write_progress_us() const {
+    return last_write_progress_us_;
+  }
+  /// Idle deadline expired: best-effort typed kTimeout error, then
+  /// close-after-flush (the socket is presumed still writable).
+  void expire_idle();
+  /// Write-stall deadline expired: the socket is not draining, so there
+  /// is no way to deliver an error frame — drop immediately.
+  void expire_write_stalled();
+
  private:
   void process_frames();
   void dispatch(const Frame& frame);
@@ -99,10 +125,19 @@ class Connection {
   /// Counts one transition into the ingress-paused state.
   void note_ingress_pause();
 
+  /// Stamps write progress before queueing when the buffer was empty —
+  /// a stall clock must start when bytes first wait, not when the buffer
+  /// last happened to drain.
+  void note_queueing();
+
   int fd_;
   serve::Recognizer& recognizer_;
   const std::size_t max_write_buffer_;
   obs::Telemetry* telemetry_;  // non-owning; null = observability off
+  fault::FaultInjector* fault_;  // non-owning; null = no injection
+
+  std::uint64_t last_activity_us_ = 0;
+  std::uint64_t last_write_progress_us_ = 0;
 
   FrameDecoder decoder_;
   std::vector<std::uint8_t> write_buf_;

@@ -9,8 +9,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
+#include <csignal>
 #include <cstring>
+#include <mutex>
 
 #include "obs/telemetry.hpp"
 #include "util/check.hpp"
@@ -21,6 +24,22 @@ namespace {
 constexpr int kMaxEpollEvents = 64;
 /// A scrape request larger than this is garbage, not HTTP.
 constexpr std::size_t kMaxHttpRequest = 16 * 1024;
+
+/// Every write path already passes MSG_NOSIGNAL, but belt-and-braces:
+/// a stray write to a peer-closed socket must never kill the process.
+/// Process-wide, done once, never restored — SIGPIPE's default action
+/// has no place in a server.
+std::once_flag sigpipe_once;
+void ignore_sigpipe() {
+  std::call_once(sigpipe_once, [] { ::signal(SIGPIPE, SIG_IGN); });
+}
+
+std::uint64_t steady_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 /// Binds a non-blocking listener and reports the resolved port.
 int make_listener(const std::string& address, std::uint16_t port,
@@ -54,6 +73,7 @@ int make_listener(const std::string& address, std::uint16_t port,
 RecognizerServer::RecognizerServer(serve::Recognizer& recognizer,
                                    ServerConfig config)
     : recognizer_(recognizer), config_(std::move(config)) {
+  ignore_sigpipe();
   listen_fd_ = make_listener(config_.bind_address, config_.port,
                              config_.backlog, port_);
   if (config_.telemetry != nullptr) {
@@ -144,7 +164,8 @@ void RecognizerServer::accept_ready() {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     Entry entry;
     entry.conn = std::make_unique<Connection>(
-        fd, recognizer_, config_.max_write_buffer, config_.telemetry);
+        fd, recognizer_, config_.max_write_buffer, config_.telemetry,
+        config_.fault);
     epoll_event ev{};
     // Edge-triggered for clients: each readiness transition is serviced
     // exactly once by draining to EAGAIN; a connection paused for
@@ -194,7 +215,8 @@ std::size_t RecognizerServer::run_once(std::chrono::milliseconds timeout) {
       break;
     }
   }
-  const int wait_ms = busy ? 0 : static_cast<int>(timeout.count());
+  const int wait_ms =
+      busy ? 0 : deadline_capped_wait_ms(static_cast<int>(timeout.count()));
 
   std::array<epoll_event, kMaxEpollEvents> events;
   int n = ::epoll_wait(epoll_fd_, events.data(),
@@ -248,7 +270,59 @@ void RecognizerServer::pump() {
     entry.conn->pump_pending();
     entry.conn->try_flush();
   }
+  expire_connections();
   reap();
+}
+
+void RecognizerServer::expire_connections() {
+  const std::uint64_t idle_us = static_cast<std::uint64_t>(
+      config_.idle_timeout.count() * 1000);
+  const std::uint64_t stall_us = static_cast<std::uint64_t>(
+      config_.write_stall_timeout.count() * 1000);
+  if (idle_us == 0 && stall_us == 0) return;
+  const std::uint64_t now = steady_now_us();
+  for (auto& [fd, entry] : connections_) {
+    Connection& conn = *entry.conn;
+    // Write stall first: it is the harder failure (the error frame an
+    // idle expiry would queue could never be delivered anyway).
+    if (stall_us != 0 && conn.wants_write() &&
+        now - conn.last_write_progress_us() >= stall_us) {
+      conn.expire_write_stalled();
+      continue;
+    }
+    if (idle_us != 0 && now - conn.last_activity_us() >= idle_us) {
+      conn.expire_idle();
+    }
+  }
+}
+
+int RecognizerServer::deadline_capped_wait_ms(int budget) const {
+  const std::uint64_t idle_us = static_cast<std::uint64_t>(
+      config_.idle_timeout.count() * 1000);
+  const std::uint64_t stall_us = static_cast<std::uint64_t>(
+      config_.write_stall_timeout.count() * 1000);
+  if ((idle_us == 0 && stall_us == 0) || connections_.empty()) {
+    return budget;
+  }
+  const std::uint64_t now = steady_now_us();
+  std::uint64_t earliest_us = static_cast<std::uint64_t>(budget) * 1000;
+  for (const auto& [fd, entry] : connections_) {
+    const Connection& conn = *entry.conn;
+    if (idle_us != 0) {
+      const std::uint64_t elapsed = now - conn.last_activity_us();
+      const std::uint64_t left = elapsed >= idle_us ? 0 : idle_us - elapsed;
+      earliest_us = std::min(earliest_us, left);
+    }
+    if (stall_us != 0 && conn.wants_write()) {
+      const std::uint64_t elapsed = now - conn.last_write_progress_us();
+      const std::uint64_t left =
+          elapsed >= stall_us ? 0 : stall_us - elapsed;
+      earliest_us = std::min(earliest_us, left);
+    }
+  }
+  // Round up: sleeping 1ms short beats waking 1ms past the deadline
+  // forever at sub-ms granularity.
+  return static_cast<int>((earliest_us + 999) / 1000);
 }
 
 void RecognizerServer::reap() {

@@ -54,6 +54,18 @@ struct ServerConfig {
   /// Port for the metrics listener (0 = ephemeral; read back with
   /// metrics_port()). Only bound when telemetry is set.
   std::uint16_t metrics_port = 0;
+  /// Reap a connection with no socket activity in either direction for
+  /// this long (0 = never). The client gets a typed kTimeout error
+  /// before the close. Self-defense against dead/half-open peers that
+  /// would otherwise hold stream slots forever.
+  std::chrono::milliseconds idle_timeout{0};
+  /// Drop a connection whose queued outbound bytes have made no progress
+  /// for this long (0 = never). No error frame is possible — the socket
+  /// is the thing that is stuck.
+  std::chrono::milliseconds write_stall_timeout{0};
+  /// Fault-injection harness (nullable). Arms the kConnRead/kConnWrite
+  /// sites on every accepted connection. Must outlive the server.
+  fault::FaultInjector* fault = nullptr;
 };
 
 class RecognizerServer {
@@ -97,6 +109,12 @@ class RecognizerServer {
   void service(int fd, std::uint32_t events);
   /// Post-socket-work phase: drive, fan out events, retry, flush, reap.
   void pump();
+  /// Expires idle / write-stalled connections against the config timers
+  /// (no-op when both are 0); reap() then collects them.
+  void expire_connections();
+  /// Milliseconds until the earliest connection deadline, clamped to
+  /// `budget` — run_once's epoll wait must not sleep past a deadline.
+  [[nodiscard]] int deadline_capped_wait_ms(int budget) const;
   void reap();
   void wake();
   void publish_connection_count();

@@ -7,11 +7,15 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cstring>
+#include <exception>
+#include <thread>
 #include <utility>
 
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace rtmobile::net {
 
@@ -34,6 +38,9 @@ WireClient& WireClient::operator=(WireClient&& other) noexcept {
 
 void WireClient::connect(const std::string& address, std::uint16_t port) {
   RT_CHECK(fd_ < 0, "WireClient is already connected");
+  host_ = address;
+  port_ = port;
+  decoder_ = FrameDecoder{};  // a reconnect must not inherit stale bytes
   fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   RT_CHECK(fd_ >= 0, "client socket creation failed");
   sockaddr_in addr{};
@@ -123,6 +130,7 @@ std::optional<ServerMessage> WireClient::read_message() {
     case FrameType::kFinal:
     case FrameType::kDegraded:
     case FrameType::kRejected:
+    case FrameType::kAborted:
       RT_CHECK(decode_event(frame.payload, message.event),
                "malformed event payload");
       return message;
@@ -151,6 +159,47 @@ std::optional<std::uint64_t> WireClient::open(const OpenRequest& request,
     // Any other frame before kOpened is a server bug.
     RT_CHECK(false, "unexpected reply to open");
   }
+}
+
+std::optional<std::uint64_t> WireClient::open_with_retry(
+    const OpenRequest& request, const OpenRetryPolicy& policy,
+    WireError* error) {
+  RT_CHECK(!host_.empty(), "open_with_retry needs a prior connect()");
+  Rng jitter(policy.jitter_seed);
+  std::chrono::milliseconds backoff = policy.initial_backoff;
+  WireError last_error = WireError::kBackpressureOverflow;
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      // Full jitter on the exponential window: sleep uniform(0, backoff]
+      // so retrying clients spread out instead of re-colliding.
+      const auto window = static_cast<float>(backoff.count());
+      const auto sleep_ms =
+          static_cast<std::int64_t>(jitter.uniform(1.0F, window));
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      backoff = std::min(backoff * 2, policy.max_backoff);
+    }
+    try {
+      if (!connected()) connect(host_, port_);
+      WireError open_error = WireError::kProtocol;
+      const std::optional<std::uint64_t> handle = open(request, &open_error);
+      if (handle.has_value()) return handle;
+      last_error = open_error;
+      if (open_error != WireError::kBackpressureOverflow) {
+        // Typed non-transient refusal (over budget, protocol, …):
+        // retrying cannot change the answer.
+        if (error != nullptr) *error = open_error;
+        return std::nullopt;
+      }
+    } catch (const std::exception&) {
+      // Connect refused or server closed mid-handshake: transient.
+      last_error = WireError::kBackpressureOverflow;
+    }
+    // The server closes the connection after a typed refusal; start the
+    // next attempt from a clean socket either way.
+    disconnect();
+  }
+  if (error != nullptr) *error = last_error;
+  return std::nullopt;
 }
 
 std::optional<WireError> WireClient::collect_until_final(

@@ -143,6 +143,7 @@ const char* to_string(FrameType type) {
     case FrameType::kDegraded: return "degraded";
     case FrameType::kRejected: return "rejected";
     case FrameType::kError: return "error";
+    case FrameType::kAborted: return "aborted";
   }
   return "unknown";
 }
@@ -154,6 +155,8 @@ const char* to_string(WireError error) {
     case WireError::kBackpressureOverflow: return "backpressure-overflow";
     case WireError::kServerError: return "server-error";
     case WireError::kSlowConsumer: return "slow-consumer";
+    case WireError::kFrameTooLarge: return "frame-too-large";
+    case WireError::kTimeout: return "timeout";
   }
   return "unknown";
 }
@@ -228,6 +231,9 @@ void append_event(std::vector<std::uint8_t>& out,
     case speech::StreamEventKind::kRejected:
       type = FrameType::kRejected;
       break;
+    case speech::StreamEventKind::kAborted:
+      type = FrameType::kAborted;
+      break;
   }
   const std::size_t header = begin_frame(out, type);
   // The payload re-states kind/is_final so decode_event reconstructs the
@@ -285,7 +291,7 @@ bool decode_event(std::span<const std::uint8_t> payload,
                   speech::StreamEvent& out) {
   Reader r{payload};
   const std::uint8_t kind = r.u8();
-  if (kind > static_cast<std::uint8_t>(speech::StreamEventKind::kRejected)) {
+  if (kind > static_cast<std::uint8_t>(speech::StreamEventKind::kAborted)) {
     return false;
   }
   out.kind = static_cast<speech::StreamEventKind>(kind);
@@ -331,9 +337,13 @@ bool FrameDecoder::next(Frame& frame) {
   const std::uint8_t* p = buffer_.data() + consumed_;
   std::uint32_t frame_len = 0;
   for (int i = 3; i >= 0; --i) frame_len = (frame_len << 8U) | p[i];
-  if (frame_len == 0 || frame_len > kMaxFrameBytes) {
-    // Lost sync: there is no way to find the next frame boundary.
+  if (frame_len == 0 || frame_len > max_frame_bytes_) {
+    // Lost sync: there is no way to find the next frame boundary. The
+    // typed reason lets the server answer an absurd declared length
+    // (length-prefix attack) distinctly from garbled framing.
     failed_ = true;
+    failure_ = frame_len > max_frame_bytes_ ? WireError::kFrameTooLarge
+                                            : WireError::kProtocol;
     return false;
   }
   if (available < 4 + std::size_t{frame_len}) return false;

@@ -37,11 +37,13 @@
 
 namespace rtmobile::net {
 
-/// Hard ceiling on frame_len: bounds per-connection buffering so a
-/// hostile length prefix cannot make the server allocate gigabytes.
-/// 4 MiB holds ~65 s of 16 kHz f32 audio in one frame — far beyond the
-/// chunk sizes any sane client sends.
-inline constexpr std::uint32_t kMaxFrameBytes = 4U << 20;
+/// Default ceiling on frame_len: bounds per-connection buffering so a
+/// hostile length prefix (up to 0xFFFFFFFF) cannot make the server
+/// attempt a gigabyte allocation. 16 MiB holds ~4 min of 16 kHz f32
+/// audio in one frame — far beyond the chunk sizes any sane client
+/// sends. Deployments can tighten it per decoder via
+/// FrameDecoder::set_max_frame_bytes.
+inline constexpr std::uint32_t kMaxFrameBytes = 16U << 20;
 
 enum class FrameType : std::uint8_t {
   // client -> server
@@ -56,6 +58,7 @@ enum class FrameType : std::uint8_t {
   kDegraded = 0x84,
   kRejected = 0x85,
   kError = 0x86,
+  kAborted = 0x87,  // terminal: serving layer lost the stream
 };
 
 [[nodiscard]] const char* to_string(FrameType type);
@@ -67,6 +70,8 @@ enum class WireError : std::uint16_t {
   kBackpressureOverflow = 3,  // ingress congestion exhausted retries
   kServerError = 4,           // recognizer threw serving the stream
   kSlowConsumer = 5,  // client read too slowly; write buffer overflowed
+  kFrameTooLarge = 6,  // declared frame_len above the decoder's max
+  kTimeout = 7,        // idle/write-stall deadline expired server-side
 };
 
 [[nodiscard]] const char* to_string(WireError error);
@@ -127,9 +132,11 @@ struct Frame {
 /// Incremental deframer: feed() arbitrary byte chunks as the socket
 /// yields them, next() pops complete frames. Tolerates any fragmentation
 /// (a frame split across dozens of reads, many frames in one read).
-/// A frame_len of 0 or beyond kMaxFrameBytes is unrecoverable — the
-/// stream has lost sync — so the decoder latches failed() and next()
-/// returns nothing from then on.
+/// A frame_len of 0 or beyond max_frame_bytes() is unrecoverable — the
+/// stream has lost sync — so the decoder latches failed() (with a typed
+/// reason) and next() returns nothing from then on. The length check
+/// runs before any buffering of the frame body, so a crafted 0xFFFFFFFF
+/// prefix never turns into an allocation.
 class FrameDecoder {
  public:
   void feed(std::span<const std::uint8_t> bytes);
@@ -137,6 +144,15 @@ class FrameDecoder {
   /// are needed (or the decoder failed).
   [[nodiscard]] bool next(Frame& frame);
   [[nodiscard]] bool failed() const { return failed_; }
+  /// Why the decoder latched: kFrameTooLarge for an oversized declared
+  /// length, kProtocol otherwise. Meaningful only when failed().
+  [[nodiscard]] WireError failure() const { return failure_; }
+  /// Tightens (or widens) the per-frame length ceiling; takes effect on
+  /// the next length prefix examined.
+  void set_max_frame_bytes(std::uint32_t max) { max_frame_bytes_ = max; }
+  [[nodiscard]] std::uint32_t max_frame_bytes() const {
+    return max_frame_bytes_;
+  }
   /// Bytes buffered but not yet consumed as frames.
   [[nodiscard]] std::size_t buffered_bytes() const {
     return buffer_.size() - consumed_;
@@ -146,6 +162,8 @@ class FrameDecoder {
   std::vector<std::uint8_t> buffer_;
   std::size_t consumed_ = 0;  // prefix of buffer_ already handed out
   bool failed_ = false;
+  WireError failure_ = WireError::kProtocol;
+  std::uint32_t max_frame_bytes_ = kMaxFrameBytes;
 };
 
 }  // namespace rtmobile::net

@@ -54,6 +54,23 @@ Telemetry::Telemetry(std::size_t span_ring_capacity)
                                     "HTTP metric scrapes served");
   net_.connections = &registry_.gauge("rt_net_connections",
                                       "Live TCP connections");
+
+  fault_.injected = &registry_.counter(
+      "rt_fault_injected_total", "Faults fired by the FaultInjector");
+  fault_.detected = &registry_.counter(
+      "rt_fault_detected_total",
+      "Shards declared unhealthy by the supervisor");
+  fault_.failovers = &registry_.counter(
+      "rt_fault_failovers_total", "Shard failovers executed");
+  fault_.replayed_streams = &registry_.counter(
+      "rt_fault_replayed_streams_total",
+      "Live streams migrated intact off a failed shard");
+  fault_.aborted_streams = &registry_.counter(
+      "rt_fault_aborted_streams_total",
+      "Streams given a terminal abort event (could not be replayed)");
+  fault_.reaped_connections = &registry_.counter(
+      "rt_fault_reaped_connections_total",
+      "Connections reaped by the idle/write-stall deadline timers");
 }
 
 Gauge& Telemetry::shard_gauge(const std::string& name,

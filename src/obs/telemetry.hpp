@@ -54,6 +54,17 @@ struct NetMetrics {
   Gauge* connections = nullptr;
 };
 
+/// Fault-layer instruments: the injected → detected → recovered chain
+/// the supervisor and the net front's self-defense timers report into.
+struct FaultMetrics {
+  Counter* injected = nullptr;          // FaultInjector fires
+  Counter* detected = nullptr;          // shards declared unhealthy
+  Counter* failovers = nullptr;         // shard failovers executed
+  Counter* replayed_streams = nullptr;  // streams migrated intact
+  Counter* aborted_streams = nullptr;   // streams given terminal aborts
+  Counter* reaped_connections = nullptr;  // idle/stalled conns reaped
+};
+
 class Telemetry {
  public:
   /// `span_ring_capacity` sizes each thread's span ring.
@@ -66,6 +77,7 @@ class Telemetry {
   TraceCollector& trace() { return trace_; }
   EngineMetrics& engine() { return engine_; }
   NetMetrics& net() { return net_; }
+  FaultMetrics& fault() { return fault_; }
 
   /// Registers (idempotently) a per-shard gauge, labeled shard="<s>".
   Gauge& shard_gauge(const std::string& name, const std::string& help,
@@ -85,6 +97,7 @@ class Telemetry {
   TraceCollector trace_;
   EngineMetrics engine_;
   NetMetrics net_;
+  FaultMetrics fault_;
 };
 
 }  // namespace rtmobile::obs

@@ -4,6 +4,7 @@
 #include <limits>
 #include <utility>
 
+#include "fault/fault_injector.hpp"
 #include "hw/timer.hpp"
 #include "obs/telemetry.hpp"
 #include "util/check.hpp"
@@ -149,6 +150,14 @@ void InferenceEngine::account_lag(double now_us) {
 }
 
 std::size_t InferenceEngine::step() {
+  // The injection point sits before any state mutation: an injected
+  // engine fault leaves every session exactly as the previous round
+  // published it, which is what makes failover replay bit-identical.
+  if (config_.fault != nullptr &&
+      config_.fault->should_fire(fault::Site::kEngineStep,
+                                 config_.fault_key)) {
+    throw fault::FaultInjected("injected engine-step fault");
+  }
   const std::size_t count = sessions_.size();
   if (count == 0) return 0;
   // Times the whole scheduling round — gather and scatter copies are part

@@ -41,6 +41,10 @@ namespace rtmobile::obs {
 class Telemetry;
 }
 
+namespace rtmobile::fault {
+class FaultInjector;
+}
+
 namespace rtmobile::runtime {
 
 struct EngineConfig {
@@ -65,6 +69,13 @@ struct EngineConfig {
   /// pointed at one Telemetry sum into families whose totals equal the
   /// StatsAggregator's. Must outlive the engine.
   obs::Telemetry* telemetry = nullptr;
+  /// Fault-injection harness (nullable — the production default). When
+  /// set, step() asks the kEngineStep site before touching any state, so
+  /// an injected fault leaves sessions replayable. `fault_key` is the
+  /// identity the engine reports (ShardedEngine sets it to the shard
+  /// index so a spec can kill one replica). Must outlive the engine.
+  fault::FaultInjector* fault = nullptr;
+  std::uint64_t fault_key = ~std::uint64_t{0};
   /// Front-end defaults for sessions created without an explicit config
   /// (CMN disabled — it is whole-utterance and cannot stream).
   speech::MfccConfig mfcc = [] {

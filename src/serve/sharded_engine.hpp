@@ -50,7 +50,38 @@ namespace rtmobile::obs {
 class Gauge;
 }
 
+namespace rtmobile::fault {
+class FaultInjector;
+}
+
 namespace rtmobile::serve {
+
+/// A shard's place in the supervisor's health state machine.
+enum class ShardHealth : std::uint8_t {
+  kHealthy = 0,     // in rotation, pump serving
+  kQuarantined,     // declared unhealthy; out of rotation, being seized
+  kFailed,          // failed over: live streams migrated; can rejoin
+  kLost,            // pump wedged past the grace; streams were aborted
+};
+
+[[nodiscard]] const char* to_string(ShardHealth health);
+
+/// The shard supervisor's knobs. With `enabled` false (the default) no
+/// monitor thread runs and every pre-existing failure semantic is
+/// unchanged (a dead pump throws at producers, stop() rethrows).
+struct SupervisorConfig {
+  bool enabled = false;
+  /// Monitor wake period.
+  std::chrono::milliseconds check_interval{2};
+  /// A pump whose heartbeat is older than this is declared stalled.
+  std::chrono::milliseconds stall_timeout{250};
+  /// How long a stalled pump gets to park cooperatively (state-clean,
+  /// between rounds) before its streams are aborted instead of replayed.
+  std::chrono::milliseconds park_grace{100};
+  /// Probe and restart failed shards automatically after rejoin_backoff.
+  bool auto_rejoin = false;
+  std::chrono::milliseconds rejoin_backoff{50};
+};
 
 struct ShardConfig {
   /// Engine replicas to run. Each compiles its own copy of the model.
@@ -65,7 +96,12 @@ struct ShardConfig {
   /// core-range hint recorded in each replica's CompilerOptions.
   bool pin_cores = false;
   /// Per-shard engine settings (max_batch, default MFCC front end).
+  /// `engine.fault` (nullable) also arms the serve-layer injection
+  /// sites: each shard keys its engine, pump, and ingress ring by its
+  /// shard index, so a spec can kill exactly one replica.
   runtime::EngineConfig engine;
+  /// Shard failure detection + failover (off by default).
+  SupervisorConfig supervisor;
 };
 
 class ShardedEngine final : public Recognizer {
@@ -180,9 +216,33 @@ class ShardedEngine final : public Recognizer {
   /// queue, and migrates its live streams onto admissible sibling shards
   /// with hidden state, pending frames, and logits intact. Finished
   /// streams stay readable where they are. Returns streams migrated.
+  /// Producers may keep submitting concurrently: every routed push takes
+  /// the stream's route latch, so per-stream command order survives the
+  /// re-route (no lost or duplicated commands).
   std::size_t drain_shard(std::size_t s);
   /// Re-opens (or closes) a shard for new-stream admission.
   void set_shard_admissible(std::size_t s, bool admissible);
+
+  // ---- fault tolerance (supervision, failover, rejoin) ----
+  [[nodiscard]] ShardHealth shard_health(std::size_t s) const;
+  /// Pump scheduling rounds completed (the supervisor's heartbeat word).
+  [[nodiscard]] std::uint64_t shard_heartbeat(std::size_t s) const;
+  /// Fails shard `s` over: flushes its ring (re-routing stranded
+  /// commands), migrates its live streams to healthy siblings with state
+  /// intact, and marks it kFailed. In threaded mode the supervisor calls
+  /// this after seizing a dead/parked pump; callers may invoke it
+  /// directly in synchronous mode (no pumps). Returns streams migrated.
+  std::size_t fail_over_shard(std::size_t s);
+  /// Last-resort path for a shard whose engine state cannot be trusted
+  /// (wedged pump): every live stream routed to it gets a terminal
+  /// kAborted event in its mailbox — typed failure, never silence — and
+  /// the shard is marked kLost. Returns streams aborted.
+  std::size_t abort_shard_streams(std::size_t s);
+  /// Probes a kFailed shard with a synthetic utterance on its own
+  /// engine; on success clears its failure state, restarts its pump
+  /// (threaded mode), and re-admits it. False = probe failed, shard
+  /// stays failed.
+  bool rejoin_shard(std::size_t s);
 
   // ---- load & stats ----
   /// The router's load signal: ingress-queue depth, live streams, and
@@ -233,6 +293,17 @@ class ShardedEngine final : public Recognizer {
     /// the same client. Written once at admission, before the handle is
     /// published.
     std::uint64_t session_key = 0;
+    /// Per-stream route latch (tiny spinlock): every producer push reads
+    /// `shard` and enqueues under it, and migration/failover re-routes a
+    /// stream only while holding it. That makes a seized ring provably
+    /// quiescent and keeps each stream's command order exact across a
+    /// re-route — the invariant the failover replay guarantee rests on.
+    std::atomic<bool> route_latch{false};
+    /// Set by abort_shard_streams: the stream got its terminal kAborted
+    /// event and its session (if any) is stranded in a lost shard. Pump
+    /// publishing paths skip orphaned entries; a revived pump reclaims
+    /// their sessions.
+    std::atomic<bool> orphaned{false};
   };
 
   struct Shard {
@@ -254,9 +325,31 @@ class ShardedEngine final : public Recognizer {
     /// First internal error that killed the pump (written by the pump
     /// before exiting, read after join); rethrown by stop().
     std::exception_ptr failure;
-    /// Set when the pump dies so producers fail fast (throw) instead of
-    /// spinning on a ring nobody drains.
+    /// Set when the pump dies so producers fail fast (throw when
+    /// unsupervised; backpressure under supervision, which re-routes)
+    /// instead of spinning on a ring nobody drains.
     std::atomic<bool> dead{false};
+    /// Heartbeat words: rounds completed + a steady-clock stamp written
+    /// at the top of every pump round. The supervisor declares the pump
+    /// stalled when the stamp goes stale.
+    std::atomic<std::uint64_t> heartbeat{0};
+    std::atomic<std::uint64_t> heartbeat_us{0};
+    /// Cooperative park protocol: the supervisor requests, the pump
+    /// acknowledges by exiting between rounds (state-clean), which is
+    /// what makes post-park failover replay bit-identical.
+    std::atomic<bool> park_requested{false};
+    std::atomic<bool> parked{false};
+    std::atomic<std::uint8_t> health{
+        static_cast<std::uint8_t>(ShardHealth::kHealthy)};
+    std::atomic<std::uint64_t> failed_at_us{0};
+    /// Adoption inbox: sessions migrated here by a failover land in this
+    /// mutex-guarded vector; the pump adopts them at the top of each
+    /// round (inbox_size is the cheap empty check).
+    std::mutex inbox_mutex;
+    std::vector<std::pair<std::uint64_t,
+                          std::unique_ptr<runtime::StreamingSession>>>
+        inbox;
+    std::atomic<std::size_t> inbox_size{0};
     /// Per-shard load gauges (null when ShardConfig::engine.telemetry is
     /// off); publish_backlog writes them beside the atomics they mirror,
     /// so a /metrics scrape sees the same load signal the router does.
@@ -287,8 +380,14 @@ class ShardedEngine final : public Recognizer {
   /// dropped, never kill the shard.
   StreamEntry* try_entry(std::uint64_t id) const;
   bool enqueue(std::size_t shard, StreamCommand&& command);
+  /// Reads the stream's current shard and enqueues under its route
+  /// latch — the only correct way to push a routed command while
+  /// migration/failover may be re-routing the stream.
+  bool enqueue_routed(StreamEntry& e, StreamCommand&& command);
   void apply(Shard& shard, StreamCommand&& command);
   std::size_t apply_commands(Shard& shard);
+  /// Adopts sessions a failover migrated into this shard's inbox.
+  std::size_t adopt_inbox(Shard& shard);
   /// Flushes every local session's decoder events into its stream's
   /// mailbox. Runs after each scheduling round, before mark_done, so a
   /// completing stream's final event is published before its session
@@ -303,6 +402,25 @@ class ShardedEngine final : public Recognizer {
   void pump_loop(std::size_t s);
   std::vector<std::size_t> snapshot_loads() const;
   std::vector<double> snapshot_lags_us() const;
+
+  // ---- supervision internals ----
+  void supervisor_loop();
+  /// Marks the shard out of rotation + kQuarantined and counts the
+  /// detection. Idempotent per failure.
+  void quarantine(std::size_t s);
+  /// The seize-and-migrate core shared by drain_shard, fail_over_shard,
+  /// and the supervisor: requires the shard's pump to not be running
+  /// (never started, parked, or dead-and-joined). Latches every entry
+  /// routed to the shard, flushes+re-routes its ring, migrates its live
+  /// sessions (adoption inbox in threaded mode, direct adoption in
+  /// synchronous mode), and releases the latches.
+  std::size_t seize_and_migrate(std::size_t s, bool record_failover);
+  /// Supervisor handling of one detected failure (dead or stalled).
+  void handle_shard_failure(std::size_t s);
+  bool probe_shard(Shard& shard);
+  void push_abort_event(StreamEntry& e);
+  std::size_t pick_target(std::uint64_t session_key);
+  void forward_command(std::size_t target, StreamCommand&& command);
 
   ShardConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -324,6 +442,7 @@ class ShardedEngine final : public Recognizer {
   std::condition_variable events_cv_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
+  std::thread supervisor_;
   WallTimer window_timer_;  // spans start() .. stop()
   double window_us_ = 0.0;  // threaded window wall time since reset_stats
 };

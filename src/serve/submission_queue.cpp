@@ -3,6 +3,7 @@
 #include <bit>
 #include <utility>
 
+#include "fault/fault_injector.hpp"
 #include "util/check.hpp"
 
 namespace rtmobile::serve {
@@ -17,7 +18,17 @@ SubmissionQueue::SubmissionQueue(std::size_t capacity) {
   }
 }
 
+void SubmissionQueue::set_fault(fault::FaultInjector* fault,
+                                std::uint64_t key) {
+  fault_ = fault;
+  fault_key_ = key;
+}
+
 bool SubmissionQueue::try_push(StreamCommand&& command) {
+  if (fault_ != nullptr &&
+      fault_->should_fire(fault::Site::kQueuePush, fault_key_)) {
+    return false;  // injected "ring full": producers see backpressure
+  }
   std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
   for (;;) {
     Slot& slot = slots_[pos & mask_];

@@ -19,6 +19,10 @@
 #include "runtime/scheduler.hpp"
 #include "speech/streaming_decoder.hpp"
 
+namespace rtmobile::fault {
+class FaultInjector;
+}
+
 namespace rtmobile::serve {
 
 /// One ingress message for a stream on its owning shard.
@@ -54,6 +58,11 @@ class SubmissionQueue {
   /// caller decides whether to retry, drop, or slow the client).
   bool try_push(StreamCommand&& command);
 
+  /// Installs a fault harness: when the kQueuePush site fires for `key`,
+  /// try_push reports full without touching the ring — deterministic
+  /// ingress backpressure. Call before producers start.
+  void set_fault(fault::FaultInjector* fault, std::uint64_t key);
+
   /// Dequeues into `out`; single consumer only. Returns false when empty.
   bool try_pop(StreamCommand& out);
 
@@ -72,6 +81,8 @@ class SubmissionQueue {
 
   std::size_t capacity_ = 0;
   std::size_t mask_ = 0;
+  fault::FaultInjector* fault_ = nullptr;
+  std::uint64_t fault_key_ = ~std::uint64_t{0};
   std::unique_ptr<Slot[]> slots_;
   alignas(64) std::atomic<std::size_t> enqueue_pos_{0};
   alignas(64) std::atomic<std::size_t> dequeue_pos_{0};

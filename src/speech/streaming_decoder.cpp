@@ -22,6 +22,7 @@ const char* to_string(StreamEventKind kind) {
     case StreamEventKind::kHypothesis: return "hypothesis";
     case StreamEventKind::kDegraded: return "degraded";
     case StreamEventKind::kRejected: return "rejected";
+    case StreamEventKind::kAborted: return "aborted";
   }
   return "?";
 }

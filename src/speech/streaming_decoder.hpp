@@ -61,6 +61,8 @@ enum class StreamEventKind : std::uint8_t {
   kHypothesis,  // stable/partial hypothesis update (the decoder's output)
   kDegraded,    // scheduler shed overdue queued frames; stream continues
   kRejected,    // scheduler terminated the stream (budget exceeded)
+  kAborted,     // serving layer lost the stream (shard failure it could
+                // not replay around); terminal, never silent
 };
 
 [[nodiscard]] const char* to_string(StreamEventKind kind);

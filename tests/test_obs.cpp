@@ -192,7 +192,7 @@ TEST(ObsTrace, SpansCarryStageAndStreamAttribution) {
   TraceCollector trace(64);
   { RT_SPAN(&trace, kMfcc, 42); }
   { RT_SPAN(&trace, kLayerStep, obs::kNoStream); }
-  trace.record(Stage::kDecode, 42, 10.0, 3.5);
+  trace.record(Stage::kDecode, 42, trace.now_us(), 3.5);
 
   const auto stats = trace.stage_stats();
   EXPECT_EQ(stats[static_cast<std::size_t>(Stage::kMfcc)].count, 1U);
