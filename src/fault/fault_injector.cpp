@@ -15,6 +15,7 @@ const char* to_string(Site site) {
     case Site::kQueuePush: return "queue-push";
     case Site::kConnRead: return "conn-read";
     case Site::kConnWrite: return "conn-write";
+    case Site::kCacheLookup: return "cache-lookup";
   }
   return "unknown";
 }

@@ -42,8 +42,9 @@ enum class Site : std::uint8_t {
   kQueuePush,       // SubmissionQueue::try_push reports full (ingress)
   kConnRead,        // net::Connection read path acts as peer reset
   kConnWrite,       // net::Connection write path acts as peer reset
+  kCacheLookup,     // prefix-cache lookup acts as a miss (plain compute)
 };
-inline constexpr std::size_t kSiteCount = 6;
+inline constexpr std::size_t kSiteCount = 7;
 
 [[nodiscard]] const char* to_string(Site site);
 

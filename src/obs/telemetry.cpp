@@ -55,6 +55,25 @@ Telemetry::Telemetry(std::size_t span_ring_capacity)
   net_.connections = &registry_.gauge("rt_net_connections",
                                       "Live TCP connections");
 
+  cache_.hits = &registry_.counter(
+      "rt_cache_hits_total",
+      "Frames served from the prefix result cache (compute skipped)");
+  cache_.misses = &registry_.counter(
+      "rt_cache_misses_total",
+      "Frames that fell through the prefix cache to model compute");
+  cache_.skipped_steps = &registry_.counter(
+      "rt_cache_skipped_steps_total",
+      "Model steps avoided by prefix-cache hits");
+  cache_.evictions = &registry_.counter(
+      "rt_cache_evictions_total",
+      "Prefix-cache entries evicted (byte budget or bucket collision)");
+  cache_.inserted_bytes = &registry_.counter(
+      "rt_cache_bytes_total",
+      "Cumulative bytes memoized into the prefix cache");
+  cache_.resident_bytes = &registry_.gauge(
+      "rt_cache_resident_bytes",
+      "Current prefix-cache residency across engines on this telemetry");
+
   fault_.injected = &registry_.counter(
       "rt_fault_injected_total", "Faults fired by the FaultInjector");
   fault_.detected = &registry_.counter(

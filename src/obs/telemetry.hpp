@@ -54,6 +54,20 @@ struct NetMetrics {
   Gauge* connections = nullptr;
 };
 
+/// Prefix-result-cache instruments, mirrored in the same statements as
+/// the RuntimeStats cache_* fields (so a scrape equals the
+/// StatsAggregator's merged totals exactly). Shards share the counter
+/// cells; resident_bytes sums shard residency at set time per engine —
+/// fleet residency is the StatsAggregator's merged cache_bytes.
+struct CacheMetrics {
+  Counter* hits = nullptr;           // == RuntimeStats::cache_hits
+  Counter* misses = nullptr;         // == RuntimeStats::cache_misses
+  Counter* skipped_steps = nullptr;  // == RuntimeStats::cache_skipped_steps
+  Counter* evictions = nullptr;      // == RuntimeStats::cache_evictions
+  Counter* inserted_bytes = nullptr;  // cumulative bytes memoized
+  Gauge* resident_bytes = nullptr;    // current per-engine residency
+};
+
 /// Fault-layer instruments: the injected → detected → recovered chain
 /// the supervisor and the net front's self-defense timers report into.
 struct FaultMetrics {
@@ -78,6 +92,7 @@ class Telemetry {
   EngineMetrics& engine() { return engine_; }
   NetMetrics& net() { return net_; }
   FaultMetrics& fault() { return fault_; }
+  CacheMetrics& cache() { return cache_; }
 
   /// Registers (idempotently) a per-shard gauge, labeled shard="<s>".
   Gauge& shard_gauge(const std::string& name, const std::string& help,
@@ -98,6 +113,7 @@ class Telemetry {
   EngineMetrics engine_;
   NetMetrics net_;
   FaultMetrics fault_;
+  CacheMetrics cache_;
 };
 
 }  // namespace rtmobile::obs

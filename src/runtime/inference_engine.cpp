@@ -19,6 +19,9 @@ InferenceEngine::InferenceEngine(const CompiledSpeechModel& model,
   if (config_.stats_sample_cap != 0) {
     stats_.set_sample_cap(config_.stats_sample_cap);
   }
+  if (config_.cache.enabled) {
+    cache_ = std::make_unique<cache::PrefixCache>(config_.cache);
+  }
 }
 
 StreamingSession& InferenceEngine::create_session() {
@@ -149,6 +152,49 @@ void InferenceEngine::account_lag(double now_us) {
   }
 }
 
+std::size_t InferenceEngine::serve_cached(double& audio_seconds) {
+  obs::Telemetry* telemetry = config_.telemetry;
+  obs::TraceCollector* trace =
+      telemetry != nullptr ? &telemetry->trace() : nullptr;
+  std::size_t served = 0;
+  for (const auto& session : sessions_) {
+    std::size_t burst = 0;
+    while (session->frame_ready() &&
+           (config_.cache.max_hit_burst == 0 ||
+            burst < config_.cache.max_hit_burst)) {
+      // The injection point makes a poisoned lookup indistinguishable
+      // from a miss: the frame falls through to plain compute below.
+      if (config_.fault != nullptr &&
+          config_.fault->should_fire(fault::Site::kCacheLookup,
+                                     config_.fault_key)) {
+        break;
+      }
+      cache::PrefixCursor next = session->prefix_cursor();
+      next.advance(session->front_frame(), config_.cache.quant_scale);
+      const cache::PrefixCache::Entry* entry = cache_->lookup(next);
+      if (entry == nullptr) break;
+      RT_SPAN(trace, kDecode, session->id());
+      // Mirror the compute path's observable order exactly — state, then
+      // the logits row (which feeds the in-loop decoder), then the frame
+      // pop — so the event stream is bitwise what compute would emit.
+      session->restore_state(entry->state);
+      session->append_logits(entry->logits);
+      session->pop_frame();
+      session->prefix_cursor() = next;
+      audio_seconds += session->seconds_per_frame();
+      ++served;
+      ++burst;
+      stats_.cache_hits += 1;
+      stats_.cache_skipped_steps += 1;
+      if (telemetry != nullptr) {
+        telemetry->cache().hits->add(1);
+        telemetry->cache().skipped_steps->add(1);
+      }
+    }
+  }
+  return served;
+}
+
 std::size_t InferenceEngine::step() {
   // The injection point sits before any state mutation: an injected
   // engine fault leaves every session exactly as the previous round
@@ -170,6 +216,15 @@ std::size_t InferenceEngine::step() {
   // OverloadPolicy::kNone this is a no-op, so the round-robin default
   // stays bit-identical.
   apply_overload(now_us);
+
+  // Cached pre-pass: streams whose next frame(s) extend a memoized
+  // trajectory are served here without model compute, freeing the batch
+  // below for streams that actually need step_batch. With the cache off
+  // (the default) this is one null check.
+  double audio_seconds = 0.0;
+  const std::size_t cached =
+      cache_ != nullptr ? serve_cached(audio_seconds) : 0;
+
   active_.clear();
   if (config_.scheduler == SchedulerPolicy::kRoundRobin) {
     // Gather one ready frame per session, round-robin so no stream
@@ -185,47 +240,78 @@ std::size_t InferenceEngine::step() {
     gather_by_priority();
   }
   account_lag(now_us);
-  if (active_.empty()) return 0;
-
-  // Grow-only reuse: the ready count fluctuates step to step as streams
-  // finish, so only ever enlarge; step_batch reads just the first rows.
-  const std::size_t batch = active_.size();
-  if (batch_features_.rows() < batch) {
-    batch_features_ = Matrix(batch, model_.config().input_dim);
-    batch_logits_ = Matrix(batch, model_.config().num_classes);
-  }
+  if (active_.empty() && cached == 0) return 0;
 
   obs::Telemetry* telemetry = config_.telemetry;
   obs::TraceCollector* trace =
       telemetry != nullptr ? &telemetry->trace() : nullptr;
 
-  states_.resize(batch);
-  {
-    RT_SPAN(trace, kGather, obs::kNoStream);
+  // Grow-only reuse: the ready count fluctuates step to step as streams
+  // finish, so only ever enlarge; step_batch reads just the first rows.
+  const std::size_t batch = active_.size();
+  if (batch > 0) {
+    if (batch_features_.rows() < batch) {
+      batch_features_ = Matrix(batch, model_.config().input_dim);
+      batch_logits_ = Matrix(batch, model_.config().num_classes);
+    }
+
+    states_.resize(batch);
+    {
+      RT_SPAN(trace, kGather, obs::kNoStream);
+      for (std::size_t b = 0; b < batch; ++b) {
+        const std::span<const float> frame = active_[b]->front_frame();
+        std::copy(frame.begin(), frame.end(),
+                  batch_features_.row(b).begin());
+        states_[b] = &active_[b]->state();
+      }
+    }
+
+    {
+      RT_SPAN(trace, kLayerStep, obs::kNoStream);
+      model_.step_batch(batch_features_, states_, batch_logits_);
+    }
+
     for (std::size_t b = 0; b < batch; ++b) {
-      const std::span<const float> frame = active_[b]->front_frame();
-      std::copy(frame.begin(), frame.end(), batch_features_.row(b).begin());
-      states_[b] = &active_[b]->state();
+      RT_SPAN(trace, kDecode, active_[b]->id());
+      // Advance the prefix chain over the frame being consumed before it
+      // is popped; the cursor then names the trajectory this row extends.
+      if (cache_ != nullptr) {
+        active_[b]->prefix_cursor().advance(active_[b]->front_frame(),
+                                            config_.cache.quant_scale);
+      }
+      active_[b]->append_logits(batch_logits_.row(b));
+      active_[b]->pop_frame();
+      audio_seconds += active_[b]->seconds_per_frame();
+      if (cache_ != nullptr) {
+        // Memoize this step so an identical prefix replays it: the row
+        // plus the post-step hidden state the next frame resumes from.
+        active_[b]->capture_state(cache_state_scratch_);
+        const cache::PrefixCache::InsertResult inserted = cache_->insert(
+            active_[b]->prefix_cursor(), batch_logits_.row(b),
+            cache_state_scratch_);
+        stats_.cache_misses += 1;
+        stats_.cache_evictions += inserted.evicted;
+        if (telemetry != nullptr) {
+          telemetry->cache().misses->add(1);
+          telemetry->cache().evictions->add(inserted.evicted);
+          telemetry->cache().inserted_bytes->add(inserted.bytes_added);
+        }
+      }
     }
   }
 
-  {
-    RT_SPAN(trace, kLayerStep, obs::kNoStream);
-    model_.step_batch(batch_features_, states_, batch_logits_);
-  }
-
-  double audio_seconds = 0.0;
-  for (std::size_t b = 0; b < batch; ++b) {
-    RT_SPAN(trace, kDecode, active_[b]->id());
-    active_[b]->append_logits(batch_logits_.row(b));
-    active_[b]->pop_frame();
-    audio_seconds += active_[b]->seconds_per_frame();
+  if (cache_ != nullptr) {
+    stats_.cache_bytes = cache_->bytes();
+    if (telemetry != nullptr) {
+      telemetry->cache().resident_bytes->set(
+          static_cast<double>(cache_->bytes()));
+    }
   }
 
   const double elapsed_us = timer.elapsed_us();
   stats_.step_latency.record(elapsed_us);
   stats_.busy_us += elapsed_us;
-  stats_.frames_processed += batch;
+  stats_.frames_processed += batch + cached;
   stats_.steps += 1;
   stats_.audio_seconds += audio_seconds;
   if (telemetry != nullptr) {
@@ -234,11 +320,11 @@ std::size_t InferenceEngine::step() {
     obs::EngineMetrics& m = telemetry->engine();
     m.step_latency_us->observe(elapsed_us);
     m.busy_us->add(elapsed_us);
-    m.frames->add(batch);
+    m.frames->add(batch + cached);
     m.steps->add(1);
     m.audio_seconds->add(audio_seconds);
   }
-  return batch;
+  return batch + cached;
 }
 
 std::size_t InferenceEngine::drain() {

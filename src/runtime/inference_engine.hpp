@@ -30,6 +30,7 @@
 #include <memory>
 #include <vector>
 
+#include "cache/prefix_cache.hpp"
 #include "compiler/gru_executor.hpp"
 #include "runtime/clock.hpp"
 #include "runtime/scheduler.hpp"
@@ -76,6 +77,14 @@ struct EngineConfig {
   /// index so a spec can kill one replica). Must outlive the engine.
   fault::FaultInjector* fault = nullptr;
   std::uint64_t fault_key = ~std::uint64_t{0};
+  /// Prefix result cache (off by default). When enabled the engine owns
+  /// a private cache::PrefixCache — one per engine, so each serving
+  /// shard's replica caches shard-locally — and step() serves frames
+  /// whose prefix chain matches a cached trajectory without touching
+  /// step_batch (bit-identical by construction; the cache only skips
+  /// compute). The kCacheLookup fault site gates every lookup, so an
+  /// injected cache failure degrades to plain compute.
+  cache::CacheConfig cache;
   /// Front-end defaults for sessions created without an explicit config
   /// (CMN disabled — it is whole-utterance and cannot stream).
   speech::MfccConfig mfcc = [] {
@@ -164,7 +173,19 @@ class InferenceEngine {
   /// what decides how many replicas fit a NUMA domain).
   [[nodiscard]] const CompiledSpeechModel& model() const { return model_; }
 
+  /// The engine's prefix result cache (null when EngineConfig::cache is
+  /// off) — tests and shard rebalancers read residency/eviction totals
+  /// from here; per-frame hit/miss accounting lives in stats().
+  [[nodiscard]] const cache::PrefixCache* cache() const {
+    return cache_.get();
+  }
+
  private:
+  /// Serves every stream whose next frame(s) hit the prefix cache:
+  /// restores the memoized post-step state, emits the memoized logits
+  /// row, and pops the frame — no model compute. Returns frames served;
+  /// accumulates their audio seconds into `audio_seconds`.
+  std::size_t serve_cached(double& audio_seconds);
   /// Sheds/rejects streams past their budget per the overload policy.
   void apply_overload(double now_us);
   /// Fills active_ per the deadline-aware schedulers (EDF / lag-aware).
@@ -189,6 +210,12 @@ class InferenceEngine {
   /// Priority-gather scratch: every ready session, sorted by deadline or
   /// lag (reused across steps like the batch buffers).
   std::vector<StreamingSession*> ready_;
+  /// Prefix result cache (null unless config_.cache.enabled). Engine-
+  /// owned: each serving shard's engine gets its own shard-local
+  /// instance, touched only by the thread driving step().
+  std::unique_ptr<cache::PrefixCache> cache_;
+  /// Flattened hidden-state scratch for cache inserts (reused per step).
+  std::vector<float> cache_state_scratch_;
 };
 
 }  // namespace rtmobile::runtime

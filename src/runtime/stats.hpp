@@ -104,6 +104,20 @@ struct RuntimeStats {
   std::size_t shed_frames = 0;
   /// Streams terminated by OverloadPolicy::kReject.
   std::size_t rejected_streams = 0;
+  /// Prefix-cache accounting (all zero while EngineConfig::cache is
+  /// off). Hits are frames served straight from the cache; misses are
+  /// frames that fell through to model compute with the cache enabled,
+  /// so hits + misses == frames_processed on a cache-enabled engine.
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  /// Model steps skipped by cache hits (one per hit — kept as its own
+  /// counter because it is the compute-avoided metric dashboards track).
+  std::size_t cache_skipped_steps = 0;
+  /// Entries evicted by the cache's byte budget (or bucket collisions).
+  std::size_t cache_evictions = 0;
+  /// Resident cache footprint in bytes (a level, republished after every
+  /// round that touched the cache; merging sums shard residency).
+  std::size_t cache_bytes = 0;
 
   /// Applies a retained-sample cap to every recorder (0 = unbounded).
   void set_sample_cap(std::size_t cap) {
@@ -146,6 +160,20 @@ struct RuntimeStats {
     deadline_misses += other.deadline_misses;
     shed_frames += other.shed_frames;
     rejected_streams += other.rejected_streams;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    cache_skipped_steps += other.cache_skipped_steps;
+    cache_evictions += other.cache_evictions;
+    cache_bytes += other.cache_bytes;
+  }
+
+  /// Fraction of served frames that skipped compute (0 with no cache).
+  [[nodiscard]] double cache_hit_rate() const {
+    const std::size_t looked = cache_hits + cache_misses;
+    return looked > 0
+               ? static_cast<double>(cache_hits) /
+                     static_cast<double>(looked)
+               : 0.0;
   }
 
   void reset() {
@@ -158,6 +186,11 @@ struct RuntimeStats {
     deadline_misses = 0;
     shed_frames = 0;
     rejected_streams = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_skipped_steps = 0;
+    cache_evictions = 0;
+    cache_bytes = 0;
   }
 };
 

@@ -17,6 +17,12 @@ StreamingSession::StreamingSession(std::size_t id,
   if (decode.mode != speech::DecodeMode::kNone) {
     decoder_.emplace(model.config().num_classes, decode);
   }
+  // Seed the prefix chain from the (zero) initial hidden state, so a
+  // cached trajectory can only ever match a stream that started from the
+  // same state a fresh stream does.
+  std::vector<float> flat;
+  capture_state(flat);
+  prefix_cursor_ = cache::PrefixCursor::from_state(flat);
 }
 
 StreamingSession::StreamingSession(std::size_t id,
@@ -87,6 +93,35 @@ void StreamingSession::append_logits(std::span<const float> row) {
   logits_.insert(logits_.end(), row.begin(), row.end());
   ++frames_done_;
   if (decoder_.has_value()) decoder_->push_row(row);
+}
+
+// ------------------------------------------------- prefix-cache snapshots
+
+std::size_t StreamingSession::state_size() const {
+  std::size_t total = 0;
+  for (const Vector& layer : state_.h) total += layer.size();
+  return total;
+}
+
+void StreamingSession::capture_state(std::vector<float>& out) const {
+  out.clear();
+  out.reserve(state_size());
+  for (const Vector& layer : state_.h) {
+    out.insert(out.end(), layer.data(), layer.data() + layer.size());
+  }
+}
+
+void StreamingSession::restore_state(std::span<const float> snapshot) {
+  RT_REQUIRE(snapshot.size() == state_size(),
+             "restore_state: snapshot size mismatch");
+  std::size_t offset = 0;
+  for (Vector& layer : state_.h) {
+    std::copy(snapshot.begin() + static_cast<std::ptrdiff_t>(offset),
+              snapshot.begin() +
+                  static_cast<std::ptrdiff_t>(offset + layer.size()),
+              layer.data());
+    offset += layer.size();
+  }
 }
 
 // ------------------------------------------------- real-time clock model

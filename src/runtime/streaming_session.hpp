@@ -28,6 +28,7 @@
 #include <span>
 #include <vector>
 
+#include "cache/prefix_cache.hpp"
 #include "compiler/gru_executor.hpp"
 #include "runtime/clock.hpp"
 #include "runtime/scheduler.hpp"
@@ -94,6 +95,25 @@ class StreamingSession {
 
   /// Appends one logits row produced for this stream's oldest frame.
   void append_logits(std::span<const float> row);
+
+  // ---- prefix-cache state (engine-driven) ----
+  /// The stream's rolling prefix identity: seeded from the initial
+  /// hidden state at admission, advanced by the engine once per consumed
+  /// frame (compute and cache-hit paths alike). By-value member, so it
+  /// migrates with the session across shards.
+  [[nodiscard]] cache::PrefixCursor& prefix_cursor() {
+    return prefix_cursor_;
+  }
+  /// Floats in a flattened hidden-state snapshot (layers x hidden).
+  [[nodiscard]] std::size_t state_size() const;
+  /// Flattens the hidden state into `out` (resized to state_size()) —
+  /// the snapshot the cache memoizes beside each logits row.
+  void capture_state(std::vector<float>& out) const;
+  /// Overwrites the hidden state from a snapshot — the cache-hit resume
+  /// path. The snapshot was captured by the compute path on an identical
+  /// replica, so the restored state is bitwise what compute would have
+  /// produced.
+  void restore_state(std::span<const float> snapshot);
 
   // ---- real-time clock model ----
   /// Wires the time source arrival stamps are taken from. The engine
@@ -184,6 +204,8 @@ class StreamingSession {
   /// Arrival stamp per queued frame (parallel to pending_).
   std::deque<double> arrival_us_;
   StreamState state_;
+  /// Rolling prefix-cache identity (see prefix_cursor()).
+  cache::PrefixCursor prefix_cursor_;
   std::vector<float> logits_;  // row-major [frames_done_ x num_classes]
   std::size_t frames_done_ = 0;
   /// In-loop decoder; migrates with the session (its stable prefix, DP

@@ -1282,6 +1282,12 @@ const runtime::RuntimeStats& ShardedEngine::shard_stats(
   return shards_[s]->engine->stats();
 }
 
+const cache::PrefixCache* ShardedEngine::shard_cache(std::size_t s) const {
+  RT_REQUIRE(!running(), "shard_cache: stop the engine first");
+  RT_REQUIRE(s < shards_.size(), "shard index out of range");
+  return shards_[s]->engine->cache();
+}
+
 std::size_t ShardedEngine::shard_session_count(std::size_t s) const {
   RT_REQUIRE(!running(), "shard_session_count: stop the engine first");
   RT_REQUIRE(s < shards_.size(), "shard index out of range");

@@ -254,6 +254,10 @@ class ShardedEngine final : public Recognizer {
   [[nodiscard]] double shard_lag_seconds(std::size_t s) const;
   /// Per-shard engine stats (requires no pump running).
   [[nodiscard]] const runtime::RuntimeStats& shard_stats(std::size_t s) const;
+  /// Shard `s`'s engine-owned prefix result cache — each replica caches
+  /// shard-locally, so residency/eviction totals are per shard (null
+  /// when ShardConfig::engine.cache is off; requires no pump running).
+  [[nodiscard]] const cache::PrefixCache* shard_cache(std::size_t s) const;
   /// Sessions currently held by a shard's engine — live plus
   /// done-but-not-closed (requires no pump running).
   [[nodiscard]] std::size_t shard_session_count(std::size_t s) const;

@@ -180,4 +180,76 @@ std::vector<float> Synthesizer::render_sequence(
   return waveform;
 }
 
+// --------------------------------------------- repeat-heavy traffic model
+
+namespace {
+/// Derives an independent seed stream from (seed, salt).
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t salt) {
+  std::uint64_t s = seed ^ (0x9E3779B97F4A7C15ULL * (salt + 1));
+  return splitmix64(s);
+}
+}  // namespace
+
+ZipfSampler::ZipfSampler(std::size_t n, double skew) : skew_(skew) {
+  RT_REQUIRE(n > 0, "zipf: need at least one rank");
+  RT_REQUIRE(skew >= 0.0, "zipf: skew must be non-negative");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), skew);
+    cdf_[r] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::probability(std::size_t rank) const {
+  RT_REQUIRE(rank < cdf_.size(), "zipf: rank out of range");
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+UtteranceRepeatGenerator::UtteranceRepeatGenerator(
+    const RepeatTrafficConfig& config)
+    : config_(config),
+      zipf_(config.distinct_utterances, config.skew),
+      // The draw stream and the pool derive from disjoint seed mixes, so
+      // drawing more traffic never perturbs pool contents (and the pool
+      // is identical across generators sharing a config).
+      draw_rng_(mix_seed(config.seed, 0xD12AFFULL)) {
+  RT_REQUIRE(config_.phones_per_utterance > 0,
+             "traffic: utterances need at least one phone");
+  RT_REQUIRE(config_.samples_per_phone > 0,
+             "traffic: phones need at least one sample");
+  const Synthesizer synth(config_.synth);
+  pool_.reserve(config_.distinct_utterances);
+  for (std::size_t rank = 0; rank < config_.distinct_utterances; ++rank) {
+    Rng rng(mix_seed(config_.seed, rank));
+    std::vector<std::size_t> phones(config_.phones_per_utterance);
+    std::vector<std::size_t> durations(config_.phones_per_utterance,
+                                       config_.samples_per_phone);
+    for (std::size_t& p : phones) p = rng.next_below(kNumSurfacePhones);
+    pool_.push_back(synth.render_sequence(phones, durations, rng));
+  }
+}
+
+std::size_t UtteranceRepeatGenerator::next_rank() {
+  return zipf_.sample(draw_rng_);
+}
+
+const std::vector<float>& UtteranceRepeatGenerator::next_wave() {
+  return pool_[next_rank()];
+}
+
+const std::vector<float>& UtteranceRepeatGenerator::utterance(
+    std::size_t rank) const {
+  RT_REQUIRE(rank < pool_.size(), "traffic: rank out of range");
+  return pool_[rank];
+}
+
 }  // namespace rtmobile::speech

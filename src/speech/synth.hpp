@@ -63,4 +63,68 @@ class Synthesizer {
   SynthConfig config_;
 };
 
+// --------------------------------------------- repeat-heavy traffic model
+
+/// Zipf(s) sampler over ranks 0..n-1: rank r is drawn with probability
+/// proportional to 1/(r+1)^s. Sampling is inverse-CDF over precomputed
+/// cumulative weights (O(log n) per draw), deterministic given the Rng.
+/// s = 0 is uniform; s around 1 is the classic repeat-heavy web/IVR
+/// shape where a handful of utterances dominate the traffic.
+class ZipfSampler {
+ public:
+  /// `n` must be positive; `skew` (s) must be >= 0.
+  ZipfSampler(std::size_t n, double skew);
+
+  /// Draws one rank in [0, size()).
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+  /// Exact probability of drawing `rank`.
+  [[nodiscard]] double probability(std::size_t rank) const;
+
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+  [[nodiscard]] double skew() const { return skew_; }
+
+ private:
+  std::vector<double> cdf_;  // normalized cumulative weights
+  double skew_ = 0.0;
+};
+
+/// The traffic model bench_cache and the cache tests replay: a fixed
+/// pool of synthesized utterances hit with Zipf-distributed repetition.
+struct RepeatTrafficConfig {
+  std::size_t distinct_utterances = 16;  // pool size (Zipf support)
+  double skew = 1.1;                     // Zipf s; 0 = uniform traffic
+  std::size_t phones_per_utterance = 6;
+  std::size_t samples_per_phone = 1200;  // 75 ms at 16 kHz
+  std::uint64_t seed = 0x5EEDULL;        // drives pool AND draw order
+  SynthConfig synth;
+};
+
+/// Seeded generator of repeat-heavy traffic: synthesizes a pool of
+/// `distinct_utterances` random-phone waveforms up front (each rendered
+/// from a seed derived only from `seed` and its rank, so two generators
+/// with equal configs own bitwise-identical pools), then deals ranks
+/// from a ZipfSampler. Rank 0 is the hottest utterance.
+class UtteranceRepeatGenerator {
+ public:
+  explicit UtteranceRepeatGenerator(const RepeatTrafficConfig& config);
+
+  /// Draws the next traffic item's rank (advances the draw stream).
+  [[nodiscard]] std::size_t next_rank();
+  /// Convenience: draws a rank and returns its pooled waveform.
+  [[nodiscard]] const std::vector<float>& next_wave();
+
+  /// The pooled waveform for a rank (stable across the generator's life).
+  [[nodiscard]] const std::vector<float>& utterance(std::size_t rank) const;
+  [[nodiscard]] std::size_t pool_size() const { return pool_.size(); }
+  [[nodiscard]] const ZipfSampler& zipf() const { return zipf_; }
+  [[nodiscard]] const RepeatTrafficConfig& config() const { return config_; }
+
+ private:
+  RepeatTrafficConfig config_;
+  ZipfSampler zipf_;
+  Rng draw_rng_;
+  std::vector<std::vector<float>> pool_;
+};
+
 }  // namespace rtmobile::speech

@@ -571,5 +571,70 @@ TEST(ObsE2E, LiveScrapeMatchesStatsAggregatorExactly) {
   server.stop();
 }
 
+TEST(ObsE2E, CacheCountersOnLiveScrapeMatchMergedStats) {
+  // One shard (one shard-local cache, so the resident gauge equals the
+  // merged residency exactly), prefix cache on, and a repeat-heavy
+  // workload: the same utterance served twice over the wire. The replay
+  // must show up as rt_cache_hits_total on a live scrape, equal to the
+  // StatsAggregator's merged counters — same contract as the engine
+  // counters above.
+  const ServeFixture f = make_fixture(16, 701);
+  Telemetry telemetry;
+
+  serve::ShardConfig shard_config;
+  shard_config.shards = 1;
+  shard_config.engine.telemetry = &telemetry;
+  shard_config.engine.cache.enabled = true;
+  serve::ShardedEngine engine(*f.model, f.masks, f.options, shard_config);
+  engine.start();
+
+  net::ServerConfig config;
+  config.drive_recognizer = false;
+  config.telemetry = &telemetry;
+  RecognizerServer server(engine, config);
+  ASSERT_NE(server.metrics_port(), 0);
+  server.start();
+
+  const std::vector<float> wave = random_waveform(4800, 73);
+  const net::OpenRequest request =
+      net::OpenRequest::from_stream_config(serve::StreamConfig{});
+  // Two passes, strictly sequential so the second replays a warm cache.
+  for (int pass = 0; pass < 2; ++pass) {
+    net::WireClient client;
+    client.connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.open(request).has_value());
+    client.send_audio(wave);
+    client.send_finish();
+    std::vector<speech::StreamEvent> events;
+    ASSERT_EQ(client.collect_until_final(events), std::nullopt);
+    client.send_close();
+  }
+
+  engine.stop();
+  const serve::GlobalStats stats = engine.stats();
+  ASSERT_GT(stats.merged.cache_hits, 0U);    // the replay hit
+  ASSERT_GT(stats.merged.cache_misses, 0U);  // the first pass computed
+  // Frames either hit the cache or were computed — never both, never
+  // neither.
+  EXPECT_EQ(stats.merged.cache_hits + stats.merged.cache_misses,
+            stats.merged.frames_processed);
+
+  const std::string body = http_body(http_request(
+      server.metrics_port(), "GET /metrics HTTP/1.0\r\nHost: test"));
+  EXPECT_EQ(counter_value(body, "rt_cache_hits_total"),
+            stats.merged.cache_hits);
+  EXPECT_EQ(counter_value(body, "rt_cache_misses_total"),
+            stats.merged.cache_misses);
+  EXPECT_EQ(counter_value(body, "rt_cache_skipped_steps_total"),
+            stats.merged.cache_skipped_steps);
+  EXPECT_EQ(counter_value(body, "rt_cache_evictions_total"),
+            stats.merged.cache_evictions);
+  EXPECT_GT(counter_value(body, "rt_cache_bytes_total"), 0U);
+  EXPECT_EQ(gauge_value(body, "rt_cache_resident_bytes"),
+            static_cast<double>(stats.merged.cache_bytes));
+
+  server.stop();
+}
+
 }  // namespace
 }  // namespace rtmobile

@@ -397,5 +397,92 @@ TEST(Per, RateCanExceedOne) {
   EXPECT_GT(align(ref, hyp).rate(), 1.0);
 }
 
+// ------------------------------------------------ repeat-heavy traffic
+
+TEST(Zipf, ProbabilitiesMatchTheLaw) {
+  const ZipfSampler zipf(8, 1.1);
+  // p(r) proportional to 1/(r+1)^s, normalized.
+  double total = 0.0;
+  for (std::size_t r = 0; r < 8; ++r) total += 1.0 / std::pow(r + 1.0, 1.1);
+  double sum = 0.0;
+  for (std::size_t r = 0; r < 8; ++r) {
+    const double expected = (1.0 / std::pow(r + 1.0, 1.1)) / total;
+    EXPECT_NEAR(zipf.probability(r), expected, 1e-12);
+    sum += zipf.probability(r);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Zipf, ZeroSkewIsUniform) {
+  const ZipfSampler zipf(5, 0.0);
+  for (std::size_t r = 0; r < 5; ++r) {
+    EXPECT_NEAR(zipf.probability(r), 0.2, 1e-12);
+  }
+}
+
+TEST(Zipf, EmpiricalFrequenciesTrackTheDistribution) {
+  const ZipfSampler zipf(8, 1.1);
+  Rng rng(42);
+  constexpr std::size_t kDraws = 40000;
+  std::vector<std::size_t> counts(zipf.size(), 0);
+  for (std::size_t i = 0; i < kDraws; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t r = 0; r < zipf.size(); ++r) {
+    const double freq = static_cast<double>(counts[r]) / kDraws;
+    // ~4-sigma binomial tolerance at this sample size.
+    EXPECT_NEAR(freq, zipf.probability(r), 0.012)
+        << "rank " << r << " drifted";
+  }
+  // The defining shape: strictly heavier head than tail.
+  EXPECT_GT(counts[0], counts[zipf.size() - 1] * 2);
+}
+
+TEST(Traffic, SameSeedSameTraffic) {
+  RepeatTrafficConfig config;
+  config.distinct_utterances = 6;
+  config.phones_per_utterance = 3;
+  config.samples_per_phone = 400;
+  config.seed = 1234;
+  UtteranceRepeatGenerator a(config);
+  UtteranceRepeatGenerator b(config);
+  ASSERT_EQ(a.pool_size(), 6U);
+  for (std::size_t r = 0; r < a.pool_size(); ++r) {
+    ASSERT_FALSE(a.utterance(r).empty());
+    EXPECT_EQ(a.utterance(r), b.utterance(r)) << "pool rank " << r;
+  }
+  for (std::size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.next_rank(), b.next_rank()) << "draw " << i;
+  }
+}
+
+TEST(Traffic, DifferentSeedsDiverge) {
+  RepeatTrafficConfig config;
+  config.distinct_utterances = 4;
+  config.phones_per_utterance = 3;
+  config.samples_per_phone = 400;
+  config.seed = 1;
+  UtteranceRepeatGenerator a(config);
+  config.seed = 2;
+  UtteranceRepeatGenerator b(config);
+  EXPECT_NE(a.utterance(0), b.utterance(0));
+  std::size_t differing_draws = 0;
+  for (std::size_t i = 0; i < 64; ++i) {
+    if (a.next_rank() != b.next_rank()) ++differing_draws;
+  }
+  EXPECT_GT(differing_draws, 0U);
+}
+
+TEST(Traffic, DrawsStayInPoolAndDrawingNeverMutatesPool) {
+  RepeatTrafficConfig config;
+  config.distinct_utterances = 5;
+  config.phones_per_utterance = 2;
+  config.samples_per_phone = 300;
+  UtteranceRepeatGenerator gen(config);
+  const std::vector<float> hot = gen.utterance(0);
+  for (std::size_t i = 0; i < 500; ++i) {
+    EXPECT_LT(gen.next_rank(), gen.pool_size());
+  }
+  EXPECT_EQ(gen.utterance(0), hot);
+}
+
 }  // namespace
 }  // namespace rtmobile::speech
