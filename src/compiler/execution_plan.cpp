@@ -20,11 +20,33 @@ std::span<float> LreScratch::partition(std::size_t index) {
   return {buffers_[index].data(), buffers_[index].size()};
 }
 
+void LreScratch::prepare_q8(std::size_t partitions, std::size_t words) {
+  if (q8_buffers_.size() < partitions) q8_buffers_.resize(partitions);
+  for (std::size_t p = 0; p < partitions; ++p) {
+    if (q8_buffers_[p].size() < words) q8_buffers_[p].resize(words);
+  }
+}
+
+std::span<std::int32_t> LreScratch::partition_q8(std::size_t index) {
+  RT_REQUIRE(index < q8_buffers_.size(),
+             "LreScratch: q8 partition index not prepare()d");
+  return {q8_buffers_[index].data(), q8_buffers_[index].size()};
+}
+
 const char* to_string(SparseFormat format) {
   switch (format) {
     case SparseFormat::kDense: return "dense";
     case SparseFormat::kCsr: return "csr";
     case SparseFormat::kBspc: return "bspc";
+  }
+  return "?";
+}
+
+const char* to_string(FusedMode mode) {
+  switch (mode) {
+    case FusedMode::kAuto: return "auto";
+    case FusedMode::kAlways: return "always";
+    case FusedMode::kNever: return "never";
   }
   return "?";
 }
@@ -84,6 +106,17 @@ LayerPlan LayerPlan::compile(const Matrix& weights, const BlockMask* mask,
 std::size_t LayerPlan::lre_gather_floats() const {
   if (options_.format != SparseFormat::kBspc || !options_.lre) return 0;
   return packed() ? packed_bspc_.max_block_cols() : bspc_.max_block_cols();
+}
+
+std::size_t LayerPlan::batch_gather_floats() const {
+  if (options_.format != SparseFormat::kBspc) return 0;
+  if (packed()) return packed_bspc_.max_block_cols();
+  return options_.lre ? bspc_.max_block_cols() : 0;
+}
+
+std::size_t LayerPlan::q8_scratch_words(std::size_t batch) const {
+  if (options_.format != SparseFormat::kBspc || !int8_weights()) return 0;
+  return packed_bspc_.q8_scratch_words(batch);
 }
 
 void LayerPlan::execute(std::span<const float> x, std::span<float> y,
@@ -177,6 +210,133 @@ void LayerPlan::execute(std::span<const float> x, std::span<float> y,
           run_stripes({ro.stripe_order.data() + begin,
                        static_cast<std::size_t>(end - begin)},
                       buffer);
+        });
+      }
+      pool->run_all(tasks);
+      return;
+    }
+  }
+}
+
+void LayerPlan::execute_batch(const Matrix& x, Matrix& y, std::size_t batch,
+                              ThreadPool* pool, LreScratch* scratch,
+                              const QuantizedActivations* xq) const {
+  RT_REQUIRE(batch > 0, "execute_batch: empty batch");
+  RT_REQUIRE(x.cols() == cols_ && y.cols() == rows_,
+             "execute_batch: panel shape mismatch");
+  RT_REQUIRE(batch <= x.rows() && batch <= y.rows(),
+             "execute_batch: batch exceeds panel");
+  // The whole batch's work amortizes one dispatch, so the threading
+  // heuristic scales the per-matvec floor by the batch width.
+  const bool threaded = pool != nullptr && options_.threads > 1 &&
+                        nnz_ * batch >= options_.min_nnz_for_threading;
+  const bool q8_acts = xq != nullptr && int8_weights();
+  if (q8_acts) {
+    RT_REQUIRE(xq->dim == cols_ && batch <= xq->batch,
+               "execute_batch: quantized panel shape mismatch");
+  }
+
+  switch (options_.format) {
+    case SparseFormat::kDense: {
+      if (packed()) {
+        const auto run_rows = [&](std::size_t begin, std::size_t end) {
+          if (q8_acts) {
+            packed_dense_.gemm_rows_q8(*xq, y, batch, begin, end);
+          } else {
+            packed_dense_.gemm_rows(x, y, batch, begin, end);
+          }
+        };
+        if (!threaded) {
+          run_rows(0, rows_);
+          return;
+        }
+        pool->parallel_for(rows_, run_rows);
+        return;
+      }
+      // fp32 dense runs the exact per-vector gemv per stream (bitwise
+      // identity by construction), threading across streams. Weight
+      // amortization here comes only from cache reuse across the batch
+      // loop; the compiled formats that matter (packed/BSPC) stream
+      // weights once explicitly.
+      const auto run_streams = [&](std::size_t begin, std::size_t end) {
+        for (std::size_t b = begin; b < end; ++b) {
+          gemv(dense_, x.row(b), y.row(b));
+        }
+      };
+      if (!threaded) {
+        run_streams(0, batch);
+        return;
+      }
+      pool->parallel_for(batch, run_streams);
+      return;
+    }
+    case SparseFormat::kCsr: {
+      // Same shape as fp32 dense: per-vector spmv per stream, threaded
+      // across streams, so each stream stays bit-identical to execute().
+      const auto run_streams = [&](std::size_t begin, std::size_t end) {
+        for (std::size_t b = begin; b < end; ++b) {
+          csr_.spmv(x.row(b), y.row(b));
+        }
+      };
+      if (!threaded) {
+        run_streams(0, batch);
+        return;
+      }
+      pool->parallel_for(batch, run_streams);
+      return;
+    }
+    case SparseFormat::kBspc: {
+      RT_ASSERT(reorder_.has_value(), "BSPC plan lacks a reorder plan");
+      for (std::size_t b = 0; b < batch; ++b) {
+        std::fill(y.row(b).begin(), y.row(b).end(), 0.0F);
+      }
+      const ReorderPlan& ro = *reorder_;
+      LreScratch local;
+      LreScratch& gather = scratch != nullptr ? *scratch : local;
+      const std::size_t panel_floats = batch * batch_gather_floats();
+      const std::size_t q8_words = q8_scratch_words(batch);
+      const auto run_stripes = [&](std::span<const std::uint32_t> stripes,
+                                   std::size_t partition) {
+        if (packed()) {
+          if (q8_acts) {
+            packed_bspc_.spmm_stripe_list_q8(*xq, y, batch, stripes,
+                                             gather.partition_q8(partition));
+          } else {
+            packed_bspc_.spmm_stripe_list(x, y, batch, stripes,
+                                          gather.partition(partition));
+          }
+        } else {
+          bspc_.spmm_stripe_list(x, y, batch, stripes, options_.lre,
+                                 gather.partition(partition));
+        }
+      };
+      if (!threaded) {
+        if (q8_acts) {
+          gather.prepare_q8(1, q8_words);
+        } else {
+          gather.prepare(1, panel_floats);
+        }
+        run_stripes({ro.stripe_order.data(), ro.stripe_order.size()}, 0);
+        return;
+      }
+      // Stripe row sets are disjoint, so the thread partition never
+      // changes any y element's accumulation order — per-row results
+      // are bitwise independent of the partition.
+      if (q8_acts) {
+        gather.prepare_q8(ro.thread_ranges.size(), q8_words);
+      } else {
+        gather.prepare(ro.thread_ranges.size(), panel_floats);
+      }
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(ro.thread_ranges.size());
+      for (std::size_t r = 0; r < ro.thread_ranges.size(); ++r) {
+        const auto& [begin, end] = ro.thread_ranges[r];
+        if (begin == end) continue;
+        tasks.emplace_back([&ro, &run_stripes, r, begin = begin,
+                            end = end] {
+          run_stripes({ro.stripe_order.data() + begin,
+                       static_cast<std::size_t>(end - begin)},
+                      r);
         });
       }
       pool->run_all(tasks);

@@ -33,6 +33,17 @@ enum class SparseFormat : std::uint8_t {
 
 [[nodiscard]] const char* to_string(SparseFormat format);
 
+/// Whether the compiled model's step_batch drives the fused batched
+/// matmat spine (one weight stream per layer per step for the whole
+/// batch) or the per-stream matvec path.
+enum class FusedMode : std::uint8_t {
+  kAuto,    // fuse when the batch is at least min_fused_batch wide
+  kAlways,  // fuse every batch that fits the panel (width 1 included)
+  kNever,   // always per-stream (no fused scratch is even allocated)
+};
+
+[[nodiscard]] const char* to_string(FusedMode mode);
+
 struct CompilerOptions {
   SparseFormat format = SparseFormat::kBspc;
   bool reorder = true;       // matrix reorder pass (BSPC only)
@@ -56,6 +67,21 @@ struct CompilerOptions {
   /// pool honors it (the sharded serving layer pins each engine replica's
   /// pool to a disjoint range so shards don't contend for cores).
   std::optional<CoreRange> core_range;
+  /// Fused batched step dispatch (see FusedMode). kAuto keeps width-1
+  /// traffic on the per-stream path where it is strictly cheaper.
+  FusedMode fused = FusedMode::kAuto;
+  /// kAuto fuses batches at least this wide; narrower ones fall back to
+  /// the per-stream matvec path.
+  std::size_t min_fused_batch = 2;
+  /// Fused panel capacity, fixed at compile time so the serving step
+  /// never allocates: batches wider than this fall back to per-stream
+  /// (the engine's max_batch is normally <= this).
+  std::size_t max_fused_batch = 64;
+  /// Activation storage inside the fused step. kInt8 only takes effect
+  /// on int8 weight plans (packed dense / packed BSPC), where the
+  /// matmat multiplies codes by codes with exact int32 accumulation;
+  /// fp32/fp16 plans always read the fp32 panel.
+  ActivationPrecision activation = ActivationPrecision::kFp32;
 };
 
 /// Reusable LRE gather scratch for LayerPlan::execute: one buffer per
@@ -71,8 +97,15 @@ class LreScratch {
   /// The gather buffer for one thread partition (prepare()d first).
   [[nodiscard]] std::span<float> partition(std::size_t index);
 
+  /// Same contract for the int32 scratch the fused q8 activation kernel
+  /// uses (execute_batch with quantized activations): `words` comes from
+  /// LayerPlan::q8_scratch_words at the widest batch the caller serves.
+  void prepare_q8(std::size_t partitions, std::size_t words);
+  [[nodiscard]] std::span<std::int32_t> partition_q8(std::size_t index);
+
  private:
   std::vector<std::vector<float>> buffers_;
+  std::vector<std::vector<std::int32_t>> q8_buffers_;
 };
 
 class LayerPlan {
@@ -100,9 +133,49 @@ class LayerPlan {
                ThreadPool* pool = nullptr,
                LreScratch* scratch = nullptr) const;
 
+  /// Y[b] = W X[b] for b in [0, batch): the fused batched form. Each
+  /// weight matrix is streamed from memory once for the whole batch
+  /// (the per-stream path re-reads it once per vector). Per stream the
+  /// fp32/fp16 result is bit-identical to execute() on that stream's
+  /// row — the batched kernels keep the per-vector accumulation order
+  /// and the fp32 dense/CSR paths literally run the per-vector kernel
+  /// per row, threading across streams instead of rows. X/Y may have
+  /// extra trailing rows. `xq`, when non-null and the plan stores int8
+  /// weights, supplies the batch's activations on the int8 grid and
+  /// switches the kernel to exact int32 code-by-code accumulation
+  /// (within the activation grid's rounding slack of the fp32 panel);
+  /// other plans ignore it and read X. A scratch instance must not be
+  /// shared by concurrent calls.
+  void execute_batch(const Matrix& x, Matrix& y, std::size_t batch,
+                     ThreadPool* pool = nullptr,
+                     LreScratch* scratch = nullptr,
+                     const QuantizedActivations* xq = nullptr) const;
+
   /// Floats of LRE gather scratch one partition of this plan needs (0
   /// when the plan has no LRE gather — dense, CSR, or lre disabled).
   [[nodiscard]] std::size_t lre_gather_floats() const;
+
+  /// Per-stream floats of gather scratch one partition of the *batched*
+  /// kernel needs (multiply by the batch width). Unlike
+  /// lre_gather_floats this is nonzero for packed BSPC even when
+  /// options.lre is off: the batched gather is itself the redundant
+  /// load elimination, so the packed spmm always uses it.
+  [[nodiscard]] std::size_t batch_gather_floats() const;
+
+  /// int32 scratch words one partition of the q8 activation kernel
+  /// needs at `batch` streams (0 unless the plan is int8 BSPC — the one
+  /// format whose batched kernel runs code-by-code on interleaved
+  /// panels).
+  [[nodiscard]] std::size_t q8_scratch_words(std::size_t batch) const;
+
+  /// True when the compiled storage is int8 codes (packed dense or
+  /// packed BSPC) — the plans whose execute_batch consumes quantized
+  /// activations.
+  [[nodiscard]] bool int8_weights() const {
+    return options_.format != SparseFormat::kCsr &&
+           (options_.precision == WeightPrecision::kInt8PerTensor ||
+            options_.precision == WeightPrecision::kInt8PerRow);
+  }
 
   /// Surviving nonzeros.
   [[nodiscard]] std::size_t nnz() const;

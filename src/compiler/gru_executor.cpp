@@ -71,6 +71,44 @@ CompiledSpeechModel::CompiledSpeechModel(
         std::make_unique<StepScratch>(config_.hidden_dim));
     step_scratch_.back()->lre.prepare(options_.threads, gather_floats);
   }
+
+  // Fused batched-step panels, sized once here so step_batch never
+  // allocates: capacity rows per panel, and per-partition gather
+  // scratch wide enough for the widest plan's batched kernel at full
+  // capacity.
+  if (options_.fused != FusedMode::kNever) {
+    const std::size_t capacity = std::max<std::size_t>(
+        options_.max_fused_batch, std::size_t{1});
+    fused_ = std::make_unique<FusedScratch>(capacity, config_.hidden_dim);
+    std::size_t panel_floats = fc_.batch_gather_floats();
+    std::size_t q8_words = fc_.q8_scratch_words(capacity);
+    bool all_int8 = fc_.int8_weights();
+    for (const CompiledLayer& layer : layers_) {
+      for (const LayerPlan* plan : {&layer.w_z, &layer.w_r, &layer.w_h,
+                                    &layer.u_z, &layer.u_r, &layer.u_h}) {
+        panel_floats = std::max(panel_floats, plan->batch_gather_floats());
+        q8_words = std::max(q8_words, plan->q8_scratch_words(capacity));
+        all_int8 = all_int8 && plan->int8_weights();
+      }
+    }
+    fused_->lre.prepare(options_.threads, capacity * panel_floats);
+    fused_q8_acts_ =
+        options_.activation == ActivationPrecision::kInt8 && all_int8;
+    if (fused_q8_acts_) {
+      fused_->lre.prepare_q8(options_.threads, q8_words);
+      fused_->xq.resize(capacity,
+                        std::max(config_.input_dim, config_.hidden_dim));
+      fused_->hq.resize(capacity, config_.hidden_dim);
+      fused_->gq.resize(capacity, config_.hidden_dim);
+    }
+  }
+}
+
+bool CompiledSpeechModel::use_fused(std::size_t batch) const {
+  if (fused_ == nullptr) return false;  // kNever allocates no panels
+  if (batch > options_.max_fused_batch) return false;  // panel capacity
+  if (options_.fused == FusedMode::kAlways) return true;
+  return batch >= options_.min_fused_batch;
 }
 
 void CompiledSpeechModel::step_layer(const CompiledLayer& layer,
@@ -134,9 +172,9 @@ StreamState CompiledSpeechModel::make_state() const {
   return state;
 }
 
-void CompiledSpeechModel::step_batch(const Matrix& features,
-                                     std::span<StreamState* const> states,
-                                     Matrix& logits) const {
+StepResult CompiledSpeechModel::step_batch(
+    const Matrix& features, std::span<StreamState* const> states,
+    Matrix& logits) const {
   const std::size_t batch = states.size();
   RT_REQUIRE(batch > 0, "step_batch: empty batch");
   RT_REQUIRE(features.cols() == config_.input_dim,
@@ -145,13 +183,19 @@ void CompiledSpeechModel::step_batch(const Matrix& features,
              "step_batch: one feature row per state");
   RT_REQUIRE(logits.rows() >= batch && logits.cols() == config_.num_classes,
              "step_batch: logits shape mismatch");
+  for (std::size_t b = 0; b < batch; ++b) {
+    RT_REQUIRE(states[b] != nullptr && states[b]->h.size() == layers_.size(),
+               "step_batch: state layer count mismatch");
+  }
+
+  if (use_fused(batch)) {
+    return step_batch_fused(features, states, logits);
+  }
 
   const auto run_rows = [&](std::size_t slot, std::size_t begin,
                             std::size_t end) {
     StepScratch& scratch = *step_scratch_[slot];
     for (std::size_t b = begin; b < end; ++b) {
-      RT_REQUIRE(states[b] != nullptr && states[b]->h.size() == layers_.size(),
-                 "step_batch: state layer count mismatch");
       // Per-stream kernels run single-threaded: with many streams in
       // flight, cross-stream partitioning keeps every core busy without
       // nested pool dispatch.
@@ -164,6 +208,125 @@ void CompiledSpeechModel::step_batch(const Matrix& features,
   } else {
     run_rows(0, 0, batch);
   }
+  return {batch, false};
+}
+
+StepResult CompiledSpeechModel::step_batch_fused(
+    const Matrix& features, std::span<StreamState* const> states,
+    Matrix& logits) const {
+  const std::size_t batch = states.size();
+  const std::size_t hidden = config_.hidden_dim;
+  FusedScratch& fs = *fused_;
+
+  // The gate elementwise passes are per-(stream, unit) independent, so
+  // partitioning them across the pool cannot change any stream's
+  // arithmetic; each stream's loop body is textually the per-stream
+  // step_layer's, preserving bitwise identity.
+  const auto for_streams = [&](auto&& fn) {
+    if (pool_ != nullptr && batch > 1) {
+      pool_->parallel_for(batch, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t b = begin; b < end; ++b) fn(b);
+      });
+    } else {
+      for (std::size_t b = 0; b < batch; ++b) fn(b);
+    }
+  };
+
+  const Matrix* x = &features;
+  Matrix* out = &fs.out0;
+  Matrix* out_prev = &fs.out1;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const CompiledLayer& layer = layers_[l];
+    // Gather this layer's recurrent states into one contiguous panel.
+    // Panel row b is stream b of `states` — the caller's scheduler-
+    // gather order, pinned as part of the step_batch contract.
+    for_streams([&](std::size_t b) {
+      const std::span<const float> h_prev = states[b]->h[l].span();
+      std::copy(h_prev.begin(), h_prev.end(), fs.h.row(b).begin());
+    });
+    const QuantizedActivations* xqp = nullptr;
+    const QuantizedActivations* hqp = nullptr;
+    if (fused_q8_acts_) {
+      fs.xq.resize(batch, x->cols());
+      fs.hq.resize(batch, hidden);
+      for_streams([&](std::size_t b) {
+        fs.xq.quantize_row(b, x->row(b));
+        fs.hq.quantize_row(b, fs.h.row(b));
+      });
+      fs.xq.transpose(batch);
+      fs.hq.transpose(batch);
+      xqp = &fs.xq;
+      hqp = &fs.hq;
+    }
+
+    // z = sigmoid(W_z x + U_z h + b_z)  (panel A holds z)
+    layer.w_z.execute_batch(*x, fs.a, batch, pool_, &fs.lre, xqp);
+    layer.u_z.execute_batch(fs.h, fs.b, batch, pool_, &fs.lre, hqp);
+    for_streams([&](std::size_t b) {
+      const std::span<float> scratch_a = fs.a.row(b);
+      const std::span<const float> scratch_b = fs.b.row(b);
+      for (std::size_t i = 0; i < hidden; ++i) {
+        scratch_a[i] = sigmoid(scratch_a[i] + scratch_b[i] + layer.b_z[i]);
+      }
+    });
+    // r = sigmoid(W_r x + U_r h + b_r)  (panel B holds r . h_prev)
+    layer.w_r.execute_batch(*x, fs.b, batch, pool_, &fs.lre, xqp);
+    layer.u_r.execute_batch(fs.h, fs.c, batch, pool_, &fs.lre, hqp);
+    for_streams([&](std::size_t b) {
+      const std::span<float> scratch_b = fs.b.row(b);
+      const std::span<const float> scratch_c = fs.c.row(b);
+      const std::span<const float> h_prev = fs.h.row(b);
+      for (std::size_t i = 0; i < hidden; ++i) {
+        const float r = sigmoid(scratch_b[i] + scratch_c[i] + layer.b_r[i]);
+        scratch_b[i] = r * h_prev[i];
+      }
+    });
+    const QuantizedActivations* gqp = nullptr;
+    if (fused_q8_acts_) {
+      fs.gq.resize(batch, hidden);
+      for_streams(
+          [&](std::size_t b) { fs.gq.quantize_row(b, fs.b.row(b)); });
+      fs.gq.transpose(batch);
+      gqp = &fs.gq;
+    }
+    // h~ = tanh(W_h x + U_h (r . h) + b_h)  (panel C holds h~)
+    layer.w_h.execute_batch(*x, fs.c, batch, pool_, &fs.lre, xqp);
+    layer.u_h.execute_batch(fs.b, fs.d, batch, pool_, &fs.lre, gqp);
+    for_streams([&](std::size_t b) {
+      const std::span<float> scratch_c = fs.c.row(b);
+      const std::span<const float> scratch_d = fs.d.row(b);
+      for (std::size_t i = 0; i < hidden; ++i) {
+        scratch_c[i] = std::tanh(scratch_c[i] + scratch_d[i] + layer.b_h[i]);
+      }
+    });
+    // h = (1 - z) h_prev + z h~, scattered straight back to the states.
+    for_streams([&](std::size_t b) {
+      const std::span<const float> scratch_a = fs.a.row(b);
+      const std::span<const float> scratch_c = fs.c.row(b);
+      const std::span<const float> h_prev = fs.h.row(b);
+      const std::span<float> h_out = out->row(b);
+      for (std::size_t i = 0; i < hidden; ++i) {
+        h_out[i] = (1.0F - scratch_a[i]) * h_prev[i] +
+                   scratch_a[i] * scratch_c[i];
+      }
+      std::copy(h_out.begin(), h_out.end(), states[b]->h[l].span().begin());
+    });
+    x = out;
+    std::swap(out, out_prev);
+  }
+
+  const QuantizedActivations* xqp = nullptr;
+  if (fused_q8_acts_) {
+    fs.xq.resize(batch, x->cols());
+    for_streams([&](std::size_t b) { fs.xq.quantize_row(b, x->row(b)); });
+    fs.xq.transpose(batch);
+    xqp = &fs.xq;
+  }
+  fc_.execute_batch(*x, logits, batch, pool_, &fs.lre, xqp);
+  for (std::size_t b = 0; b < batch; ++b) {
+    add_inplace(logits.row(b), fc_b_.span());
+  }
+  return {batch, true};
 }
 
 Matrix CompiledSpeechModel::infer(const Matrix& features) const {

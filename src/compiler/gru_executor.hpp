@@ -33,6 +33,15 @@ struct StreamState {
   }
 };
 
+/// What one step_batch dispatch actually ran: the compute width (streams
+/// advanced) and whether it went through the fused batched-matmat spine
+/// or the per-stream matvec fallback. The engine mirrors this into
+/// RuntimeStats / telemetry (rt_fused_steps_total etc.).
+struct StepResult {
+  std::size_t width = 0;
+  bool fused = false;
+};
+
 class CompiledSpeechModel {
  public:
   /// Compiles `model` under `options`. `masks` maps weight names
@@ -64,8 +73,20 @@ class CompiledSpeechModel {
   /// so one engine driving step_batch is allocation-free per timestep; as
   /// a consequence step_batch must not be called concurrently on the same
   /// CompiledSpeechModel (each serving shard owns its own instance).
-  void step_batch(const Matrix& features, std::span<StreamState* const> states,
-                  Matrix& logits) const;
+  ///
+  /// Dispatch: when CompilerOptions::fused admits the batch width (see
+  /// FusedMode), the step runs the fused spine — every layer gathers the
+  /// batch's hidden states into one contiguous panel and drives each
+  /// weight matrix ONCE over all streams (batched matmat) instead of
+  /// once per stream. The panel's row order is the order of `states`
+  /// (the caller's scheduler-gather order) and is part of the numerics
+  /// contract: fp32/fp16 fused output is bit-identical to the
+  /// per-stream path per stream, independent of batch composition,
+  /// because every per-stream accumulation keeps its per-vector order.
+  /// Returns what ran so callers can account fused vs fallback steps.
+  StepResult step_batch(const Matrix& features,
+                        std::span<StreamState* const> states,
+                        Matrix& logits) const;
 
   /// Runs only the recurrent stack for `frames` timesteps on zero input —
   /// the steady-state inference kernel that Table II times. `batch` > 1
@@ -116,12 +137,41 @@ class CompiledSpeechModel {
     LreScratch lre;
   };
 
+  /// Panels and quantized-activation buffers for the fused batched
+  /// step, pre-sized at compile time to max_fused_batch so the serving
+  /// step path is allocation-free. Row b of every panel belongs to
+  /// stream b of the dispatched batch (states order). `h` holds the
+  /// gathered previous hidden states; `out0`/`out1` alternate as each
+  /// layer's output panel (the next layer's input); `a`..`d` mirror
+  /// StepScratch's gate buffers, one row per stream. `xq`/`hq`/`gq`
+  /// carry the int8 activation codes for the input, hidden, and (r.h)
+  /// panels when the int8 activation path is on.
+  struct FusedScratch {
+    FusedScratch(std::size_t capacity, std::size_t hidden)
+        : h(capacity, hidden), out0(capacity, hidden), out1(capacity, hidden),
+          a(capacity, hidden), b(capacity, hidden), c(capacity, hidden),
+          d(capacity, hidden) {}
+    Matrix h, out0, out1, a, b, c, d;
+    QuantizedActivations xq, hq, gq;
+    LreScratch lre;
+  };
+
   /// One GRU timestep of one stream. `pool` threads the individual
   /// matvecs (nullptr = single-threaded, the mode the batched path uses
   /// because it parallelizes across streams instead).
   void step_layer(const CompiledLayer& layer, std::span<const float> x,
                   std::span<const float> h_prev, std::span<float> h_out,
                   StepScratch& scratch, ThreadPool* pool) const;
+
+  /// True when this batch width should take the fused spine.
+  [[nodiscard]] bool use_fused(std::size_t batch) const;
+
+  /// The fused batched step: per layer, gather hidden panels, drive each
+  /// weight matrix once over the whole batch, run the gate elementwise
+  /// passes per stream, scatter the new hidden states back.
+  StepResult step_batch_fused(const Matrix& features,
+                              std::span<StreamState* const> states,
+                              Matrix& logits) const;
 
   /// Advances every layer of one stream and writes its logits row.
   void step_stream(std::span<const float> frame, StreamState& state,
@@ -140,6 +190,14 @@ class CompiledSpeechModel {
   /// within a job, which is what makes the batched path allocation-free
   /// per timestep instead of building a scratch per chunk per step.
   std::vector<std::unique_ptr<StepScratch>> step_scratch_;
+  /// Fused-step panels; null when options_.fused == kNever (the mode's
+  /// promise that no fused memory exists). unique_ptr so const member
+  /// functions can fill the panels (scratch, not logical state).
+  std::unique_ptr<FusedScratch> fused_;
+  /// Compile-time decision: int8 activations requested AND every GRU /
+  /// FC plan stores int8 weights, so the whole fused step can run
+  /// code-by-code.
+  bool fused_q8_acts_ = false;
 };
 
 }  // namespace rtmobile

@@ -32,6 +32,16 @@ Telemetry::Telemetry(std::size_t span_ring_capacity)
       "rt_engine_lag_us",
       "Per-round worst head-frame wait across ready streams",
       default_latency_buckets_us());
+  engine_.fused_steps = &registry_.counter(
+      "rt_fused_steps_total",
+      "Scheduling rounds whose batch ran the fused batched-matmat step");
+  engine_.fallback_steps = &registry_.counter(
+      "rt_fallback_steps_total",
+      "Scheduling rounds whose batch fell back to per-stream matvecs");
+  engine_.fused_batch_width = &registry_.histogram(
+      "rt_fused_batch_width",
+      "Streams advanced per fused step (compute panel width)",
+      {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0});
 
   net_.accepted = &registry_.counter("rt_net_accepted_total",
                                      "TCP connections accepted");

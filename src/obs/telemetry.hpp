@@ -34,10 +34,15 @@ struct EngineMetrics {
   Counter* deadline_misses = nullptr;   // == RuntimeStats::deadline_misses
   Counter* shed_frames = nullptr;       // == RuntimeStats::shed_frames
   Counter* rejected_streams = nullptr;  // == RuntimeStats::rejected_streams
+  Counter* fused_steps = nullptr;       // == RuntimeStats::fused_steps
+  Counter* fallback_steps = nullptr;    // == RuntimeStats::fallback_steps
   Gauge* busy_us = nullptr;             // ~= RuntimeStats::busy_us
   Gauge* audio_seconds = nullptr;       // ~= RuntimeStats::audio_seconds
   Histogram* step_latency_us = nullptr;
   Histogram* lag_us = nullptr;
+  /// Width of each fused compute panel — the batch-occupancy signal
+  /// that says how much weight traffic the fused step amortizes.
+  Histogram* fused_batch_width = nullptr;
 };
 
 /// Net-front instruments (the counters that were previously invisible

@@ -257,6 +257,11 @@ std::size_t InferenceEngine::step() {
 
     states_.resize(batch);
     {
+      // Panel row b is active_[b]: the scheduler's gather order (round-
+      // robin scan or priority order) is the fused step's pinned stream
+      // order, so fp32 results are reproducible run to run — the fused
+      // kernels additionally keep each stream bit-identical regardless
+      // of which peers share its panel.
       RT_SPAN(trace, kGather, obs::kNoStream);
       for (std::size_t b = 0; b < batch; ++b) {
         const std::span<const float> frame = active_[b]->front_frame();
@@ -268,7 +273,22 @@ std::size_t InferenceEngine::step() {
 
     {
       RT_SPAN(trace, kLayerStep, obs::kNoStream);
-      model_.step_batch(batch_features_, states_, batch_logits_);
+      const StepResult result =
+          model_.step_batch(batch_features_, states_, batch_logits_);
+      if (result.fused) {
+        stats_.fused_steps += 1;
+        stats_.fused_width.record(static_cast<double>(result.width));
+        if (telemetry != nullptr) {
+          telemetry->engine().fused_steps->add(1);
+          telemetry->engine().fused_batch_width->observe(
+              static_cast<double>(result.width));
+        }
+      } else {
+        stats_.fallback_steps += 1;
+        if (telemetry != nullptr) {
+          telemetry->engine().fallback_steps->add(1);
+        }
+      }
     }
 
     for (std::size_t b = 0; b < batch; ++b) {

@@ -120,6 +120,16 @@ class InferenceEngine {
   /// picked per the configured SchedulerPolicy (after the OverloadPolicy
   /// has shed or rejected streams past their budget). Returns the batch
   /// size (0 when no stream had a ready frame).
+  ///
+  /// Compute-panel stream order (pinned contract): the batch handed to
+  /// CompiledSpeechModel::step_batch is exactly the scheduler's gather
+  /// order — active_[b] becomes panel row b. When the model's fused
+  /// batched step runs, that order is the panels' row order, so fp32
+  /// output is bit-identical run to run under the deterministic
+  /// round-robin default; cache-hit bursts and shed/finished streams
+  /// simply never enter active_, shrinking the fused panel for that
+  /// round. Whether a round fused or fell back (and the fused width) is
+  /// recorded in stats() and mirrored to rt_fused_* telemetry.
   std::size_t step();
 
   /// Pumps step() until no session has a ready frame; returns total

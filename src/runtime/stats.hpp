@@ -118,11 +118,23 @@ struct RuntimeStats {
   /// Resident cache footprint in bytes (a level, republished after every
   /// round that touched the cache; merging sums shard residency).
   std::size_t cache_bytes = 0;
+  /// Scheduling rounds whose compute batch ran the fused batched-matmat
+  /// spine, and rounds that fell back to the per-stream matvec path.
+  /// fused_steps + fallback_steps counts every round that dispatched
+  /// step_batch (cache-only rounds dispatch none, so it can be less
+  /// than `steps`).
+  std::size_t fused_steps = 0;
+  std::size_t fallback_steps = 0;
+  /// One sample per fused round: the compute panel's width (streams
+  /// advanced by that fused step) — the batch-occupancy signal that
+  /// says how much weight traffic the fusion is actually amortizing.
+  LatencyRecorder fused_width;
 
   /// Applies a retained-sample cap to every recorder (0 = unbounded).
   void set_sample_cap(std::size_t cap) {
     step_latency.set_cap(cap);
     lag.set_cap(cap);
+    fused_width.set_cap(cap);
   }
 
   [[nodiscard]] double frames_per_second() const {
@@ -165,6 +177,9 @@ struct RuntimeStats {
     cache_skipped_steps += other.cache_skipped_steps;
     cache_evictions += other.cache_evictions;
     cache_bytes += other.cache_bytes;
+    fused_steps += other.fused_steps;
+    fallback_steps += other.fallback_steps;
+    fused_width.merge_from(other.fused_width);
   }
 
   /// Fraction of served frames that skipped compute (0 with no cache).
@@ -191,6 +206,9 @@ struct RuntimeStats {
     cache_skipped_steps = 0;
     cache_evictions = 0;
     cache_bytes = 0;
+    fused_steps = 0;
+    fallback_steps = 0;
+    fused_width.reset();
   }
 };
 

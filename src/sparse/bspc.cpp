@@ -109,6 +109,69 @@ void BspcMatrix::spmv_stripe_list(std::span<const float> x,
                    {gathered.data(), gathered.size()});
 }
 
+void BspcMatrix::spmm_stripe_list(const Matrix& x, Matrix& y,
+                                  std::size_t batch,
+                                  std::span<const std::uint32_t> stripes,
+                                  bool use_lre,
+                                  std::span<float> gather) const {
+  RT_REQUIRE(x.cols() == cols_ && y.cols() == rows_,
+             "BSPC spmm: panel shape mismatch");
+  RT_REQUIRE(batch <= x.rows() && batch <= y.rows(),
+             "BSPC spmm: batch exceeds panel");
+  RT_REQUIRE(!use_lre || gather.size() >= batch * max_block_cols_,
+             "BSPC spmm: LRE gather scratch smaller than batch panel");
+  for (const std::uint32_t s : stripes) {
+    RT_REQUIRE(s < num_r_, "BSPC spmm: stripe index out of range");
+    const std::size_t row_lo = stripe_row_ptr_[s];
+    const std::size_t n_rows = stripe_row_ptr_[s + 1] - row_lo;
+    if (n_rows == 0) continue;
+    for (std::uint32_t bi = stripe_block_ptr_[s];
+         bi < stripe_block_ptr_[s + 1]; ++bi) {
+      const BlockRef& ref = blocks_[bi];
+      const std::uint32_t* cols = col_pool_.data() + ref.col_offset;
+      const float* block_values = values_.data() + ref.value_offset;
+      if (use_lre) {
+        // One gather of each stream's x per block, then every weight row
+        // is streamed once and dotted against all streams' panels. The
+        // inner accumulation is the exact per-vector LRE loop, so per
+        // stream the sum is bit-identical to spmv_stripe_list.
+        for (std::size_t b = 0; b < batch; ++b) {
+          float* g = gather.data() + b * max_block_cols_;
+          const float* xb = x.row(b).data();
+          for (std::uint32_t k = 0; k < ref.col_count; ++k) {
+            g[k] = xb[cols[k]];
+          }
+        }
+        for (std::size_t i = 0; i < n_rows; ++i) {
+          const float* vrow = block_values + i * ref.col_count;
+          const std::size_t r = active_rows_[row_lo + i];
+          for (std::size_t b = 0; b < batch; ++b) {
+            const float* g = gather.data() + b * max_block_cols_;
+            float acc = 0.0F;
+            for (std::uint32_t k = 0; k < ref.col_count; ++k) {
+              acc += vrow[k] * g[k];
+            }
+            y.row(b)[r] += acc;
+          }
+        }
+      } else {
+        for (std::size_t i = 0; i < n_rows; ++i) {
+          const float* vrow = block_values + i * ref.col_count;
+          const std::size_t r = active_rows_[row_lo + i];
+          for (std::size_t b = 0; b < batch; ++b) {
+            const float* xb = x.row(b).data();
+            float acc = 0.0F;
+            for (std::uint32_t k = 0; k < ref.col_count; ++k) {
+              acc += vrow[k] * xb[cols[k]];
+            }
+            y.row(b)[r] += acc;
+          }
+        }
+      }
+    }
+  }
+}
+
 void BspcMatrix::process_stripe(std::span<const float> x, std::span<float> y,
                                 std::size_t s, bool use_lre,
                                 std::span<float> gathered) const {

@@ -77,6 +77,20 @@ class BspcMatrix {
                         std::span<const std::uint32_t> stripes,
                         bool use_lre = true) const;
 
+  /// Batched form of spmv_stripe_list: row b of X (b < batch) is an
+  /// independent input vector and row b of Y accumulates (A X[b]) for
+  /// the listed stripes (caller zeroes the rows). Each block's weight
+  /// tile is streamed from memory once for the whole batch — the fused
+  /// step's weight-traffic amortization — while every (row, stream)
+  /// accumulation keeps the exact per-vector loop shape, so each
+  /// stream's result is bit-identical to spmv_stripe_list on its own.
+  /// `gather` needs batch * max_block_cols() floats when use_lre
+  /// (stream b's gathered panel lives at offset b * max_block_cols()).
+  /// X/Y may have extra trailing rows beyond `batch`.
+  void spmm_stripe_list(const Matrix& x, Matrix& y, std::size_t batch,
+                        std::span<const std::uint32_t> stripes, bool use_lre,
+                        std::span<float> gather) const;
+
   /// Nonzeros in one stripe (for load balancing).
   [[nodiscard]] std::size_t stripe_nnz(std::size_t stripe) const;
 

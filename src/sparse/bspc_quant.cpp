@@ -35,6 +35,11 @@ PackedQuantizedBspc PackedQuantizedBspc::pack(const BspcMatrix& source,
   out.nnz_ = source.nnz();
   out.stripe_row_ptr_.assign(source.stripe_row_ptr().begin(),
                              source.stripe_row_ptr().end());
+  for (std::size_t s = 0; s + 1 < out.stripe_row_ptr_.size(); ++s) {
+    out.max_stripe_rows_ = std::max<std::size_t>(
+        out.max_stripe_rows_,
+        out.stripe_row_ptr_[s + 1] - out.stripe_row_ptr_[s]);
+  }
   out.active_rows_.assign(source.active_rows().begin(),
                           source.active_rows().end());
   out.stripe_block_ptr_.assign(source.stripe_block_ptr().begin(),
@@ -223,6 +228,116 @@ void PackedQuantizedBspc::spmm(const Matrix& x, Matrix& y,
             y.row(b)[r] += dot_f16_f32(vrow, g, ref.col_count);
           }
         }
+      }
+    }
+  }
+}
+
+void PackedQuantizedBspc::spmm_stripe_list(
+    const Matrix& x, Matrix& y, std::size_t batch,
+    std::span<const std::uint32_t> stripes, std::span<float> gather) const {
+  RT_REQUIRE(x.cols() == cols_ && y.cols() == rows_,
+             "packed spmm: panel shape mismatch");
+  RT_REQUIRE(batch <= x.rows() && batch <= y.rows(),
+             "packed spmm: batch exceeds panel");
+  RT_REQUIRE(gather.size() >= batch * max_block_cols_,
+             "packed spmm: gather scratch smaller than batch panel");
+  const bool is_int8 = !q8_.empty();
+  for (const std::uint32_t s : stripes) {
+    RT_REQUIRE(s < num_r_, "packed spmm: stripe index out of range");
+    const std::size_t row_lo = stripe_row_ptr_[s];
+    const std::size_t n_rows = stripe_row_ptr_[s + 1] - row_lo;
+    if (n_rows == 0) continue;
+    for (std::uint32_t bi = stripe_block_ptr_[s];
+         bi < stripe_block_ptr_[s + 1]; ++bi) {
+      const BspcMatrix::BlockRef& ref = blocks_[bi];
+      const std::uint32_t* cols = col_pool_.data() + ref.col_offset;
+      for (std::size_t b = 0; b < batch; ++b) {
+        const float* xb = x.row(b).data();
+        float* g = gather.data() + b * max_block_cols_;
+        for (std::uint32_t k = 0; k < ref.col_count; ++k) {
+          g[k] = xb[cols[k]];
+        }
+      }
+      if (is_int8) {
+        const std::int8_t* block_values = q8_.data() + ref.value_offset;
+        for (std::size_t i = 0; i < n_rows; ++i) {
+          const std::int8_t* vrow = block_values + i * ref.col_count;
+          const std::uint32_t r = active_rows_[row_lo + i];
+          const float scale = row_scale_[r];
+          for (std::size_t b = 0; b < batch; ++b) {
+            const float* g = gather.data() + b * max_block_cols_;
+            y.row(b)[r] += dot_q8_f32(vrow, g, ref.col_count) * scale;
+          }
+        }
+      } else {
+        const std::uint16_t* block_values = f16_.data() + ref.value_offset;
+        for (std::size_t i = 0; i < n_rows; ++i) {
+          const std::uint16_t* vrow = block_values + i * ref.col_count;
+          const std::uint32_t r = active_rows_[row_lo + i];
+          for (std::size_t b = 0; b < batch; ++b) {
+            const float* g = gather.data() + b * max_block_cols_;
+            y.row(b)[r] += dot_f16_f32(vrow, g, ref.col_count);
+          }
+        }
+      }
+    }
+  }
+}
+
+void PackedQuantizedBspc::spmm_stripe_list_q8(
+    const QuantizedActivations& x, Matrix& y, std::size_t batch,
+    std::span<const std::uint32_t> stripes,
+    std::span<std::int32_t> scratch) const {
+  RT_REQUIRE(!q8_.empty(), "packed spmm q8: int8 weight storage required");
+  RT_REQUIRE(x.dim == cols_ && y.cols() == rows_,
+             "packed spmm q8: panel shape mismatch");
+  RT_REQUIRE(batch <= x.batch && batch <= y.rows(),
+             "packed spmm q8: batch exceeds panel");
+  RT_REQUIRE(scratch.size() >= q8_scratch_words(batch),
+             "packed spmm q8: scratch smaller than q8_scratch_words");
+  const std::size_t bp = (batch + 7) & ~std::size_t{7};
+  RT_REQUIRE(x.padded_batch >= bp,
+             "packed spmm q8: panel not transpose()d for this batch");
+  const std::size_t max_pairs = (max_block_cols_ + 1) / 2;
+  // Scratch layout: the interleaved activation panel (one int32 lane =
+  // one stream's int16 code pair), then the stripe's int32 accumulators.
+  std::int16_t* panel = reinterpret_cast<std::int16_t*>(scratch.data());
+  std::int32_t* acc = scratch.data() + bp * max_pairs;
+  for (const std::uint32_t s : stripes) {
+    RT_REQUIRE(s < num_r_, "packed spmm q8: stripe index out of range");
+    const std::size_t row_lo = stripe_row_ptr_[s];
+    const std::size_t n_rows = stripe_row_ptr_[s + 1] - row_lo;
+    if (n_rows == 0) continue;
+    std::fill(acc, acc + n_rows * bp, 0);
+    for (std::uint32_t bi = stripe_block_ptr_[s];
+         bi < stripe_block_ptr_[s + 1]; ++bi) {
+      const BspcMatrix::BlockRef& ref = blocks_[bi];
+      const std::uint32_t* cols = col_pool_.data() + ref.col_offset;
+      const std::size_t pairs = (ref.col_count + 1) / 2;
+      // Interleave once per block from the transposed activation panel:
+      // pair p's lane b holds the int16 code pair (x[b][cols[2p]],
+      // x[b][cols[2p+1]]). Columns are stream-contiguous, so each pair
+      // is two straight loads + byte interleave; pad lanes are already
+      // zero in tcodes and the odd tail column interleaves with null.
+      for (std::size_t p = 0; p < pairs; ++p) {
+        const bool has_hi = 2 * p + 1 < ref.col_count;
+        interleave_q8_pairs(x.col(cols[2 * p]),
+                            has_hi ? x.col(cols[2 * p + 1]) : nullptr, bp,
+                            panel + p * 2 * bp);
+      }
+      madd_q8_block(q8_.data() + ref.value_offset, ref.col_count, n_rows,
+                    panel, bp, acc);
+    }
+    // One dequantization per (row, stream) for the whole stripe. Stream
+    // outer so each stream's output row is written in ascending column
+    // order (acc is small enough to sit in L1 either way).
+    for (std::size_t b = 0; b < batch; ++b) {
+      float* yb = y.row(b).data();
+      const float xs = x.scale[b];
+      for (std::size_t i = 0; i < n_rows; ++i) {
+        const std::uint32_t r = active_rows_[row_lo + i];
+        yb[r] += static_cast<float>(acc[i * bp + b]) * row_scale_[r] * xs;
       }
     }
   }

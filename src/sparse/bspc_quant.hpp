@@ -73,10 +73,49 @@ class PackedQuantizedBspc {
   /// once per block for the whole batch instead of once per vector;
   /// each row's result is bit-identical to spmv on that row (same
   /// per-row accumulation order). Y rows [0, batch) are zeroed first.
-  /// Not yet wired into step_batch (which keeps per-stream matvecs for
-  /// its chunked thread partition — see the ROADMAP next step);
-  /// bench_quantization quantifies the matmat-vs-matvec gap.
+  /// The fused step_batch path uses the stripe-list forms below (this
+  /// whole-matrix form is the single-threaded convenience);
+  /// bench_fused quantifies the matmat-vs-matvec gap.
   void spmm(const Matrix& x, Matrix& y, std::size_t batch) const;
+
+  /// Batched stripe-list form (the fused step's kernel): row b of X
+  /// (b < batch) is an independent fp32 input vector and row b of Y
+  /// accumulates (A X[b]) for the listed stripes (caller zeroes the
+  /// rows). Weights stream once per block per batch; per-(row, stream)
+  /// dots go through the same dot_q8_f32 / dot_f16_f32 helpers as
+  /// spmv_stripe_list, so each stream's result is bit-identical to the
+  /// per-vector path. `gather` needs batch * max_block_cols() floats
+  /// (stream b's panel at offset b * max_block_cols()). LRE is implied:
+  /// the batched gather is the redundant-load elimination.
+  void spmm_stripe_list(const Matrix& x, Matrix& y, std::size_t batch,
+                        std::span<const std::uint32_t> stripes,
+                        std::span<float> gather) const;
+
+  /// Batched stripe-list form over int8-quantized activations (int8
+  /// weight storage only) — the fused step's throughput kernel. Codes
+  /// multiply codes with exact int32 accumulation: each block's
+  /// activation codes are gathered once into a stream-major interleaved
+  /// panel, every weight code pair is broadcast and madd'ed across the
+  /// whole batch (no per-stream horizontal reductions), and partial
+  /// sums ride per-stripe int32 accumulators dequantized once per
+  /// (row, stream) as i32 * row_scale[r] * x.scale[b]. Per-stream sums
+  /// equal dot_q8_q8_i32 exactly (integer associativity), so the result
+  /// is within the activation grid's rounding slack of
+  /// spmm_stripe_list, not bitwise. `scratch` needs
+  /// q8_scratch_words(batch) int32 words.
+  void spmm_stripe_list_q8(const QuantizedActivations& x, Matrix& y,
+                           std::size_t batch,
+                           std::span<const std::uint32_t> stripes,
+                           std::span<std::int32_t> scratch) const;
+
+  /// int32 scratch words spmm_stripe_list_q8 needs at `batch`: the
+  /// interleaved activation panel plus the stripe accumulator block,
+  /// both padded to 8-stream lanes (the transposed activation panel's
+  /// lane group).
+  [[nodiscard]] std::size_t q8_scratch_words(std::size_t batch) const {
+    const std::size_t bp = (batch + 7) & ~std::size_t{7};
+    return bp * ((max_block_cols_ + 1) / 2 + max_stripe_rows_);
+  }
 
   /// Dequantized dense reconstruction (for verification).
   [[nodiscard]] Matrix to_dense() const;
@@ -99,6 +138,9 @@ class PackedQuantizedBspc {
   std::size_t num_r_ = 0;
   std::size_t num_c_ = 0;
   std::size_t max_block_cols_ = 0;
+  /// Widest stripe's active-row count (sizes the q8 kernel's per-stripe
+  /// int32 accumulator block).
+  std::size_t max_stripe_rows_ = 0;
   std::size_t nnz_ = 0;
   // Structural metadata, copied verbatim from the source BspcMatrix.
   std::vector<std::uint32_t> stripe_row_ptr_;

@@ -87,6 +87,53 @@ void PackedDenseMatrix::gemv_rows(std::span<const float> x,
   }
 }
 
+void PackedDenseMatrix::gemm_rows(const Matrix& x, Matrix& y,
+                                  std::size_t batch, std::size_t row_begin,
+                                  std::size_t row_end) const {
+  RT_REQUIRE(x.cols() == cols_ && y.cols() == rows_,
+             "packed gemm: shape mismatch");
+  RT_REQUIRE(batch <= x.rows() && batch <= y.rows(),
+             "packed gemm: batch exceeds panel");
+  RT_REQUIRE(row_begin <= row_end && row_end <= rows_,
+             "packed gemm: row range out of bounds");
+  if (!q8_.empty()) {
+    for (std::size_t r = row_begin; r < row_end; ++r) {
+      const std::int8_t* row = q8_.data() + r * cols_;
+      const float scale = row_scale_[r];
+      for (std::size_t b = 0; b < batch; ++b) {
+        y.row(b)[r] = dot_q8_f32(row, x.row(b).data(), cols_) * scale;
+      }
+    }
+  } else {
+    for (std::size_t r = row_begin; r < row_end; ++r) {
+      const std::uint16_t* row = f16_.data() + r * cols_;
+      for (std::size_t b = 0; b < batch; ++b) {
+        y.row(b)[r] = dot_f16_f32(row, x.row(b).data(), cols_);
+      }
+    }
+  }
+}
+
+void PackedDenseMatrix::gemm_rows_q8(const QuantizedActivations& x, Matrix& y,
+                                     std::size_t batch, std::size_t row_begin,
+                                     std::size_t row_end) const {
+  RT_REQUIRE(!q8_.empty(), "packed gemm q8: int8 weight storage required");
+  RT_REQUIRE(x.dim == cols_ && y.cols() == rows_,
+             "packed gemm q8: shape mismatch");
+  RT_REQUIRE(batch <= x.batch && batch <= y.rows(),
+             "packed gemm q8: batch exceeds panel");
+  RT_REQUIRE(row_begin <= row_end && row_end <= rows_,
+             "packed gemm q8: row range out of bounds");
+  for (std::size_t r = row_begin; r < row_end; ++r) {
+    const std::int8_t* row = q8_.data() + r * cols_;
+    const float scale = row_scale_[r];
+    for (std::size_t b = 0; b < batch; ++b) {
+      y.row(b)[r] = static_cast<float>(dot_q8_q8_i32(row, x.row(b), cols_)) *
+                    scale * x.scale[b];
+    }
+  }
+}
+
 Matrix PackedDenseMatrix::to_dense() const {
   Matrix dense(rows_, cols_);
   for (std::size_t r = 0; r < rows_; ++r) {

@@ -40,6 +40,23 @@ class PackedDenseMatrix {
   void gemv_rows(std::span<const float> x, std::span<float> y,
                  std::size_t row_begin, std::size_t row_end) const;
 
+  /// Batched matmat over rows [row_begin, row_end): row b of X
+  /// (b < batch) is an independent input vector and row b of Y receives
+  /// (W X[b]) for those rows. Each weight row is streamed once for the
+  /// whole batch; per-(row, stream) dots go through the same helpers as
+  /// gemv_rows, so every stream's result is bit-identical to the
+  /// per-vector path. X/Y may have extra trailing rows.
+  void gemm_rows(const Matrix& x, Matrix& y, std::size_t batch,
+                 std::size_t row_begin, std::size_t row_end) const;
+
+  /// Same over int8-quantized activations (int8 weight storage only):
+  /// codes multiply codes with exact int32 accumulation, dequantized
+  /// once per (row, stream) as i32 * row_scale[r] * x.scale[b]. Within
+  /// the activation grid's rounding slack of gemm_rows, not bitwise.
+  void gemm_rows_q8(const QuantizedActivations& x, Matrix& y,
+                    std::size_t batch, std::size_t row_begin,
+                    std::size_t row_end) const;
+
   /// Dequantized dense reconstruction (for verification).
   [[nodiscard]] Matrix to_dense() const;
 

@@ -1,5 +1,7 @@
 #include "tensor/precision.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
 #include <string>
@@ -26,6 +28,67 @@ WeightPrecision weight_precision_from_string(const char* name) {
   }
   throw std::invalid_argument(std::string("unknown weight precision: ") +
                               name);
+}
+
+const char* to_string(ActivationPrecision precision) {
+  switch (precision) {
+    case ActivationPrecision::kFp32: return "fp32";
+    case ActivationPrecision::kInt8: return "int8";
+  }
+  return "?";
+}
+
+ActivationPrecision activation_precision_from_string(const char* name) {
+  if (std::strcmp(name, "fp32") == 0) return ActivationPrecision::kFp32;
+  if (std::strcmp(name, "int8") == 0) return ActivationPrecision::kInt8;
+  throw std::invalid_argument(std::string("unknown activation precision: ") +
+                              name);
+}
+
+void QuantizedActivations::resize(std::size_t new_batch,
+                                  std::size_t new_dim) {
+  batch = new_batch;
+  dim = new_dim;
+  if (codes.size() < batch * dim) codes.resize(batch * dim);
+  if (scale.size() < batch) scale.resize(batch);
+}
+
+void QuantizedActivations::quantize_row(std::size_t b,
+                                        std::span<const float> x) {
+  float max_abs = 0.0F;
+  for (const float v : x) max_abs = std::max(max_abs, std::fabs(v));
+  const float s = max_abs / kInt8CodeLimit;
+  scale[b] = s;
+  std::int8_t* out = codes.data() + b * dim;
+  if (s == 0.0F) {
+    std::fill(out, out + x.size(), std::int8_t{0});
+    return;
+  }
+  // Branchless round-half-away-from-zero via copysign(0.5) + truncation,
+  // with the code grid hit by one reciprocal multiply — the loop
+  // auto-vectorizes, which matters because the fused step re-quantizes
+  // every activation panel each timestep. Clamping first keeps the
+  // truncating cast in range even when max_abs * inv rounds above 127.
+  const float inv = kInt8CodeLimit / max_abs;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float v =
+        std::min(std::max(x[i] * inv, -kInt8CodeLimit), kInt8CodeLimit);
+    out[i] = static_cast<std::int8_t>(
+        static_cast<std::int32_t>(v + std::copysign(0.5F, v)));
+  }
+}
+
+void QuantizedActivations::transpose(std::size_t active_batch) {
+  const std::size_t padded = (active_batch + 7) & ~std::size_t{7};
+  padded_batch = padded;
+  if (tcodes.size() < dim * padded) tcodes.resize(dim * padded);
+  for (std::size_t c = 0; c < dim; ++c) {
+    std::int8_t* out = tcodes.data() + c * padded;
+    for (std::size_t b = 0; b < active_batch; ++b) {
+      out[b] = codes[b * dim + c];
+    }
+    std::fill(out + active_batch, out + padded, std::int8_t{0});
+  }
 }
 
 std::size_t bytes_per_weight(WeightPrecision precision) {

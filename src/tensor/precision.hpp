@@ -13,6 +13,10 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/aligned.hpp"
 
 namespace rtmobile {
 
@@ -74,5 +78,73 @@ inline float fp16_bits_to_float(std::uint16_t half_bits) {
 /// unused so negation cannot overflow), dequantized as code * scale with
 /// scale = max|w| / 127.
 inline constexpr float kInt8CodeLimit = 127.0F;
+
+/// Storage grid for the *activations* flowing through the fused batched
+/// step (weights have their own WeightPrecision). kInt8 puts every
+/// stream's activation vector on the same symmetric grid as the int8
+/// weights, so the packed matmat kernels multiply code by code and
+/// accumulate in int32 — exact integer arithmetic, therefore identical
+/// across SIMD widths and summation orders — instead of round-tripping
+/// the panel through fp32. Only int8 weight plans consume it; fp32/fp16
+/// plans ignore the setting and read the fp32 panel.
+enum class ActivationPrecision : std::uint8_t {
+  kFp32,  // activations stay fp32 (the default; numerics unchanged)
+  kInt8,  // symmetric per-stream int8 codes, int32 accumulation
+};
+
+[[nodiscard]] const char* to_string(ActivationPrecision precision);
+
+/// Parses "fp32" / "int8"; throws std::invalid_argument otherwise.
+[[nodiscard]] ActivationPrecision activation_precision_from_string(
+    const char* name);
+
+/// A batch of activation vectors quantized onto the symmetric int8 grid,
+/// one scale per stream (scale = max|x| / 127 over that stream's vector,
+/// so the panel's dynamic range per stream is preserved). Buffers are
+/// grow-only: resize() never shrinks, which is what keeps the serving
+/// step path allocation-free once the widest panel has been seen.
+struct QuantizedActivations {
+  std::size_t batch = 0;
+  std::size_t dim = 0;
+  /// Row-major [batch x dim] code panel (row b = stream b's codes).
+  std::vector<std::int8_t, AlignedAllocator<std::int8_t>> codes;
+  /// Per-stream dequantization scale (codes[b] * scale[b] ~= x[b]).
+  std::vector<float, AlignedAllocator<float>> scale;
+
+  /// Sets the logical shape, growing the buffers if needed (never
+  /// shrinking). Contents are unspecified until quantize_row() fills
+  /// each row.
+  void resize(std::size_t new_batch, std::size_t new_dim);
+
+  /// Quantizes one stream's activation vector (x.size() == dim) into row
+  /// b: scale[b] = max|x| / 127, codes = round(x * 127 / max|x|) clamped
+  /// to the grid (half away from zero). Element-wise exact arithmetic —
+  /// deterministic and identical on every build, vectorized or not.
+  void quantize_row(std::size_t b, std::span<const float> x);
+
+  /// Builds the column-major mirror of rows [0, active_batch): tcodes
+  /// lays out each activation dimension's codes contiguously across
+  /// streams, padded with zero lanes to a multiple of 8 so the matmat
+  /// kernels can load whole stream groups with one instruction. Call
+  /// after every row is quantized; the padded width becomes
+  /// padded_batch. Grow-only like the row-major panel.
+  void transpose(std::size_t active_batch);
+
+  [[nodiscard]] const std::int8_t* row(std::size_t b) const {
+    return codes.data() + b * dim;
+  }
+
+  /// Dimension c's codes across all padded_batch stream lanes (valid
+  /// after transpose()).
+  [[nodiscard]] const std::int8_t* col(std::size_t c) const {
+    return tcodes.data() + c * padded_batch;
+  }
+
+  /// Stream lanes per tcodes column: the transpose()d batch rounded up
+  /// to 8, pad lanes zeroed.
+  std::size_t padded_batch = 0;
+  /// Column-major [dim x padded_batch] code panel (built by transpose()).
+  std::vector<std::int8_t, AlignedAllocator<std::int8_t>> tcodes;
+};
 
 }  // namespace rtmobile

@@ -21,6 +21,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 
 #include "tensor/precision.hpp"
 
@@ -122,6 +123,153 @@ inline float dot_q8_f32_indexed(const std::int8_t* q, const float* x,
   return quant_detail::reduce_lanes(acc) + tail;
 }
 
+/// sum_k q[k] * a[k] in int32 — the fused path's int8-weight x
+/// int8-activation dot. Integer accumulation is exact, so unlike the
+/// float trees above this needs no fixed summation order: the AVX2
+/// madd_epi16 path and the scalar fallback return identical sums for
+/// any input. Overflow-safe for any realistic n: |q*a| <= 127^2, so the
+/// int32 accumulator holds > 2^17 * 127^2 products.
+inline std::int32_t dot_q8_q8_i32(const std::int8_t* q,
+                                  const std::int8_t* a, std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t k = 0;
+  for (; k + 16 <= n; k += 16) {
+    const __m256i qw = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(q + k)));
+    const __m256i aw = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + k)));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(qw, aw));
+  }
+  alignas(32) std::int32_t lane[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lane), acc);
+  std::int32_t sum = ((lane[0] + lane[1]) + (lane[2] + lane[3])) +
+                     ((lane[4] + lane[5]) + (lane[6] + lane[7]));
+  for (; k < n; ++k) {
+    sum += static_cast<std::int32_t>(q[k]) * static_cast<std::int32_t>(a[k]);
+  }
+  return sum;
+}
+
+/// acc[b] += sum_k w[k] * a[k][b] for bp streams at once (bp a multiple
+/// of 8) — the fused batched-matmat microkernel. `panel` holds the
+/// block's activation codes interleaved stream-major: for column pair p,
+/// 32-bit lane b is the int16 pair (a[2p][b], a[2p+1][b]), with odd-tail
+/// columns and batch-pad lanes zeroed by the gather. Each weight pair is
+/// broadcast once and madd'ed across all streams, so there is no
+/// per-stream horizontal reduction at all; int32 accumulation keeps the
+/// result exactly equal to dot_q8_q8_i32 per stream.
+inline void madd_q8_pairs(const std::int8_t* w, std::size_t n,
+                          const std::int16_t* panel, std::size_t bp,
+                          std::int32_t* acc) {
+  const std::size_t pairs = (n + 1) / 2;
+  for (std::size_t p = 0; p < pairs; ++p) {
+    const std::int32_t w0 = w[2 * p];
+    const std::int32_t w1 = 2 * p + 1 < n ? w[2 * p + 1] : 0;
+    const std::int32_t pair_bits =
+        (w0 & 0xFFFF) | (static_cast<std::int32_t>(
+                            static_cast<std::uint32_t>(w1) << 16));
+    const __m256i wpair = _mm256_set1_epi32(pair_bits);
+    const std::int16_t* lane = panel + p * 2 * bp;
+    for (std::size_t b = 0; b < bp; b += 8) {
+      const __m256i codes = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(lane + 2 * b));
+      __m256i* accv = reinterpret_cast<__m256i*>(acc + b);
+      _mm256_storeu_si256(
+          accv, _mm256_add_epi32(_mm256_loadu_si256(accv),
+                                 _mm256_madd_epi16(wpair, codes)));
+    }
+  }
+}
+
+/// Whole-block form of madd_q8_pairs:
+/// acc[i][b] += sum_k w[i][k] * a[k][b] for every active row i at once.
+/// Weight rows are expanded four pairs at a time — one sign-extending
+/// 8-byte load plus lane broadcasts — instead of per-pair scalar bit
+/// packing, which is where the pair kernel spends most of its
+/// instructions on the wide blocks BSPC actually produces. Identical
+/// int32 sums to madd_q8_pairs row by row (integer associativity).
+inline void madd_q8_block(const std::int8_t* w, std::size_t col_count,
+                          std::size_t n_rows, const std::int16_t* panel,
+                          std::size_t bp, std::int32_t* acc) {
+  const std::size_t pairs = (col_count + 1) / 2;
+  // Pair groups whose 8 weight bytes are all in bounds.
+  const std::size_t groups = col_count / 8;
+  for (std::size_t i = 0; i < n_rows; ++i) {
+    const std::int8_t* wr = w + i * col_count;
+    std::int32_t* arow = acc + i * bp;
+    for (std::size_t g = 0; g < groups; ++g) {
+      const __m128i w16 = _mm_cvtepi8_epi16(_mm_loadl_epi64(
+          reinterpret_cast<const __m128i*>(wr + 8 * g)));
+      const __m256i wp0 = _mm256_broadcastd_epi32(w16);
+      const __m256i wp1 =
+          _mm256_broadcastd_epi32(_mm_shuffle_epi32(w16, 0x55));
+      const __m256i wp2 =
+          _mm256_broadcastd_epi32(_mm_shuffle_epi32(w16, 0xAA));
+      const __m256i wp3 =
+          _mm256_broadcastd_epi32(_mm_shuffle_epi32(w16, 0xFF));
+      const std::int16_t* lane = panel + g * 8 * bp;
+      for (std::size_t b = 0; b < bp; b += 8) {
+        __m256i a =
+            _mm256_loadu_si256(reinterpret_cast<__m256i*>(arow + b));
+        a = _mm256_add_epi32(
+            a, _mm256_madd_epi16(
+                   wp0, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                            lane + 2 * b))));
+        a = _mm256_add_epi32(
+            a, _mm256_madd_epi16(
+                   wp1, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                            lane + 2 * bp + 2 * b))));
+        a = _mm256_add_epi32(
+            a, _mm256_madd_epi16(
+                   wp2, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                            lane + 4 * bp + 2 * b))));
+        a = _mm256_add_epi32(
+            a, _mm256_madd_epi16(
+                   wp3, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                            lane + 6 * bp + 2 * b))));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(arow + b), a);
+      }
+    }
+    if (groups * 4 < pairs) {  // tail pairs (block width not 8-aligned)
+      madd_q8_pairs(wr + 8 * groups, col_count - 8 * groups,
+                    panel + groups * 8 * bp, bp, arow);
+    }
+  }
+}
+
+/// Builds one column pair's interleaved panel lane from the transposed
+/// activation panel: lane[2b] = c0[b], lane[2b+1] = c1[b] (or 0 when c1
+/// is null — the odd-tail column), widened to int16. `bp` is a multiple
+/// of 8 so the whole column interleaves as straight loads + byte
+/// unpack + sign extension, no strided scalar stores.
+inline void interleave_q8_pairs(const std::int8_t* c0, const std::int8_t* c1,
+                                std::size_t bp, std::int16_t* lane) {
+  std::size_t b = 0;
+  for (; b + 16 <= bp; b += 16) {
+    const __m128i lo8 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(c0 + b));
+    const __m128i hi8 =
+        c1 ? _mm_loadu_si128(reinterpret_cast<const __m128i*>(c1 + b))
+           : _mm_setzero_si128();
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(lane + 2 * b),
+        _mm256_cvtepi8_epi16(_mm_unpacklo_epi8(lo8, hi8)));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(lane + 2 * b + 16),
+        _mm256_cvtepi8_epi16(_mm_unpackhi_epi8(lo8, hi8)));
+  }
+  if (b < bp) {  // 8-lane tail: one 64-bit load per column
+    const __m128i lo8 =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(c0 + b));
+    const __m128i hi8 =
+        c1 ? _mm_loadl_epi64(reinterpret_cast<const __m128i*>(c1 + b))
+           : _mm_setzero_si128();
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(lane + 2 * b),
+        _mm256_cvtepi8_epi16(_mm_unpacklo_epi8(lo8, hi8)));
+  }
+}
+
 #else  // portable fallback: same summation tree, scalar lanes
 
 namespace quant_detail {
@@ -157,6 +305,54 @@ inline float dot_q8_f32_indexed(const std::int8_t* q, const float* x,
                                 const std::uint32_t* idx, std::size_t n) {
   return quant_detail::dot_lanes(
       q, n, [x, idx](std::size_t k) { return x[idx[k]]; });
+}
+
+/// Exact int32 accumulation — bit-identical to the AVX2 build by
+/// construction (integer addition is associative).
+inline std::int32_t dot_q8_q8_i32(const std::int8_t* q,
+                                  const std::int8_t* a, std::size_t n) {
+  std::int32_t sum = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    sum += static_cast<std::int32_t>(q[k]) * static_cast<std::int32_t>(a[k]);
+  }
+  return sum;
+}
+
+/// Scalar form of the fused microkernel — identical int32 sums to the
+/// AVX2 build by integer associativity. Panel layout matches: pair p's
+/// lane b is (a[2p][b], a[2p+1][b]) as adjacent int16s.
+inline void madd_q8_pairs(const std::int8_t* w, std::size_t n,
+                          const std::int16_t* panel, std::size_t bp,
+                          std::int32_t* acc) {
+  const std::size_t pairs = (n + 1) / 2;
+  for (std::size_t p = 0; p < pairs; ++p) {
+    const std::int32_t w0 = w[2 * p];
+    const std::int32_t w1 = 2 * p + 1 < n ? w[2 * p + 1] : 0;
+    const std::int16_t* lane = panel + p * 2 * bp;
+    for (std::size_t b = 0; b < bp; ++b) {
+      acc[b] += w0 * lane[2 * b] + w1 * lane[2 * b + 1];
+    }
+  }
+}
+
+/// Scalar form of the block kernel — row-by-row madd_q8_pairs, which is
+/// the same int32 arithmetic the AVX2 build performs.
+inline void madd_q8_block(const std::int8_t* w, std::size_t col_count,
+                          std::size_t n_rows, const std::int16_t* panel,
+                          std::size_t bp, std::int32_t* acc) {
+  for (std::size_t i = 0; i < n_rows; ++i) {
+    madd_q8_pairs(w + i * col_count, col_count, panel, bp, acc + i * bp);
+  }
+}
+
+/// Scalar form of the panel interleave — same lane layout as the AVX2
+/// build (values are exact either way).
+inline void interleave_q8_pairs(const std::int8_t* c0, const std::int8_t* c1,
+                                std::size_t bp, std::int16_t* lane) {
+  for (std::size_t b = 0; b < bp; ++b) {
+    lane[2 * b] = c0[b];
+    lane[2 * b + 1] = c1 ? c1[b] : std::int16_t{0};
+  }
 }
 
 #endif
